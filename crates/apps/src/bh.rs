@@ -1,0 +1,277 @@
+//! Barnes–Hut N-body (`BH`, paper §5.3 and Fig. 9).
+//!
+//! Each time step builds an octree over the bodies depth-first, then
+//! computes forces by walking the tree in a data-dependent order. The
+//! paper's optimization is *subtree clustering* of the non-leaf nodes
+//! (leaves are linked in their own list and are not clustered). A non-leaf
+//! node is 80 bytes here (78 in the paper), so meaningful packing needs
+//! long cache lines — the clustering still helps at shorter lines by
+//! allocating clusters consecutively in traversal order.
+
+use crate::common::{prefetch_mode, scatter_pad, PrefetchMode, Rng};
+use crate::registry::{AppOutput, RunConfig, Scale, Variant};
+use memfwd::{subtree_cluster, Machine, Token, TreeDesc};
+use memfwd_tagmem::Addr;
+
+/// Internal node: `[tag=1, mass, child0..child7]` = 10 words (80 B).
+const INTERNAL_WORDS: u64 = 10;
+const CHILD0: u64 = 2;
+/// Body (leaf): `[tag=0, mass, pos, next_body]` = 4 words.
+const BODY_WORDS: u64 = 4;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of bodies.
+    pub bodies: u64,
+    /// Time steps (tree rebuilt each step, as in the original program).
+    pub steps: u64,
+    /// Force-calculation passes per built tree (the force phase dominates
+    /// the original program; this sets its weight relative to tree
+    /// construction and clustering).
+    pub force_passes: u64,
+}
+
+impl Params {
+    /// Parameters for a workload scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Smoke => Params {
+                bodies: 64,
+                steps: 2,
+                force_passes: 2,
+            },
+            Scale::Bench => Params {
+                bodies: 6000,
+                steps: 1,
+                force_passes: 12,
+            },
+        }
+    }
+}
+
+fn tree_desc() -> TreeDesc {
+    TreeDesc {
+        node_words: INTERNAL_WORDS,
+        child_words: (CHILD0..CHILD0 + 8).collect(),
+    }
+}
+
+/// Runs `bh`.
+pub fn run(cfg: &RunConfig) -> AppOutput {
+    let p = Params::for_scale(cfg.scale);
+    let mut m = Machine::new(cfg.sim);
+    let mut pool = m.new_pool();
+    let mut rng = Rng::new(cfg.seed ^ 0x6268);
+    let optimized = cfg.variant == Variant::Optimized;
+    let mode = prefetch_mode(cfg);
+    let desc = tree_desc();
+
+    // ---- Create the bodies (linked in a list, never relocated).
+    let mut bodies: Vec<Addr> = Vec::with_capacity(p.bodies as usize);
+    let body_head = m.malloc(8);
+    m.store_ptr(body_head, Addr::NULL);
+    for id in 0..p.bodies {
+        scatter_pad(&mut m, &mut rng);
+        let b = m.malloc(BODY_WORDS * 8);
+        m.store_word(b, 0); // leaf tag
+        m.store_word(b.add_words(1), id % 7 + 1); // mass
+        m.store_word(b.add_words(2), rng.next_u64()); // position key
+        let first = m.load_ptr(body_head);
+        m.store_ptr(b.add_words(3), first);
+        m.store_ptr(body_head, b);
+        bodies.push(b);
+    }
+
+    let mut checksum = 0u64;
+    for step in 0..p.steps {
+        // ---- Build the octree depth-first over current positions.
+        let mut root = Addr::NULL;
+        for &b in &bodies {
+            let pos = m.load_word(b.add_words(2));
+            root = insert(&mut m, root, b, pos, 0, &mut rng);
+        }
+
+        // ---- Optimized: subtree-cluster the internal nodes.
+        if optimized {
+            let cap = desc.nodes_per_line(m.line_bytes());
+            root = subtree_cluster(&mut m, root, &desc, cap, &mut pool, &mut |m, a| {
+                m.load_word(a) == 1
+            });
+        }
+
+        // ---- Force calculation: tree walks per body.
+        for pass in 0..p.force_passes {
+            for &b in &bodies {
+                let pos = m.load_word(b.add_words(2));
+                let (f, _) = force(&mut m, root, pos.wrapping_add(pass), 0, Token::ready(), mode);
+                checksum = checksum.wrapping_add(f).rotate_left(1);
+            }
+        }
+        // Nudge positions for the next step.
+        for &b in &bodies {
+            let pos = m.load_word(b.add_words(2));
+            let np = pos.wrapping_mul(0x9E37_79B9).wrapping_add(step + 1);
+            m.store_word(b.add_words(2), np);
+            m.compute(4);
+        }
+        // ---- Body-list sweep (leaves are accessed via their list).
+        let (mut node, mut tok) = m.load_ptr_dep(body_head, Token::ready());
+        while !node.is_null() {
+            let (mass, t1) = m.load_word_dep(node.add_words(1), tok);
+            checksum = checksum.wrapping_add(mass);
+            let (n, t2) = m.load_ptr_dep(node.add_words(3), t1);
+            node = n;
+            tok = t2;
+        }
+    }
+
+    AppOutput {
+        checksum,
+        stats: m.finish(),
+    }
+}
+
+/// Inserts body `b` into the subtree `node` (depth-first construction).
+fn insert(m: &mut Machine, node: Addr, b: Addr, pos: u64, depth: u32, rng: &mut Rng) -> Addr {
+    if node.is_null() {
+        return b;
+    }
+    let tag = m.load_word(node);
+    if tag == 1 {
+        // Internal: update mass, descend into the child slot for `pos`.
+        let mass = m.load_word(node.add_words(1));
+        let bmass = m.load_word(b.add_words(1));
+        m.store_word(node.add_words(1), mass + bmass);
+        let idx = child_index(pos, depth);
+        let slot = node.add_words(CHILD0 + idx);
+        let child = m.load_ptr(slot);
+        let nc = insert(m, child, b, pos, depth + 1, rng);
+        m.store_ptr(slot, nc);
+        node
+    } else {
+        // Leaf collision: split into a new internal node.
+        scatter_pad(m, rng);
+        let cell = m.malloc(INTERNAL_WORDS * 8);
+        m.store_word(cell, 1);
+        m.store_word(cell.add_words(1), 0);
+        for c in 0..8 {
+            m.store_ptr(cell.add_words(CHILD0 + c), Addr::NULL);
+        }
+        let opos = m.load_word(node.add_words(2));
+        let omass = m.load_word(node.add_words(1));
+        m.store_word(cell.add_words(1), omass);
+        let oidx = child_index(opos, depth);
+        m.store_ptr(cell.add_words(CHILD0 + oidx), node);
+        insert(m, cell, b, pos, depth, rng)
+    }
+}
+
+#[inline]
+fn child_index(pos: u64, depth: u32) -> u64 {
+    (pos >> (3 * (depth as u64 % 21))) & 7
+}
+
+/// Barnes–Hut force walk: descend while the cell is "near", otherwise use
+/// its aggregate mass.
+fn force(
+    m: &mut Machine,
+    node: Addr,
+    pos: u64,
+    depth: u32,
+    tok: Token,
+    mode: PrefetchMode,
+) -> (u64, Token) {
+    if node.is_null() {
+        return (0, tok);
+    }
+    let (tag, t0) = m.load_word_dep(node, tok);
+    let (mass, t1) = m.load_word_dep(node.add_words(1), t0);
+    m.compute(3); // distance estimate
+    if tag == 0 {
+        return (mass.wrapping_mul(5), t1);
+    }
+    // Opening criterion: deterministic in (mass, pos, depth).
+    let open = depth < 2 || (mass ^ (pos >> depth)).is_multiple_of(3);
+    if !open {
+        return (mass.wrapping_mul(depth as u64 + 2), t1);
+    }
+    match mode {
+        PrefetchMode::Linear { lines } => {
+            // Clustered layout: the children likely follow in memory.
+            m.prefetch(node + m.line_bytes(), lines.min(4));
+        }
+        PrefetchMode::NextPointer => {
+            // Prefetch the on-path child as soon as its address is known.
+            let idx = child_index(pos, depth);
+            let (c, t) = m.load_ptr_dep(node.add_words(CHILD0 + idx), t1);
+            if !c.is_null() {
+                m.prefetch_dep(c, 1, t);
+            }
+        }
+        PrefetchMode::None => {}
+    }
+    // Visit the on-path child plus one deterministic sibling.
+    let idx = child_index(pos, depth);
+    let sib = (idx + 1 + (pos >> 7) % 7) % 8;
+    let mut total = mass % 16;
+    let mut t = t1;
+    for ci in [idx, sib] {
+        let (child, tc) = m.load_ptr_dep(node.add_words(CHILD0 + ci), t);
+        let (f, tf) = force(m, child, pos, depth + 1, tc, mode);
+        total = total.wrapping_add(f);
+        t = tf;
+        if ci == sib && idx == sib {
+            break;
+        }
+    }
+    (total, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{run, App, RunConfig, Variant};
+
+    #[test]
+    fn checksums_match_across_variants() {
+        let orig = run(App::Bh, &RunConfig::new(Variant::Original).smoke());
+        let opt = run(App::Bh, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(orig.checksum, opt.checksum);
+        assert!(opt.stats.fwd.relocations > 0, "clustering relocated nodes");
+    }
+
+    #[test]
+    fn prefetch_preserves_results() {
+        let orig = run(App::Bh, &RunConfig::new(Variant::Original).smoke());
+        let np = run(
+            App::Bh,
+            &RunConfig::new(Variant::Original).smoke().with_prefetch(1),
+        );
+        let lp = run(
+            App::Bh,
+            &RunConfig::new(Variant::Optimized).smoke().with_prefetch(1),
+        );
+        assert_eq!(orig.checksum, np.checksum);
+        assert_eq!(orig.checksum, lp.checksum);
+    }
+
+    #[test]
+    fn checksum_stable_across_machine_parameters() {
+        // Timing knobs must never leak into functional results.
+        let base = run(App::Bh, &RunConfig::new(Variant::Optimized).smoke());
+        let mut cfg = RunConfig::new(Variant::Optimized).smoke();
+        cfg.sim = cfg.sim.with_line_bytes(256);
+        cfg.sim.hierarchy.mem_latency = 10;
+        cfg.sim.pipeline.rob_entries = 8;
+        let other = run(App::Bh, &cfg);
+        assert_eq!(base.checksum, other.checksum);
+    }
+
+    #[test]
+    fn leaves_never_relocated() {
+        let opt = run(App::Bh, &RunConfig::new(Variant::Optimized).smoke());
+        // Clustering touches only 10-word internal nodes: relocated word
+        // count must be a multiple of 10.
+        assert_eq!(opt.stats.fwd.relocated_words % 10, 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! SPEC `compress` (paper §5.3): LZW with the parallel `htab`/`codetab`
+//! hash tables.
+//!
+//! Each probe of the dictionary touches `htab[i]` (an 8-byte code word)
+//! and, on a hit, `codetab[i]` (a 2-byte code) — two random accesses far
+//! apart in memory. The optimization copies the two tables into a single
+//! larger table `T` so that `htab[i]` and `codetab[i]` are adjacent and a
+//! probe touches one cache line. The old `htab` words are left forwarding
+//! to their new slots; `codetab` packs four 2-byte entries per word, whose
+//! four new homes are *different* merged slots — finer than the word
+//! granularity forwarding can express — so its entries are plain-copied
+//! and the base pointer updated (safe here because the kernel's only
+//! codetab accesses go through that base).
+//!
+//! As in the paper, the merge can *hurt* at short lines: periodic table
+//! clears sweep `htab` sequentially, and the merged layout's 16-byte
+//! entry stride doubles the lines touched. The random probes (which the
+//! merge helps, one line instead of two) only win out once lines are long.
+
+use crate::common::Rng;
+use crate::registry::{AppOutput, RunConfig, Scale, Variant};
+use memfwd::{Machine, Token};
+use memfwd_tagmem::Addr;
+
+/// Empty marker in `htab`.
+const EMPTY: u64 = u64::MAX;
+/// First dictionary code (0..=255 are literals).
+const FIRST_CODE: u64 = 256;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Hash-table slots (power of two).
+    pub hs: u64,
+    /// Dictionary limit: a table clear is triggered at this code.
+    pub limit: u64,
+    /// Input length in bytes.
+    pub input_len: u64,
+}
+
+impl Params {
+    /// Parameters for a workload scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Smoke => Params {
+                hs: 1 << 10,
+                limit: FIRST_CODE + 160,
+                input_len: 4_000,
+            },
+            Scale::Bench => Params {
+                hs: 1 << 14,
+                limit: FIRST_CODE + 2_500,
+                input_len: 120_000,
+            },
+        }
+    }
+}
+
+/// Runs `compress`.
+pub fn run(cfg: &RunConfig) -> AppOutput {
+    let p = Params::for_scale(cfg.scale);
+    let mut m = Machine::new(cfg.sim);
+    let mut pool = m.new_pool();
+    let mut rng = Rng::new(cfg.seed ^ 0x636F_6D70);
+    let merged_variant = cfg.variant == Variant::Optimized;
+
+    // ---- Generate a compressible input in simulated memory.
+    let input = m.malloc(p.input_len);
+    {
+        let mut recent: Vec<u8> = Vec::new();
+        let mut i = 0u64;
+        while i < p.input_len {
+            if recent.len() > 16 && rng.chance(7, 10) {
+                // Repeat a recent substring (this is what makes LZW bite).
+                let start = rng.below(recent.len() as u64 - 8) as usize;
+                let len = (rng.below(12) + 3) as usize;
+                for k in 0..len.min(recent.len() - start) {
+                    if i >= p.input_len {
+                        break;
+                    }
+                    let b = recent[start + k];
+                    m.store(input + i, 1, u64::from(b));
+                    recent.push(b);
+                    i += 1;
+                }
+            } else {
+                let b = (rng.below(64) + 32) as u8;
+                m.store(input + i, 1, u64::from(b));
+                recent.push(b);
+                i += 1;
+            }
+            if recent.len() > 4096 {
+                recent.drain(..2048);
+            }
+        }
+    }
+
+    // ---- Allocate and initialize the dictionary tables.
+    let htab = m.malloc(p.hs * 8);
+    let codetab = m.malloc(p.hs * 2);
+    for i in 0..p.hs {
+        m.store_word(htab.add_words(i), EMPTY);
+        if cfg.prefetch {
+            maybe_scan_prefetch(&mut m, htab.add_words(i), cfg.prefetch_lines);
+        }
+    }
+
+    // ---- Optimized: merge the tables once, before compression.
+    // `htab` words are relocated (forwarding); `codetab` is plain-copied
+    // at its finer-than-word granularity and its base updated.
+    // (`merge_tables` handles two word-entry tables; codetab's 2-byte
+    // entries are finer than the word granularity, so the merge is done
+    // explicitly here: htab words relocated, codetab shorts copied.)
+    let merged = if merged_variant {
+        let base = m.pool_alloc(&mut pool, 2 * p.hs * 8);
+        for i in 0..p.hs {
+            memfwd::relocate(&mut m, htab.add_words(i), base.add_words(2 * i), 1);
+            let c = m.load(codetab + 2 * i, 2);
+            m.store(base.add_words(2 * i + 1), 2, c);
+        }
+        Some(base)
+    } else {
+        None
+    };
+    let htab_addr = |i: u64| match merged {
+        Some(base) => base.add_words(2 * i),
+        None => htab.add_words(i),
+    };
+    let code_addr = |i: u64| match merged {
+        Some(base) => base.add_words(2 * i + 1),
+        None => codetab + 2 * i,
+    };
+
+    // ---- LZW main loop.
+    let mut checksum = 0u64;
+    let mut next_code = FIRST_CODE;
+    let mut prefix = m.load(input, 1);
+    let mut pos = 1u64;
+    while pos < p.input_len {
+        let c = m.load(input + pos, 1);
+        pos += 1;
+        let fcode = (prefix << 8) | c;
+        let mut i = hash(fcode) % p.hs;
+        m.compute(4);
+        loop {
+            let (entry, t0) = m.load_dep(htab_addr(i), 8, Token::ready());
+            if cfg.prefetch && merged.is_none() {
+                // Original layout: overlap the codetab line with the htab
+                // probe (the merged layout gets this for free).
+                m.prefetch(code_addr(i), 1);
+            }
+            m.compute(2);
+            if entry == fcode {
+                let (code, _) = m.load_dep(code_addr(i), 2, t0);
+                prefix = code;
+                break;
+            }
+            if entry == EMPTY {
+                // New dictionary entry: emit the prefix code.
+                m.store(htab_addr(i), 8, fcode);
+                m.store(code_addr(i), 2, next_code);
+                checksum = checksum.wrapping_mul(31).wrapping_add(prefix);
+                prefix = c;
+                next_code += 1;
+                if next_code >= p.limit {
+                    // Table full: clear `htab` sequentially (cl_hash).
+                    for j in 0..p.hs {
+                        m.store_word(htab_addr(j), EMPTY);
+                        if cfg.prefetch {
+                            maybe_scan_prefetch(&mut m, htab_addr(j), cfg.prefetch_lines);
+                        }
+                    }
+                    next_code = FIRST_CODE;
+                }
+                break;
+            }
+            // Secondary probe (the classic backwards displacement).
+            let disp = if i == 0 { 1 } else { p.hs - i };
+            i = (i + p.hs - disp) % p.hs;
+            m.compute(2);
+        }
+    }
+    checksum = checksum.wrapping_mul(31).wrapping_add(prefix);
+
+    AppOutput {
+        checksum,
+        stats: m.finish(),
+    }
+}
+
+#[inline]
+fn hash(fcode: u64) -> u64 {
+    fcode.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17
+}
+
+/// Prefetch ahead in a sequential table scan, once per line boundary.
+fn maybe_scan_prefetch(m: &mut Machine, addr: Addr, lines: u64) {
+    let lb = m.line_bytes();
+    if addr.0.is_multiple_of(lb) {
+        m.prefetch(addr + lines * lb, lines.min(4));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{run, App, RunConfig, Variant};
+
+    #[test]
+    fn checksums_match_across_variants() {
+        let orig = run(App::Compress, &RunConfig::new(Variant::Original).smoke());
+        let opt = run(App::Compress, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(orig.checksum, opt.checksum);
+        assert!(opt.stats.fwd.relocations > 0, "htab words forwarded");
+    }
+
+    #[test]
+    fn stale_htab_pointer_forwards() {
+        // The optimized checksum equality above already exercises the
+        // mechanism; here we confirm the relocation count matches HS.
+        let opt = run(App::Compress, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(opt.stats.fwd.relocations, 1 << 10);
+    }
+
+    #[test]
+    fn prefetch_preserves_results() {
+        let orig = run(App::Compress, &RunConfig::new(Variant::Original).smoke());
+        let np = run(
+            App::Compress,
+            &RunConfig::new(Variant::Original).smoke().with_prefetch(2),
+        );
+        assert_eq!(orig.checksum, np.checksum);
+        assert!(np.stats.fwd.prefetches > 0);
+    }
+
+    #[test]
+    fn dictionary_clears_happen() {
+        // The smoke limit is small enough that cl_hash must fire, which is
+        // what drives the paper's 32/64B anomaly at bench scale.
+        let p = super::Params::for_scale(crate::registry::Scale::Smoke);
+        let orig = run(App::Compress, &RunConfig::new(Variant::Original).smoke());
+        assert!(
+            orig.stats.fwd.stores > p.hs,
+            "at least one full table clear must occur"
+        );
+    }
+
+    #[test]
+    fn input_actually_compresses() {
+        let orig = run(App::Compress, &RunConfig::new(Variant::Original).smoke());
+        // Emitted codes (inserts) must be well below input length.
+        assert!(orig.stats.fwd.stores > 0);
+        assert!(orig.checksum != 0);
+    }
+}

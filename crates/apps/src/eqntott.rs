@@ -1,0 +1,215 @@
+//! SPEC `eqntott` (paper §5.3 and Fig. 8).
+//!
+//! The hot data structure is a hash table whose slots point to `PTERM`
+//! records, each of which points to an array of short integers. The hot
+//! loop (`cmppt`) sweeps the table in hash order, comparing the pterm
+//! arrays. The optimization — applied **once**, right after the table is
+//! built — relocates each `PTERM` record and its array into a single
+//! chunk, and lays the chunks out contiguously in increasing hash order
+//! (paper Fig. 8(b)).
+
+use crate::common::{prefetch_mode, scatter_pad_if, PrefetchMode, Rng};
+use crate::registry::{AppOutput, RunConfig, Scale, Variant};
+use memfwd::{relocate_adjacent, Machine, Token};
+use memfwd_tagmem::Addr;
+
+/// `PTERM` record: `[ptand (array ptr), nvars, id, pad]`.
+const PTERM_WORDS: u64 = 4;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Hash-table slots (one pterm per occupied slot).
+    pub slots: u64,
+    /// Fraction of slots occupied, as a percentage.
+    pub fill_pct: u64,
+    /// Words per pterm's variable array.
+    pub nvars_words: u64,
+    /// Table sweeps (`cmppt` passes).
+    pub sweeps: u64,
+}
+
+impl Params {
+    /// Parameters for a workload scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Smoke => Params {
+                slots: 64,
+                fill_pct: 75,
+                nvars_words: 6,
+                sweeps: 3,
+            },
+            Scale::Bench => Params {
+                slots: 4096,
+                fill_pct: 80,
+                nvars_words: 8,
+                sweeps: 6,
+            },
+        }
+    }
+}
+
+/// Runs `eqntott`.
+pub fn run(cfg: &RunConfig) -> AppOutput {
+    let p = Params::for_scale(cfg.scale);
+    let mut m = Machine::new(cfg.sim);
+    let mut pool = m.new_pool();
+    let mut rng = Rng::new(cfg.seed ^ 0x0065_716E);
+    let optimized = cfg.variant == Variant::Optimized;
+    // Static placement (§1): each record and its array are co-allocated in
+    // one chunk at creation — the layout the one-shot packing would build,
+    // chosen up front instead of by relocation.
+    let static_placement = cfg.variant == Variant::Static;
+    let mode = prefetch_mode(cfg);
+
+    // ---- Build the hash table: scattered records and arrays (Fig. 8(a)).
+    let table = m.malloc(p.slots * 8);
+    let mut next_id = 0u64;
+    for i in 0..p.slots {
+        if rng.chance(p.fill_pct, 100) {
+            let (rec, arr);
+            scatter_pad_if(&mut m, &mut rng, !static_placement);
+            if static_placement {
+                scatter_pad_if(&mut m, &mut rng, false); // keep rng in step
+                let chunk = m.malloc((PTERM_WORDS + p.nvars_words) * 8);
+                rec = chunk;
+                arr = chunk.add_words(PTERM_WORDS);
+            } else {
+                rec = m.malloc(PTERM_WORDS * 8);
+                scatter_pad_if(&mut m, &mut rng, true);
+                arr = m.malloc(p.nvars_words * 8);
+            }
+            for w in 0..p.nvars_words {
+                m.store_word(arr.add_words(w), (next_id + w * 3) % 4); // 0/1/2 = literals, DC
+            }
+            m.store_ptr(rec, arr);
+            m.store_word(rec.add_words(1), p.nvars_words);
+            m.store_word(rec.add_words(2), next_id);
+            m.store_ptr(table.add_words(i), rec);
+            next_id += 1;
+        } else {
+            m.store_ptr(table.add_words(i), Addr::NULL);
+        }
+    }
+
+    // ---- One-shot packing optimization (Fig. 8(b)): record + array into
+    // one chunk, chunks contiguous in increasing hash order.
+    if optimized {
+        for i in 0..p.slots {
+            let rec = m.load_ptr(table.add_words(i));
+            if rec.is_null() {
+                continue;
+            }
+            let arr = m.load_ptr(rec);
+            let chunk_words = PTERM_WORDS + p.nvars_words;
+            let chunk = m.pool_alloc(&mut pool, chunk_words * 8);
+            let bases =
+                relocate_adjacent(&mut m, &[(rec, PTERM_WORDS), (arr, p.nvars_words)], chunk);
+            // Update the slot and the record's array pointer to the new
+            // homes; any other pointers are covered by forwarding.
+            m.store_ptr(table.add_words(i), bases[0]);
+            m.store_ptr(bases[0], bases[1]);
+        }
+    }
+
+    // ---- cmppt sweeps: compare each pterm against a rolling probe.
+    let probe = m.malloc(p.nvars_words * 8);
+    for w in 0..p.nvars_words {
+        m.store_word(probe.add_words(w), w % 3);
+    }
+    let mut checksum = 0u64;
+    let chunk_bytes = (PTERM_WORDS + p.nvars_words) * 8;
+    for sweep in 0..p.sweeps {
+        for i in 0..p.slots {
+            let (rec, t0) = m.load_ptr_dep(table.add_words(i), Token::ready());
+            if rec.is_null() {
+                continue;
+            }
+            match mode {
+                PrefetchMode::NextPointer => {
+                    // Original layout: the record address becomes known when
+                    // the slot is loaded; its array needs another deref.
+                    m.prefetch_dep(rec, 1, t0);
+                }
+                PrefetchMode::Linear { lines } => {
+                    // Packed layout: chunks are consecutive in hash order.
+                    m.prefetch(rec + lines * chunk_bytes, lines.min(4));
+                }
+                PrefetchMode::None => {}
+            }
+            let (arr, t1) = m.load_ptr_dep(rec, t0);
+            let (nv, t2) = m.load_word_dep(rec.add_words(1), t1);
+            let (id, t3) = m.load_word_dep(rec.add_words(2), t2);
+            let mut tok = t3;
+            let mut rel = 0u64;
+            for w in 0..nv {
+                let (v, tv) = m.load_word_dep(arr.add_words(w), tok);
+                let (q, tq) = m.load_word_dep(probe.add_words(w), tv);
+                m.compute(2);
+                rel = rel.wrapping_mul(3).wrapping_add(v ^ q);
+                tok = tq;
+            }
+            checksum = checksum
+                .wrapping_add(rel.wrapping_mul(id + 1))
+                .wrapping_add(sweep);
+        }
+    }
+
+    AppOutput {
+        checksum,
+        stats: m.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{run, App, RunConfig, Variant};
+
+    #[test]
+    fn checksums_match_across_variants() {
+        let orig = run(App::Eqntott, &RunConfig::new(Variant::Original).smoke());
+        let opt = run(App::Eqntott, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(orig.checksum, opt.checksum);
+        assert!(opt.stats.fwd.relocations > 0);
+    }
+
+    #[test]
+    fn optimization_is_one_shot() {
+        let opt = run(App::Eqntott, &RunConfig::new(Variant::Optimized).smoke());
+        // Two relocations (record + array) per occupied slot, no more.
+        let per_slot = 2;
+        assert!(opt.stats.fwd.relocations <= 64 * per_slot);
+    }
+
+    #[test]
+    fn prefetch_preserves_results() {
+        let orig = run(App::Eqntott, &RunConfig::new(Variant::Original).smoke());
+        let np = run(
+            App::Eqntott,
+            &RunConfig::new(Variant::Original).smoke().with_prefetch(2),
+        );
+        let lp = run(
+            App::Eqntott,
+            &RunConfig::new(Variant::Optimized).smoke().with_prefetch(2),
+        );
+        assert_eq!(orig.checksum, np.checksum);
+        assert_eq!(orig.checksum, lp.checksum);
+    }
+
+    #[test]
+    fn static_placement_matches_without_forwarding() {
+        let orig = run(App::Eqntott, &RunConfig::new(Variant::Original).smoke());
+        let st = run(App::Eqntott, &RunConfig::new(Variant::Static).smoke());
+        assert_eq!(orig.checksum, st.checksum);
+        assert_eq!(st.stats.fwd.relocations, 0);
+        assert_eq!(st.stats.mem.fbits_set, 0, "no forwarding state at all");
+    }
+
+    #[test]
+    fn optimized_never_forwards_in_sweep() {
+        // All sweep pointers are updated at packing time, so forwarding is
+        // purely a safety net here.
+        let opt = run(App::Eqntott, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(opt.stats.fwd.forwarded_loads, 0);
+    }
+}

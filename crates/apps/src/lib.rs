@@ -1,0 +1,37 @@
+//! The eight applications of the Memory Forwarding evaluation (paper
+//! Table 1), reimplemented as simulator-driven kernels.
+//!
+//! Each application reproduces the *memory-relevant core* of the original
+//! program — the data structures and traversal patterns the paper names —
+//! and comes in two layout variants: [`registry::Variant::Original`]
+//! (scattered heap layout, no relocation) and
+//! [`registry::Variant::Optimized`] (the paper's relocation-based locality
+//! optimization, made safe by memory forwarding). Identical checksums
+//! across variants are the witness that relocation never broke the
+//! program.
+//!
+//! # Example
+//!
+//! ```
+//! use memfwd_apps::registry::{run, App, RunConfig, Variant};
+//!
+//! let orig = run(App::Vis, &RunConfig::new(Variant::Original).smoke());
+//! let opt = run(App::Vis, &RunConfig::new(Variant::Optimized).smoke());
+//! assert_eq!(orig.checksum, opt.checksum);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bh;
+pub mod common;
+pub mod compress;
+pub mod eqntott;
+pub mod health;
+pub mod mst;
+pub mod radiosity;
+pub mod registry;
+pub mod smv;
+pub mod vis;
+
+pub use registry::{run, App, AppOutput, RunConfig, Scale, Variant};

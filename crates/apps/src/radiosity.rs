@@ -1,0 +1,235 @@
+//! Hierarchical radiosity (paper §5.3, list-linearization group).
+//!
+//! Every patch carries an *interaction list*: the set of other patches it
+//! exchanges energy with, each entry holding a form factor. Iterative
+//! refinement gathers energy along every interaction, then subdivides or
+//! prunes interactions — so the lists mutate between iterations and
+//! linearization is invoked periodically, exactly the pattern the paper
+//! exploits. Gathering also dereferences the partner patch record, adding
+//! the irregular secondary access the real program exhibits.
+
+use crate::common::{prefetch_mode, scatter_pad, PrefetchMode, Rng};
+use crate::registry::{AppOutput, RunConfig, Scale, Variant};
+use memfwd::{list_linearize, ListDesc, Machine, Token};
+use memfwd_tagmem::Addr;
+
+/// Interaction node: `[next, partner_patch_ptr, form_factor, pad]`.
+const INTER_WORDS: u64 = 4;
+/// Patch record: `[energy, gathered, id, pad]`.
+const PATCH_WORDS: u64 = 4;
+
+const INTER_DESC: ListDesc = ListDesc {
+    node_words: INTER_WORDS,
+    next_word: 0,
+};
+
+/// Fixed-point scale for energies/form factors.
+const FP: u64 = 1024;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of patches.
+    pub patches: u64,
+    /// Initial interactions per patch.
+    pub interactions: u64,
+    /// Gather-refine iterations.
+    pub iterations: u64,
+    /// Gather passes per iteration (refinement happens once per iteration,
+    /// so this sets the reuse the linearized layout enjoys).
+    pub gathers: u64,
+}
+
+impl Params {
+    /// Parameters for a workload scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Smoke => Params {
+                patches: 24,
+                interactions: 6,
+                iterations: 3,
+                gathers: 2,
+            },
+            Scale::Bench => Params {
+                patches: 700,
+                interactions: 14,
+                iterations: 6,
+                gathers: 4,
+            },
+        }
+    }
+}
+
+/// Runs `radiosity`.
+#[allow(clippy::needless_range_loop)] // loops index `lists` while `m` is borrowed mutably
+pub fn run(cfg: &RunConfig) -> AppOutput {
+    let p = Params::for_scale(cfg.scale);
+    let mut m = Machine::new(cfg.sim);
+    let mut pool = m.new_pool();
+    let mut rng = Rng::new(cfg.seed ^ 0x0072_6164);
+    let optimized = cfg.variant == Variant::Optimized;
+    let mode = prefetch_mode(cfg);
+
+    // ---- Build patches and their scattered interaction lists.
+    let mut patches: Vec<Addr> = Vec::new();
+    let mut lists: Vec<Addr> = Vec::new(); // interaction-list head handles
+    for id in 0..p.patches {
+        scatter_pad(&mut m, &mut rng);
+        let patch = m.malloc(PATCH_WORDS * 8);
+        m.store_word(patch, (id % 97 + 1) * FP); // initial energy
+        m.store_word(patch.add_words(1), 0);
+        m.store_word(patch.add_words(2), id);
+        patches.push(patch);
+        let head = m.malloc(8);
+        m.store_ptr(head, Addr::NULL);
+        lists.push(head);
+    }
+    for id in 0..p.patches {
+        for k in 1..=p.interactions {
+            scatter_pad(&mut m, &mut rng);
+            let partner = (id + k * 37 + k * k) % p.patches;
+            if partner == id {
+                continue;
+            }
+            let ff = (id * 13 + k * 29) % (FP / 2) + 1;
+            push_interaction(&mut m, lists[id as usize], patches[partner as usize], ff);
+        }
+    }
+
+    // ---- Gather / refine iterations.
+    let mut checksum = 0u64;
+    for iter in 0..p.iterations {
+        // Gather passes: for each patch, walk its interaction list, read
+        // each partner's energy, scale by the form factor, accumulate,
+        // then fold the energy back (damped). Several passes run between
+        // refinements, as the solver iterates toward convergence.
+        for _pass in 0..p.gathers {
+            for pi in 0..p.patches as usize {
+                let mut gathered = 0u64;
+                walk_interactions(&mut m, lists[pi], mode, |m, node, tok| {
+                    let (partner, t1) = m.load_ptr_dep(node.add_words(1), tok);
+                    let (ff, t2) = m.load_word_dep(node.add_words(2), t1);
+                    let (energy, t3) = m.load_word_dep(partner, t2);
+                    m.compute(4); // fixed-point multiply-accumulate
+                    gathered = gathered.wrapping_add(energy.wrapping_mul(ff) / FP);
+                    t3
+                });
+                let patch = patches[pi];
+                m.store_word(patch.add_words(1), gathered);
+            }
+            for &patch in &patches {
+                let e = m.load_word(patch);
+                let g = m.load_word(patch.add_words(1));
+                let ne = e / 2 + g / 4 + 1;
+                m.store_word(patch, ne);
+                m.compute(3);
+                checksum = checksum.wrapping_add(ne).rotate_left(1);
+            }
+        }
+        // Refine: prune one interaction and add two finer ones on a
+        // deterministic subset of patches (lists mutate between iterations).
+        for pi in 0..p.patches as usize {
+            if (pi as u64 + iter).is_multiple_of(3) {
+                pop_interaction(&mut m, lists[pi]);
+                for j in 0..2u64 {
+                    scatter_pad(&mut m, &mut rng);
+                    let partner = (pi as u64 + iter * 11 + j * 53 + 7) % p.patches;
+                    let ff = (pi as u64 * 7 + iter * 31 + j) % (FP / 4) + 1;
+                    push_interaction(&mut m, lists[pi], patches[partner as usize], ff);
+                }
+            }
+        }
+        // Periodic linearization of the interaction lists that were
+        // mutated by this refinement (the paper's optimization).
+        if optimized {
+            for pi in 0..p.patches as usize {
+                if (pi as u64 + iter).is_multiple_of(3) {
+                    list_linearize(&mut m, lists[pi], INTER_DESC, &mut pool);
+                }
+            }
+        }
+    }
+
+    AppOutput {
+        checksum,
+        stats: m.finish(),
+    }
+}
+
+fn push_interaction(m: &mut Machine, head: Addr, partner: Addr, ff: u64) {
+    let node = m.malloc(INTER_WORDS * 8);
+    let first = m.load_ptr(head);
+    m.store_ptr(node, first);
+    m.store_ptr(node.add_words(1), partner);
+    m.store_word(node.add_words(2), ff);
+    m.store_ptr(head, node);
+}
+
+fn pop_interaction(m: &mut Machine, head: Addr) {
+    let first = m.load_ptr(head);
+    if first.is_null() {
+        return;
+    }
+    let next = m.load_ptr(first);
+    m.store_ptr(head, next);
+    if m.heap().is_live(first) {
+        m.free(first);
+    }
+}
+
+fn walk_interactions(
+    m: &mut Machine,
+    head: Addr,
+    mode: PrefetchMode,
+    mut visit: impl FnMut(&mut Machine, Addr, Token) -> Token,
+) {
+    let (mut node, mut tok) = m.load_ptr_dep(head, Token::ready());
+    while !node.is_null() {
+        match mode {
+            PrefetchMode::NextPointer => {
+                let (n, t) = m.load_ptr_dep(node, tok);
+                if !n.is_null() {
+                    m.prefetch_dep(n, 1, t);
+                }
+            }
+            PrefetchMode::Linear { lines } => {
+                m.prefetch(node + lines * m.line_bytes(), lines.min(4));
+            }
+            PrefetchMode::None => {}
+        }
+        tok = visit(m, node, tok);
+        let (n, t) = m.load_ptr_dep(node, tok);
+        node = n;
+        tok = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{run, App, RunConfig, Variant};
+
+    #[test]
+    fn checksums_match_across_variants() {
+        let orig = run(App::Radiosity, &RunConfig::new(Variant::Original).smoke());
+        let opt = run(App::Radiosity, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(orig.checksum, opt.checksum);
+        assert!(opt.stats.fwd.relocations > 0);
+    }
+
+    #[test]
+    fn prefetch_preserves_results() {
+        let orig = run(App::Radiosity, &RunConfig::new(Variant::Original).smoke());
+        let lp = run(
+            App::Radiosity,
+            &RunConfig::new(Variant::Optimized).smoke().with_prefetch(2),
+        );
+        assert_eq!(orig.checksum, lp.checksum);
+    }
+
+    #[test]
+    fn lists_mutate_between_iterations() {
+        let orig = run(App::Radiosity, &RunConfig::new(Variant::Original).smoke());
+        assert!(orig.stats.fwd.frees > 0, "refinement prunes interactions");
+        assert!(orig.stats.fwd.mallocs > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The application registry: one entry per evaluated program (paper
+//! Table 1), with a uniform run interface used by tests, examples and the
+//! benchmark harness.
+
+use memfwd::{RunStats, SimConfig};
+
+/// The eight applications of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Olden `health`: hierarchical health-care simulation over village
+    /// patient lists.
+    Health,
+    /// Olden `mst`: minimum spanning tree over hash-bucket adjacency lists.
+    Mst,
+    /// Hierarchical radiosity: per-patch interaction lists under
+    /// refinement.
+    Radiosity,
+    /// VIS: a generic list library with counter-triggered linearization.
+    Vis,
+    /// SPEC `eqntott`: hash table of PTERM records with integer arrays.
+    Eqntott,
+    /// Barnes–Hut N-body: octree built depth-first, traversed randomly.
+    Bh,
+    /// SPEC `compress`: LZW with parallel `htab`/`codetab` hash tables.
+    Compress,
+    /// SMV model checker: BDD nodes reached through both a hash table and
+    /// tree pointers — the one application with real forwarding.
+    Smv,
+}
+
+impl App {
+    /// All applications, in the paper's presentation order.
+    pub const ALL: [App; 8] = [
+        App::Health,
+        App::Mst,
+        App::Radiosity,
+        App::Vis,
+        App::Eqntott,
+        App::Bh,
+        App::Compress,
+        App::Smv,
+    ];
+
+    /// The seven applications of Fig. 5 (SMV is reported separately in
+    /// Fig. 10).
+    pub const FIG5: [App; 7] = [
+        App::Health,
+        App::Mst,
+        App::Radiosity,
+        App::Vis,
+        App::Eqntott,
+        App::Bh,
+        App::Compress,
+    ];
+
+    /// Lower-case name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::Health => "health",
+            App::Mst => "mst",
+            App::Radiosity => "radiosity",
+            App::Vis => "vis",
+            App::Eqntott => "eqntott",
+            App::Bh => "bh",
+            App::Compress => "compress",
+            App::Smv => "smv",
+        }
+    }
+
+    /// The locality optimization applied in the optimized variant
+    /// (Table 1's "Optimization" column).
+    pub fn optimization(self) -> &'static str {
+        match self {
+            App::Health | App::Mst | App::Radiosity | App::Vis => "list linearization",
+            App::Eqntott => "hash-chunk packing",
+            App::Bh => "subtree clustering",
+            App::Compress => "table merging",
+            App::Smv => "hash-list linearization (tree pointers not updated)",
+        }
+    }
+}
+
+impl std::fmt::Display for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which data layout the run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// The original layout; no relocation is performed (the paper's `N`).
+    #[default]
+    Original,
+    /// The relocation-based locality optimization is applied (the paper's
+    /// `L`; with `SimConfig::perfect_forwarding` it becomes `Perf`).
+    Optimized,
+    /// *Static placement* (paper §1): objects are assigned their optimized
+    /// addresses when they are **created** — no relocation, no forwarding.
+    /// Simple, but unable to adapt to dynamic behaviour; supported by the
+    /// applications whose layout can be chosen up front (health, vis,
+    /// eqntott), and equivalent to `Original` elsewhere.
+    Static,
+}
+
+/// Workload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests (sub-second, all variants).
+    Smoke,
+    /// Inputs whose working sets exceed the simulated L2, used by the
+    /// benchmark harness to regenerate the paper's figures.
+    #[default]
+    Bench,
+}
+
+/// One run request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Machine configuration.
+    pub sim: SimConfig,
+    /// Data-layout variant.
+    pub variant: Variant,
+    /// Insert software prefetches (the paper's `NP`/`LP` cases).
+    pub prefetch: bool,
+    /// Block-prefetch size in cache lines (the paper reports the best block
+    /// size per case).
+    pub prefetch_lines: u64,
+    /// Workload size.
+    pub scale: Scale,
+    /// Workload seed (identical seeds must yield identical checksums across
+    /// variants — that is the safety property).
+    pub seed: u64,
+    /// Overrides the app's linearization-trigger threshold (mutations per
+    /// list before the optimized variant linearizes). `None` uses the
+    /// application default; used by the threshold ablation.
+    pub linearize_threshold: Option<u64>,
+}
+
+impl RunConfig {
+    /// A default configuration for the given variant.
+    pub fn new(variant: Variant) -> RunConfig {
+        RunConfig {
+            sim: SimConfig::default(),
+            variant,
+            prefetch: false,
+            prefetch_lines: 2,
+            scale: Scale::default(),
+            seed: 12345,
+            linearize_threshold: None,
+        }
+    }
+
+    /// Returns a copy at smoke scale (for tests).
+    pub fn smoke(mut self) -> RunConfig {
+        self.scale = Scale::Smoke;
+        self
+    }
+
+    /// Returns a copy with prefetching enabled.
+    pub fn with_prefetch(mut self, lines: u64) -> RunConfig {
+        self.prefetch = true;
+        self.prefetch_lines = lines;
+        self
+    }
+}
+
+/// Result of one application run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppOutput {
+    /// A layout-independent digest of the computation's results. Equal
+    /// checksums across variants demonstrate that relocation was safe.
+    pub checksum: u64,
+    /// Full simulator statistics.
+    pub stats: RunStats,
+}
+
+/// Runs an application.
+pub fn run(app: App, cfg: &RunConfig) -> AppOutput {
+    match app {
+        App::Health => crate::health::run(cfg),
+        App::Mst => crate::mst::run(cfg),
+        App::Radiosity => crate::radiosity::run(cfg),
+        App::Vis => crate::vis::run(cfg),
+        App::Eqntott => crate::eqntott::run(cfg),
+        App::Bh => crate::bh::run(cfg),
+        App::Compress => crate::compress::run(cfg),
+        App::Smv => crate::smv::run(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_metadata() {
+        assert_eq!(App::ALL.len(), 8);
+        assert_eq!(App::FIG5.len(), 7);
+        for app in App::ALL {
+            assert!(!app.name().is_empty());
+            assert!(!app.optimization().is_empty());
+            assert_eq!(format!("{app}"), app.name());
+        }
+        assert!(!App::FIG5.contains(&App::Smv));
+    }
+
+    #[test]
+    fn run_config_builders() {
+        let c = RunConfig::new(Variant::Optimized).smoke().with_prefetch(4);
+        assert_eq!(c.variant, Variant::Optimized);
+        assert_eq!(c.scale, Scale::Smoke);
+        assert!(c.prefetch);
+        assert_eq!(c.prefetch_lines, 4);
+    }
+}

@@ -1,0 +1,281 @@
+//! SMV model checker (paper §5.4, Fig. 10): the one application where
+//! forwarding actually happens.
+//!
+//! BDD nodes are reachable two ways: through a hash table (buckets of
+//! chained nodes — the unique table) and through the `left`/`right` tree
+//! pointers stored inside other nodes. The optimization linearizes the
+//! hash-bucket lists, which updates the bucket heads and `hash_next`
+//! chains — but the code is *not able* to update the tree pointers, so
+//! every access through `left`/`right` after a linearization dereferences
+//! a forwarding address. Uniqueness lookups compare node pointers with the
+//! final-address comparison of §2.1 (`ptr_eq`), whose software cost is
+//! included, exactly as the paper's compiler pass does.
+//!
+//! The `Perf` bound of Fig. 10 is obtained by running the optimized
+//! variant with [`memfwd::SimConfig::perfect_forwarding`] set.
+
+use crate::common::{scatter_pad, Rng};
+use crate::registry::{AppOutput, RunConfig, Scale, Variant};
+use memfwd::{list_linearize, ptr_eq, ListDesc, Machine, Token};
+use memfwd_tagmem::Addr;
+
+/// BDD node: `[hash_next, left, right, packed(var<<32 | value)]`.
+const NODE_WORDS: u64 = 4;
+const LEFT: u64 = 1;
+const RIGHT: u64 = 2;
+const PACKED: u64 = 3;
+
+const NODE_DESC: ListDesc = ListDesc {
+    node_words: NODE_WORDS,
+    next_word: 0,
+};
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Hash buckets in the unique table.
+    pub buckets: u64,
+    /// BDD nodes created during the build phase.
+    pub build_nodes: u64,
+    /// Work iterations after the build.
+    pub iterations: u64,
+    /// Hash lookups per iteration.
+    pub lookups: u64,
+    /// Tree traversals per iteration.
+    pub traversals: u64,
+    /// Iterations after which the bucket lists are linearized (optimized).
+    pub linearize_at: &'static [u64],
+}
+
+impl Params {
+    /// Parameters for a workload scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Smoke => Params {
+                buckets: 64,
+                build_nodes: 400,
+                iterations: 4,
+                lookups: 120,
+                traversals: 60,
+                linearize_at: &[1, 3],
+            },
+            Scale::Bench => Params {
+                buckets: 8192,
+                build_nodes: 14_000,
+                iterations: 6,
+                lookups: 9_000,
+                traversals: 420,
+                linearize_at: &[1],
+            },
+        }
+    }
+}
+
+struct UniqueTable {
+    buckets: Addr,
+    nbuckets: u64,
+}
+
+impl UniqueTable {
+    fn slot(&self, var: u64, l: Addr, r: Addr) -> Addr {
+        let h = var
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ l.0.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ r.0.wrapping_mul(0x1656_67B1_9E37_79F9);
+        self.buckets.add_words((h >> 11) % self.nbuckets)
+    }
+}
+
+/// `mk(var, left, right)`: find-or-create in the unique table. Pointer
+/// equality uses final addresses so that stale (pre-relocation) and fresh
+/// pointers to the same node unify, per §2.1.
+fn mk(
+    m: &mut Machine,
+    ut: &UniqueTable,
+    var: u64,
+    l: Addr,
+    r: Addr,
+    value: u64,
+    rng: &mut Rng,
+) -> Addr {
+    let slot = ut.slot(var, l, r);
+    let (mut node, mut tok) = m.load_ptr_dep(slot, Token::ready());
+    while !node.is_null() {
+        let (packed, t1) = m.load_word_dep(node.add_words(PACKED), tok);
+        m.compute(1);
+        if packed >> 32 == var {
+            let (nl, t2) = m.load_ptr_dep(node.add_words(LEFT), t1);
+            let (nr, t3) = m.load_ptr_dep(node.add_words(RIGHT), t2);
+            if ptr_eq(m, nl, l) && ptr_eq(m, nr, r) {
+                return node;
+            }
+            tok = t3;
+        } else {
+            tok = t1;
+        }
+        let (next, t4) = m.load_ptr_dep(node, tok);
+        node = next;
+        tok = t4;
+    }
+    // Not found: create and push onto the bucket list.
+    scatter_pad(m, rng);
+    let n = m.malloc(NODE_WORDS * 8);
+    let first = m.load_ptr(slot);
+    m.store_ptr(n, first);
+    m.store_ptr(n.add_words(LEFT), l);
+    m.store_ptr(n.add_words(RIGHT), r);
+    m.store_word(n.add_words(PACKED), (var << 32) | (value & 0xFFFF_FFFF));
+    m.store_ptr(slot, n);
+    n
+}
+
+/// Runs `smv`.
+pub fn run(cfg: &RunConfig) -> AppOutput {
+    let p = Params::for_scale(cfg.scale);
+    let mut m = Machine::new(cfg.sim);
+    let mut pool = m.new_pool();
+    let mut rng = Rng::new(cfg.seed ^ 0x0073_6D76);
+    let optimized = cfg.variant == Variant::Optimized;
+
+    let buckets = m.malloc(p.buckets * 8);
+    for b in 0..p.buckets {
+        m.store_ptr(buckets.add_words(b), Addr::NULL);
+    }
+    let ut = UniqueTable {
+        buckets,
+        nbuckets: p.buckets,
+    };
+
+    // ---- Build phase: terminals, then random combinations.
+    let t0 = mk(&mut m, &ut, 0, Addr::NULL, Addr::NULL, 0, &mut rng);
+    let t1 = mk(&mut m, &ut, 0, Addr::NULL, Addr::NULL, 1, &mut rng);
+    // `created` records the build triples by *index* so that lookups later
+    // are layout-independent (the safety requirement across variants).
+    let mut nodes: Vec<Addr> = vec![t0, t1];
+    let mut triples: Vec<(u64, usize, usize)> = Vec::new();
+    for k in 0..p.build_nodes {
+        let var = k % 48 + 1;
+        let li = rng.below(nodes.len() as u64) as usize;
+        let ri = rng.below(nodes.len() as u64) as usize;
+        let n = mk(&mut m, &ut, var, nodes[li], nodes[ri], k, &mut rng);
+        nodes.push(n);
+        triples.push((var, li, ri));
+    }
+
+    // ---- Work iterations: hash lookups + tree traversals.
+    let mut checksum = 0u64;
+    for iter in 0..p.iterations {
+        if optimized && p.linearize_at.contains(&iter) {
+            // Linearize every bucket list. Bucket heads and hash_next
+            // pointers are updated; tree pointers (left/right inside
+            // nodes, and our stale root handles) are NOT.
+            for b in 0..p.buckets {
+                list_linearize(&mut m, buckets.add_words(b), NODE_DESC, &mut pool);
+            }
+        }
+        // (a) Hash phase: re-find known triples through the unique table.
+        for q in 0..p.lookups {
+            let (var, li, ri) = triples[rng.below(triples.len() as u64) as usize];
+            let n = mk(&mut m, &ut, var, nodes[li], nodes[ri], q, &mut rng);
+            let packed = m.load_word(n.add_words(PACKED));
+            checksum = checksum.wrapping_add(packed).rotate_left(1);
+        }
+        // (b) Tree phase: descend through left/right pointers, which become
+        // stale after each linearization — this is where forwarding bites.
+        for t in 0..p.traversals {
+            let mut node = nodes[2 + rng.below((nodes.len() - 2) as u64) as usize];
+            let mut probe = rng.next_u64();
+            let mut tok = Token::ready();
+            let mut depth = 0;
+            while !node.is_null() && depth < 24 {
+                let (packed, t1) = m.load_word_dep(node.add_words(PACKED), tok);
+                m.compute(2);
+                checksum = checksum.wrapping_add(packed & 0xFFFF).wrapping_add(t);
+                if t % 8 == 0 {
+                    // Reference-count style touch: a store through the same
+                    // (possibly stale) tree pointer — the forwarded stores
+                    // of Fig. 10(c).
+                    m.store_dep(node.add_words(PACKED), 8, packed, t1);
+                }
+                let side = if probe & 1 == 0 { LEFT } else { RIGHT };
+                probe >>= 1;
+                let (child, t2) = m.load_ptr_dep(node.add_words(side), t1);
+                node = child;
+                tok = t2;
+                depth += 1;
+            }
+        }
+    }
+
+    AppOutput {
+        checksum,
+        stats: m.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{run, App, RunConfig, Variant};
+
+    #[test]
+    fn checksums_match_across_variants() {
+        let orig = run(App::Smv, &RunConfig::new(Variant::Original).smoke());
+        let opt = run(App::Smv, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(orig.checksum, opt.checksum);
+        assert!(opt.stats.fwd.relocations > 0);
+    }
+
+    #[test]
+    fn optimized_really_forwards() {
+        let opt = run(App::Smv, &RunConfig::new(Variant::Optimized).smoke());
+        assert!(
+            opt.stats.fwd.forwarded_loads > 0,
+            "tree pointers are stale after linearization"
+        );
+        let frac = opt.stats.fwd.forwarded_load_fraction();
+        assert!(frac > 0.005, "forwarded fraction {frac} too small");
+    }
+
+    #[test]
+    fn original_never_forwards() {
+        let orig = run(App::Smv, &RunConfig::new(Variant::Original).smoke());
+        assert_eq!(orig.stats.fwd.forwarded_loads, 0);
+        assert_eq!(orig.stats.fwd.forwarded_stores, 0);
+    }
+
+    #[test]
+    fn perfect_forwarding_matches_and_is_faster() {
+        let opt = run(App::Smv, &RunConfig::new(Variant::Optimized).smoke());
+        let mut pcfg = RunConfig::new(Variant::Optimized).smoke();
+        pcfg.sim = pcfg.sim.with_perfect_forwarding();
+        let perf = run(App::Smv, &pcfg);
+        assert_eq!(opt.checksum, perf.checksum);
+        assert!(
+            perf.stats.cycles() < opt.stats.cycles(),
+            "Perf bound must beat real forwarding: {} vs {}",
+            perf.stats.cycles(),
+            opt.stats.cycles()
+        );
+        assert_eq!(perf.stats.fwd.load_fwd_cycles, 0);
+    }
+
+    #[test]
+    fn pointer_comparisons_are_costed() {
+        // The §2.1 compiler pass inserts final-address comparisons in the
+        // unique-table lookups; their software cost must be visible.
+        let orig = run(App::Smv, &RunConfig::new(Variant::Original).smoke());
+        assert!(orig.stats.fwd.ptr_compares > 0);
+        let opt = run(App::Smv, &RunConfig::new(Variant::Optimized).smoke());
+        assert!(
+            opt.stats.fwd.fbit_reads > orig.stats.fwd.fbit_reads,
+            "stale pointers force real chain walks in the optimized run"
+        );
+    }
+
+    #[test]
+    fn hop_histogram_populated() {
+        let opt = run(App::Smv, &RunConfig::new(Variant::Optimized).smoke());
+        let h = opt.stats.fwd.load_hops;
+        assert!(h[1] > 0, "one-hop loads expected, got {h:?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! VIS-style generic-list workload (paper §5.3).
+//!
+//! VIS is a 150 k-line verification system whose hot paths run through a
+//! generic list library. The paper's optimization is localized entirely in
+//! that library: each list head counts insertions/deletions and triggers
+//! list linearization when the counter exceeds a threshold (50). This
+//! kernel drives the same library with a mixed stream of inserts, deletes
+//! and traversals over many lists — the access pattern the paper describes
+//! — with the library's counter-triggered linearization as the optimized
+//! variant.
+
+use crate::common::{prefetch_mode, scatter_pad_if, ListLib, Rng};
+use crate::registry::{AppOutput, RunConfig, Scale, Variant};
+use memfwd::Machine;
+
+/// Element node: `[next, key, value, pad]`.
+const NODE_WORDS: u64 = 4;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of independent lists.
+    pub lists: u64,
+    /// Initial elements per list.
+    pub init_len: u64,
+    /// Operations in the mixed stream.
+    pub ops: u64,
+    /// Linearization trigger threshold (mutations per list; the paper
+    /// used 50).
+    pub threshold: u64,
+}
+
+impl Params {
+    /// Parameters for a workload scale.
+    pub fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Smoke => Params {
+                lists: 8,
+                init_len: 12,
+                ops: 300,
+                threshold: 8,
+            },
+            Scale::Bench => Params {
+                lists: 96,
+                init_len: 120,
+                ops: 12_000,
+                threshold: 50,
+            },
+        }
+    }
+}
+
+/// Runs `vis`.
+pub fn run(cfg: &RunConfig) -> AppOutput {
+    let p = Params::for_scale(cfg.scale);
+    let mut m = Machine::new(cfg.sim);
+    let threshold = match cfg.variant {
+        Variant::Optimized => Some(cfg.linearize_threshold.unwrap_or(p.threshold)),
+        _ => None,
+    };
+    // Static placement (§1): nodes are allocated densely at creation; the
+    // layout cannot adapt as the lists mutate afterwards.
+    let scatter = cfg.variant != Variant::Static;
+    let lib = ListLib::new(NODE_WORDS, threshold);
+    let mut pool = m.new_pool();
+    let mut rng = Rng::new(cfg.seed ^ 0x0076_6973);
+    let mode = prefetch_mode(cfg);
+
+    // Build the lists with interleaved allocations so nodes scatter.
+    let heads: Vec<_> = (0..p.lists).map(|_| lib.new_list(&mut m)).collect();
+    let mut next_key = 0u64;
+    for round in 0..p.init_len {
+        for &h in &heads {
+            scatter_pad_if(&mut m, &mut rng, scatter);
+            lib.push_front(&mut m, h, &[next_key, round], &mut pool);
+            next_key += 1;
+        }
+    }
+
+    // Mixed operation stream.
+    let mut checksum = 0u64;
+    for op in 0..p.ops {
+        let h = heads[rng.below(p.lists) as usize];
+        match rng.below(10) {
+            0..=2 => {
+                scatter_pad_if(&mut m, &mut rng, scatter);
+                lib.push_front(&mut m, h, &[next_key, op], &mut pool);
+                next_key += 1;
+            }
+            3..=4 => {
+                let len = lib.len(&mut m, h);
+                if len > 4 {
+                    lib.delete_nth(&mut m, h, rng.below(len), &mut pool);
+                }
+            }
+            _ => {
+                // Traversal: the dominant operation, as in VIS itself.
+                let mut acc = 0u64;
+                lib.traverse(&mut m, h, mode, |m, node, tok| {
+                    let (k, t1) = m.load_word_dep(node.add_words(1), tok);
+                    let (v, t2) = m.load_word_dep(node.add_words(2), t1);
+                    m.compute(2);
+                    acc = acc.wrapping_add(k ^ v.rotate_left(7));
+                    t2
+                });
+                checksum = checksum.wrapping_add(acc).rotate_left(3);
+            }
+        }
+    }
+
+    AppOutput {
+        checksum,
+        stats: m.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::registry::{run, App, RunConfig, Variant};
+
+    #[test]
+    fn checksums_match_across_variants() {
+        let orig = run(App::Vis, &RunConfig::new(Variant::Original).smoke());
+        let opt = run(App::Vis, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(orig.checksum, opt.checksum);
+        assert!(opt.stats.fwd.relocations > 0);
+        assert_eq!(orig.stats.fwd.relocations, 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RunConfig::new(Variant::Original).smoke();
+        a.seed = 1;
+        let mut b = a;
+        b.seed = 2;
+        assert_ne!(
+            run(App::Vis, &a).checksum,
+            run(App::Vis, &b).checksum
+        );
+    }
+
+    #[test]
+    fn prefetching_preserves_results() {
+        let orig = run(App::Vis, &RunConfig::new(Variant::Original).smoke());
+        let lp = run(
+            App::Vis,
+            &RunConfig::new(Variant::Optimized).smoke().with_prefetch(2),
+        );
+        assert_eq!(orig.checksum, lp.checksum);
+    }
+
+    #[test]
+    fn static_placement_matches_and_never_relocates() {
+        let orig = run(App::Vis, &RunConfig::new(Variant::Original).smoke());
+        let st = run(App::Vis, &RunConfig::new(Variant::Static).smoke());
+        assert_eq!(orig.checksum, st.checksum);
+        assert_eq!(st.stats.fwd.relocations, 0);
+        assert_eq!(st.stats.fwd.forwarded_loads, 0);
+    }
+
+    #[test]
+    fn space_overhead_reported_for_optimized_only() {
+        let orig = run(App::Vis, &RunConfig::new(Variant::Original).smoke());
+        let opt = run(App::Vis, &RunConfig::new(Variant::Optimized).smoke());
+        assert_eq!(orig.stats.fwd.relocation_space_bytes, 0);
+        assert!(opt.stats.fwd.relocation_space_bytes > 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Golden-checksum regression tests.
+//!
+//! The checksums below were captured from a verified run at smoke scale
+//! with the default seed (12345). They pin down the exact workload
+//! behaviour: an unintended change to an application kernel, the RNG, the
+//! allocator or the functional memory model will show up here as a
+//! checksum mismatch.
+//!
+//! If a workload is changed *intentionally*, regenerate the table by
+//! running each app at smoke scale and pasting the new checksums.
+
+use memfwd_apps::{run, App, RunConfig, Variant};
+
+const GOLDEN: [(App, u64); 8] = [
+    (App::Health, 0x0000000051128597),
+    (App::Mst, 0x0000000000000bfa),
+    (App::Radiosity, 0x52b908c459595752),
+    (App::Vis, 0x7d5ab56b682b228a),
+    (App::Eqntott, 0x00000000001bda85),
+    (App::Bh, 0x0a597c1c147d4cf1),
+    (App::Compress, 0x6ff0327239124e75),
+    (App::Smv, 0xde1120526afad793),
+];
+
+#[test]
+fn smoke_checksums_match_golden_values() {
+    for (app, want) in GOLDEN {
+        let got = run(app, &RunConfig::new(Variant::Original).smoke()).checksum;
+        assert_eq!(
+            got, want,
+            "{app}: golden checksum mismatch — {got:#018x} != {want:#018x}. \
+             If the workload change is intentional, update tests/golden.rs."
+        );
+    }
+}
+
+#[test]
+fn optimized_variants_match_golden_values_too() {
+    // Transitively guaranteed by the safety tests, but pinning it here
+    // catches a simultaneous regression of both variants.
+    for (app, want) in GOLDEN {
+        let got = run(app, &RunConfig::new(Variant::Optimized).smoke()).checksum;
+        assert_eq!(got, want, "{app}: optimized variant diverged from golden");
+    }
+}

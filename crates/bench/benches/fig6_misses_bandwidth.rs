@@ -1,0 +1,91 @@
+//! Figure 6: (a) load D-cache misses split into partial and full misses,
+//! and (b) bytes transferred L1↔L2 and L2↔memory — both normalized to each
+//! application's N case at 32 B = 100.
+
+use memfwd_apps::{App, Variant};
+use memfwd_bench::{run_cell, scale_from_env, write_csv, LINE_SIZES};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Figure 6(a): load D-cache misses (normalized to N @ 32B = 100)");
+    let header = format!(
+        "{:<10} {:>4} {:>4} {:>8} {:>8} {:>8}",
+        "app", "line", "case", "total", "partial", "full"
+    );
+    println!("{header}");
+    memfwd_bench::rule(&header);
+    let mut bw_rows = Vec::new();
+    let mut csv: Vec<Vec<String>> = Vec::new();
+    for app in App::FIG5 {
+        let r = run_cell(app, Variant::Original, 32, None, scale);
+        let (rp, rf) = r.stats.load_misses();
+        let ref_misses = (rp + rf).max(1) as f64;
+        let ref_bw = (r.stats.bytes_l1_l2 + r.stats.bytes_l2_mem).max(1) as f64;
+        for lb in LINE_SIZES {
+            for (case, variant) in [("N", Variant::Original), ("L", Variant::Optimized)] {
+                let out = run_cell(app, variant, lb, None, scale);
+                let (p, f) = out.stats.load_misses();
+                println!(
+                    "{:<10} {:>3}B {:>4} {:>8.1} {:>8.1} {:>8.1}",
+                    app.name(),
+                    lb,
+                    case,
+                    (p + f) as f64 / ref_misses * 100.0,
+                    p as f64 / ref_misses * 100.0,
+                    f as f64 / ref_misses * 100.0,
+                );
+                bw_rows.push((
+                    app.name(),
+                    lb,
+                    case,
+                    out.stats.bytes_l1_l2 as f64 / ref_bw * 100.0,
+                    out.stats.bytes_l2_mem as f64 / ref_bw * 100.0,
+                ));
+                csv.push(vec![
+                    app.name().to_string(),
+                    lb.to_string(),
+                    case.to_string(),
+                    p.to_string(),
+                    f.to_string(),
+                    out.stats.bytes_l1_l2.to_string(),
+                    out.stats.bytes_l2_mem.to_string(),
+                ]);
+            }
+        }
+        println!();
+    }
+
+    println!("Figure 6(b): bandwidth consumed (normalized to N @ 32B = 100)");
+    let header = format!(
+        "{:<10} {:>4} {:>4} {:>8} {:>8} {:>8}",
+        "app", "line", "case", "total", "L1<->L2", "L2<->mem"
+    );
+    println!("{header}");
+    memfwd_bench::rule(&header);
+    let mut last = "";
+    for (name, lb, case, b12, bmem) in bw_rows {
+        if !last.is_empty() && last != name {
+            println!();
+        }
+        last = name;
+        println!(
+            "{:<10} {:>3}B {:>4} {:>8.1} {:>8.1} {:>8.1}",
+            name,
+            lb,
+            case,
+            b12 + bmem,
+            b12,
+            bmem
+        );
+    }
+    println!();
+    println!(
+        "Expected shapes: >=35% miss reduction from L in most (app, line) cells;\n\
+         bandwidth reduced by L nearly everywhere (compress excepted)."
+    );
+    write_csv(
+        "fig6_misses_bandwidth",
+        &["app", "line_bytes", "case", "partial_misses", "full_misses", "bytes_l1_l2", "bytes_l2_mem"],
+        &csv,
+    );
+}

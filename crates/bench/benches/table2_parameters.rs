@@ -1,0 +1,45 @@
+//! Table 2: the simulated machine parameters.
+
+use memfwd::SimConfig;
+
+fn main() {
+    let c = SimConfig::default();
+    println!("Table 2: simulation parameters");
+    println!("------------------------------");
+    println!("Pipeline");
+    println!("  dispatch/graduation width   {} insts/cycle", c.pipeline.width);
+    println!("  reorder buffer              {} entries", c.pipeline.rob_entries);
+    println!("  pipeline depth              {} cycles", c.pipeline.min_depth);
+    println!("  replay (misspec.) penalty   {} cycles", c.pipeline.replay_penalty);
+    println!("  data-dependence speculation {}", c.dependence_speculation);
+    println!("Memory hierarchy");
+    println!(
+        "  L1 D-cache                  {} KB, {}-way, {}-cycle hit",
+        c.hierarchy.l1.size_bytes / 1024,
+        c.hierarchy.l1.assoc,
+        c.hierarchy.l1.hit_latency
+    );
+    println!(
+        "  unified L2                  {} KB, {}-way, {}-cycle hit",
+        c.hierarchy.l2.size_bytes / 1024,
+        c.hierarchy.l2.assoc,
+        c.hierarchy.l2.hit_latency
+    );
+    println!("  line size                   {} B (swept: 32/64/128)", c.hierarchy.line_bytes);
+    println!("  memory latency              {} cycles", c.hierarchy.mem_latency);
+    println!(
+        "  L1<->L2 bandwidth           {} B/cycle",
+        c.hierarchy.l1_l2_bytes_per_cycle
+    );
+    println!(
+        "  L2<->mem bandwidth          {} B/cycle",
+        c.hierarchy.mem_bytes_per_cycle
+    );
+    println!("  MSHRs (outstanding misses)  {}", c.hierarchy.mshrs);
+    println!("Memory forwarding");
+    println!("  forwarding-bit overhead     1 bit per 64-bit word (~1.5 %)");
+    println!("  hop-limit before cycle chk  {} hops", c.hop_limit);
+    println!("  per-hop penalty             {} cycles", c.fwd_hop_penalty);
+    println!("  cycle-check penalty         {} cycles", c.cycle_check_penalty);
+    println!("  user-level trap penalty     {} cycles", c.trap_penalty);
+}

@@ -1,0 +1,189 @@
+//! `memfwd-sim` — command-line front end to the simulator.
+//!
+//! Runs any of the eight applications under any layout variant and machine
+//! configuration, and prints the full statistics block. This is the
+//! "driver binary" a downstream user reaches for first.
+//!
+//! ```console
+//! $ cargo run --release -p memfwd-bench --bin memfwd_sim -- \
+//!       --app vis --variant optimized --line-bytes 128 --prefetch 2
+//! ```
+
+use memfwd_apps::{run, App, RunConfig, Scale, Variant};
+
+const USAGE: &str = "\
+memfwd-sim: run one application on the memory-forwarding simulator
+
+USAGE:
+    memfwd_sim [OPTIONS]
+
+OPTIONS:
+    --app <name>            health|mst|radiosity|vis|eqntott|bh|compress|smv
+                            (default: vis)
+    --variant <v>           original|optimized|static (default: original)
+    --perfect-forwarding    model the Fig. 10 `Perf` bound
+    --no-speculation        disable data-dependence speculation
+    --line-bytes <n>        cache line size, power of two >= 16 (default: 32)
+    --mem-latency <n>       main-memory latency in cycles (default: 75)
+    --prefetch <blocks>     enable software prefetching with this block size
+    --store-buffer <n>      enable an n-entry store buffer
+    --hw-prefetch           enable the tagged next-line hardware prefetcher
+    --scale <s>             smoke|bench (default: bench)
+    --seed <n>              workload seed (default: 12345)
+    --help                  print this text
+";
+
+fn parse() -> Result<(App, RunConfig), String> {
+    let mut app = App::Vis;
+    let mut cfg = RunConfig::new(Variant::Original);
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--app" => {
+                let v = next_val(&mut args, "--app")?;
+                app = match v.as_str() {
+                    "health" => App::Health,
+                    "mst" => App::Mst,
+                    "radiosity" => App::Radiosity,
+                    "vis" => App::Vis,
+                    "eqntott" => App::Eqntott,
+                    "bh" => App::Bh,
+                    "compress" => App::Compress,
+                    "smv" => App::Smv,
+                    other => return Err(format!("unknown app '{other}'")),
+                };
+            }
+            "--variant" => {
+                let v = next_val(&mut args, "--variant")?;
+                cfg.variant = match v.as_str() {
+                    "original" | "n" | "N" => Variant::Original,
+                    "optimized" | "l" | "L" => Variant::Optimized,
+                    "static" | "s" | "S" => Variant::Static,
+                    other => return Err(format!("unknown variant '{other}'")),
+                };
+            }
+            "--perfect-forwarding" => cfg.sim.perfect_forwarding = true,
+            "--no-speculation" => cfg.sim.dependence_speculation = false,
+            "--line-bytes" => {
+                let v: u64 = next_val(&mut args, "--line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--line-bytes: {e}"))?;
+                cfg.sim = cfg.sim.with_line_bytes(v);
+            }
+            "--mem-latency" => {
+                cfg.sim.hierarchy.mem_latency = next_val(&mut args, "--mem-latency")?
+                    .parse()
+                    .map_err(|e| format!("--mem-latency: {e}"))?;
+            }
+            "--prefetch" => {
+                let blocks: u64 = next_val(&mut args, "--prefetch")?
+                    .parse()
+                    .map_err(|e| format!("--prefetch: {e}"))?;
+                cfg.prefetch = true;
+                cfg.prefetch_lines = blocks;
+            }
+            "--store-buffer" => {
+                cfg.sim.store_buffer_entries = Some(
+                    next_val(&mut args, "--store-buffer")?
+                        .parse()
+                        .map_err(|e| format!("--store-buffer: {e}"))?,
+                );
+            }
+            "--hw-prefetch" => cfg.sim.hierarchy.next_line_prefetch = true,
+            "--scale" => {
+                cfg.scale = match next_val(&mut args, "--scale")?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "bench" => Scale::Bench,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--seed" => {
+                cfg.seed = next_val(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok((app, cfg))
+}
+
+fn main() {
+    let (app, cfg) = match parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let wall = std::time::Instant::now();
+    let out = run(app, &cfg);
+    let s = &out.stats;
+    let slots = s.slots();
+
+    println!("app                  {app} ({:?}, seed {})", cfg.variant, cfg.seed);
+    println!("checksum             {:#018x}", out.checksum);
+    println!("cycles               {}", s.cycles());
+    println!(
+        "instructions         {} ({:.2} IPC)",
+        s.pipeline.dispatched,
+        s.pipeline.dispatched as f64 / s.cycles().max(1) as f64
+    );
+    let (b, l, st, i) = slots.fractions();
+    println!(
+        "graduation slots     busy {:.1}% | load stall {:.1}% | store stall {:.1}% | inst stall {:.1}%",
+        b * 100.0,
+        l * 100.0,
+        st * 100.0,
+        i * 100.0
+    );
+    println!(
+        "loads                {} ({} L1 hits, {} partial, {} full misses)",
+        s.cache.loads.total(),
+        s.cache.loads.l1_hits,
+        s.cache.loads.partial_misses,
+        s.cache.loads.full_misses
+    );
+    println!(
+        "stores               {} ({} misses)",
+        s.cache.stores.total(),
+        s.cache.stores.misses()
+    );
+    println!(
+        "bandwidth            {} B L1<->L2, {} B L2<->mem",
+        s.bytes_l1_l2, s.bytes_l2_mem
+    );
+    println!(
+        "forwarding           {} loads ({:.2}%), {} stores ({:.2}%) forwarded",
+        s.fwd.forwarded_loads,
+        s.fwd.forwarded_load_fraction() * 100.0,
+        s.fwd.forwarded_stores,
+        s.fwd.forwarded_store_fraction() * 100.0
+    );
+    println!(
+        "relocation           {} calls, {} words, {} KB pool space",
+        s.fwd.relocations,
+        s.fwd.relocated_words,
+        s.fwd.relocation_space_bytes / 1024
+    );
+    println!(
+        "speculation          {} misspeculations, {} replays",
+        s.fwd.misspeculations, s.pipeline.replays
+    );
+    println!(
+        "memory               {} pages touched, {} fbits set, tag overhead {} B",
+        s.mem.pages, s.mem.fbits_set, s.mem.tag_bytes()
+    );
+    if s.fwd.page_faults > 0 {
+        println!("page faults          {}", s.fwd.page_faults);
+    }
+    println!("wall time            {:.2?}", wall.elapsed());
+}

@@ -1,0 +1,42 @@
+use memfwd_apps::{run, App, RunConfig, Variant};
+
+fn main() {
+    for app in App::FIG5 {
+        for lb in [32u64, 64, 128] {
+            let mut o = RunConfig::new(Variant::Original);
+            o.sim = o.sim.with_line_bytes(lb);
+            let mut l = RunConfig::new(Variant::Optimized);
+            l.sim = l.sim.with_line_bytes(lb);
+            let t0 = std::time::Instant::now();
+            let ro = run(app, &o);
+            let rl = run(app, &l);
+            assert_eq!(ro.checksum, rl.checksum, "{app} checksum mismatch");
+            println!(
+                "{:9} {:>3}B: N={:>9} L={:>9} speedup={:.2} missN={:>7} missL={:>7} bwN={:>9} bwL={:>9} wall={:.1?}",
+                app.name(), lb,
+                ro.stats.cycles(), rl.stats.cycles(),
+                rl.stats.speedup_over(&ro.stats),
+                ro.stats.cache.loads.misses(), rl.stats.cache.loads.misses(),
+                ro.stats.bytes_l2_mem, rl.stats.bytes_l2_mem,
+                t0.elapsed(),
+            );
+        }
+    }
+    // SMV: N / L / Perf at 32B.
+    let o = RunConfig::new(Variant::Original);
+    let l = RunConfig::new(Variant::Optimized);
+    let mut pf = RunConfig::new(Variant::Optimized);
+    pf.sim = pf.sim.with_perfect_forwarding();
+    let ro = run(App::Smv, &o);
+    let rl = run(App::Smv, &l);
+    let rp = run(App::Smv, &pf);
+    assert_eq!(ro.checksum, rl.checksum);
+    assert_eq!(ro.checksum, rp.checksum);
+    println!(
+        "smv: N={} L={} Perf={} fwd_load_frac={:.3} fwd_store_frac={:.3} hops1={} hops2={}",
+        ro.stats.cycles(), rl.stats.cycles(), rp.stats.cycles(),
+        rl.stats.fwd.forwarded_load_fraction(),
+        rl.stats.fwd.forwarded_store_fraction(),
+        rl.stats.fwd.load_hops[1], rl.stats.fwd.load_hops[2],
+    );
+}

@@ -1,0 +1,133 @@
+//! Configuration of the cache hierarchy.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevelConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Set associativity (ways).
+    pub assoc: u32,
+    /// Access latency in cycles for a hit at this level.
+    pub hit_latency: u64,
+}
+
+impl CacheLevelConfig {
+    /// Number of sets for a given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (capacity smaller than one set).
+    pub fn sets(&self, line_bytes: u64) -> u64 {
+        let sets = self.size_bytes / (line_bytes * u64::from(self.assoc));
+        assert!(
+            sets >= 1,
+            "cache of {} bytes cannot hold {}-way sets of {}-byte lines",
+            self.size_bytes,
+            self.assoc,
+            line_bytes
+        );
+        sets
+    }
+}
+
+/// Configuration of the whole hierarchy.
+///
+/// The defaults model the late-1990s out-of-order machine of the paper's
+/// evaluation (MIPS R10000 class), scaled so the benchmark working sets
+/// comfortably exceed the caches: 16 KiB 2-way L1D, 256 KiB 4-way unified
+/// L2, 75-cycle memory. The line size is the paper's central experimental
+/// parameter (Fig. 5 sweeps 32/64/128 B) and is shared by both levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Cache line size in bytes (both levels).
+    pub line_bytes: u64,
+    /// L1 data cache.
+    pub l1: CacheLevelConfig,
+    /// Unified L2 cache.
+    pub l2: CacheLevelConfig,
+    /// Main-memory access latency in cycles (after the L2 lookup).
+    pub mem_latency: u64,
+    /// L1↔L2 bus bandwidth in bytes per cycle.
+    pub l1_l2_bytes_per_cycle: u64,
+    /// L2↔memory bus bandwidth in bytes per cycle.
+    pub mem_bytes_per_cycle: u64,
+    /// Number of miss-status holding registers (outstanding misses).
+    pub mshrs: usize,
+    /// Hardware next-line prefetcher: every demand full miss also fetches
+    /// the next sequential line (tagged prefetch). Off by default — the
+    /// paper's machine uses software prefetching only.
+    pub next_line_prefetch: bool,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            line_bytes: 32,
+            l1: CacheLevelConfig {
+                size_bytes: 16 * 1024,
+                assoc: 2,
+                hit_latency: 1,
+            },
+            l2: CacheLevelConfig {
+                size_bytes: 256 * 1024,
+                assoc: 4,
+                hit_latency: 10,
+            },
+            mem_latency: 75,
+            l1_l2_bytes_per_cycle: 16,
+            mem_bytes_per_cycle: 8,
+            mshrs: 8,
+            next_line_prefetch: false,
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// Returns a copy with a different line size (the Fig. 5 sweep knob).
+    pub fn with_line_bytes(mut self, line_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= 16,
+            "line size must be a power of two >= 16"
+        );
+        self.line_bytes = line_bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_sane() {
+        let c = HierarchyConfig::default();
+        assert_eq!(c.l1.sets(c.line_bytes), 256);
+        assert_eq!(c.l2.sets(c.line_bytes), 2048);
+    }
+
+    #[test]
+    fn with_line_bytes_sweep() {
+        for lb in [32u64, 64, 128, 256] {
+            let c = HierarchyConfig::default().with_line_bytes(lb);
+            assert_eq!(c.line_bytes, lb);
+            assert!(c.l1.sets(lb) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_line() {
+        let _ = HierarchyConfig::default().with_line_bytes(48);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_geometry() {
+        let c = CacheLevelConfig {
+            size_bytes: 64,
+            assoc: 8,
+            hit_latency: 1,
+        };
+        let _ = c.sets(128);
+    }
+}

@@ -1,0 +1,466 @@
+//! The two-level hierarchy: L1D + unified L2 + main memory.
+
+use crate::bus::Bus;
+use crate::config::HierarchyConfig;
+use crate::level::CacheLevel;
+use crate::mshr::MshrFile;
+use crate::stats::CacheStats;
+use std::collections::HashSet;
+
+/// The class of a memory access presented to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A demand load (includes forwarding-bit reads: the bit travels with
+    /// the line, so testing it requires the line in the primary cache).
+    Load,
+    /// A demand store (write-allocate).
+    Store,
+    /// A non-binding software prefetch.
+    Prefetch,
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Hit in the L1 data cache.
+    L1Hit,
+    /// Combined with an outstanding miss to the same line.
+    PartialMiss,
+    /// Missed L1, hit in L2.
+    L2Hit,
+    /// Missed both levels; serviced by main memory.
+    MemMiss,
+    /// Prefetch dropped: no MSHR available.
+    PrefetchDropped,
+    /// Prefetch found the line resident or already in flight.
+    PrefetchRedundant,
+}
+
+/// Result of presenting one access to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Cycle at which the data is available (for prefetches: when the fill
+    /// completes; callers do not wait on it).
+    pub complete_at: u64,
+    /// Classification of the access.
+    pub outcome: Outcome,
+}
+
+impl Access {
+    /// True if this access missed the L1 data cache (partial or full).
+    pub fn l1_miss(&self) -> bool {
+        !matches!(self.outcome, Outcome::L1Hit)
+    }
+}
+
+/// The cache hierarchy timing model. See the crate docs for an overview.
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1: CacheLevel,
+    l2: CacheLevel,
+    mshr: MshrFile,
+    bus12: Bus,
+    busmem: Bus,
+    stats: CacheStats,
+    /// Lines brought in by the hardware prefetcher and not yet demanded —
+    /// the "tag" of tagged next-line prefetching.
+    hw_tagged: HashSet<u64>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from a configuration.
+    pub fn new(cfg: HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            l1: CacheLevel::new(cfg.l1, cfg.line_bytes),
+            l2: CacheLevel::new(cfg.l2, cfg.line_bytes),
+            mshr: MshrFile::new(cfg.mshrs),
+            bus12: Bus::new(cfg.l1_l2_bytes_per_cycle),
+            busmem: Bus::new(cfg.mem_bytes_per_cycle),
+            stats: CacheStats::default(),
+            hw_tagged: HashSet::new(),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Line number containing byte address `addr`.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.cfg.line_bytes
+    }
+
+    /// Presents an access at cycle `now` for byte address `addr`.
+    ///
+    /// Returns the completion time and outcome. State (cache contents, MSHR
+    /// occupancy, bus reservations) is updated. Prefetches never block the
+    /// caller; they are dropped when no MSHR is free.
+    pub fn access(&mut self, now: u64, addr: u64, kind: AccessKind) -> Access {
+        let r = self.access_inner(now, addr, kind);
+        // Tagged next-line prefetcher: a demand reference that missed L1,
+        // or the first demand touch of a hardware-prefetched line, requests
+        // the next sequential line. The Prefetch kind cannot recurse.
+        if self.cfg.next_line_prefetch && kind != AccessKind::Prefetch {
+            let line = self.line_of(addr);
+            let first_touch_of_prefetched = self.hw_tagged.remove(&line);
+            if r.l1_miss() || first_touch_of_prefetched {
+                let next = line + 1;
+                self.access_inner(now, next * self.cfg.line_bytes, AccessKind::Prefetch);
+                self.hw_tagged.insert(next);
+            }
+        }
+        r
+    }
+
+    fn access_inner(&mut self, now: u64, addr: u64, kind: AccessKind) -> Access {
+        let line = self.line_of(addr);
+        self.mshr.prune(now);
+
+        // 1. Combine with an in-flight fill (partial miss).
+        if let Some(fill_done) = self.mshr.in_flight(line) {
+            return match kind {
+                AccessKind::Prefetch => {
+                    self.stats.prefetches_redundant += 1;
+                    Access {
+                        complete_at: now,
+                        outcome: Outcome::PrefetchRedundant,
+                    }
+                }
+                AccessKind::Load | AccessKind::Store => {
+                    self.count_class(kind, |c| c.partial_misses += 1);
+                    if kind == AccessKind::Store {
+                        self.l1.mark_dirty(line);
+                    }
+                    Access {
+                        complete_at: fill_done.max(now + self.cfg.l1.hit_latency),
+                        outcome: Outcome::PartialMiss,
+                    }
+                }
+            };
+        }
+
+        // 2. L1 lookup.
+        if self.l1.lookup(line) {
+            return match kind {
+                AccessKind::Prefetch => {
+                    self.stats.prefetches_redundant += 1;
+                    Access {
+                        complete_at: now,
+                        outcome: Outcome::PrefetchRedundant,
+                    }
+                }
+                AccessKind::Load | AccessKind::Store => {
+                    self.count_class(kind, |c| c.l1_hits += 1);
+                    if kind == AccessKind::Store {
+                        self.l1.mark_dirty(line);
+                    }
+                    Access {
+                        complete_at: now + self.cfg.l1.hit_latency,
+                        outcome: Outcome::L1Hit,
+                    }
+                }
+            };
+        }
+
+        // 3. Full miss: need an MSHR.
+        let mut t = now;
+        if self.mshr.full(t) {
+            if kind == AccessKind::Prefetch {
+                self.stats.prefetches_dropped += 1;
+                return Access {
+                    complete_at: now,
+                    outcome: Outcome::PrefetchDropped,
+                };
+            }
+            while self.mshr.full(t) {
+                t = self
+                    .mshr
+                    .earliest_completion()
+                    .expect("full MSHR file has entries");
+            }
+        }
+
+        let lookup_l2_at = t + self.cfg.l1.hit_latency;
+        let line_bytes = self.cfg.line_bytes;
+        let (fill_done, outcome) = if self.l2.lookup(line) {
+            let done = self.bus12.transfer(lookup_l2_at + self.cfg.l2.hit_latency, line_bytes);
+            self.stats.l2_hits += 1;
+            (done, Outcome::L2Hit)
+        } else {
+            self.stats.l2_misses += 1;
+            let mem_ready = lookup_l2_at + self.cfg.l2.hit_latency + self.cfg.mem_latency;
+            let at_l2 = self.busmem.transfer(mem_ready, line_bytes);
+            // Fill L2, writing back a dirty victim to memory.
+            if let Some((_victim, dirty)) = self.l2.fill(line, false) {
+                if dirty {
+                    self.busmem.transfer(at_l2, line_bytes);
+                    self.stats.l2_writebacks += 1;
+                }
+            }
+            let done = self.bus12.transfer(at_l2, line_bytes);
+            (done, Outcome::MemMiss)
+        };
+
+        // Fill L1, handling a dirty victim.
+        let dirty = kind == AccessKind::Store;
+        if let Some((victim, vdirty)) = self.l1.fill(line, dirty) {
+            if vdirty {
+                self.writeback_l1_victim(victim, fill_done);
+            }
+        }
+        self.mshr.allocate(line, fill_done, dirty);
+
+        match kind {
+            AccessKind::Prefetch => {
+                self.stats.prefetches_issued += 1;
+                Access {
+                    complete_at: fill_done,
+                    outcome,
+                }
+            }
+            AccessKind::Load | AccessKind::Store => {
+                self.count_class(kind, |c| c.full_misses += 1);
+                Access {
+                    complete_at: fill_done,
+                    outcome,
+                }
+            }
+        }
+    }
+
+    /// Issues a block prefetch of `lines` consecutive cache lines starting
+    /// at the line containing `addr` (the paper's block prefetching).
+    pub fn prefetch_block(&mut self, now: u64, addr: u64, lines: u64) {
+        let base = self.line_of(addr) * self.cfg.line_bytes;
+        for i in 0..lines {
+            self.access(now, base + i * self.cfg.line_bytes, AccessKind::Prefetch);
+        }
+    }
+
+    fn writeback_l1_victim(&mut self, victim_line: u64, now: u64) {
+        self.stats.l1_writebacks += 1;
+        let line_bytes = self.cfg.line_bytes;
+        let done = self.bus12.transfer(now, line_bytes);
+        if !self.l2.mark_dirty(victim_line) {
+            // Victim not resident in L2 (we model non-inclusive caches):
+            // install it dirty, spilling a dirty L2 victim to memory.
+            if let Some((_l2v, d)) = self.l2.fill(victim_line, true) {
+                if d {
+                    self.busmem.transfer(done, line_bytes);
+                    self.stats.l2_writebacks += 1;
+                }
+            }
+        }
+    }
+
+    fn count_class(&mut self, kind: AccessKind, f: impl FnOnce(&mut crate::stats::ClassCounts)) {
+        match kind {
+            AccessKind::Load => f(&mut self.stats.loads),
+            AccessKind::Store => f(&mut self.stats.stores),
+            AccessKind::Prefetch => {}
+        }
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes moved between L1 and L2 (fills + writebacks) — Fig. 6(b).
+    pub fn bytes_l1_l2(&self) -> u64 {
+        self.bus12.total_bytes()
+    }
+
+    /// Bytes moved between L2 and memory (fills + writebacks) — Fig. 6(b).
+    pub fn bytes_l2_mem(&self) -> u64 {
+        self.busmem.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig {
+            line_bytes: 32,
+            l1: crate::CacheLevelConfig {
+                size_bytes: 256,
+                assoc: 2,
+                hit_latency: 1,
+            },
+            l2: crate::CacheLevelConfig {
+                size_bytes: 1024,
+                assoc: 2,
+                hit_latency: 10,
+            },
+            mem_latency: 75,
+            l1_l2_bytes_per_cycle: 16,
+            mem_bytes_per_cycle: 8,
+            mshrs: 2,
+            next_line_prefetch: false,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut h = small();
+        let a = h.access(0, 0x40, AccessKind::Load);
+        assert_eq!(a.outcome, Outcome::MemMiss);
+        assert!(a.l1_miss());
+        // 1 (L1) + 10 (L2) + 75 (mem) + 4 (mem bus) + 2 (L1-L2 bus) = 92
+        assert_eq!(a.complete_at, 92);
+        let b = h.access(a.complete_at, 0x48, AccessKind::Load);
+        assert_eq!(b.outcome, Outcome::L1Hit);
+        assert_eq!(b.complete_at, a.complete_at + 1);
+        let s = h.stats();
+        assert_eq!(s.loads.full_misses, 1);
+        assert_eq!(s.loads.l1_hits, 1);
+    }
+
+    #[test]
+    fn partial_miss_combines() {
+        let mut h = small();
+        let a = h.access(0, 0x40, AccessKind::Load);
+        let b = h.access(1, 0x50, AccessKind::Load); // same 32 B line? 0x40..0x60: yes
+        assert_eq!(b.outcome, Outcome::PartialMiss);
+        assert_eq!(b.complete_at, a.complete_at);
+        assert_eq!(h.stats().loads.partial_misses, 1);
+    }
+
+    #[test]
+    fn after_fill_completes_it_is_a_hit() {
+        let mut h = small();
+        let a = h.access(0, 0x40, AccessKind::Load);
+        let b = h.access(a.complete_at + 1, 0x40, AccessKind::Load);
+        assert_eq!(b.outcome, Outcome::L1Hit);
+    }
+
+    #[test]
+    fn l2_hit_is_cheaper_than_memory() {
+        let mut h = small();
+        let a = h.access(0, 0x40, AccessKind::Load);
+        // Evict 0x40's line from tiny L1 (4 sets x 2 ways): lines mapping to
+        // the same set are 0x40 + k*128.
+        let t = a.complete_at + 1;
+        h.access(t, 0x40 + 128, AccessKind::Load);
+        let b = h.access(t + 200, 0x40 + 256, AccessKind::Load);
+        let c = h.access(b.complete_at + 200, 0x40, AccessKind::Load);
+        assert_eq!(c.outcome, Outcome::L2Hit);
+        let base = c.complete_at - (b.complete_at + 200);
+        assert!(base < 20, "L2 hit took {base} cycles");
+    }
+
+    #[test]
+    fn mshr_exhaustion_delays_new_miss() {
+        let mut h = small();
+        h.access(0, 0x1000, AccessKind::Load);
+        h.access(0, 0x2000, AccessKind::Load);
+        // Third distinct-line miss at cycle 0 must wait for an MSHR.
+        let c = h.access(0, 0x3000, AccessKind::Load);
+        assert!(c.complete_at > 92 + 80, "waited for an MSHR, got {}", c.complete_at);
+    }
+
+    #[test]
+    fn store_marks_line_dirty_and_writes_back() {
+        let mut h = small();
+        let a = h.access(0, 0x40, AccessKind::Store);
+        assert_eq!(h.stats().stores.full_misses, 1);
+        let mut t = a.complete_at + 1;
+        // Evict the dirty line by touching two more lines of the same set.
+        for k in 1..=2u64 {
+            let r = h.access(t, 0x40 + k * 128, AccessKind::Load);
+            t = r.complete_at + 1;
+        }
+        assert_eq!(h.stats().l1_writebacks, 1);
+        assert!(h.bytes_l1_l2() >= 4 * 32, "3 fills + 1 writeback");
+    }
+
+    #[test]
+    fn prefetch_fills_without_counting_demand_misses() {
+        let mut h = small();
+        h.prefetch_block(0, 0x40, 2);
+        let s = h.stats();
+        assert_eq!(s.prefetches_issued, 2);
+        assert_eq!(s.loads.total(), 0);
+        let a = h.access(500, 0x40, AccessKind::Load);
+        assert_eq!(a.outcome, Outcome::L1Hit, "prefetched line hits");
+    }
+
+    #[test]
+    fn prefetch_redundant_and_dropped() {
+        let mut h = small();
+        h.access(0, 0x40, AccessKind::Load);
+        h.access(0, 0x1000, AccessKind::Load); // MSHRs now full (2)
+        h.prefetch_block(0, 0x40, 1); // in flight -> redundant
+        h.prefetch_block(0, 0x2000, 1); // no MSHR -> dropped
+        let s = h.stats();
+        assert_eq!(s.prefetches_redundant, 1);
+        assert_eq!(s.prefetches_dropped, 1);
+        assert_eq!(s.prefetches_issued, 0);
+    }
+
+    #[test]
+    fn early_prefetch_hides_latency() {
+        let mut h = small();
+        h.prefetch_block(0, 0x40, 1);
+        let a = h.access(200, 0x40, AccessKind::Load);
+        assert_eq!(a.complete_at, 201, "fully hidden prefetch");
+    }
+
+    #[test]
+    fn next_line_prefetcher_turns_sequential_misses_into_hits() {
+        let cfg = HierarchyConfig {
+            next_line_prefetch: true,
+            ..HierarchyConfig::default()
+        };
+        let mut h = Hierarchy::new(cfg);
+        let mut t = 0;
+        let mut full = 0;
+        for i in 0..32u64 {
+            let r = h.access(t, 0x10_0000 + i * 32, AccessKind::Load);
+            t = r.complete_at + 50;
+            if r.outcome == Outcome::MemMiss {
+                full += 1;
+            }
+        }
+        assert!(full <= 2, "next-line prefetch should cover the stream: {full}");
+        assert!(h.stats().prefetches_issued > 0);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_line_size() {
+        let mut bytes = Vec::new();
+        for lb in [32u64, 64, 128] {
+            let mut h = Hierarchy::new(HierarchyConfig::default().with_line_bytes(lb));
+            let mut t = 0;
+            // Strided accesses with no spatial locality.
+            for i in 0..64u64 {
+                let r = h.access(t, i * 4096, AccessKind::Load);
+                t = r.complete_at + 1;
+            }
+            bytes.push(h.bytes_l2_mem());
+        }
+        assert!(bytes[0] < bytes[1] && bytes[1] < bytes[2]);
+    }
+
+    #[test]
+    fn spatial_locality_reduces_misses_with_longer_lines() {
+        let mut misses = Vec::new();
+        for lb in [32u64, 128] {
+            let mut h = Hierarchy::new(HierarchyConfig::default().with_line_bytes(lb));
+            let mut t = 0;
+            for i in 0..1024u64 {
+                let r = h.access(t, 0x10_0000 + i * 8, AccessKind::Load);
+                t = r.complete_at + 1;
+            }
+            misses.push(h.stats().loads.full_misses);
+        }
+        assert_eq!(misses[0], 256);
+        assert_eq!(misses[1], 64);
+    }
+}

@@ -1,0 +1,133 @@
+//! A true-LRU cache set.
+
+/// One way of a set.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Way {
+    pub tag: u64,
+    pub dirty: bool,
+    pub last_used: u64,
+}
+
+/// A single set with true-LRU replacement.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LruSet {
+    ways: Vec<Way>,
+}
+
+/// Result of inserting a line into a full set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Evicted {
+    pub tag: u64,
+    pub dirty: bool,
+}
+
+impl LruSet {
+    /// Looks up `tag`; on hit, refreshes recency (at logical time `seq`) and
+    /// returns `true`.
+    pub fn touch(&mut self, tag: u64, seq: u64) -> bool {
+        if let Some(w) = self.ways.iter_mut().find(|w| w.tag == tag) {
+            w.last_used = seq;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Presence check without recency update.
+    pub fn contains(&self, tag: u64) -> bool {
+        self.ways.iter().any(|w| w.tag == tag)
+    }
+
+    /// Marks `tag` dirty if present; returns whether it was present.
+    pub fn mark_dirty(&mut self, tag: u64) -> bool {
+        if let Some(w) = self.ways.iter_mut().find(|w| w.tag == tag) {
+            w.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `tag` (which must not be present), evicting the LRU way if
+    /// the set already holds `assoc` lines.
+    pub fn insert(&mut self, tag: u64, dirty: bool, seq: u64, assoc: u32) -> Option<Evicted> {
+        debug_assert!(!self.contains(tag), "insert of resident line");
+        let evicted = if self.ways.len() == assoc as usize {
+            let (idx, _) = self
+                .ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .expect("non-empty set");
+            let victim = self.ways.swap_remove(idx);
+            Some(Evicted {
+                tag: victim.tag,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+        self.ways.push(Way {
+            tag,
+            dirty,
+            last_used: seq,
+        });
+        evicted
+    }
+
+    /// Removes `tag` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, tag: u64) -> Option<bool> {
+        let idx = self.ways.iter().position(|w| w.tag == tag)?;
+        Some(self.ways.swap_remove(idx).dirty)
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.ways.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_hit_and_miss() {
+        let mut s = LruSet::default();
+        assert!(!s.touch(1, 0));
+        s.insert(1, false, 0, 2);
+        assert!(s.touch(1, 1));
+        assert!(s.contains(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut s = LruSet::default();
+        s.insert(1, false, 0, 2);
+        s.insert(2, false, 1, 2);
+        s.touch(1, 2); // 2 is now LRU
+        let ev = s.insert(3, false, 3, 2).unwrap();
+        assert_eq!(ev.tag, 2);
+        assert!(s.contains(1) && s.contains(3));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut s = LruSet::default();
+        s.insert(1, false, 0, 1);
+        assert!(s.mark_dirty(1));
+        let ev = s.insert(2, false, 1, 1).unwrap();
+        assert!(ev.dirty);
+        assert!(!s.mark_dirty(42));
+    }
+
+    #[test]
+    fn invalidate() {
+        let mut s = LruSet::default();
+        s.insert(1, true, 0, 2);
+        assert_eq!(s.invalidate(1), Some(true));
+        assert_eq!(s.invalidate(1), None);
+        assert_eq!(s.len(), 0);
+    }
+}

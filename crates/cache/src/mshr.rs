@@ -1,0 +1,143 @@
+//! Miss-status holding registers (MSHRs): the bookkeeping that makes the
+//! caches non-blocking and defines the paper's partial/full miss split.
+
+use std::collections::HashMap;
+
+/// An entry for one outstanding line fill.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    fill_done: u64,
+    dirty_on_fill: bool,
+}
+
+/// A file of miss-status holding registers.
+///
+/// A miss that finds its line already in flight *combines* with the existing
+/// entry — a **partial miss** in the paper's terminology — and completes when
+/// that fill completes, rather than paying the full latency again.
+#[derive(Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "need at least one MSHR");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Discards entries whose fills completed at or before `now`.
+    pub fn prune(&mut self, now: u64) {
+        self.entries.retain(|_, e| e.fill_done > now);
+    }
+
+    /// If `line` is in flight, returns the cycle its fill completes.
+    pub fn in_flight(&self, line: u64) -> Option<u64> {
+        self.entries.get(&line).map(|e| e.fill_done)
+    }
+
+    /// Records a store combining with an in-flight fill so the line is
+    /// filled dirty.
+    pub fn mark_dirty_on_fill(&mut self, line: u64) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.dirty_on_fill = true;
+        }
+    }
+
+    /// Whether the filled line must be inserted dirty.
+    pub fn dirty_on_fill(&self, line: u64) -> bool {
+        self.entries.get(&line).map(|e| e.dirty_on_fill).unwrap_or(false)
+    }
+
+    /// True when every register is occupied (after pruning at `now`).
+    pub fn full(&mut self, now: u64) -> bool {
+        self.prune(now);
+        self.entries.len() >= self.capacity
+    }
+
+    /// Earliest completion among outstanding fills, if any — the time a new
+    /// miss must wait for when the file is full.
+    pub fn earliest_completion(&self) -> Option<u64> {
+        self.entries.values().map(|e| e.fill_done).min()
+    }
+
+    /// Allocates a register for `line` completing at `fill_done`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full or the line is already in flight; callers
+    /// must check [`MshrFile::full`] / [`MshrFile::in_flight`] first.
+    pub fn allocate(&mut self, line: u64, fill_done: u64, dirty_on_fill: bool) {
+        assert!(self.entries.len() < self.capacity, "MSHR file full");
+        let prev = self.entries.insert(
+            line,
+            Entry {
+                fill_done,
+                dirty_on_fill,
+            },
+        );
+        assert!(prev.is_none(), "line already in flight");
+    }
+
+    /// Number of outstanding fills.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_combine() {
+        let mut m = MshrFile::new(2);
+        m.allocate(10, 100, false);
+        assert_eq!(m.in_flight(10), Some(100));
+        assert_eq!(m.in_flight(11), None);
+        m.mark_dirty_on_fill(10);
+        assert!(m.dirty_on_fill(10));
+    }
+
+    #[test]
+    fn prune_releases_registers() {
+        let mut m = MshrFile::new(1);
+        m.allocate(1, 50, false);
+        assert!(m.full(10));
+        assert!(!m.full(50), "completed fill frees the register");
+        assert_eq!(m.outstanding(), 0);
+    }
+
+    #[test]
+    fn earliest_completion_for_stall() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 80, false);
+        m.allocate(2, 60, false);
+        assert_eq!(m.earliest_completion(), Some(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHR file full")]
+    fn overflow_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate(1, 10, false);
+        m.allocate(2, 10, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn duplicate_line_panics() {
+        let mut m = MshrFile::new(2);
+        m.allocate(1, 10, false);
+        m.allocate(1, 20, false);
+    }
+}

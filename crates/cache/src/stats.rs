@@ -1,0 +1,90 @@
+//! Statistics gathered by the hierarchy — the raw material of the paper's
+//! Figures 6(a) and 6(b).
+
+/// Hit/miss counts for one access class (loads or stores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassCounts {
+    /// Accesses that hit in the L1 data cache.
+    pub l1_hits: u64,
+    /// Misses that combined with an outstanding miss to the same line
+    /// ("partial misses": they do not necessarily suffer the full latency).
+    pub partial_misses: u64,
+    /// Misses that initiated a new fill ("full misses").
+    pub full_misses: u64,
+}
+
+impl ClassCounts {
+    /// Total accesses in this class.
+    pub fn total(&self) -> u64 {
+        self.l1_hits + self.partial_misses + self.full_misses
+    }
+
+    /// Total misses (partial + full) in this class.
+    pub fn misses(&self) -> u64 {
+        self.partial_misses + self.full_misses
+    }
+}
+
+/// Aggregate statistics for a [`crate::Hierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Load accesses.
+    pub loads: ClassCounts,
+    /// Store accesses.
+    pub stores: ClassCounts,
+    /// L2 lookups that hit (full misses only reach L2).
+    pub l2_hits: u64,
+    /// L2 lookups that missed to memory.
+    pub l2_misses: u64,
+    /// Prefetches that initiated a fill.
+    pub prefetches_issued: u64,
+    /// Prefetches dropped because the MSHR file was full.
+    pub prefetches_dropped: u64,
+    /// Prefetches that found the line already resident or in flight.
+    pub prefetches_redundant: u64,
+    /// Dirty L1 victims written back to L2.
+    pub l1_writebacks: u64,
+    /// Dirty L2 victims written back to memory.
+    pub l2_writebacks: u64,
+}
+
+impl CacheStats {
+    /// Bytes moved over the L1↔L2 bus (fig. 6(b), bottom section).
+    /// Stored separately on the buses; combined by the hierarchy accessor.
+    pub fn miss_ratio_loads(&self) -> f64 {
+        let t = self.loads.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.loads.misses() as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_totals() {
+        let c = ClassCounts {
+            l1_hits: 10,
+            partial_misses: 3,
+            full_misses: 7,
+        };
+        assert_eq!(c.total(), 20);
+        assert_eq!(c.misses(), 10);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_ratio_loads(), 0.0);
+        s.loads = ClassCounts {
+            l1_hits: 8,
+            partial_misses: 1,
+            full_misses: 1,
+        };
+        assert!((s.miss_ratio_loads() - 0.2).abs() < 1e-12);
+    }
+}

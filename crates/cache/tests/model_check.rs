@@ -1,0 +1,141 @@
+//! Property-based checks of the cache timing model against small reference
+//! models.
+
+use memfwd_cache::{AccessKind, CacheLevel, CacheLevelConfig, Hierarchy, HierarchyConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn tiny_hierarchy() -> Hierarchy {
+    Hierarchy::new(HierarchyConfig {
+        line_bytes: 32,
+        l1: CacheLevelConfig {
+            size_bytes: 512,
+            assoc: 2,
+            hit_latency: 1,
+        },
+        l2: CacheLevelConfig {
+            size_bytes: 2048,
+            assoc: 4,
+            hit_latency: 10,
+        },
+        mem_latency: 75,
+        l1_l2_bytes_per_cycle: 16,
+        mem_bytes_per_cycle: 8,
+        mshrs: 4,
+        next_line_prefetch: false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every access is classified exactly once, completion times never
+    /// precede the request, and totals are conserved.
+    #[test]
+    fn hierarchy_conservation(stream in proptest::collection::vec((0u64..64, any::<bool>(), 1u64..40), 1..200)) {
+        let mut h = tiny_hierarchy();
+        let mut now = 0u64;
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for (lineish, is_store, gap) in stream {
+            let addr = lineish * 32;
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let acc = h.access(now, addr, kind);
+            prop_assert!(acc.complete_at > now, "completion before request");
+            if is_store { stores += 1 } else { loads += 1 }
+            now += gap;
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.loads.total(), loads);
+        prop_assert_eq!(s.stores.total(), stores);
+        prop_assert_eq!(s.l2_hits + s.l2_misses,
+            s.loads.full_misses + s.stores.full_misses);
+    }
+
+    /// Re-accessing a line after its fill completed is always an L1 hit
+    /// (no spurious invalidation in the uniprocessor hierarchy).
+    #[test]
+    fn filled_lines_stay_resident_until_evicted(lines in proptest::collection::vec(0u64..8, 1..30)) {
+        // 8 distinct lines fit in the 16-line L1 (512B / 32B).
+        let mut h = tiny_hierarchy();
+        let mut now = 0;
+        let mut seen: HashMap<u64, bool> = HashMap::new();
+        for l in lines {
+            let acc = h.access(now, l * 32, AccessKind::Load);
+            if seen.contains_key(&l) {
+                prop_assert!(!acc.l1_miss(), "line {l} should be resident");
+            }
+            seen.insert(l, true);
+            now = acc.complete_at + 1;
+        }
+    }
+
+    /// The standalone cache level matches a reference true-LRU model.
+    #[test]
+    fn cache_level_matches_reference_lru(stream in proptest::collection::vec(0u64..12, 1..300)) {
+        let mut level = CacheLevel::new(
+            CacheLevelConfig { size_bytes: 256, assoc: 2, hit_latency: 1 },
+            32,
+        ); // 4 sets x 2 ways
+        // Reference: per-set vector of (line, stamp).
+        let mut model: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+        let mut stamp = 0u64;
+        for line in stream {
+            stamp += 1;
+            let set = line % 4;
+            let ways = model.entry(set).or_default();
+            let model_hit = ways.iter().any(|&(l, _)| l == line);
+            let hit = level.lookup(line);
+            prop_assert_eq!(hit, model_hit, "line {} divergence", line);
+            if model_hit {
+                ways.iter_mut().find(|(l, _)| *l == line).unwrap().1 = stamp;
+            } else {
+                level.fill(line, false);
+                if ways.len() == 2 {
+                    let victim = ways.iter().enumerate().min_by_key(|(_, &(_, s))| s).unwrap().0;
+                    ways.swap_remove(victim);
+                }
+                ways.push((line, stamp));
+            }
+        }
+        // Residency agrees at the end.
+        for set in 0..4u64 {
+            for way in model.get(&set).into_iter().flatten() {
+                prop_assert!(level.probe(way.0));
+            }
+        }
+    }
+
+    /// Partial misses only happen while a fill is genuinely outstanding:
+    /// with accesses spaced beyond the worst-case fill latency, no partial
+    /// misses can occur.
+    #[test]
+    fn no_partial_misses_when_fully_spaced(lines in proptest::collection::vec(0u64..100, 1..60)) {
+        let mut h = tiny_hierarchy();
+        let mut now = 0;
+        for l in lines {
+            let acc = h.access(now, l * 32, AccessKind::Load);
+            now = acc.complete_at + 500;
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.loads.partial_misses, 0);
+    }
+
+    /// Bandwidth accounting: every full miss moves at least one line over
+    /// the L1<->L2 bus, and memory traffic never exceeds L1<->L2 traffic
+    /// plus writeback slack in this write-back hierarchy.
+    #[test]
+    fn bandwidth_accounting(lines in proptest::collection::vec(0u64..256, 1..200)) {
+        let mut h = tiny_hierarchy();
+        let mut now = 0;
+        for l in lines {
+            let acc = h.access(now, l * 32, AccessKind::Load);
+            now = acc.complete_at + 1;
+        }
+        let s = h.stats();
+        let full = s.loads.full_misses;
+        prop_assert!(h.bytes_l1_l2() >= full * 32);
+        prop_assert!(h.bytes_l2_mem() >= s.l2_misses * 32);
+        prop_assert_eq!(h.bytes_l1_l2(), (full + s.l1_writebacks) * 32);
+    }
+}

@@ -1,0 +1,277 @@
+//! Subtree clustering — paper Fig. 9 and the BH optimization (§5.3).
+//!
+//! Packs the nodes of each subtree into a cache-line-sized group, in the
+//! most balanced (breadth-first) form, so that when a traversal descends
+//! from a node, the next node visited is likely already in the current
+//! cache line. Parent→child links are updated as nodes move; any other
+//! pointers into the tree are protected by memory forwarding.
+
+use crate::machine::Machine;
+use crate::reloc::relocate;
+use memfwd_tagmem::{Addr, Pool};
+use std::collections::{HashMap, VecDeque};
+
+/// Shape of a tree node for clustering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeDesc {
+    /// Node size in words.
+    pub node_words: u64,
+    /// Word offsets of the child pointers within a node.
+    pub child_words: Vec<u64>,
+}
+
+impl TreeDesc {
+    /// Node size in bytes.
+    pub fn node_bytes(&self) -> u64 {
+        self.node_words * 8
+    }
+
+    /// How many nodes of this shape fit in one cache line (at least 1).
+    pub fn nodes_per_line(&self, line_bytes: u64) -> u64 {
+        (line_bytes / self.node_bytes()).max(1)
+    }
+}
+
+/// Recursively clusters the subtree rooted at `root`, returning the new
+/// address of the root. Nodes for which `is_internal` returns `false`
+/// (e.g. the leaf nodes of BH, which are linked by their own list) are left
+/// in place.
+///
+/// `capacity` is the number of nodes packed per cluster — normally
+/// [`TreeDesc::nodes_per_line`]. Cluster chunks are line-aligned when the
+/// pool's slabs are.
+///
+/// # Panics
+///
+/// Panics on heap exhaustion or forwarding cycles, or if the tree contains
+/// more than `2^22` internal nodes (assumed corrupt).
+pub fn subtree_cluster<F>(
+    m: &mut Machine,
+    root: Addr,
+    desc: &TreeDesc,
+    capacity: u64,
+    pool: &mut Pool,
+    is_internal: &mut F,
+) -> Addr
+where
+    F: FnMut(&mut Machine, Addr) -> bool,
+{
+    assert!(capacity >= 1);
+    if root.is_null() || !is_internal(m, root) {
+        return root;
+    }
+    let mut total = 0u64;
+    cluster_rec(m, root, desc, capacity, pool, is_internal, &mut total)
+}
+
+fn cluster_rec<F>(
+    m: &mut Machine,
+    root: Addr,
+    desc: &TreeDesc,
+    capacity: u64,
+    pool: &mut Pool,
+    is_internal: &mut F,
+    total: &mut u64,
+) -> Addr
+where
+    F: FnMut(&mut Machine, Addr) -> bool,
+{
+    // 1. Collect up to `capacity` internal nodes breadth-first ("the most
+    //    balanced form").
+    let mut members: Vec<Addr> = Vec::new();
+    let mut queue: VecDeque<Addr> = VecDeque::new();
+    queue.push_back(root);
+    while members.len() < capacity as usize {
+        let Some(node) = queue.pop_front() else { break };
+        members.push(node);
+        for &cw in &desc.child_words {
+            let child = m.load_ptr(node.add_words(cw));
+            if !child.is_null()
+                && members.len() + queue.len() < capacity as usize
+                && is_internal(m, child)
+            {
+                queue.push_back(child);
+            }
+        }
+    }
+    *total += members.len() as u64;
+    assert!(*total < 1 << 22, "runaway tree during clustering");
+
+    // 2. Relocate the members into one contiguous chunk. When several
+    //    nodes share a line (capacity > 1) the chunk is line-aligned so the
+    //    cluster occupies exactly the line it was sized for; degenerate
+    //    one-node clusters stay densely packed instead (padding them to
+    //    line boundaries would bloat the footprint).
+    let bytes = members.len() as u64 * desc.node_bytes();
+    let chunk = if capacity > 1 {
+        m.pool_alloc_aligned(pool, bytes, m.line_bytes())
+    } else {
+        m.pool_alloc(pool, bytes)
+    };
+    let mut new_of: HashMap<Addr, Addr> = HashMap::with_capacity(members.len());
+    for (i, &old) in members.iter().enumerate() {
+        let tgt = chunk.add_words(i as u64 * desc.node_words);
+        relocate(m, old, tgt, desc.node_words);
+        new_of.insert(old, tgt);
+    }
+
+    // 3. Patch child links: in-cluster children point at their new slots,
+    //    out-of-cluster internal children are clustered recursively, and
+    //    leaves are left where they are.
+    for &old in &members {
+        let new_node = new_of[&old];
+        for &cw in &desc.child_words {
+            let slot = new_node.add_words(cw);
+            let child = m.load_ptr(slot);
+            if child.is_null() {
+                continue;
+            }
+            if let Some(&nc) = new_of.get(&child) {
+                m.store_ptr(slot, nc);
+            } else if is_internal(m, child) {
+                let nc = cluster_rec(m, child, desc, capacity, pool, is_internal, total);
+                m.store_ptr(slot, nc);
+            }
+        }
+    }
+    new_of[&root]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    const DESC_WORDS: u64 = 4; // [left, right, payload, pad]
+
+    fn desc() -> TreeDesc {
+        TreeDesc {
+            node_words: DESC_WORDS,
+            child_words: vec![0, 1],
+        }
+    }
+
+    /// Builds a perfect binary tree of the given depth with scattered
+    /// allocation (pre-order, with padding), payloads = BFS index.
+    fn build_tree(m: &mut Machine, depth: u32) -> Addr {
+        fn rec(m: &mut Machine, d: u32, idx: u64) -> Addr {
+            let _pad = m.malloc(8 * (idx % 13 + 1));
+            let node = m.malloc(DESC_WORDS * 8);
+            m.store_word(node.add_words(2), idx);
+            if d > 0 {
+                let l = rec(m, d - 1, idx * 2 + 1);
+                let r = rec(m, d - 1, idx * 2 + 2);
+                m.store_ptr(node, l);
+                m.store_ptr(node.add_words(1), r);
+            } else {
+                m.store_ptr(node, Addr::NULL);
+                m.store_ptr(node.add_words(1), Addr::NULL);
+            }
+            node
+        }
+        rec(m, depth, 0)
+    }
+
+    fn checksum(m: &mut Machine, root: Addr) -> u64 {
+        fn rec(m: &mut Machine, node: Addr, depth: u64) -> u64 {
+            if node.is_null() {
+                return 0;
+            }
+            let v = m.load_word(node.add_words(2));
+            let l = m.load_ptr(node);
+            let r = m.load_ptr(node.add_words(1));
+            v.wrapping_mul(depth + 3)
+                .wrapping_add(rec(m, l, depth + 1))
+                .wrapping_add(rec(m, r, depth + 1))
+        }
+        rec(m, root, 0)
+    }
+
+    #[test]
+    fn clustering_preserves_tree_contents() {
+        let mut m = Machine::new(SimConfig::default());
+        let root = build_tree(&mut m, 5);
+        let before = checksum(&mut m, root);
+        let mut pool = m.new_pool();
+        let new_root =
+            subtree_cluster(&mut m, root, &desc(), 4, &mut pool, &mut |_, _| true);
+        assert_ne!(new_root, root);
+        assert_eq!(checksum(&mut m, new_root), before);
+    }
+
+    #[test]
+    fn stale_root_pointer_forwards() {
+        let mut m = Machine::new(SimConfig::default());
+        let root = build_tree(&mut m, 3);
+        let before = checksum(&mut m, root);
+        let mut pool = m.new_pool();
+        let _new_root = subtree_cluster(&mut m, root, &desc(), 4, &mut pool, &mut |_, _| true);
+        // Traversing through the OLD root still yields the same tree.
+        assert_eq!(checksum(&mut m, root), before);
+        let s = m.finish();
+        assert!(s.fwd.forwarded_loads > 0);
+    }
+
+    #[test]
+    fn cluster_members_are_contiguous() {
+        let mut m = Machine::new(SimConfig::default());
+        let root = build_tree(&mut m, 2); // 7 nodes
+        let mut pool = m.new_pool();
+        let new_root = subtree_cluster(&mut m, root, &desc(), 4, &mut pool, &mut |_, _| true);
+        // BFS order: root, left, right in the first cluster of 4 includes
+        // one grandchild; the root's immediate children must be adjacent.
+        let l = m.load_ptr(new_root);
+        let r = m.load_ptr(new_root.add_words(1));
+        let span = 4 * DESC_WORDS * 8;
+        assert!(l.0 - new_root.0 < span);
+        assert!(r.0 - new_root.0 < span);
+    }
+
+    #[test]
+    fn leaves_stay_in_place() {
+        let mut m = Machine::new(SimConfig::default());
+        let root = build_tree(&mut m, 2);
+        let old_leftmost_leaf = {
+            let mut p = root;
+            loop {
+                let c = m.load_ptr(p);
+                if c.is_null() {
+                    break p;
+                }
+                p = c;
+            }
+        };
+        let mut pool = m.new_pool();
+        // Internal = has a left child.
+        let new_root = subtree_cluster(&mut m, root, &desc(), 4, &mut pool, &mut |m, a| {
+            !m.load_ptr(a).is_null()
+        });
+        // The leftmost leaf is reachable and was not moved.
+        let mut p = new_root;
+        loop {
+            let c = m.load_ptr(p);
+            if c.is_null() {
+                break;
+            }
+            p = c;
+        }
+        assert_eq!(p, old_leftmost_leaf);
+        assert!(!m.mem().fbit(old_leftmost_leaf), "leaf not relocated");
+    }
+
+    #[test]
+    fn nodes_per_line() {
+        let d = desc();
+        assert_eq!(d.nodes_per_line(128), 4);
+        assert_eq!(d.nodes_per_line(32), 1);
+        assert_eq!(d.nodes_per_line(16), 1, "never zero");
+    }
+
+    #[test]
+    fn null_root_is_noop() {
+        let mut m = Machine::new(SimConfig::default());
+        let mut pool = m.new_pool();
+        let r = subtree_cluster(&mut m, Addr::NULL, &desc(), 4, &mut pool, &mut |_, _| true);
+        assert!(r.is_null());
+    }
+}

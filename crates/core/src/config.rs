@@ -1,0 +1,117 @@
+//! Simulation configuration.
+
+use memfwd_cache::HierarchyConfig;
+use memfwd_cpu::PipelineConfig;
+use crate::paging::PagingConfig;
+use memfwd_tagmem::{Addr, AllocPolicy};
+
+/// Complete configuration of the simulated machine.
+///
+/// The defaults model the paper's evaluation platform: a 4-way out-of-order
+/// superscalar with a two-level cache hierarchy, data-dependence
+/// speculation enabled, and forwarding treated as an exception. These are
+/// the values printed by the Table 2 bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Out-of-order pipeline parameters.
+    pub pipeline: PipelineConfig,
+    /// Cache hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Forwarding hops before the hardware raises the cycle-check exception
+    /// (paper §3.2, "Handling Forwarding Cycles").
+    pub hop_limit: u32,
+    /// Extra cycles charged per forwarding hop, modelling the
+    /// exception-style relaunch of the access.
+    pub fwd_hop_penalty: u64,
+    /// Cycles charged when a user-level trap fires on a forwarded access
+    /// (paper §3.2, "Providing User-Level Traps Upon Forwarding").
+    pub trap_penalty: u64,
+    /// Cycles charged for the accurate software cycle check triggered when
+    /// a chain exceeds `hop_limit` hops.
+    pub cycle_check_penalty: u64,
+    /// Perfect forwarding (the `Perf` bound of Fig. 10): references to
+    /// relocated objects behave as if every pointer had been updated — no
+    /// hop latency and no cache pollution from old locations.
+    pub perfect_forwarding: bool,
+    /// Data-dependence speculation (§3.2). When disabled, every load waits
+    /// for all earlier stores' final addresses to resolve.
+    pub dependence_speculation: bool,
+    /// Instruction cost charged to `malloc`.
+    pub malloc_cost: u64,
+    /// Instruction cost charged to `free` (before chain traversal).
+    pub free_cost: u64,
+    /// Base of the simulated heap.
+    pub heap_base: Addr,
+    /// Capacity of the simulated heap in bytes.
+    pub heap_capacity: u64,
+    /// Slab size for relocation pools.
+    pub pool_slab_bytes: u64,
+    /// Heap placement policy (§4 models a first-fit C malloc; the
+    /// size-class policy approximates a modern segregated allocator).
+    pub alloc_policy: AllocPolicy,
+    /// Optional out-of-core paging layer (§2.2): a fixed resident set of
+    /// pages with a disk-class fault penalty.
+    pub paging: Option<PagingConfig>,
+    /// Optional store buffer: stores graduate on admission to a buffer of
+    /// this many entries instead of waiting for the cache (ablation knob;
+    /// `None` reproduces the paper's store-stall behaviour).
+    pub store_buffer_entries: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            pipeline: PipelineConfig::default(),
+            hierarchy: HierarchyConfig::default(),
+            hop_limit: 8,
+            fwd_hop_penalty: 4,
+            trap_penalty: 40,
+            cycle_check_penalty: 200,
+            perfect_forwarding: false,
+            dependence_speculation: true,
+            malloc_cost: 30,
+            free_cost: 20,
+            heap_base: Addr(0x10_000),
+            heap_capacity: 1 << 31,
+            pool_slab_bytes: 256 * 1024,
+            alloc_policy: AllocPolicy::FirstFit,
+            paging: None,
+            store_buffer_entries: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with a different cache line size (the Fig. 5 sweep).
+    pub fn with_line_bytes(mut self, line_bytes: u64) -> Self {
+        self.hierarchy = self.hierarchy.with_line_bytes(line_bytes);
+        self
+    }
+
+    /// Returns a copy with perfect forwarding enabled (Fig. 10 `Perf`).
+    pub fn with_perfect_forwarding(mut self) -> Self {
+        self.perfect_forwarding = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_coherent() {
+        let c = SimConfig::default();
+        assert!(c.dependence_speculation);
+        assert!(!c.perfect_forwarding);
+        assert!(c.heap_base.is_aligned(8));
+        assert!(c.pool_slab_bytes <= c.heap_capacity);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::default().with_line_bytes(128).with_perfect_forwarding();
+        assert_eq!(c.hierarchy.line_bytes, 128);
+        assert!(c.perfect_forwarding);
+    }
+}

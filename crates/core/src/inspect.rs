@@ -1,0 +1,133 @@
+//! Human-readable views of simulator state: forwarding chains, heap
+//! occupancy and line-granular layout maps. These are debugging and
+//! teaching aids — every formatter is a pure function of machine state.
+
+use crate::machine::Machine;
+use memfwd_tagmem::{chain_words, Addr, TaggedMemory};
+use std::fmt::Write as _;
+
+/// Renders the forwarding chain starting at `addr`, e.g.
+/// `0x1000 -> 0x2000 -> 0x3000 (terminal, 2 hops)`, or a cycle diagnosis.
+pub fn dump_chain(mem: &TaggedMemory, addr: Addr) -> String {
+    match chain_words(mem, addr) {
+        Ok(words) => {
+            let mut s = String::new();
+            for (i, w) in words.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" -> ");
+                }
+                let _ = write!(s, "{w}");
+            }
+            let _ = write!(s, " (terminal, {} hops)", words.len() - 1);
+            s
+        }
+        Err(e) => format!("{e}"),
+    }
+}
+
+/// One-paragraph heap summary: live bytes, footprint, fragmentation.
+pub fn heap_summary(m: &Machine) -> String {
+    let h = m.heap().stats();
+    let footprint = m.heap().footprint();
+    let frag = if footprint == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - h.live_bytes as f64 / footprint as f64)
+    };
+    format!(
+        "heap: {} live bytes in {} blocks ({} allocated / {} freed), \
+         footprint {} bytes, {:.1}% holes, peak {} bytes",
+        h.live_bytes,
+        h.allocations - h.frees,
+        h.allocations,
+        h.frees,
+        footprint,
+        frag,
+        h.peak_bytes
+    )
+}
+
+/// A per-line map of `[start, start + bytes)`: for each cache line, one
+/// character per word — `.` untouched zero word, `d` nonzero data, `F` a
+/// word with its forwarding bit set.
+///
+/// # Panics
+///
+/// Panics if `start` is not line-aligned or `line_bytes` is not a multiple
+/// of the word size.
+pub fn line_map(mem: &TaggedMemory, start: Addr, bytes: u64, line_bytes: u64) -> String {
+    assert!(line_bytes.is_multiple_of(8) && start.is_aligned(line_bytes));
+    let mut s = String::new();
+    let mut addr = start;
+    while addr.0 < start.0 + bytes {
+        let _ = write!(s, "{addr}: ");
+        for w in 0..line_bytes / 8 {
+            let a = addr.add_words(w);
+            let c = if mem.fbit(a) {
+                'F'
+            } else if mem.read_data(a, 8) != 0 {
+                'd'
+            } else {
+                '.'
+            };
+            s.push(c);
+        }
+        s.push('\n');
+        addr += line_bytes;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::reloc::relocate;
+
+    #[test]
+    fn dump_chain_formats_hops() {
+        let mut m = Machine::new(SimConfig::default());
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        let c = m.malloc(8);
+        relocate(&mut m, a, b, 1);
+        relocate(&mut m, a, c, 1);
+        let s = dump_chain(m.mem(), a);
+        assert!(s.contains("->"), "{s}");
+        assert!(s.ends_with("(terminal, 2 hops)"), "{s}");
+        assert!(dump_chain(m.mem(), c).ends_with("(terminal, 0 hops)"));
+    }
+
+    #[test]
+    fn dump_chain_reports_cycles() {
+        let mut m = Machine::new(SimConfig::default());
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        m.unforwarded_write(a, b.0, true);
+        m.unforwarded_write(b, a.0, true);
+        let s = dump_chain(m.mem(), a);
+        assert!(s.contains("cycle"), "{s}");
+    }
+
+    #[test]
+    fn heap_summary_mentions_live_bytes() {
+        let mut m = Machine::new(SimConfig::default());
+        let a = m.malloc(100);
+        let _b = m.malloc(50);
+        m.free(a);
+        let s = heap_summary(&m);
+        assert!(s.contains("56 live bytes"), "{s}");
+        assert!(s.contains("2 allocated / 1 freed"), "{s}");
+    }
+
+    #[test]
+    fn line_map_classifies_words() {
+        let mut m = Machine::new(SimConfig::default());
+        let base = Addr(0x2000);
+        m.store_word(base, 7); // data
+        m.unforwarded_write(base + 8, 0x9000, true); // forwarding
+        let map = line_map(m.mem(), base, 32, 32);
+        let row = map.lines().next().unwrap();
+        assert!(row.ends_with("dF.."), "{row}");
+    }
+}

@@ -1,0 +1,963 @@
+//! The simulated machine: tagged memory + cache hierarchy + out-of-order
+//! pipeline, with memory forwarding wired into every demand reference.
+
+use crate::config::SimConfig;
+use crate::paging::PageCache;
+use crate::stats::{FwdStats, RunStats, HOPS_BUCKETS};
+use crate::trace::{Trace, TraceKind, TraceRecord};
+use crate::trap::TrapInfo;
+use memfwd_cache::{AccessKind, Hierarchy};
+use memfwd_cpu::{OpClass, Pipeline, SpecQueue, Token};
+use memfwd_tagmem::{Addr, Heap, Pool, TaggedMemory, WORD_BYTES};
+use std::collections::HashSet;
+
+/// The execution-driven simulator.
+///
+/// Applications run *functionally* in program order by calling the machine's
+/// load/store/compute operations; the machine derives cycle-level timing
+/// from an out-of-order pipeline model, a two-level cache hierarchy, and
+/// the memory-forwarding mechanism. Pointer-chasing code threads [`Token`]s
+/// through dependent loads so that serialization is modelled faithfully.
+///
+/// # Example
+///
+/// ```
+/// use memfwd::{Machine, SimConfig};
+///
+/// let mut m = Machine::new(SimConfig::default());
+/// let a = m.malloc(16);
+/// m.store(a, 8, 7);
+/// assert_eq!(m.load(a, 8), 7);
+/// let stats = m.finish();
+/// assert!(stats.cycles() > 0);
+/// ```
+pub struct Machine {
+    cfg: SimConfig,
+    mem: TaggedMemory,
+    heap: Heap,
+    hier: Hierarchy,
+    pipe: Pipeline,
+    spec: SpecQueue,
+    stats: FwdStats,
+    traps_enabled: bool,
+    trap_log: Vec<TrapInfo>,
+    last_store_resolve: u64,
+    pages: Option<PageCache>,
+    store_buf: std::collections::VecDeque<u64>,
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: SimConfig) -> Machine {
+        Machine {
+            mem: TaggedMemory::new(),
+            heap: Heap::with_policy(cfg.heap_base, cfg.heap_capacity, cfg.alloc_policy),
+            hier: Hierarchy::new(cfg.hierarchy),
+            pipe: Pipeline::new(cfg.pipeline),
+            spec: SpecQueue::new(),
+            stats: FwdStats::default(),
+            traps_enabled: false,
+            trap_log: Vec::new(),
+            last_store_resolve: 0,
+            pages: cfg.paging.map(PageCache::new),
+            store_buf: std::collections::VecDeque::new(),
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Cache line size in bytes — applications use this for clustering and
+    /// prefetch-distance decisions, exactly as the paper's hand-applied
+    /// optimizations do.
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.hierarchy.line_bytes
+    }
+
+    /// Current front-end cycle (a lower bound on simulated time).
+    pub fn now(&self) -> u64 {
+        self.pipe.now()
+    }
+
+    /// Read-only view of the tagged memory (for inspection and tests).
+    pub fn mem(&self) -> &TaggedMemory {
+        &self.mem
+    }
+
+    /// Read-only view of the heap allocator.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Statistics accumulated so far (pipeline totals appear only in
+    /// [`Machine::finish`]).
+    pub fn fwd_stats(&self) -> &FwdStats {
+        &self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Demand references with forwarding.
+    // ------------------------------------------------------------------
+
+    /// Walks the forwarding chain starting at `addr` with full timing:
+    /// each hop reads the old word through the cache (polluting it) and
+    /// pays the exception-dispatch penalty. Returns
+    /// `(final_addr, time_after_walk, hops, l1_miss_seen)`.
+    fn walk_chain(&mut self, addr: Addr, mut t: u64) -> (Addr, u64, u32, bool) {
+        let mut cur = addr;
+        let mut hops = 0u32;
+        let mut l1_miss = false;
+        let mut counter = 0u32;
+        let mut visited: Option<HashSet<Addr>> = None;
+        while self.mem.fbit(cur) {
+            if let Some(p) = self.pages.as_mut() {
+                t += p.touch(cur);
+            }
+            let acc = self.hier.access(t, cur.word_base().0, AccessKind::Load);
+            l1_miss |= acc.l1_miss();
+            t = acc.complete_at + self.cfg.fwd_hop_penalty;
+            let (fwd, _) = self.mem.unforwarded_read(cur);
+            let next = Addr(fwd) + cur.word_offset();
+            hops += 1;
+            counter += 1;
+            if let Some(seen) = visited.as_mut() {
+                assert!(
+                    seen.insert(next.word_base()),
+                    "forwarding cycle at {next}: execution aborted"
+                );
+            } else if counter > self.cfg.hop_limit {
+                // Hop-limit exception: accurate software cycle check.
+                t += self.cfg.cycle_check_penalty;
+                let mut seen = HashSet::new();
+                seen.insert(cur.word_base());
+                seen.insert(next.word_base());
+                visited = Some(seen);
+                counter = 0;
+            }
+            cur = next;
+        }
+        (cur, t, hops, l1_miss)
+    }
+
+    /// One demand reference (load or store). Returns the loaded value (0
+    /// for stores) and the completion token.
+    fn demand(
+        &mut self,
+        is_store: bool,
+        addr: Addr,
+        size: u64,
+        val: u64,
+        dep: Token,
+    ) -> (u64, Token) {
+        assert!(!addr.is_null(), "null dereference in simulated program");
+        let d = self.pipe.dispatch();
+        let mut start = d.max(dep.cycle());
+        if !self.cfg.dependence_speculation && !is_store {
+            // Conservative machine: a load may not issue until every earlier
+            // store's final address is known.
+            start = start.max(self.last_store_resolve);
+        }
+
+        let (final_addr, t_walk, hops, walk_miss) = if self.cfg.perfect_forwarding {
+            let r = memfwd_tagmem::resolve_unbounded(&self.mem, addr)
+                .expect("forwarding cycle: execution aborted");
+            (r.final_addr, start, 0, false)
+        } else {
+            self.walk_chain(addr, start)
+        };
+        let fwd_cycles = t_walk - start;
+
+        let kind = if is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let mut t_walk = t_walk;
+        if let Some(p) = self.pages.as_mut() {
+            t_walk += p.touch(final_addr);
+        }
+        // Optional store buffer: a store is admitted as soon as a buffer
+        // entry frees up and graduates on admission; the cache access
+        // drains in the background.
+        let mut buffered_store = false;
+        if is_store {
+            if let Some(cap) = self.cfg.store_buffer_entries {
+                buffered_store = true;
+                while self.store_buf.front().is_some_and(|&d| d <= t_walk) {
+                    self.store_buf.pop_front();
+                }
+                if self.store_buf.len() >= cap {
+                    let earliest = self.store_buf.pop_front().expect("non-empty");
+                    t_walk = t_walk.max(earliest);
+                }
+            }
+        }
+        let acc = self.hier.access(t_walk, final_addr.0, kind);
+        let l1_miss = if buffered_store {
+            false // graduation does not wait for a buffered store's miss
+        } else {
+            walk_miss || acc.l1_miss()
+        };
+        let mut complete = if buffered_store {
+            self.store_buf.push_back(acc.complete_at);
+            t_walk + 1
+        } else {
+            acc.complete_at
+        };
+
+        let out;
+        if is_store {
+            self.mem.write_data(final_addr, size, val);
+            self.spec
+                .on_store(addr.word_base().0, final_addr.word_base().0, acc.complete_at);
+            self.last_store_resolve = self.last_store_resolve.max(acc.complete_at);
+            out = 0;
+        } else {
+            out = self.mem.read_data(final_addr, size);
+            if self.cfg.dependence_speculation {
+                if let Some(v) =
+                    self.spec
+                        .check_load(start, addr.word_base().0, final_addr.word_base().0)
+                {
+                    self.stats.misspeculations += 1;
+                    self.pipe.replay(v.store_resolved_at);
+                    complete = complete.max(v.store_resolved_at + self.cfg.pipeline.replay_penalty);
+                }
+            }
+        }
+
+        if hops > 0 && self.traps_enabled {
+            complete += self.cfg.trap_penalty;
+            self.stats.traps_taken += 1;
+            if self.trap_log.len() < 1 << 20 {
+                self.trap_log.push(TrapInfo {
+                    initial: addr,
+                    final_addr,
+                    hops,
+                    is_store,
+                });
+            }
+        }
+
+        if let Some(tr) = self.trace.as_mut() {
+            tr.push(TraceRecord {
+                cycle: start,
+                kind: if is_store { TraceKind::Store } else { TraceKind::Load },
+                initial: addr,
+                final_addr,
+                hops,
+                l1_miss,
+                dep_cycle: dep.cycle(),
+                complete_cycle: complete,
+            });
+        }
+
+        let bucket = (hops as usize).min(HOPS_BUCKETS - 1);
+        if is_store {
+            self.stats.stores += 1;
+            self.stats.store_cycles += complete - start;
+            self.stats.store_fwd_cycles += fwd_cycles;
+            self.stats.store_hops[bucket] += 1;
+            if hops > 0 {
+                self.stats.forwarded_stores += 1;
+            }
+            self.pipe.complete(OpClass::Store, d, complete, l1_miss);
+        } else {
+            self.stats.loads += 1;
+            self.stats.load_cycles += complete - start;
+            self.stats.load_fwd_cycles += fwd_cycles;
+            self.stats.load_hops[bucket] += 1;
+            if hops > 0 {
+                self.stats.forwarded_loads += 1;
+            }
+            self.pipe.complete(OpClass::Load, d, complete, l1_miss);
+        }
+        (out, Token::at(complete))
+    }
+
+    /// Loads `size` bytes at `addr`, following forwarding chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a null dereference, a misaligned access, or a genuine
+    /// forwarding cycle (the simulated program is aborted, as in §3.2).
+    pub fn load(&mut self, addr: Addr, size: u64) -> u64 {
+        self.demand(false, addr, size, 0, Token::ready()).0
+    }
+
+    /// [`Machine::load`] with an explicit address dependence: the access
+    /// cannot issue before `dep` is ready. Returns the value and its token.
+    pub fn load_dep(&mut self, addr: Addr, size: u64, dep: Token) -> (u64, Token) {
+        self.demand(false, addr, size, 0, dep)
+    }
+
+    /// Stores the low `size` bytes of `val` at `addr`, following forwarding.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Machine::load`].
+    pub fn store(&mut self, addr: Addr, size: u64, val: u64) {
+        self.demand(true, addr, size, val, Token::ready());
+    }
+
+    /// [`Machine::store`] with an explicit dependence; returns the
+    /// completion token.
+    pub fn store_dep(&mut self, addr: Addr, size: u64, val: u64, dep: Token) -> Token {
+        self.demand(true, addr, size, val, dep).1
+    }
+
+    // Word-sized sugar used pervasively by the applications.
+
+    /// Loads one 64-bit word.
+    pub fn load_word(&mut self, addr: Addr) -> u64 {
+        self.load(addr, WORD_BYTES)
+    }
+
+    /// Loads one 64-bit word with a dependence token.
+    pub fn load_word_dep(&mut self, addr: Addr, dep: Token) -> (u64, Token) {
+        self.load_dep(addr, WORD_BYTES, dep)
+    }
+
+    /// Stores one 64-bit word.
+    pub fn store_word(&mut self, addr: Addr, val: u64) {
+        self.store(addr, WORD_BYTES, val)
+    }
+
+    /// Loads a pointer (a word interpreted as an address).
+    pub fn load_ptr(&mut self, addr: Addr) -> Addr {
+        Addr(self.load_word(addr))
+    }
+
+    /// Loads a pointer with a dependence token.
+    pub fn load_ptr_dep(&mut self, addr: Addr, dep: Token) -> (Addr, Token) {
+        let (v, t) = self.load_word_dep(addr, dep);
+        (Addr(v), t)
+    }
+
+    /// Stores a pointer.
+    pub fn store_ptr(&mut self, addr: Addr, val: Addr) {
+        self.store_word(addr, val.0)
+    }
+
+    // ------------------------------------------------------------------
+    // ISA extensions (paper Fig. 3).
+    // ------------------------------------------------------------------
+
+    /// `Read_FBit`: reads the forwarding bit of the word containing `addr`.
+    /// This is a memory operation — the bit travels with the cache line.
+    pub fn read_fbit(&mut self, addr: Addr) -> bool {
+        self.read_fbit_dep(addr, Token::ready()).0
+    }
+
+    /// [`Machine::read_fbit`] with an address dependence.
+    pub fn read_fbit_dep(&mut self, addr: Addr, dep: Token) -> (bool, Token) {
+        let d = self.pipe.dispatch();
+        let start = d.max(dep.cycle());
+        let acc = self.hier.access(start, addr.word_base().0, AccessKind::Load);
+        self.stats.fbit_reads += 1;
+        self.pipe
+            .complete(OpClass::Load, d, acc.complete_at, acc.l1_miss());
+        (self.mem.fbit(addr), Token::at(acc.complete_at))
+    }
+
+    /// `Unforwarded_Read`: reads a whole word and its forwarding bit with
+    /// forwarding disabled.
+    pub fn unforwarded_read(&mut self, addr: Addr) -> (u64, bool) {
+        let (v, b, _) = self.unforwarded_read_dep(addr, Token::ready());
+        (v, b)
+    }
+
+    /// [`Machine::unforwarded_read`] with an address dependence.
+    pub fn unforwarded_read_dep(&mut self, addr: Addr, dep: Token) -> (u64, bool, Token) {
+        let d = self.pipe.dispatch();
+        let start = d.max(dep.cycle());
+        let acc = self.hier.access(start, addr.word_base().0, AccessKind::Load);
+        self.stats.unforwarded_ops += 1;
+        self.pipe
+            .complete(OpClass::Load, d, acc.complete_at, acc.l1_miss());
+        let (v, b) = self.mem.unforwarded_read(addr);
+        (v, b, Token::at(acc.complete_at))
+    }
+
+    /// `Unforwarded_Write`: atomically writes a whole word and its
+    /// forwarding bit with forwarding disabled.
+    pub fn unforwarded_write(&mut self, addr: Addr, value: u64, fbit: bool) -> Token {
+        let d = self.pipe.dispatch();
+        let acc = self.hier.access(d, addr.word_base().0, AccessKind::Store);
+        self.stats.unforwarded_ops += 1;
+        self.mem.unforwarded_write(addr, value, fbit);
+        let w = addr.word_base().0;
+        self.spec.on_store(w, w, acc.complete_at);
+        self.last_store_resolve = self.last_store_resolve.max(acc.complete_at);
+        self.pipe
+            .complete(OpClass::Store, d, acc.complete_at, acc.l1_miss());
+        Token::at(acc.complete_at)
+    }
+
+    // ------------------------------------------------------------------
+    // Prefetch and compute.
+    // ------------------------------------------------------------------
+
+    /// Issues one block-prefetch instruction covering `lines` consecutive
+    /// cache lines starting at the line containing `addr`. The prefetch
+    /// address is assumed available at dispatch (e.g. computed from an
+    /// induction variable); use [`Machine::prefetch_dep`] when the address
+    /// comes from a load, or the pointer-chasing limit disappears.
+    pub fn prefetch(&mut self, addr: Addr, lines: u64) {
+        self.prefetch_dep(addr, lines, Token::ready());
+    }
+
+    /// [`Machine::prefetch`] with an explicit address dependence: the
+    /// prefetch cannot launch before `dep` is ready. This models the
+    /// pointer-chasing problem of §2.2 — a prefetch of `p->next->next`
+    /// cannot start until `p->next` has been loaded.
+    pub fn prefetch_dep(&mut self, addr: Addr, lines: u64, dep: Token) {
+        let d = self.pipe.dispatch();
+        self.hier.prefetch_block(d.max(dep.cycle()), addr.0, lines);
+        self.stats.prefetches += 1;
+        self.pipe.complete(OpClass::Prefetch, d, d + 1, false);
+    }
+
+    /// Executes `n` single-cycle ALU instructions with no data dependences.
+    pub fn compute(&mut self, n: u64) {
+        for _ in 0..n {
+            self.pipe.compute(0);
+        }
+        self.stats.computes += n;
+    }
+
+    /// Executes `n` dependent single-cycle ALU instructions consuming
+    /// `dep`; returns the token of the last one.
+    pub fn compute_dep(&mut self, n: u64, dep: Token) -> Token {
+        let mut t = dep;
+        for _ in 0..n {
+            t = Token::at(self.pipe.compute(t.cycle()));
+        }
+        self.stats.computes += n;
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // Heap.
+    // ------------------------------------------------------------------
+
+    /// Allocates `bytes` of word-aligned heap memory, charging the
+    /// allocator's instruction cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted.
+    pub fn malloc(&mut self, bytes: u64) -> Addr {
+        self.compute(self.cfg.malloc_cost);
+        self.stats.mallocs += 1;
+        self.heap.alloc(bytes).expect("simulated heap exhausted")
+    }
+
+    /// Frees a heap block, first deallocating every block reachable through
+    /// its forwarding chain — the wrapper deallocation of paper §3.3.
+    ///
+    /// Chain targets that are not independently-allocated blocks (e.g.
+    /// relocation-pool space) are skipped; pools are reclaimed wholesale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not the base of a live allocation.
+    pub fn free(&mut self, addr: Addr) {
+        self.compute(self.cfg.free_cost);
+        self.stats.frees += 1;
+        // Walk the chain of the first word, paying one unforwarded read per
+        // element, and collect chain targets that are themselves blocks.
+        let mut blocks = vec![addr];
+        let mut cur = addr;
+        let mut guard = 0;
+        loop {
+            let (val, fbit, _) = self.unforwarded_read_dep(cur, Token::ready());
+            if !fbit {
+                break;
+            }
+            cur = Addr(val).word_base();
+            guard += 1;
+            assert!(guard < 1 << 16, "forwarding cycle during free({addr})");
+            if self.heap.is_live(cur) {
+                self.stats.chain_frees += 1;
+                blocks.push(cur);
+            }
+        }
+        for b in blocks {
+            // Reinitialize the block's forwarding bits before it can be
+            // recycled: §3.3 requires every word to start with a clear bit
+            // when next handed to the application.
+            let words = self
+                .heap
+                .block_size(b)
+                .expect("free of non-allocated address")
+                / WORD_BYTES;
+            for w in 0..words {
+                self.mem.set_fbit(b.add_words(w), false);
+            }
+            self.compute(1 + words / 8); // amortized clearing cost
+            self.heap.free(b).expect("checked live");
+        }
+    }
+
+    /// Allocates `bytes` from a relocation pool (contiguous space), charging
+    /// a small instruction cost and recording the space overhead that the
+    /// paper's Table 1 reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted.
+    pub fn pool_alloc(&mut self, pool: &mut Pool, bytes: u64) -> Addr {
+        self.compute(6);
+        let before = pool.bytes_handed_out();
+        let a = pool
+            .alloc(&mut self.heap, bytes)
+            .expect("simulated heap exhausted");
+        self.stats.relocation_space_bytes += pool.bytes_handed_out() - before;
+        a
+    }
+
+    /// Allocates an `align`-aligned chunk from a relocation pool. Used when
+    /// relocation targets must respect cache-line boundaries (subtree
+    /// clusters, false-sharing separation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted.
+    pub fn pool_alloc_aligned(&mut self, pool: &mut Pool, bytes: u64, align: u64) -> Addr {
+        self.compute(8);
+        let before = pool.bytes_handed_out();
+        let a = pool
+            .alloc_aligned(&mut self.heap, bytes, align)
+            .expect("simulated heap exhausted");
+        self.stats.relocation_space_bytes += pool.bytes_handed_out() - before;
+        a
+    }
+
+    /// Creates a relocation pool with the configured slab size.
+    pub fn new_pool(&self) -> Pool {
+        Pool::new(self.cfg.pool_slab_bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // User-level traps (paper §3.2).
+    // ------------------------------------------------------------------
+
+    /// Enables or disables the user-level trap taken on every forwarded
+    /// reference. While enabled, each forwarded reference costs
+    /// `trap_penalty` extra cycles and is recorded.
+    pub fn set_traps_enabled(&mut self, enabled: bool) {
+        self.traps_enabled = enabled;
+    }
+
+    /// Drains the recorded trap events (profiling-tool style: the
+    /// application inspects them and may fix stray pointers itself).
+    pub fn take_traps(&mut self) -> Vec<TrapInfo> {
+        std::mem::take(&mut self.trap_log)
+    }
+
+    /// Writes a word functionally WITHOUT any timing effect — no
+    /// instruction, no cache access, no trace record. Scenario-building
+    /// scaffolding for tests and trace tooling; simulated programs should
+    /// use [`Machine::store`].
+    pub fn poke_word(&mut self, addr: Addr, value: u64) {
+        self.mem.write_data(addr.word_base(), WORD_BYTES, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Reference tracing.
+    // ------------------------------------------------------------------
+
+    /// Starts recording demand references into a trace of at most
+    /// `capacity` records (older runs' records are kept until taken).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Stops tracing and returns `(records, dropped_count)`.
+    pub fn take_trace(&mut self) -> (Vec<TraceRecord>, u64) {
+        self.trace.take().map(|mut t| t.take()).unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Bookkeeping used by the relocation library (crate-internal).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn note_relocation(&mut self, words: u64) {
+        self.stats.relocations += 1;
+        self.stats.relocated_words += words;
+    }
+
+    pub(crate) fn note_ptr_compare(&mut self) {
+        self.stats.ptr_compares += 1;
+    }
+
+    /// Finishes the run: drains the pipeline and returns all statistics.
+    pub fn finish(mut self) -> RunStats {
+        self.stats.page_faults = self.pages.as_ref().map(|p| p.faults()).unwrap_or(0);
+        RunStats {
+            pipeline: self.pipe.finish(),
+            cache: self.hier.stats(),
+            bytes_l1_l2: self.hier.bytes_l1_l2(),
+            bytes_l2_mem: self.hier.bytes_l2_mem(),
+            fwd: self.stats,
+            mem: self.mem.stats(),
+            heap: self.heap.stats(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.pipe.now())
+            .field("loads", &self.stats.loads)
+            .field("stores", &self.stats.stores)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(SimConfig::default())
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = machine();
+        let a = m.malloc(32);
+        m.store(a, 8, 0xABCD);
+        m.store(a + 8, 4, 7);
+        assert_eq!(m.load(a, 8), 0xABCD);
+        assert_eq!(m.load(a + 8, 4), 7);
+        let s = m.finish();
+        assert_eq!(s.fwd.loads, 2);
+        assert_eq!(s.fwd.stores, 2);
+        assert!(s.cycles() > 0);
+    }
+
+    #[test]
+    fn forwarded_load_returns_new_value_and_counts_hop() {
+        let mut m = machine();
+        let old = m.malloc(8);
+        let new = m.malloc(8);
+        m.store(new, 8, 99);
+        m.unforwarded_write(old, new.0, true);
+        assert_eq!(m.load(old, 8), 99, "stray access forwarded");
+        let s = m.finish();
+        assert_eq!(s.fwd.forwarded_loads, 1);
+        assert_eq!(s.fwd.load_hops[1], 1);
+        assert!(s.fwd.load_fwd_cycles > 0);
+    }
+
+    #[test]
+    fn forwarded_store_writes_to_final_location() {
+        let mut m = machine();
+        let old = m.malloc(8);
+        let new = m.malloc(8);
+        m.unforwarded_write(old, new.0, true);
+        m.store(old + 4, 4, 42);
+        assert_eq!(m.load(new + 4, 4), 42);
+        let s = m.finish();
+        assert_eq!(s.fwd.forwarded_stores, 1);
+    }
+
+    #[test]
+    fn perfect_forwarding_has_zero_fwd_cycles() {
+        let mut m = Machine::new(SimConfig::default().with_perfect_forwarding());
+        let old = m.malloc(8);
+        let new = m.malloc(8);
+        m.store(new, 8, 5);
+        m.unforwarded_write(old, new.0, true);
+        assert_eq!(m.load(old, 8), 5);
+        let s = m.finish();
+        assert_eq!(s.fwd.load_fwd_cycles, 0);
+        assert_eq!(s.fwd.forwarded_loads, 0, "Perf: as if pointers were updated");
+    }
+
+    #[test]
+    fn forwarding_slower_than_direct() {
+        // Time a forwarded load vs a direct one on identical machines.
+        let run = |forwarded: bool| -> u64 {
+            let mut m = machine();
+            let old = m.malloc(8);
+            let new = m.malloc(8);
+            m.store(new, 8, 1);
+            if forwarded {
+                m.unforwarded_write(old, new.0, true);
+                m.load(old, 8);
+            } else {
+                m.load(new, 8);
+            }
+            m.finish().cycles()
+        };
+        assert!(run(true) > run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "forwarding cycle")]
+    fn forwarding_cycle_aborts() {
+        let mut m = machine();
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        m.unforwarded_write(a, b.0, true);
+        m.unforwarded_write(b, a.0, true);
+        let _ = m.load(a, 8);
+    }
+
+    #[test]
+    fn long_chain_is_false_alarm_not_cycle() {
+        let mut m = machine();
+        let blocks: Vec<Addr> = (0..20).map(|_| m.malloc(8)).collect();
+        m.store(blocks[19], 8, 777);
+        for w in blocks.windows(2) {
+            m.unforwarded_write(w[0], w[1].0, true);
+        }
+        assert_eq!(m.load(blocks[0], 8), 777);
+        let s = m.finish();
+        assert_eq!(s.fwd.load_hops[HOPS_BUCKETS - 1], 1, "19 hops in top bucket");
+    }
+
+    #[test]
+    #[should_panic(expected = "null dereference")]
+    fn null_deref_panics() {
+        let mut m = machine();
+        let _ = m.load(Addr::NULL, 8);
+    }
+
+    #[test]
+    fn unforwarded_ops_bypass_forwarding() {
+        let mut m = machine();
+        let old = m.malloc(8);
+        let new = m.malloc(8);
+        m.unforwarded_write(old, new.0, true);
+        let (v, b) = m.unforwarded_read(old);
+        assert_eq!((v, b), (new.0, true), "sees the forwarding address itself");
+        assert!(m.read_fbit(old));
+        assert!(!m.read_fbit(new));
+    }
+
+    #[test]
+    fn dependent_loads_serialize() {
+        // A chain of dependent loads must take at least the sum of miss
+        // latencies; independent loads overlap.
+        let run = |dependent: bool| -> u64 {
+            let mut m = machine();
+            let addrs: Vec<Addr> = (0..8).map(|_| m.malloc(4096)).collect();
+            let mut tok = Token::ready();
+            for a in &addrs {
+                if dependent {
+                    let (_, t) = m.load_word_dep(*a, tok);
+                    tok = t;
+                } else {
+                    m.load_word(*a);
+                }
+            }
+            m.finish().cycles()
+        };
+        let dep = run(true);
+        let indep = run(false);
+        assert!(
+            dep > indep * 2,
+            "dependent {dep} vs independent {indep}: pointer chasing must serialize"
+        );
+    }
+
+    #[test]
+    fn prefetch_hides_latency() {
+        let run = |prefetch: bool| -> u64 {
+            let mut m = machine();
+            let a = m.malloc(4096);
+            if prefetch {
+                m.prefetch(a, 1);
+                m.compute(200); // give the prefetch time to complete
+            } else {
+                m.compute(200);
+            }
+            m.load_word(a);
+            m.finish().cycles()
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn free_follows_chain() {
+        let mut m = machine();
+        let old = m.malloc(16);
+        let new = m.malloc(16);
+        m.unforwarded_write(old, new.0, true);
+        m.free(old);
+        let s = m.heap().stats();
+        assert_eq!(s.frees, 2, "both old and relocated block freed");
+        let rs = m.finish();
+        assert_eq!(rs.fwd.chain_frees, 1);
+    }
+
+    #[test]
+    fn traps_record_forwarded_references() {
+        let mut m = machine();
+        let old = m.malloc(8);
+        let new = m.malloc(8);
+        m.unforwarded_write(old, new.0, true);
+        m.set_traps_enabled(true);
+        m.load(old, 8);
+        let traps = m.take_traps();
+        assert_eq!(traps.len(), 1);
+        assert_eq!(traps[0].initial, old);
+        assert_eq!(traps[0].final_addr, new);
+        assert_eq!(traps[0].hops, 1);
+        assert!(!traps[0].is_store);
+        assert!(m.take_traps().is_empty(), "drained");
+        let s = m.finish();
+        assert_eq!(s.fwd.traps_taken, 1);
+    }
+
+    #[test]
+    fn dependence_speculation_violation_detected() {
+        let mut m = machine();
+        let old = m.malloc(8);
+        let new = m.malloc(8);
+        m.unforwarded_write(old, new.0, true);
+        // A store through the OLD address resolves late to `new`...
+        m.store(old, 8, 1);
+        // ...while a load directly to `new` issues immediately (no dep).
+        m.load(new, 8);
+        let s = m.finish();
+        assert_eq!(s.fwd.misspeculations, 1);
+        assert_eq!(s.pipeline.replays, 1);
+    }
+
+    #[test]
+    fn no_speculation_mode_is_slower() {
+        let run = |speculate: bool| -> u64 {
+            let mut m = Machine::new(SimConfig {
+                dependence_speculation: speculate,
+                ..SimConfig::default()
+            });
+            let a = m.malloc(1 << 16);
+            for i in 0..64u64 {
+                m.store(a + i * 512, 8, i);
+                m.load(a + 32768 + i * 512, 8);
+            }
+            m.finish().cycles()
+        };
+        assert!(run(false) > run(true));
+    }
+
+    #[test]
+    fn compute_dep_chains_latency() {
+        let mut m = machine();
+        let t = m.compute_dep(10, Token::at(100));
+        assert!(t.cycle() >= 110);
+    }
+
+    #[test]
+    fn store_buffer_hides_store_miss_latency() {
+        let run = |entries: Option<usize>| -> (u64, u64) {
+            let mut m = Machine::new(SimConfig {
+                store_buffer_entries: entries,
+                ..SimConfig::default()
+            });
+            let a = m.malloc(1 << 20);
+            for i in 0..64u64 {
+                m.store_word(a + i * 4096, i);
+                m.compute(4);
+            }
+            let s = m.finish();
+            (s.cycles(), s.pipeline.slots.store_stall)
+        };
+        let (no_buf_cycles, no_buf_stall) = run(None);
+        let (buf_cycles, buf_stall) = run(Some(8));
+        assert!(buf_cycles < no_buf_cycles, "{buf_cycles} !< {no_buf_cycles}");
+        assert!(buf_stall < no_buf_stall, "{buf_stall} !< {no_buf_stall}");
+    }
+
+    #[test]
+    fn store_buffer_preserves_values_and_ordering() {
+        let mut m = Machine::new(SimConfig {
+            store_buffer_entries: Some(4),
+            ..SimConfig::default()
+        });
+        let a = m.malloc(256);
+        for i in 0..32u64 {
+            m.store_word(a.add_words(i % 8), i);
+        }
+        for i in 24..32u64 {
+            assert_eq!(m.load_word(a.add_words(i % 8)), i);
+        }
+    }
+
+    #[test]
+    fn paging_layer_counts_faults_and_slows_misses() {
+        let cfg = SimConfig {
+            paging: Some(crate::paging::PagingConfig {
+                page_bytes: 4096,
+                resident_pages: 4,
+                fault_penalty: 10_000,
+            }),
+            ..SimConfig::default()
+        };
+        let mut m = Machine::new(cfg);
+        let a = m.malloc(1 << 20);
+        let mut tok = Token::ready();
+        for i in 0..16u64 {
+            let (_, t) = m.load_word_dep(a + i * 65536, tok);
+            tok = t;
+        }
+        let s = m.finish();
+        assert_eq!(s.fwd.page_faults, 16);
+        assert!(s.cycles() > 16 * 10_000, "dependent faults serialize");
+    }
+
+    #[test]
+    fn trace_records_references_with_forwarding_detail() {
+        let mut m = machine();
+        let old = m.malloc(8);
+        let new = m.malloc(8);
+        m.store_word(new, 1);
+        m.unforwarded_write(old, new.0, true);
+        m.enable_trace(16);
+        m.load_word(old);
+        m.store_word(new, 2);
+        let (records, dropped) = m.take_trace();
+        assert_eq!(dropped, 0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, crate::trace::TraceKind::Load);
+        assert_eq!(records[0].initial, old);
+        assert_eq!(records[0].final_addr, new);
+        assert_eq!(records[0].hops, 1);
+        assert_eq!(records[1].kind, crate::trace::TraceKind::Store);
+        assert_eq!(records[1].hops, 0);
+        // Tracing is off after take_trace.
+        m.load_word(new);
+        assert!(m.take_trace().0.is_empty());
+    }
+
+    #[test]
+    fn stats_instruction_mix() {
+        let mut m = machine();
+        let a = m.malloc(64);
+        m.store_word(a, 1);
+        m.load_word(a);
+        m.prefetch(a, 2);
+        m.compute(5);
+        m.read_fbit(a);
+        m.unforwarded_read(a);
+        let s = m.finish();
+        assert_eq!(s.fwd.stores, 1);
+        assert_eq!(s.fwd.loads, 1);
+        assert_eq!(s.fwd.prefetches, 1);
+        assert!(s.fwd.computes >= 5);
+        assert_eq!(s.fwd.fbit_reads, 1);
+        assert_eq!(s.fwd.unforwarded_ops, 1);
+        assert_eq!(s.fwd.mallocs, 1);
+    }
+}

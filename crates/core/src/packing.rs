@@ -1,0 +1,147 @@
+//! Packing-style layout optimizations: table merging (Compress), region
+//! copying (tiling) and data coloring — all made safe by memory forwarding.
+
+use crate::machine::Machine;
+use crate::reloc::relocate;
+use memfwd_tagmem::{Addr, Pool};
+
+/// The merged table produced by [`merge_tables`]: entry `i` holds
+/// `a[i]` at [`MergedTables::a_entry`] and `b[i]` immediately after it at
+/// [`MergedTables::b_entry`], so one probe touches a single cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergedTables {
+    /// Base address of the merged table.
+    pub base: Addr,
+    /// Number of entries.
+    pub entries: u64,
+}
+
+impl MergedTables {
+    /// Address of `a[i]` in the merged layout.
+    pub fn a_entry(&self, i: u64) -> Addr {
+        self.base.add_words(2 * i)
+    }
+
+    /// Address of `b[i]` in the merged layout.
+    pub fn b_entry(&self, i: u64) -> Addr {
+        self.base.add_words(2 * i + 1)
+    }
+}
+
+/// Merges two parallel word-entry tables `a` and `b` of `n` entries into a
+/// single interleaved table `T` with `T[2i] = a[i]`, `T[2i+1] = b[i]`
+/// (the Compress optimization of paper §5.3). Every old word is left
+/// forwarding to its new slot, so stale pointers into either table stay
+/// correct.
+///
+/// # Panics
+///
+/// Panics on heap exhaustion or forwarding cycles.
+pub fn merge_tables(m: &mut Machine, a: Addr, b: Addr, n: u64, pool: &mut Pool) -> MergedTables {
+    let base = m.pool_alloc(pool, 2 * n * 8);
+    for i in 0..n {
+        relocate(m, a.add_words(i), base.add_words(2 * i), 1);
+        relocate(m, b.add_words(i), base.add_words(2 * i + 1), 1);
+    }
+    MergedTables { base, entries: n }
+}
+
+/// Relocates a contiguous region of `words` words into fresh pool space —
+/// the data-copying optimization used by tiled numeric codes (§2.2),
+/// guaranteed safe by forwarding. Returns the new base.
+///
+/// # Panics
+///
+/// Panics on heap exhaustion or forwarding cycles.
+pub fn copy_region(m: &mut Machine, src: Addr, words: u64, pool: &mut Pool) -> Addr {
+    let tgt = m.pool_alloc(pool, words * 8);
+    relocate(m, src, tgt, words);
+    tgt
+}
+
+/// Data coloring (§2.2): relocates each `(addr, words, color)` object into
+/// the pool for its color, so objects of different colors live in disjoint
+/// regions and cannot conflict in the cache. Returns the new addresses.
+///
+/// # Panics
+///
+/// Panics if an object names a color with no pool, or on heap exhaustion.
+pub fn color_relocate(
+    m: &mut Machine,
+    objects: &[(Addr, u64, usize)],
+    pools: &mut [Pool],
+) -> Vec<Addr> {
+    objects
+        .iter()
+        .map(|&(src, words, color)| {
+            let pool = &mut pools[color];
+            let tgt = m.pool_alloc(pool, words * 8);
+            relocate(m, src, tgt, words);
+            tgt
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn merged_tables_interleave() {
+        let mut m = Machine::new(SimConfig::default());
+        let n = 16;
+        let a = m.malloc(n * 8);
+        let b = m.malloc(n * 8);
+        for i in 0..n {
+            m.store_word(a.add_words(i), 100 + i);
+            m.store_word(b.add_words(i), 200 + i);
+        }
+        let mut pool = m.new_pool();
+        let t = merge_tables(&mut m, a, b, n, &mut pool);
+        for i in 0..n {
+            assert_eq!(m.load_word(t.a_entry(i)), 100 + i);
+            assert_eq!(m.load_word(t.b_entry(i)), 200 + i);
+            assert_eq!(t.b_entry(i).0 - t.a_entry(i).0, 8, "adjacent");
+        }
+        // Stale accesses through the old tables forward correctly.
+        assert_eq!(m.load_word(a.add_words(3)), 103);
+        assert_eq!(m.load_word(b.add_words(7)), 207);
+    }
+
+    #[test]
+    fn copy_region_roundtrip() {
+        let mut m = Machine::new(SimConfig::default());
+        let src = m.malloc(64);
+        for i in 0..8 {
+            m.store_word(src.add_words(i), i * i);
+        }
+        let mut pool = m.new_pool();
+        let tgt = copy_region(&mut m, src, 8, &mut pool);
+        for i in 0..8 {
+            assert_eq!(m.load_word(tgt.add_words(i)), i * i);
+            assert_eq!(m.load_word(src.add_words(i)), i * i, "old forwards");
+        }
+    }
+
+    #[test]
+    fn color_relocate_separates_regions() {
+        let mut m = Machine::new(SimConfig::default());
+        let objs: Vec<(Addr, u64, usize)> = (0..6)
+            .map(|i| {
+                let a = m.malloc(16);
+                m.store_word(a, i);
+                (a, 2, (i % 2) as usize)
+            })
+            .collect();
+        let mut pools = vec![m.new_pool(), m.new_pool()];
+        let new = color_relocate(&mut m, &objs, &mut pools);
+        for (i, &na) in new.iter().enumerate() {
+            assert_eq!(m.load_word(na), i as u64);
+        }
+        // Same-color objects are contiguous; colors live in separate slabs.
+        assert_eq!(new[2].0 - new[0].0, 16);
+        assert_eq!(new[3].0 - new[1].0, 16);
+        assert!(new[1].0.abs_diff(new[0].0) >= 16);
+    }
+}

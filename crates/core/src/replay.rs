@@ -1,0 +1,155 @@
+//! Trace-driven replay: re-price a recorded reference stream under a
+//! different machine configuration without re-running the application.
+//!
+//! The recorded trace carries each reference's address dependence as the
+//! *cycle* at which its address became available. Replay reconstructs the
+//! dataflow by remembering, for every recorded completion cycle, the token
+//! of the corresponding replayed reference: a later reference whose
+//! `dep_cycle` matches a recorded completion is chained behind the
+//! replayed one. Pointer-chasing serialization therefore survives the
+//! round trip, while independent references stay independent.
+//!
+//! Replay drives the *final* addresses of the original run, so forwarding
+//! walks are not re-simulated (their outcome is part of the recorded
+//! layout); use a full application run to study forwarding itself.
+
+use crate::config::SimConfig;
+use crate::machine::Machine;
+use crate::stats::RunStats;
+use crate::trace::{TraceKind, TraceRecord};
+use memfwd_cpu::Token;
+use std::collections::HashMap;
+
+/// Replays a recorded reference stream on a fresh machine built from
+/// `cfg`, returning its statistics.
+///
+/// # Example
+///
+/// ```
+/// use memfwd::{replay_trace, Machine, SimConfig};
+///
+/// // Record a little pointer chase...
+/// let mut m = Machine::new(SimConfig::default());
+/// let a = m.malloc(4096);
+/// let b = m.malloc(4096);
+/// m.store_word(a, b.0);
+/// m.enable_trace(1024);
+/// let (v, t) = m.load_word_dep(a, memfwd::Token::ready());
+/// let _ = m.load_word_dep(memfwd::Addr(v), t);
+/// let (trace, _) = m.take_trace();
+///
+/// // ...and re-price it with a slower memory.
+/// let mut slow = SimConfig::default();
+/// slow.hierarchy.mem_latency = 300;
+/// let fast = replay_trace(&trace, SimConfig::default());
+/// let slowed = replay_trace(&trace, slow);
+/// assert!(slowed.cycles() > fast.cycles());
+/// ```
+pub fn replay_trace(records: &[TraceRecord], cfg: SimConfig) -> RunStats {
+    let mut m = Machine::new(cfg);
+    // recorded completion cycle -> replayed completion token
+    let mut by_completion: HashMap<u64, Token> = HashMap::new();
+    for r in records {
+        let dep = by_completion
+            .get(&r.dep_cycle)
+            .copied()
+            .unwrap_or_else(Token::ready);
+        let tok = match r.kind {
+            TraceKind::Load => m.load_dep(r.final_addr, 8, dep).1,
+            TraceKind::Store => m.store_dep(r.final_addr, 8, 0, dep),
+        };
+        by_completion.insert(r.complete_cycle, tok);
+    }
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfwd_tagmem::Addr;
+
+    /// Records `n` loads: dependent (a chase) or independent (a sweep).
+    fn record(n: u64, dependent: bool) -> Vec<TraceRecord> {
+        let mut m = Machine::new(SimConfig::default());
+        let blocks: Vec<Addr> = (0..n).map(|_| m.malloc(4096)).collect();
+        for w in blocks.windows(2) {
+            m.store_word(w[0], w[1].0);
+        }
+        m.enable_trace(1 << 16);
+        let mut tok = Token::ready();
+        for &b in &blocks {
+            if dependent {
+                let (v, t) = m.load_word_dep(b, tok);
+                tok = t;
+                let _ = v;
+            } else {
+                m.load_word(b);
+            }
+        }
+        m.take_trace().0
+    }
+
+    #[test]
+    fn replay_preserves_dataflow_serialization() {
+        let dep = replay_trace(&record(64, true), SimConfig::default());
+        let indep = replay_trace(&record(64, false), SimConfig::default());
+        assert!(
+            dep.cycles() > indep.cycles() * 3,
+            "dependent {} vs independent {}",
+            dep.cycles(),
+            indep.cycles()
+        );
+    }
+
+    #[test]
+    fn replay_cycles_track_recorded_run() {
+        // Replaying the dependent chase under the SAME config lands close
+        // to the recorded chase cost (the replay omits the build phase).
+        let mut m = Machine::new(SimConfig::default());
+        let blocks: Vec<Addr> = (0..64).map(|_| m.malloc(4096)).collect();
+        for w in blocks.windows(2) {
+            // Functional pokes keep the caches cold, like the replay's.
+            m.poke_word(w[0], w[1].0);
+        }
+        let before = m.now();
+        m.enable_trace(1 << 16);
+        let mut tok = Token::ready();
+        for &b in &blocks {
+            let (_, t) = m.load_word_dep(b, tok);
+            tok = t;
+        }
+        let chase_cycles = tok.cycle() - before;
+        let (trace, _) = m.take_trace();
+        let replayed = replay_trace(&trace, SimConfig::default());
+        let ratio = replayed.cycles() as f64 / chase_cycles as f64;
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "replay {} vs recorded chase {chase_cycles} (ratio {ratio:.2})",
+            replayed.cycles()
+        );
+    }
+
+    #[test]
+    fn replay_reacts_to_machine_parameters() {
+        let trace = record(64, false);
+        let wide = replay_trace(&trace, SimConfig::default().with_line_bytes(128));
+        let narrow = replay_trace(&trace, SimConfig::default());
+        // The sweep touches page-distant lines: line size cannot reduce the
+        // miss count, but a slower memory must show through.
+        let mut slow_cfg = SimConfig::default();
+        slow_cfg.hierarchy.mem_latency = 500;
+        let slow = replay_trace(&trace, slow_cfg);
+        assert!(slow.cycles() > narrow.cycles());
+        assert_eq!(
+            wide.cache.loads.full_misses,
+            narrow.cache.loads.full_misses
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let s = replay_trace(&[], SimConfig::default());
+        assert_eq!(s.fwd.loads, 0);
+        assert_eq!(s.cycles(), 0);
+    }
+}

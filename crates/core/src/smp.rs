@@ -1,0 +1,501 @@
+//! A small shared-memory multiprocessor model for the paper's §2.2
+//! *Reducing False Sharing* optimization.
+//!
+//! In a cache-coherent system, false sharing occurs when two processors
+//! access distinct data items that happen to fall within the same cache
+//! line (the unit of coherence) and at least one access is a write: the
+//! line ping-pongs between the caches although no real communication takes
+//! place. Relocating the unrelated items to distinct lines fixes it — and
+//! memory forwarding makes that relocation safe even when not all pointers
+//! to the items can be updated.
+//!
+//! The model: each core has a private L1 with an MSI invalidation protocol
+//! over a shared tagged memory, and its own cycle clock (cores are
+//! synchronized explicitly with [`SmpMachine::barrier`]). Loads and stores
+//! follow forwarding chains exactly as the uniprocessor machine does.
+//! Coherence misses are classified as *true* or *false* sharing by
+//! tracking which words of a line each core actually touched.
+
+use crate::config::SimConfig;
+use memfwd_cache::CacheLevel;
+use memfwd_tagmem::{Addr, Heap, Pool, TaggedMemory};
+use std::collections::HashMap;
+
+/// Configuration of the SMP model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmpConfig {
+    /// Number of processors.
+    pub cores: usize,
+    /// Cache line size (the coherence unit).
+    pub line_bytes: u64,
+    /// L1 hit latency in cycles.
+    pub hit_latency: u64,
+    /// Latency of a miss serviced by memory (or another cache).
+    pub miss_latency: u64,
+    /// Extra latency when a miss also had to invalidate remote copies.
+    pub invalidate_latency: u64,
+    /// Extra cycles per forwarding hop.
+    pub fwd_hop_penalty: u64,
+}
+
+impl Default for SmpConfig {
+    fn default() -> Self {
+        SmpConfig {
+            cores: 4,
+            line_bytes: 64,
+            hit_latency: 1,
+            miss_latency: 60,
+            invalidate_latency: 20,
+            fwd_hop_penalty: 4,
+        }
+    }
+}
+
+/// Per-core statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreStats {
+    /// Loads issued by this core.
+    pub loads: u64,
+    /// Stores issued by this core.
+    pub stores: u64,
+    /// L1 hits.
+    pub hits: u64,
+    /// Misses of any kind.
+    pub misses: u64,
+    /// Misses caused by coherence (a remote write invalidated our copy, or
+    /// our write had to invalidate remote copies).
+    pub coherence_misses: u64,
+    /// Coherence misses where the conflicting cores touched disjoint words
+    /// of the line — false sharing.
+    pub false_sharing_misses: u64,
+    /// References that dereferenced at least one forwarding address.
+    pub forwarded: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct LineInfo {
+    /// Which cores hold the line (bitmask).
+    sharers: u32,
+    /// Core holding the line modified, if any.
+    owner: Option<usize>,
+    /// Per-core mask of words of this line the core has touched since it
+    /// last (re)acquired the line.
+    touched: HashMap<usize, u64>,
+    /// Word mask written by the last writer.
+    written: u64,
+}
+
+struct Core {
+    l1: CacheLevel,
+    now: u64,
+    stats: CoreStats,
+}
+
+/// The multiprocessor machine.
+///
+/// # Example
+///
+/// ```
+/// use memfwd::{SmpConfig, SmpMachine};
+///
+/// let mut smp = SmpMachine::new(SmpConfig::default(), Default::default());
+/// let a = smp.malloc(16);
+/// smp.store(0, a, 8, 7);
+/// smp.barrier();
+/// assert_eq!(smp.load(1, a, 8), 7);
+/// ```
+pub struct SmpMachine {
+    cfg: SmpConfig,
+    mem: TaggedMemory,
+    heap: Heap,
+    cores: Vec<Core>,
+    lines: HashMap<u64, LineInfo>,
+}
+
+impl SmpMachine {
+    /// Builds an SMP machine; `sim` supplies the heap layout parameters.
+    pub fn new(cfg: SmpConfig, sim: SimConfig) -> SmpMachine {
+        assert!(cfg.cores >= 1 && cfg.cores <= 32);
+        let l1cfg = memfwd_cache::CacheLevelConfig {
+            size_bytes: 16 * 1024,
+            assoc: 2,
+            hit_latency: cfg.hit_latency,
+        };
+        SmpMachine {
+            mem: TaggedMemory::new(),
+            heap: Heap::new(sim.heap_base, sim.heap_capacity),
+            cores: (0..cfg.cores)
+                .map(|_| Core {
+                    l1: CacheLevel::new(l1cfg, cfg.line_bytes),
+                    now: 0,
+                    stats: CoreStats::default(),
+                })
+                .collect(),
+            lines: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The coherence-unit size.
+    pub fn line_bytes(&self) -> u64 {
+        self.cfg.line_bytes
+    }
+
+    /// Read-only view of the shared tagged memory.
+    pub fn mem(&self) -> &TaggedMemory {
+        &self.mem
+    }
+
+    /// Per-core statistics.
+    pub fn core_stats(&self, core: usize) -> CoreStats {
+        self.cores[core].stats
+    }
+
+    /// Aggregated statistics over all cores.
+    pub fn total_stats(&self) -> CoreStats {
+        let mut t = CoreStats::default();
+        for c in &self.cores {
+            t.loads += c.stats.loads;
+            t.stores += c.stats.stores;
+            t.hits += c.stats.hits;
+            t.misses += c.stats.misses;
+            t.coherence_misses += c.stats.coherence_misses;
+            t.false_sharing_misses += c.stats.false_sharing_misses;
+            t.forwarded += c.stats.forwarded;
+        }
+        t
+    }
+
+    /// Execution time so far: the slowest core's clock.
+    pub fn cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.now).max().unwrap_or(0)
+    }
+
+    /// Synchronizes all core clocks to the slowest (a barrier).
+    pub fn barrier(&mut self) {
+        let max = self.cycles();
+        for c in &mut self.cores {
+            c.now = max;
+        }
+    }
+
+    /// Charges `n` ALU cycles to `core`.
+    pub fn compute(&mut self, core: usize, n: u64) {
+        self.cores[core].now += n;
+    }
+
+    /// Allocates shared heap memory (allocation itself is untimed here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted.
+    pub fn malloc(&mut self, bytes: u64) -> Addr {
+        self.heap.alloc(bytes).expect("simulated heap exhausted")
+    }
+
+    /// Allocates from a relocation pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted.
+    pub fn pool_alloc(&mut self, pool: &mut Pool, bytes: u64) -> Addr {
+        pool.alloc(&mut self.heap, bytes)
+            .expect("simulated heap exhausted")
+    }
+
+    /// Allocates an `align`-aligned chunk from a relocation pool — the
+    /// placement primitive of the false-sharing fix (items must land in
+    /// distinct cache lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulated heap is exhausted.
+    pub fn pool_alloc_aligned(&mut self, pool: &mut Pool, bytes: u64, align: u64) -> Addr {
+        pool.alloc_aligned(&mut self.heap, bytes, align)
+            .expect("simulated heap exhausted")
+    }
+
+    fn word_mask(&self, addr: Addr, size: u64) -> (u64, u64) {
+        let line = addr.0 / self.cfg.line_bytes;
+        let word_in_line = (addr.0 % self.cfg.line_bytes) / 8;
+        let words = size.div_ceil(8).max(1);
+        let mut mask = 0u64;
+        for w in 0..words {
+            mask |= 1 << (word_in_line + w).min(63);
+        }
+        (line, mask)
+    }
+
+    /// One coherent access by `core`. Returns the access latency.
+    fn access(&mut self, core: usize, addr: Addr, size: u64, is_store: bool) -> u64 {
+        let (line, mask) = self.word_mask(addr, size);
+        let info = self.lines.entry(line).or_default();
+        let had_copy = self.cores[core].l1.lookup(line);
+        let bit = 1u32 << core;
+
+        // Valid for a load if we are a sharer; for a store only if we are
+        // the exclusive owner.
+        let coherent = if is_store {
+            info.owner == Some(core) && info.sharers == bit
+        } else {
+            info.sharers & bit != 0
+        };
+
+        let mut latency;
+        if had_copy && coherent {
+            latency = self.cfg.hit_latency;
+            self.cores[core].stats.hits += 1;
+        } else {
+            latency = self.cfg.miss_latency;
+            self.cores[core].stats.misses += 1;
+            // Was this a coherence miss? We had lost (or never upgraded)
+            // the line while some other core held it.
+            let remote = info.sharers & !bit != 0;
+            if remote && (is_store || info.owner.is_some_and(|o| o != core)) {
+                self.cores[core].stats.coherence_misses += 1;
+                // False sharing: the words we access are disjoint from the
+                // words the conflicting writer wrote.
+                let conflict_written = info.written;
+                let ours = mask | info.touched.get(&core).copied().unwrap_or(0);
+                if conflict_written & ours == 0 && (is_store || conflict_written != 0) {
+                    self.cores[core].stats.false_sharing_misses += 1;
+                }
+            }
+            if is_store {
+                if remote {
+                    latency += self.cfg.invalidate_latency;
+                    // Invalidate all remote copies.
+                    for other in 0..self.cores.len() {
+                        if other != core && info.sharers & (1 << other) != 0 {
+                            self.cores[other].l1.invalidate(line);
+                            info.touched.remove(&other);
+                        }
+                    }
+                }
+                info.sharers = bit;
+                info.owner = Some(core);
+                info.written = mask;
+            } else {
+                // A load demotes a remote owner to sharer.
+                if info.owner.is_some_and(|o| o != core) {
+                    info.owner = None;
+                }
+                info.sharers |= bit;
+            }
+            if !self.cores[core].l1.probe(line) {
+                self.cores[core].l1.fill(line, is_store);
+            }
+        }
+        if is_store {
+            info.written |= mask;
+            info.owner = Some(core);
+        }
+        *info.touched.entry(core).or_default() |= mask;
+        if is_store {
+            self.cores[core].stats.stores += 1;
+        } else {
+            self.cores[core].stats.loads += 1;
+        }
+        latency
+    }
+
+    /// A coherent, forwarding-aware load by `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or a forwarding cycle.
+    pub fn load(&mut self, core: usize, addr: Addr, size: u64) -> u64 {
+        let final_addr = self.walk(core, addr);
+        let lat = self.access(core, final_addr, size, false);
+        self.cores[core].now += lat;
+        self.mem.read_data(final_addr, size)
+    }
+
+    /// A coherent, forwarding-aware store by `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misalignment or a forwarding cycle.
+    pub fn store(&mut self, core: usize, addr: Addr, size: u64, value: u64) {
+        let final_addr = self.walk(core, addr);
+        let lat = self.access(core, final_addr, size, true);
+        self.cores[core].now += lat;
+        self.mem.write_data(final_addr, size, value);
+    }
+
+    fn walk(&mut self, core: usize, addr: Addr) -> Addr {
+        let mut cur = addr;
+        let mut hops = 0u32;
+        while self.mem.fbit(cur) {
+            // The forwarding word itself is read coherently.
+            let lat = self.access(core, cur.word_base(), 8, false);
+            self.cores[core].now += lat + self.cfg.fwd_hop_penalty;
+            let (fwd, _) = self.mem.unforwarded_read(cur);
+            cur = Addr(fwd) + cur.word_offset();
+            hops += 1;
+            assert!(hops < 1 << 16, "forwarding cycle at {cur}");
+        }
+        if hops > 0 {
+            self.cores[core].stats.forwarded += 1;
+        }
+        cur
+    }
+
+    /// Relocates `n_words` from `src` to `tgt` (performed by `core`),
+    /// leaving forwarding addresses — the §2.2 false-sharing fix.
+    pub fn relocate(&mut self, core: usize, src: Addr, tgt: Addr, n_words: u64) {
+        assert!(src.is_aligned(8) && tgt.is_aligned(8));
+        for i in 0..n_words {
+            let mut cur = src.add_words(i);
+            loop {
+                let (val, fbit) = self.mem.unforwarded_read(cur);
+                let lat = self.access(core, cur.word_base(), 8, false);
+                self.cores[core].now += lat;
+                if !fbit {
+                    let lat = self.access(core, tgt.add_words(i), 8, true);
+                    self.cores[core].now += lat;
+                    self.mem.write_data(tgt.add_words(i), 8, val);
+                    self.mem.unforwarded_write(cur, tgt.add_words(i).0, true);
+                    break;
+                }
+                cur = Addr(val);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SmpMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmpMachine")
+            .field("cores", &self.cores.len())
+            .field("cycles", &self.cycles())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smp(cores: usize) -> SmpMachine {
+        SmpMachine::new(
+            SmpConfig {
+                cores,
+                ..SmpConfig::default()
+            },
+            SimConfig::default(),
+        )
+    }
+
+    #[test]
+    fn shared_memory_is_coherent() {
+        let mut m = smp(2);
+        let a = m.malloc(8);
+        m.store(0, a, 8, 42);
+        assert_eq!(m.load(1, a, 8), 42);
+        m.store(1, a, 8, 43);
+        assert_eq!(m.load(0, a, 8), 43);
+    }
+
+    #[test]
+    fn write_write_ping_pong_counts_coherence_misses() {
+        let mut m = smp(2);
+        let a = m.malloc(64);
+        for i in 0..10 {
+            m.store(i % 2, a, 8, i as u64);
+        }
+        let t = m.total_stats();
+        assert!(t.coherence_misses >= 8, "{t:?}");
+        // Same word: TRUE sharing, not false.
+        assert_eq!(t.false_sharing_misses, 0, "{t:?}");
+    }
+
+    #[test]
+    fn disjoint_words_in_one_line_is_false_sharing() {
+        let mut m = smp(2);
+        let a = m.malloc(64); // one 64B line holds both counters
+        for _ in 0..10 {
+            m.store(0, a, 8, 1);
+            m.store(1, a + 32, 8, 2);
+        }
+        let t = m.total_stats();
+        assert!(t.coherence_misses >= 10, "{t:?}");
+        assert!(
+            t.false_sharing_misses >= 8,
+            "disjoint words must classify as false sharing: {t:?}"
+        );
+    }
+
+    #[test]
+    fn separate_lines_do_not_ping_pong() {
+        let mut m = smp(2);
+        let a = m.malloc(256);
+        for _ in 0..10 {
+            m.store(0, a, 8, 1);
+            m.store(1, a + 128, 8, 2); // different 64B line
+        }
+        let t = m.total_stats();
+        assert_eq!(t.coherence_misses, 0, "{t:?}");
+    }
+
+    #[test]
+    fn relocation_fixes_false_sharing_and_keeps_stale_pointers_working() {
+        let mut m = smp(2);
+        let shared = m.malloc(16); // two 8B counters in one line
+        let stale0 = shared;
+        let stale1 = shared + 8;
+        m.store(0, stale0, 8, 5);
+        m.store(1, stale1, 8, 6);
+        // Fix: relocate each counter to its own line-aligned pool chunk.
+        let mut pool0 = Pool::new(4096);
+        let mut pool1 = Pool::new(4096);
+        let line = m.line_bytes();
+        let new0 = m.pool_alloc_aligned(&mut pool0, 64, line);
+        let new1 = m.pool_alloc_aligned(&mut pool1, 64, line);
+        m.relocate(0, stale0, new0, 1);
+        m.relocate(1, stale1, new1, 1);
+        m.barrier();
+        let before = m.total_stats().coherence_misses;
+        for _ in 0..20 {
+            m.store(0, new0, 8, 1);
+            m.store(1, new1, 8, 2);
+        }
+        let after = m.total_stats().coherence_misses;
+        assert_eq!(after, before, "no ping-pong after relocation");
+        // The stale pointers still observe the live values, via forwarding.
+        assert_eq!(m.load(0, stale0, 8), 1);
+        assert_eq!(m.load(0, stale1, 8), 2);
+        assert!(m.total_stats().forwarded >= 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let mut m = smp(3);
+        m.compute(0, 100);
+        m.compute(1, 5);
+        assert_eq!(m.cycles(), 100);
+        m.barrier();
+        m.compute(2, 1);
+        assert_eq!(m.cycles(), 101);
+    }
+
+    #[test]
+    fn load_sharing_does_not_invalidate() {
+        let mut m = smp(4);
+        let a = m.malloc(8);
+        m.store(0, a, 8, 9);
+        for c in 0..4 {
+            assert_eq!(m.load(c, a, 8), 9);
+        }
+        let before = m.total_stats().misses;
+        for c in 0..4 {
+            assert_eq!(m.load(c, a, 8), 9);
+        }
+        assert_eq!(m.total_stats().misses, before, "read sharing is stable");
+    }
+}

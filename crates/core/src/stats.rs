@@ -1,0 +1,173 @@
+//! Run statistics: everything the paper's figures are built from.
+
+use memfwd_cache::CacheStats;
+use memfwd_cpu::{PipelineStats, SlotCounts};
+use memfwd_tagmem::{HeapStats, MemStats};
+
+/// Histogram of forwarding hops per reference. Index = hop count, the last
+/// bucket collects everything at or beyond its index.
+pub const HOPS_BUCKETS: usize = 9;
+
+/// Counters maintained by the [`crate::Machine`] while the program runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FwdStats {
+    /// Demand loads issued.
+    pub loads: u64,
+    /// Demand stores issued.
+    pub stores: u64,
+    /// Prefetch instructions issued.
+    pub prefetches: u64,
+    /// ALU instructions issued.
+    pub computes: u64,
+    /// `Read_FBit` instructions issued.
+    pub fbit_reads: u64,
+    /// `Unforwarded_Read`/`Unforwarded_Write` instructions issued.
+    pub unforwarded_ops: u64,
+    /// Loads that dereferenced at least one forwarding address.
+    pub forwarded_loads: u64,
+    /// Stores that dereferenced at least one forwarding address.
+    pub forwarded_stores: u64,
+    /// Hop histogram for loads (Fig. 10(c)).
+    pub load_hops: [u64; HOPS_BUCKETS],
+    /// Hop histogram for stores (Fig. 10(c)).
+    pub store_hops: [u64; HOPS_BUCKETS],
+    /// Total cycles from issue to completion over all loads.
+    pub load_cycles: u64,
+    /// Portion of `load_cycles` spent dereferencing forwarding addresses.
+    pub load_fwd_cycles: u64,
+    /// Total cycles from issue to completion over all stores.
+    pub store_cycles: u64,
+    /// Portion of `store_cycles` spent dereferencing forwarding addresses.
+    pub store_fwd_cycles: u64,
+    /// Data-dependence misspeculations detected.
+    pub misspeculations: u64,
+    /// Heap allocations.
+    pub mallocs: u64,
+    /// Heap frees.
+    pub frees: u64,
+    /// Extra blocks freed by following forwarding chains (§3.3 wrapper).
+    pub chain_frees: u64,
+    /// Calls to the relocation primitive.
+    pub relocations: u64,
+    /// Words relocated.
+    pub relocated_words: u64,
+    /// Final-address pointer comparisons performed (§2.1).
+    pub ptr_compares: u64,
+    /// User-level traps taken on forwarded references.
+    pub traps_taken: u64,
+    /// Bytes handed out by relocation pools (Table 1 "space overhead").
+    pub relocation_space_bytes: u64,
+    /// Page faults taken (only when the paging layer is enabled).
+    pub page_faults: u64,
+}
+
+impl FwdStats {
+    /// Fraction of loads that required forwarding (Fig. 10(c)).
+    pub fn forwarded_load_fraction(&self) -> f64 {
+        ratio(self.forwarded_loads, self.loads)
+    }
+
+    /// Fraction of stores that required forwarding (Fig. 10(c)).
+    pub fn forwarded_store_fraction(&self) -> f64 {
+        ratio(self.forwarded_stores, self.stores)
+    }
+
+    /// Average cycles to complete a load, split into (forwarding,
+    /// ordinary) — Fig. 10(d).
+    pub fn avg_load_cycles(&self) -> (f64, f64) {
+        (
+            ratio(self.load_fwd_cycles, self.loads),
+            ratio(self.load_cycles - self.load_fwd_cycles, self.loads),
+        )
+    }
+
+    /// Average cycles to complete a store, split into (forwarding,
+    /// ordinary) — Fig. 10(d).
+    pub fn avg_store_cycles(&self) -> (f64, f64) {
+        (
+            ratio(self.store_fwd_cycles, self.stores),
+            ratio(self.store_cycles - self.store_fwd_cycles, self.stores),
+        )
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Complete statistics of one finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunStats {
+    /// Pipeline totals (cycles, graduation-slot breakdown, replays).
+    pub pipeline: PipelineStats,
+    /// Cache hit/miss/prefetch counts.
+    pub cache: CacheStats,
+    /// Bytes moved between L1 and L2 (Fig. 6(b) bottom).
+    pub bytes_l1_l2: u64,
+    /// Bytes moved between L2 and memory (Fig. 6(b) top).
+    pub bytes_l2_mem: u64,
+    /// Forwarding and instruction-mix counters.
+    pub fwd: FwdStats,
+    /// Tagged-memory occupancy.
+    pub mem: MemStats,
+    /// Heap allocator accounting.
+    pub heap: HeapStats,
+}
+
+impl RunStats {
+    /// Total execution cycles.
+    pub fn cycles(&self) -> u64 {
+        self.pipeline.cycles
+    }
+
+    /// Graduation-slot breakdown.
+    pub fn slots(&self) -> SlotCounts {
+        self.pipeline.slots
+    }
+
+    /// Load D-cache misses split as (partial, full) — Fig. 6(a).
+    pub fn load_misses(&self) -> (u64, u64) {
+        (self.cache.loads.partial_misses, self.cache.loads.full_misses)
+    }
+
+    /// Speedup of this run relative to a baseline (baseline cycles divided
+    /// by this run's cycles), the quantity annotated under Fig. 5's bars.
+    pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
+        baseline.cycles() as f64 / self.cycles().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_averages() {
+        let mut f = FwdStats {
+            loads: 100,
+            forwarded_loads: 8,
+            load_cycles: 1000,
+            load_fwd_cycles: 200,
+            ..FwdStats::default()
+        };
+        assert!((f.forwarded_load_fraction() - 0.08).abs() < 1e-12);
+        let (fwd, ord) = f.avg_load_cycles();
+        assert!((fwd - 2.0).abs() < 1e-12);
+        assert!((ord - 8.0).abs() < 1e-12);
+        f.stores = 0;
+        assert_eq!(f.avg_store_cycles(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn speedup() {
+        let mut base = RunStats::default();
+        base.pipeline.cycles = 200;
+        let mut opt = RunStats::default();
+        opt.pipeline.cycles = 100;
+        assert!((opt.speedup_over(&base) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Optional memory-reference tracing.
+//!
+//! When enabled, the [`crate::Machine`] records one [`TraceRecord`] per
+//! demand reference — cycle, kind, initial and final address, hop count and
+//! D-cache outcome. Traces power profiling tools of the kind the paper's
+//! §3.2 envisions (finding the instructions/addresses that experience
+//! forwarding or misses, so a future run can avoid them) and make the
+//! simulator's behaviour inspectable in tests.
+
+use memfwd_tagmem::Addr;
+use std::collections::HashMap;
+
+/// The kind of a traced reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A demand load.
+    Load,
+    /// A demand store.
+    Store,
+}
+
+/// One traced demand reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle at which the reference issued.
+    pub cycle: u64,
+    /// Load or store.
+    pub kind: TraceKind,
+    /// The address the program used.
+    pub initial: Addr,
+    /// The address the data actually lived at.
+    pub final_addr: Addr,
+    /// Forwarding hops dereferenced.
+    pub hops: u32,
+    /// Whether the reference missed the L1 D-cache.
+    pub l1_miss: bool,
+    /// Ready cycle of the reference's address dependence (0 if none) —
+    /// what lets [`crate::replay_trace`] reconstruct the dataflow.
+    pub dep_cycle: u64,
+    /// Cycle at which the reference completed.
+    pub complete_cycle: u64,
+}
+
+/// A bounded reference trace.
+#[derive(Debug, Default)]
+pub(crate) struct Trace {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    pub(crate) fn new(capacity: usize) -> Trace {
+        Trace {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, r: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(r);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    pub(crate) fn take(&mut self) -> (Vec<TraceRecord>, u64) {
+        (std::mem::take(&mut self.records), std::mem::take(&mut self.dropped))
+    }
+}
+
+/// The cache lines with the most L1 misses in a trace, hottest first —
+/// the working input of a layout-tuning profiler.
+pub fn hot_miss_lines(records: &[TraceRecord], line_bytes: u64, top: usize) -> Vec<(u64, u64)> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for r in records.iter().filter(|r| r.l1_miss) {
+        *counts.entry(r.final_addr.0 / line_bytes).or_default() += 1;
+    }
+    let mut v: Vec<(u64, u64)> = counts.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(top);
+    v
+}
+
+/// The initial addresses that were forwarded, with hop counts — what a
+/// §3.2 profiling trap handler would aggregate to find stray pointers.
+pub fn forwarding_sources(records: &[TraceRecord]) -> Vec<(Addr, u32, u64)> {
+    let mut counts: HashMap<(Addr, u32), u64> = HashMap::new();
+    for r in records.iter().filter(|r| r.hops > 0) {
+        *counts.entry((r.initial.word_base(), r.hops)).or_default() += 1;
+    }
+    let mut v: Vec<(Addr, u32, u64)> = counts
+        .into_iter()
+        .map(|((a, h), c)| (a, h, c))
+        .collect();
+    v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cycle: u64, addr: u64, hops: u32, miss: bool) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            kind: TraceKind::Load,
+            initial: Addr(addr),
+            final_addr: Addr(addr + u64::from(hops) * 0x100),
+            hops,
+            l1_miss: miss,
+            dep_cycle: 0,
+            complete_cycle: cycle + 1,
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_drops_excess() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(rec(i, 0x1000, 0, false));
+        }
+        let (records, dropped) = t.take();
+        assert_eq!(records.len(), 2);
+        assert_eq!(dropped, 3);
+        let (records, dropped) = t.take();
+        assert!(records.is_empty());
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn hot_lines_ranked_by_miss_count() {
+        let rs = vec![
+            rec(0, 0x1000, 0, true),
+            rec(1, 0x1008, 0, true),
+            rec(2, 0x2000, 0, true),
+            rec(3, 0x3000, 0, false), // hit: ignored
+        ];
+        let hot = hot_miss_lines(&rs, 64, 10);
+        assert_eq!(hot[0], (0x1000 / 64, 2));
+        assert_eq!(hot[1], (0x2000 / 64, 1));
+        assert_eq!(hot.len(), 2);
+    }
+
+    #[test]
+    fn forwarding_sources_aggregate() {
+        let rs = vec![
+            rec(0, 0x1000, 1, true),
+            rec(1, 0x1004, 1, false), // same word
+            rec(2, 0x2000, 2, true),
+        ];
+        let f = forwarding_sources(&rs);
+        assert_eq!(f[0], (Addr(0x1000), 1, 2));
+        assert_eq!(f[1], (Addr(0x2000), 2, 1));
+    }
+}

@@ -1,0 +1,50 @@
+//! User-level traps on forwarded references (paper §3.2).
+//!
+//! The paper proposes a lightweight user-level trapping mechanism invoked
+//! upon accessing a forwarded location, useful for (i) profiling tools that
+//! record which references experience forwarding, and (ii) on-the-fly
+//! optimization that updates stray pointers to point directly at final
+//! addresses. The [`crate::Machine`] implements the profiling flavour:
+//! while traps are enabled, every forwarded reference pays the trap penalty
+//! and deposits a [`TrapInfo`] record that the application can drain with
+//! [`crate::Machine::take_traps`] and act on (e.g. rewrite its own stray
+//! pointers with ordinary stores).
+
+use memfwd_tagmem::Addr;
+
+/// One forwarded reference observed by the trap mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrapInfo {
+    /// The initial (stale) address the program used.
+    pub initial: Addr,
+    /// The final address the reference resolved to.
+    pub final_addr: Addr,
+    /// Forwarding hops dereferenced.
+    pub hops: u32,
+    /// Whether the reference was a store.
+    pub is_store: bool,
+}
+
+impl TrapInfo {
+    /// The pointer correction a fixup handler would apply: what to add to
+    /// the stray pointer to reach the object's new home.
+    pub fn displacement(&self) -> i64 {
+        self.final_addr.distance_from(self.initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displacement() {
+        let t = TrapInfo {
+            initial: Addr(0x100),
+            final_addr: Addr(0x500),
+            hops: 1,
+            is_store: false,
+        };
+        assert_eq!(t.displacement(), 0x400);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based checks of the SMP coherence model: whatever the
+//! interleaving of loads, stores and relocations across cores, the memory
+//! behaves like one flat, sequentially consistent store.
+
+use memfwd::{SimConfig, SmpConfig, SmpMachine};
+use memfwd_tagmem::{Addr, Pool};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store { core: u8, word: u8, value: u64 },
+    Load { core: u8, word: u8 },
+    Relocate { core: u8, word: u8 },
+    Barrier,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 0u8..16, any::<u64>())
+            .prop_map(|(core, word, value)| Op::Store { core, word, value }),
+        4 => (0u8..4, 0u8..16).prop_map(|(core, word)| Op::Load { core, word }),
+        1 => (0u8..4, 0u8..16).prop_map(|(core, word)| Op::Relocate { core, word }),
+        1 => Just(Op::Barrier),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn smp_memory_is_sequentially_consistent_with_relocation(
+        ops in proptest::collection::vec(op_strategy(), 1..150)
+    ) {
+        let mut m = SmpMachine::new(
+            SmpConfig { cores: 4, ..SmpConfig::default() },
+            SimConfig::default(),
+        );
+        let mut pool = Pool::new(4096);
+        // 16 shared words, each its own object so relocation is per-word.
+        let homes: Vec<Addr> = (0..16).map(|_| m.malloc(8)).collect();
+        let mut current: Vec<Addr> = homes.clone();
+        let mut model: HashMap<u8, u64> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Store { core, word, value } => {
+                    // Half the stores go through the ORIGINAL address.
+                    let addr = if value % 2 == 0 { homes[word as usize] } else { current[word as usize] };
+                    m.store(core as usize % 4, addr, 8, value);
+                    model.insert(word, value);
+                }
+                Op::Load { core, word } => {
+                    let addr = if word % 2 == 0 { homes[word as usize] } else { current[word as usize] };
+                    let got = m.load(core as usize % 4, addr, 8);
+                    prop_assert_eq!(got, model.get(&word).copied().unwrap_or(0));
+                }
+                Op::Relocate { core, word } => {
+                    let tgt = m.pool_alloc(&mut pool, 8);
+                    // Relocate via the oldest name: appends to the chain end.
+                    m.relocate(core as usize % 4, homes[word as usize], tgt, 1);
+                    current[word as usize] = tgt;
+                }
+                Op::Barrier => m.barrier(),
+            }
+        }
+        // Every word readable from every core through either name.
+        for w in 0..16u8 {
+            let want = model.get(&w).copied().unwrap_or(0);
+            for core in 0..4 {
+                prop_assert_eq!(m.load(core, homes[w as usize], 8), want);
+                prop_assert_eq!(m.load(core, current[w as usize], 8), want);
+            }
+        }
+    }
+
+    #[test]
+    fn core_clocks_never_run_backwards(ops in proptest::collection::vec((0u8..3, 0u8..8), 1..100)) {
+        let mut m = SmpMachine::new(
+            SmpConfig { cores: 3, ..SmpConfig::default() },
+            SimConfig::default(),
+        );
+        let a = m.malloc(64);
+        let mut last_total = 0;
+        for (core, word) in ops {
+            m.store(core as usize, a.add_words(u64::from(word)), 8, 1);
+            let now = m.cycles();
+            prop_assert!(now >= last_total);
+            last_total = now;
+        }
+        let t = m.total_stats();
+        prop_assert_eq!(t.hits + t.misses, t.loads + t.stores);
+    }
+}

@@ -1,0 +1,208 @@
+//! Graduation-slot accounting — the paper's Fig. 5 execution-time breakdown.
+//!
+//! "The bottom section (busy) is the number of slots when instructions
+//! actually graduate, the top two sections are any non-graduating slots that
+//! are immediately caused by the oldest instruction suffering either a load
+//! or store miss, and the inst stall section is all other slots where
+//! instructions do not graduate."
+
+/// Why a graduation slot did not retire an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallClass {
+    /// Oldest instruction is a load that missed the D-cache.
+    LoadStall,
+    /// Oldest instruction is a store that missed the D-cache.
+    StoreStall,
+    /// Any other non-graduating slot.
+    InstStall,
+}
+
+/// Counts of graduation slots by category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotCounts {
+    /// Slots in which an instruction graduated.
+    pub busy: u64,
+    /// Slots stalled behind a missed load.
+    pub load_stall: u64,
+    /// Slots stalled behind a missed store.
+    pub store_stall: u64,
+    /// All other idle slots.
+    pub inst_stall: u64,
+}
+
+impl SlotCounts {
+    /// Total slots accounted.
+    pub fn total(&self) -> u64 {
+        self.busy + self.load_stall + self.store_stall + self.inst_stall
+    }
+
+    /// Fraction of slots in a category, as (busy, load, store, inst).
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.busy as f64 / t,
+            self.load_stall as f64 / t,
+            self.store_stall as f64 / t,
+            self.inst_stall as f64 / t,
+        )
+    }
+}
+
+/// Consumes retiring instructions in program order and attributes every
+/// potential graduation slot to a category.
+#[derive(Debug)]
+pub struct GradAccountant {
+    width: u32,
+    gcycle: u64,
+    gslot: u32,
+    counts: SlotCounts,
+}
+
+impl GradAccountant {
+    /// Creates an accountant graduating up to `width` instructions/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: u32) -> GradAccountant {
+        assert!(width > 0);
+        GradAccountant {
+            width,
+            gcycle: 0,
+            gslot: 0,
+            counts: SlotCounts::default(),
+        }
+    }
+
+    /// Graduates one instruction whose result is complete at `complete` and
+    /// which may not graduate before `earliest` (dispatch + pipeline depth).
+    /// `stall` classifies the slots wasted while this instruction is the
+    /// oldest and incomplete. Returns the cycle in which it graduated.
+    pub fn graduate(&mut self, complete: u64, earliest: u64, stall: StallClass) -> u64 {
+        let target = complete.max(earliest);
+        while self.gcycle < target {
+            let idle = u64::from(self.width - self.gslot);
+            match stall {
+                StallClass::LoadStall => self.counts.load_stall += idle,
+                StallClass::StoreStall => self.counts.store_stall += idle,
+                StallClass::InstStall => self.counts.inst_stall += idle,
+            }
+            self.gcycle += 1;
+            self.gslot = 0;
+        }
+        self.counts.busy += 1;
+        let at = self.gcycle;
+        self.gslot += 1;
+        if self.gslot == self.width {
+            self.gcycle += 1;
+            self.gslot = 0;
+        }
+        at
+    }
+
+    /// Cycle count so far (the cycle the next graduation would occupy).
+    pub fn cycles(&self) -> u64 {
+        if self.gslot == 0 {
+            self.gcycle
+        } else {
+            self.gcycle + 1
+        }
+    }
+
+    /// Closes out the current partially-filled cycle (remaining slots are
+    /// idle `inst` slots) and returns the final counts.
+    pub fn finish(mut self) -> (u64, SlotCounts) {
+        if self.gslot != 0 {
+            self.counts.inst_stall += u64::from(self.width - self.gslot);
+            self.gcycle += 1;
+            self.gslot = 0;
+        }
+        (self.gcycle, self.counts)
+    }
+
+    /// Counts accumulated so far.
+    pub fn counts(&self) -> SlotCounts {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_graduation_fills_slots() {
+        let mut g = GradAccountant::new(4);
+        for _ in 0..8 {
+            g.graduate(0, 0, StallClass::InstStall);
+        }
+        let (cycles, c) = g.finish();
+        assert_eq!(cycles, 2);
+        assert_eq!(c.busy, 8);
+        assert_eq!(c.total(), 8);
+    }
+
+    #[test]
+    fn load_miss_stall_attribution() {
+        let mut g = GradAccountant::new(4);
+        g.graduate(0, 0, StallClass::InstStall); // slot 0 of cycle 0
+        // Next instruction completes at cycle 3: 3 slots of cycle 0 and all
+        // of cycles 1,2 stall behind it.
+        g.graduate(3, 0, StallClass::LoadStall);
+        let c = g.counts();
+        assert_eq!(c.busy, 2);
+        assert_eq!(c.load_stall, 3 + 4 + 4);
+    }
+
+    #[test]
+    fn earliest_bound_applies() {
+        let mut g = GradAccountant::new(2);
+        let at = g.graduate(0, 5, StallClass::InstStall);
+        assert_eq!(at, 5);
+        assert_eq!(g.counts().inst_stall, 10);
+    }
+
+    #[test]
+    fn store_stall_category() {
+        let mut g = GradAccountant::new(1);
+        g.graduate(2, 0, StallClass::StoreStall);
+        let (cycles, c) = g.finish();
+        assert_eq!(cycles, 3);
+        assert_eq!(c.store_stall, 2);
+        assert_eq!(c.busy, 1);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn finish_pads_last_cycle() {
+        let mut g = GradAccountant::new(4);
+        g.graduate(0, 0, StallClass::InstStall);
+        let (cycles, c) = g.finish();
+        assert_eq!(cycles, 1);
+        assert_eq!(c.busy, 1);
+        assert_eq!(c.inst_stall, 3);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn total_equals_cycles_times_width() {
+        let mut g = GradAccountant::new(4);
+        for i in 0..100u64 {
+            g.graduate(i * 2, i, StallClass::LoadStall);
+        }
+        let (cycles, c) = g.finish();
+        assert_eq!(c.total(), cycles * 4);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let c = SlotCounts {
+            busy: 10,
+            load_stall: 20,
+            store_stall: 5,
+            inst_stall: 5,
+        };
+        let (b, l, s, i) = c.fractions();
+        assert!((b + l + s + i - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! Out-of-order superscalar timing skeleton for the Memory Forwarding
+//! reproduction.
+//!
+//! This crate models the parts of a late-1990s dynamically-scheduled
+//! processor that the paper's evaluation measures:
+//!
+//! - a dispatch/graduation pipeline of configurable width with a reorder
+//!   buffer that back-pressures dispatch when memory latency piles up;
+//! - **graduation-slot accounting** in the exact categories of the paper's
+//!   Fig. 5: `busy` slots (an instruction graduates), `load stall` / `store
+//!   stall` slots (the oldest instruction is a load/store that suffered a
+//!   D-cache miss and has not completed), and `inst stall` (all other
+//!   non-graduating slots);
+//! - **data-dependence speculation** (§3.2): loads issue before earlier
+//!   stores whose *final* addresses are still unknown because the store may
+//!   be forwarded; a violation triggers a replay flush.
+//!
+//! The model is *one-pass analytic*: the program runs functionally in
+//! program order while timing is derived from dataflow tokens and the
+//! memory system's completion times. This reproduces the paper's stall
+//! breakdown without a full microarchitectural replay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grad;
+mod pipeline;
+mod spec;
+mod token;
+
+pub use grad::{GradAccountant, SlotCounts, StallClass};
+pub use pipeline::{OpClass, Pipeline, PipelineConfig, PipelineStats};
+pub use spec::{SpecQueue, Violation};
+pub use token::Token;

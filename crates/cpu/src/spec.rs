@@ -1,0 +1,148 @@
+//! Data-dependence speculation (paper §3.2).
+//!
+//! With memory forwarding, a store's *final* address is not known until the
+//! store actually completes — so a conservative machine could never move a
+//! load above an earlier store. Instead the processor speculates that final
+//! address = initial address. The speculation is wrong only when the load
+//! and store had different initial addresses but the same final address;
+//! then the violated load (and everything after it) must re-execute.
+
+use std::collections::VecDeque;
+
+/// A detected dependence violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Word (line-independent, word-granular) address both references
+    /// finally resolved to.
+    pub final_word: u64,
+    /// The cycle at which the conflicting store's final address resolved.
+    pub store_resolved_at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreRec {
+    init_word: u64,
+    final_word: u64,
+    resolved_at: u64,
+}
+
+/// Tracks in-flight stores whose final addresses resolve late, and checks
+/// speculatively issued loads against them.
+#[derive(Debug, Default)]
+pub struct SpecQueue {
+    stores: VecDeque<StoreRec>,
+}
+
+impl SpecQueue {
+    /// Creates an empty queue.
+    pub fn new() -> SpecQueue {
+        SpecQueue::default()
+    }
+
+    /// Records a store: `init_word`/`final_word` are word addresses before
+    /// and after forwarding; `resolved_at` is when the final address became
+    /// known (the store's completion).
+    pub fn on_store(&mut self, init_word: u64, final_word: u64, resolved_at: u64) {
+        self.stores.push_back(StoreRec {
+            init_word,
+            final_word,
+            resolved_at,
+        });
+        // Bound the window (a real LSQ is finite).
+        if self.stores.len() > 128 {
+            self.stores.pop_front();
+        }
+    }
+
+    /// Drops stores whose final addresses were already resolved at `now`;
+    /// they can no longer be mis-speculated against.
+    pub fn prune(&mut self, now: u64) {
+        self.stores.retain(|s| s.resolved_at > now);
+    }
+
+    /// Checks a load that issued at `issue` and finally resolved to
+    /// `final_word`. Returns a violation if an earlier store's late-resolved
+    /// final address collides while its initial address did not.
+    pub fn check_load(&mut self, issue: u64, init_word: u64, final_word: u64) -> Option<Violation> {
+        self.prune(issue);
+        self.stores
+            .iter()
+            .find(|s| {
+                s.resolved_at > issue       // store unresolved when load issued
+                    && s.final_word == final_word
+                    && s.init_word != init_word // same initial word would have been caught by the LSQ
+            })
+            .map(|s| Violation {
+                final_word,
+                store_resolved_at: s.resolved_at,
+            })
+    }
+
+    /// Number of stores currently tracked.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// True when no stores are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stores_no_violation() {
+        let mut q = SpecQueue::new();
+        assert!(q.check_load(10, 0x100, 0x100).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn forwarded_store_conflicts_with_speculative_load() {
+        let mut q = SpecQueue::new();
+        // Store to 0x100 forwarded to 0x500, resolving at cycle 50.
+        q.on_store(0x100, 0x500, 50);
+        // Load issued at cycle 20 directly to 0x500 (different initial
+        // address, same final): violated.
+        let v = q.check_load(20, 0x500, 0x500).unwrap();
+        assert_eq!(v.final_word, 0x500);
+        assert_eq!(v.store_resolved_at, 50);
+    }
+
+    #[test]
+    fn resolved_store_is_safe() {
+        let mut q = SpecQueue::new();
+        q.on_store(0x100, 0x500, 50);
+        // Load issued after the store resolved: LSQ sees the real address.
+        assert!(q.check_load(60, 0x500, 0x500).is_none());
+    }
+
+    #[test]
+    fn same_initial_address_not_a_violation() {
+        let mut q = SpecQueue::new();
+        q.on_store(0x100, 0x500, 50);
+        // Load with the same initial word is ordered by the LSQ.
+        assert!(q.check_load(20, 0x100, 0x500).is_none());
+    }
+
+    #[test]
+    fn different_final_word_no_conflict() {
+        let mut q = SpecQueue::new();
+        q.on_store(0x100, 0x500, 50);
+        assert!(q.check_load(20, 0x600, 0x600).is_none());
+    }
+
+    #[test]
+    fn prune_and_bound() {
+        let mut q = SpecQueue::new();
+        for i in 0..200u64 {
+            q.on_store(i * 8, i * 8 + 0x1000, 100);
+        }
+        assert!(q.len() <= 128);
+        q.prune(100);
+        assert!(q.is_empty());
+    }
+}

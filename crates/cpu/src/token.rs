@@ -1,0 +1,69 @@
+//! Dataflow readiness tokens.
+
+/// The cycle at which a value becomes available.
+///
+/// Applications thread tokens through pointer-chasing code so that the
+/// timing model serializes dependent loads (the *pointer-chasing problem*
+/// of paper §2.2): the address of the next node is not known until the
+/// previous load completes.
+///
+/// # Example
+///
+/// ```
+/// use memfwd_cpu::Token;
+/// let a = Token::ready();          // available immediately
+/// let b = Token::at(100);          // produced by a load completing at 100
+/// assert_eq!(a.join(b).cycle(), 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Token(u64);
+
+impl Token {
+    /// A token that is ready at cycle zero (e.g. an immediate operand).
+    pub fn ready() -> Token {
+        Token(0)
+    }
+
+    /// A token ready at the given cycle.
+    pub fn at(cycle: u64) -> Token {
+        Token(cycle)
+    }
+
+    /// The cycle at which the value is available.
+    pub fn cycle(self) -> u64 {
+        self.0
+    }
+
+    /// Combines two dependences: ready when both inputs are ready.
+    #[must_use]
+    pub fn join(self, other: Token) -> Token {
+        Token(self.0.max(other.0))
+    }
+
+    /// A token delayed by `cycles` (e.g. an ALU op consuming this value).
+    #[must_use]
+    pub fn delay(self, cycles: u64) -> Token {
+        Token(self.0 + cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_takes_max() {
+        assert_eq!(Token::at(5).join(Token::at(9)), Token::at(9));
+        assert_eq!(Token::ready().join(Token::at(3)).cycle(), 3);
+    }
+
+    #[test]
+    fn delay_adds() {
+        assert_eq!(Token::at(5).delay(2).cycle(), 7);
+    }
+
+    #[test]
+    fn default_is_ready() {
+        assert_eq!(Token::default(), Token::ready());
+    }
+}

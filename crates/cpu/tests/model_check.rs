@@ -1,0 +1,127 @@
+//! Property-based checks of the pipeline model.
+
+use memfwd_cpu::{OpClass, Pipeline, PipelineConfig, SpecQueue, Token};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Slot conservation holds for arbitrary op mixes: every dispatched
+    /// instruction graduates exactly once and total slots = cycles x width.
+    #[test]
+    fn slot_conservation(
+        width in 1u32..8,
+        rob in 1usize..96,
+        ops in proptest::collection::vec((0u8..4, 0u64..200, any::<bool>()), 1..300),
+    ) {
+        let mut p = Pipeline::new(PipelineConfig {
+            width,
+            rob_entries: rob,
+            min_depth: 5,
+            replay_penalty: 12,
+        });
+        let n = ops.len() as u64;
+        for (class, latency, miss) in ops {
+            let d = p.dispatch();
+            let class = match class {
+                0 => OpClass::Compute,
+                1 => OpClass::Load,
+                2 => OpClass::Store,
+                _ => OpClass::Prefetch,
+            };
+            p.complete(class, d, d + 1 + latency, miss);
+        }
+        let s = p.finish();
+        prop_assert_eq!(s.dispatched, n);
+        prop_assert_eq!(s.slots.busy, n);
+        prop_assert_eq!(s.slots.total(), s.cycles * u64::from(width));
+    }
+
+    /// Dispatch cycles are monotonically non-decreasing and never pack
+    /// more than `width` instructions into one cycle.
+    #[test]
+    fn dispatch_respects_width(width in 1u32..8, n in 1usize..200) {
+        let mut p = Pipeline::new(PipelineConfig {
+            width,
+            rob_entries: 1024,
+            min_depth: 1,
+            replay_penalty: 1,
+        });
+        let mut last = 0u64;
+        let mut in_cycle = 0u32;
+        for _ in 0..n {
+            let d = p.dispatch();
+            prop_assert!(d >= last);
+            if d == last {
+                in_cycle += 1;
+                prop_assert!(in_cycle <= width, "over-packed cycle {d}");
+            } else {
+                in_cycle = 1;
+                last = d;
+            }
+            p.complete(OpClass::Compute, d, d + 1, false);
+        }
+    }
+
+    /// A tiny ROB forces dispatch to trail completion: with single-entry
+    /// ROB, instructions fully serialize.
+    #[test]
+    fn single_entry_rob_serializes(latency in 1u64..100, n in 2u64..40) {
+        let mut p = Pipeline::new(PipelineConfig {
+            width: 4,
+            rob_entries: 1,
+            min_depth: 1,
+            replay_penalty: 1,
+        });
+        for _ in 0..n {
+            let d = p.dispatch();
+            p.complete(OpClass::Load, d, d + latency, true);
+        }
+        let s = p.finish();
+        prop_assert!(s.cycles >= (n - 1) * latency, "{} < {}", s.cycles, (n - 1) * latency);
+    }
+
+    /// The speculation queue flags exactly the violations a brute-force
+    /// check finds.
+    #[test]
+    fn spec_queue_matches_brute_force(
+        stores in proptest::collection::vec((0u64..8, 0u64..8, 1u64..100), 0..40),
+        load in (0u64..8, 0u64..8, 0u64..100),
+    ) {
+        let mut q = SpecQueue::new();
+        for &(init, fin, t) in &stores {
+            q.on_store(init, fin, t);
+        }
+        let (l_init, l_final, l_issue) = load;
+        let got = q.check_load(l_issue, l_init, l_final).is_some();
+        let want = stores.iter().any(|&(init, fin, t)| {
+            t > l_issue && fin == l_final && init != l_init
+        });
+        prop_assert_eq!(got, want);
+    }
+
+    /// Token algebra: join is commutative/associative/idempotent, delay
+    /// distributes over max.
+    #[test]
+    fn token_laws(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..50) {
+        let (ta, tb, tc) = (Token::at(a), Token::at(b), Token::at(c));
+        prop_assert_eq!(ta.join(tb), tb.join(ta));
+        prop_assert_eq!(ta.join(tb).join(tc), ta.join(tb.join(tc)));
+        prop_assert_eq!(ta.join(ta), ta);
+        prop_assert_eq!(ta.join(tb).delay(d), ta.delay(d).join(tb.delay(d)));
+    }
+
+    /// Replays only ever push time forward.
+    #[test]
+    fn replay_monotone(points in proptest::collection::vec(0u64..500, 1..30)) {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        let mut last = 0;
+        for at in points {
+            p.replay(at);
+            let d = p.dispatch();
+            prop_assert!(d >= last, "dispatch went backwards");
+            last = d;
+            p.complete(OpClass::Compute, d, d + 1, false);
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! A simple word-aligned heap for the simulated address space, plus
+//! contiguous pools used as relocation targets.
+//!
+//! Allocator metadata lives in host memory (not in the simulated address
+//! space) so that it neither perturbs application data layout nor consumes
+//! forwarding bits. This mirrors how the paper's experiments replace the
+//! applications' `malloc`/`free` with instrumented versions.
+
+use crate::error::TagMemError;
+use crate::word::{Addr, WORD_BYTES};
+use std::collections::BTreeMap;
+
+/// Statistics for a [`Heap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Bytes currently allocated.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes.
+    pub peak_bytes: u64,
+    /// Total bytes ever allocated.
+    pub total_allocated: u64,
+    /// Number of successful allocations.
+    pub allocations: u64,
+    /// Number of successful frees.
+    pub frees: u64,
+}
+
+/// Allocation placement policy.
+///
+/// The paper's original layouts arise from a first-fit `malloc` over a
+/// fragmented heap. Modern allocators instead segregate allocations by
+/// size class, which by itself co-locates same-sized objects — the
+/// `SizeClass` policy lets experiments measure how much of the relocation
+/// win survives such an allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocPolicy {
+    /// Address-ordered first fit with eager coalescing (the default).
+    #[default]
+    FirstFit,
+    /// Segregated free lists over per-class slabs; requests above the
+    /// largest class fall back to first fit.
+    SizeClass,
+}
+
+/// The segregated size classes, in bytes.
+const SIZE_CLASSES: [u64; 8] = [16, 32, 48, 64, 96, 128, 192, 256];
+/// Bytes carved per class slab.
+const CLASS_SLAB: u64 = 16 * 1024;
+
+/// A heap over a range of the simulated address space, with a pluggable
+/// placement policy (see [`AllocPolicy`]).
+///
+/// All blocks are word-aligned (8 bytes), satisfying the paper's §3.3
+/// requirement that relocatable objects never share a word.
+///
+/// # Example
+///
+/// ```
+/// use memfwd_tagmem::{Addr, Heap};
+/// let mut heap = Heap::new(Addr(0x1_0000), 1 << 20);
+/// let a = heap.alloc(24)?;
+/// let b = heap.alloc(100)?;
+/// assert!(a.is_aligned(8) && b.is_aligned(8));
+/// heap.free(a)?;
+/// heap.free(b)?;
+/// assert_eq!(heap.stats().live_bytes, 0);
+/// # Ok::<(), memfwd_tagmem::TagMemError>(())
+/// ```
+#[derive(Debug)]
+pub struct Heap {
+    base: u64,
+    capacity: u64,
+    brk: u64,
+    policy: AllocPolicy,
+    /// Free blocks keyed by base address, value = size. Coalesced eagerly.
+    free: BTreeMap<u64, u64>,
+    /// Live blocks keyed by base address, value = size.
+    live: BTreeMap<u64, u64>,
+    /// Per-class free lists and bump regions (SizeClass policy).
+    class_free: Vec<Vec<u64>>,
+    class_bump: Vec<(u64, u64)>, // (cur, end) per class
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates a first-fit heap managing `[base, base + capacity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word-aligned or the range would be empty.
+    pub fn new(base: Addr, capacity: u64) -> Heap {
+        Heap::with_policy(base, capacity, AllocPolicy::FirstFit)
+    }
+
+    /// Creates a heap with an explicit placement policy.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Heap::new`].
+    pub fn with_policy(base: Addr, capacity: u64, policy: AllocPolicy) -> Heap {
+        assert!(base.is_aligned(WORD_BYTES), "heap base must be word-aligned");
+        assert!(capacity >= WORD_BYTES, "heap capacity too small");
+        Heap {
+            base: base.0,
+            capacity,
+            brk: base.0,
+            policy,
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+            class_free: vec![Vec::new(); SIZE_CLASSES.len()],
+            class_bump: vec![(0, 0); SIZE_CLASSES.len()],
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The placement policy in force.
+    pub fn policy(&self) -> AllocPolicy {
+        self.policy
+    }
+
+    fn round(bytes: u64) -> u64 {
+        bytes.max(1).div_ceil(WORD_BYTES) * WORD_BYTES
+    }
+
+    fn class_of(size: u64) -> Option<usize> {
+        SIZE_CLASSES.iter().position(|&c| size <= c)
+    }
+
+    fn record_alloc(&mut self, addr: u64, size: u64) {
+        self.live.insert(addr, size);
+        self.stats.allocations += 1;
+        self.stats.total_allocated += size;
+        self.stats.live_bytes += size;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+    }
+
+    /// Allocates `bytes` (rounded up to a whole number of words).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMemError::OutOfMemory`] when neither the free lists nor
+    /// the unused tail of the arena can satisfy the request.
+    pub fn alloc(&mut self, bytes: u64) -> Result<Addr, TagMemError> {
+        let size = Self::round(bytes);
+        if self.policy == AllocPolicy::SizeClass {
+            if let Some(class) = Self::class_of(size) {
+                return self.alloc_class(class, bytes);
+            }
+        }
+        self.alloc_first_fit(size, bytes)
+    }
+
+    fn alloc_class(&mut self, class: usize, requested: u64) -> Result<Addr, TagMemError> {
+        let csize = SIZE_CLASSES[class];
+        if let Some(a) = self.class_free[class].pop() {
+            self.record_alloc(a, csize);
+            return Ok(Addr(a));
+        }
+        let (cur, end) = self.class_bump[class];
+        if cur + csize > end {
+            // Carve a fresh class slab from the shared arena tail.
+            if self.brk + CLASS_SLAB > self.base + self.capacity {
+                return Err(TagMemError::OutOfMemory { requested });
+            }
+            let slab = self.brk;
+            self.brk += CLASS_SLAB;
+            self.class_bump[class] = (slab, slab + CLASS_SLAB);
+        }
+        let (cur, end) = self.class_bump[class];
+        self.class_bump[class] = (cur + csize, end);
+        self.record_alloc(cur, csize);
+        Ok(Addr(cur))
+    }
+
+    fn alloc_first_fit(&mut self, size: u64, requested: u64) -> Result<Addr, TagMemError> {
+        // First fit in the free list.
+        let hit = self
+            .free
+            .iter()
+            .find(|(_, &sz)| sz >= size)
+            .map(|(&a, &sz)| (a, sz));
+        let addr = if let Some((a, sz)) = hit {
+            self.free.remove(&a);
+            if sz > size {
+                self.free.insert(a + size, sz - size);
+            }
+            a
+        } else {
+            if self.brk + size > self.base + self.capacity {
+                return Err(TagMemError::OutOfMemory { requested });
+            }
+            let a = self.brk;
+            self.brk += size;
+            a
+        };
+        self.record_alloc(addr, size);
+        Ok(Addr(addr))
+    }
+
+    /// Frees a block previously returned by [`Heap::alloc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMemError::InvalidFree`] if `addr` is not the base of a
+    /// live block.
+    pub fn free(&mut self, addr: Addr) -> Result<(), TagMemError> {
+        let size = self
+            .live
+            .remove(&addr.0)
+            .ok_or(TagMemError::InvalidFree { addr })?;
+        self.stats.frees += 1;
+        self.stats.live_bytes -= size;
+        if self.policy == AllocPolicy::SizeClass {
+            if let Some(class) = Self::class_of(size) {
+                if SIZE_CLASSES[class] == size {
+                    self.class_free[class].push(addr.0);
+                    return Ok(());
+                }
+            }
+        }
+        // Insert into free list with coalescing.
+        let mut start = addr.0;
+        let mut len = size;
+        if let Some((&pa, &psz)) = self.free.range(..start).next_back() {
+            if pa + psz == start {
+                self.free.remove(&pa);
+                start = pa;
+                len += psz;
+            }
+        }
+        if let Some(&nsz) = self.free.get(&(start + len)) {
+            self.free.remove(&(start + len));
+            len += nsz;
+        }
+        if start + len == self.brk {
+            self.brk = start; // return tail space to the arena
+        } else {
+            self.free.insert(start, len);
+        }
+        Ok(())
+    }
+
+    /// Size of the live block based at `addr`, if any.
+    pub fn block_size(&self, addr: Addr) -> Option<u64> {
+        self.live.get(&addr.0).copied()
+    }
+
+    /// Returns `true` if `addr` is the base of a live block.
+    pub fn is_live(&self, addr: Addr) -> bool {
+        self.live.contains_key(&addr.0)
+    }
+
+    /// Finds the live block containing `addr`, returning `(base, size)`.
+    pub fn block_containing(&self, addr: Addr) -> Option<(Addr, u64)> {
+        self.live
+            .range(..=addr.0)
+            .next_back()
+            .filter(|(&b, &sz)| addr.0 < b + sz)
+            .map(|(&b, &sz)| (Addr(b), sz))
+    }
+
+    /// Bytes between the arena base and the current break (address-space
+    /// footprint, including holes in the free list).
+    pub fn footprint(&self) -> u64 {
+        self.brk - self.base
+    }
+
+    /// Allocation statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+}
+
+/// A pool of contiguous memory used as the target of relocation.
+///
+/// List linearization (paper Fig. 4(b)) allocates the new node locations
+/// "from a pool of contiguous memory, thereby creating spatial locality".
+/// A pool carves large slabs out of a [`Heap`] and hands out strictly
+/// consecutive word-aligned chunks within each slab.
+#[derive(Debug)]
+pub struct Pool {
+    slab_bytes: u64,
+    cur: u64,
+    end: u64,
+    /// Total bytes handed out (the "space overhead" of relocation).
+    handed_out: u64,
+    slabs: Vec<Addr>,
+}
+
+impl Pool {
+    /// Creates an empty pool that will carve `slab_bytes`-sized slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slab_bytes` is zero.
+    pub fn new(slab_bytes: u64) -> Pool {
+        assert!(slab_bytes >= WORD_BYTES);
+        Pool {
+            slab_bytes,
+            cur: 0,
+            end: 0,
+            handed_out: 0,
+            slabs: Vec::new(),
+        }
+    }
+
+    /// Allocates `bytes` (word-rounded) of contiguous pool space, carving a
+    /// new slab from `heap` when the current slab is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMemError::OutOfMemory`] if the backing heap is full.
+    pub fn alloc(&mut self, heap: &mut Heap, bytes: u64) -> Result<Addr, TagMemError> {
+        let size = Heap::round(bytes);
+        if size > self.slab_bytes - WORD_BYTES {
+            // Oversize request: carve a dedicated slab of exactly the
+            // needed size (plus the guard word) and leave the current slab
+            // in place for subsequent small requests.
+            let slab = heap.alloc(size + WORD_BYTES)?;
+            self.slabs.push(slab);
+            self.handed_out += size;
+            return Ok(Addr(slab.0 + WORD_BYTES));
+        }
+        if self.cur + size > self.end {
+            let slab = heap.alloc(self.slab_bytes)?;
+            // The slab's first word is left unused so that no chunk address
+            // ever coincides with the slab's heap-block base: chunks are
+            // not individually freeable (a pool is reclaimed wholesale),
+            // and chain-following deallocation must not mistake a chunk
+            // for a free-able block.
+            self.cur = slab.0 + WORD_BYTES;
+            self.end = slab.0 + self.slab_bytes;
+            self.slabs.push(slab);
+        }
+        let a = self.cur;
+        self.cur += size;
+        self.handed_out += size;
+        Ok(Addr(a))
+    }
+
+    /// Like [`Pool::alloc`], but the returned chunk is aligned to `align`
+    /// bytes (a power of two). Used when relocation targets must respect
+    /// cache-line boundaries — subtree clusters, or objects separated to
+    /// avoid false sharing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TagMemError::OutOfMemory`] if the backing heap is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc_aligned(
+        &mut self,
+        heap: &mut Heap,
+        bytes: u64,
+        align: u64,
+    ) -> Result<Addr, TagMemError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let size = Heap::round(bytes);
+        let fits_in_slab = |cur: u64, end: u64| {
+            let aligned = cur.next_multiple_of(align);
+            aligned + size <= end
+        };
+        if size + align > self.slab_bytes || !fits_in_slab(self.cur, self.end) {
+            if size + align + WORD_BYTES > self.slab_bytes {
+                // Dedicated oversize slab.
+                let slab = heap.alloc(size + align + WORD_BYTES)?;
+                self.slabs.push(slab);
+                self.handed_out += size;
+                return Ok(Addr((slab.0 + WORD_BYTES).next_multiple_of(align)));
+            }
+            let slab = heap.alloc(self.slab_bytes)?;
+            self.cur = slab.0 + WORD_BYTES;
+            self.end = slab.0 + self.slab_bytes;
+            self.slabs.push(slab);
+        }
+        let aligned = self.cur.next_multiple_of(align);
+        self.cur = aligned + size;
+        self.handed_out += size;
+        Ok(Addr(aligned))
+    }
+
+    /// Total bytes handed out by this pool — the relocation space overhead
+    /// reported in the paper's Table 1.
+    pub fn bytes_handed_out(&self) -> u64 {
+        self.handed_out
+    }
+
+    /// Slabs carved so far (their total size bounds the address-space cost).
+    pub fn slab_count(&self) -> usize {
+        self.slabs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_word_aligned_and_rounded() {
+        let mut h = Heap::new(Addr(0x1000), 4096);
+        let a = h.alloc(1).unwrap();
+        let b = h.alloc(9).unwrap();
+        assert!(a.is_aligned(8));
+        assert!(b.is_aligned(8));
+        assert_eq!(b.0 - a.0, 8);
+        assert_eq!(h.block_size(a), Some(8));
+        assert_eq!(h.block_size(b), Some(16));
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut h = Heap::new(Addr(0x1000), 4096);
+        let a = h.alloc(64).unwrap();
+        let _b = h.alloc(64).unwrap();
+        h.free(a).unwrap();
+        let c = h.alloc(32).unwrap();
+        assert_eq!(c, a, "first-fit should reuse the freed hole");
+        let d = h.alloc(32).unwrap();
+        assert_eq!(d.0, a.0 + 32, "remainder of the hole is reused next");
+    }
+
+    #[test]
+    fn coalescing_neighbours() {
+        let mut h = Heap::new(Addr(0x1000), 4096);
+        let a = h.alloc(32).unwrap();
+        let b = h.alloc(32).unwrap();
+        let c = h.alloc(32).unwrap();
+        let _guard = h.alloc(32).unwrap();
+        h.free(a).unwrap();
+        h.free(c).unwrap();
+        h.free(b).unwrap(); // must merge with both neighbours
+        let big = h.alloc(96).unwrap();
+        assert_eq!(big, a);
+    }
+
+    #[test]
+    fn tail_free_returns_to_brk() {
+        let mut h = Heap::new(Addr(0x1000), 4096);
+        let a = h.alloc(64).unwrap();
+        assert_eq!(h.footprint(), 64);
+        h.free(a).unwrap();
+        assert_eq!(h.footprint(), 0);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let mut h = Heap::new(Addr(0x1000), 64);
+        assert!(h.alloc(32).is_ok());
+        assert!(matches!(
+            h.alloc(64),
+            Err(TagMemError::OutOfMemory { requested: 64 })
+        ));
+    }
+
+    #[test]
+    fn invalid_free() {
+        let mut h = Heap::new(Addr(0x1000), 4096);
+        let a = h.alloc(16).unwrap();
+        assert!(matches!(
+            h.free(a + 8),
+            Err(TagMemError::InvalidFree { .. })
+        ));
+        assert!(h.free(a).is_ok());
+        assert!(h.free(a).is_err(), "double free rejected");
+    }
+
+    #[test]
+    fn block_containing_interior() {
+        let mut h = Heap::new(Addr(0x1000), 4096);
+        let a = h.alloc(32).unwrap();
+        assert_eq!(h.block_containing(a + 31), Some((a, 32)));
+        assert_eq!(h.block_containing(a + 32), None);
+        assert!(h.is_live(a));
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let mut h = Heap::new(Addr(0x1000), 4096);
+        let a = h.alloc(16).unwrap();
+        let _b = h.alloc(16).unwrap();
+        h.free(a).unwrap();
+        let s = h.stats();
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.frees, 1);
+        assert_eq!(s.live_bytes, 16);
+        assert_eq!(s.peak_bytes, 32);
+        assert_eq!(s.total_allocated, 32);
+    }
+
+    #[test]
+    fn size_class_policy_segregates_by_size() {
+        let mut h = Heap::with_policy(Addr(0x1000), 1 << 20, AllocPolicy::SizeClass);
+        assert_eq!(h.policy(), AllocPolicy::SizeClass);
+        // Same-class allocations are contiguous even when interleaved with
+        // other classes (the behaviour first-fit does not have).
+        let a1 = h.alloc(32).unwrap();
+        let _b = h.alloc(100).unwrap();
+        let a2 = h.alloc(32).unwrap();
+        assert_eq!(a2.0 - a1.0, 32, "same class packs contiguously");
+        let s = h.stats();
+        assert_eq!(s.live_bytes, 32 + 32 + 128); // 100 rounds to class 128
+    }
+
+    #[test]
+    fn size_class_free_list_recycles_exactly() {
+        let mut h = Heap::with_policy(Addr(0x1000), 1 << 20, AllocPolicy::SizeClass);
+        let a = h.alloc(48).unwrap();
+        h.free(a).unwrap();
+        let b = h.alloc(40).unwrap(); // same class (48)
+        assert_eq!(a, b, "freed class block is reused first");
+        assert!(h.is_live(b));
+    }
+
+    #[test]
+    fn size_class_large_requests_fall_back_to_first_fit() {
+        let mut h = Heap::with_policy(Addr(0x1000), 1 << 20, AllocPolicy::SizeClass);
+        let big = h.alloc(4096).unwrap();
+        h.free(big).unwrap();
+        let big2 = h.alloc(4000).unwrap();
+        assert_eq!(big, big2, "first-fit reuse of the large hole");
+    }
+
+    #[test]
+    fn size_class_oom_is_reported() {
+        let mut h = Heap::with_policy(Addr(0x1000), 8 * 1024, AllocPolicy::SizeClass);
+        // One class slab is 16 KiB: the arena cannot even hold one.
+        assert!(matches!(
+            h.alloc(32),
+            Err(TagMemError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_is_contiguous_within_slab() {
+        let mut h = Heap::new(Addr(0x1000), 1 << 16);
+        let mut p = Pool::new(1024);
+        let a = p.alloc(&mut h, 24).unwrap();
+        let b = p.alloc(&mut h, 24).unwrap();
+        let c = p.alloc(&mut h, 24).unwrap();
+        assert_eq!(b.0 - a.0, 24);
+        assert_eq!(c.0 - b.0, 24);
+        assert_eq!(p.bytes_handed_out(), 72);
+        assert_eq!(p.slab_count(), 1);
+    }
+
+    #[test]
+    fn pool_spills_to_new_slab() {
+        let mut h = Heap::new(Addr(0x1000), 1 << 16);
+        let mut p = Pool::new(64);
+        let _ = p.alloc(&mut h, 48).unwrap();
+        let b = p.alloc(&mut h, 48).unwrap();
+        assert_eq!(p.slab_count(), 2);
+        assert!(h.is_live(Addr(b.0)) || h.block_containing(b).is_some());
+    }
+
+    #[test]
+    fn pool_alloc_aligned_respects_alignment() {
+        let mut h = Heap::new(Addr(0x1008), 1 << 20);
+        let mut p = Pool::new(4096);
+        let _skew = p.alloc(&mut h, 24).unwrap();
+        for _ in 0..10 {
+            let a = p.alloc_aligned(&mut h, 40, 64).unwrap();
+            assert!(a.is_aligned(64), "{a:?}");
+        }
+        // Oversize aligned request gets a dedicated slab, still aligned.
+        let big = p.alloc_aligned(&mut h, 8192, 128).unwrap();
+        assert!(big.is_aligned(128));
+    }
+
+    #[test]
+    fn pool_oversize_gets_dedicated_slab() {
+        let mut h = Heap::new(Addr(0x1000), 1 << 16);
+        let mut p = Pool::new(64);
+        let small = p.alloc(&mut h, 16).unwrap();
+        let big = p.alloc(&mut h, 128).unwrap();
+        let small2 = p.alloc(&mut h, 16).unwrap();
+        assert_eq!(p.slab_count(), 2);
+        assert_eq!(small2.0 - small.0, 16, "current slab still in use");
+        assert!(big.is_aligned(8));
+        assert_eq!(p.bytes_handed_out(), 160);
+    }
+}

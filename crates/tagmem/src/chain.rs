@@ -1,0 +1,226 @@
+//! Forwarding-chain resolution.
+//!
+//! When a memory word is accessed, its forwarding bit is tested; if set, the
+//! word's contents replace the access address (plus the byte offset within
+//! the word) and the access is relaunched. This repeats until a clear
+//! forwarding bit is found (paper §3.2). The functions here perform that
+//! walk, including the hop-limit counter and the accurate software cycle
+//! check the paper describes for breaking forwarding cycles.
+
+use crate::error::CycleError;
+use crate::memory::TaggedMemory;
+use crate::word::Addr;
+use std::collections::HashSet;
+
+/// Outcome of resolving an initial address to its final address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// The final address: where the data actually lives.
+    pub final_addr: Addr,
+    /// Number of forwarding hops performed (0 for a non-forwarded access).
+    pub hops: u32,
+}
+
+impl Resolution {
+    /// True if the access was forwarded at least once.
+    pub fn forwarded(&self) -> bool {
+        self.hops > 0
+    }
+}
+
+/// Resolves `addr` through any forwarding chain to its final address.
+///
+/// `hop_limit` models the hardware hop counter: when the number of hops
+/// exceeds the limit, an exception is raised and an accurate cycle check is
+/// performed in software. A false alarm (a genuinely long chain) resets the
+/// counter and resumes; a real cycle aborts with [`CycleError`].
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the chain revisits a word it already traversed.
+///
+/// # Example
+///
+/// ```
+/// use memfwd_tagmem::{Addr, TaggedMemory, resolve};
+/// let mut mem = TaggedMemory::new();
+/// mem.unforwarded_write(Addr(0x10), 0x20, true);
+/// mem.unforwarded_write(Addr(0x20), 0x30, true);
+/// let r = resolve(&mem, Addr(0x14), 64)?;
+/// assert_eq!(r.final_addr, Addr(0x34));
+/// assert_eq!(r.hops, 2);
+/// # Ok::<(), memfwd_tagmem::CycleError>(())
+/// ```
+pub fn resolve(mem: &TaggedMemory, addr: Addr, hop_limit: u32) -> Result<Resolution, CycleError> {
+    let offset = addr.word_offset();
+    let mut word = addr.word_base();
+    let mut hops = 0u32;
+    let mut counter = 0u32;
+    let mut visited: Option<HashSet<Addr>> = None;
+
+    while mem.fbit(word) {
+        let (fwd, _) = mem.unforwarded_read(word);
+        let next = Addr(fwd).word_base();
+        hops += 1;
+        counter += 1;
+        if let Some(seen) = visited.as_mut() {
+            if !seen.insert(next) {
+                return Err(CycleError { at: next, hops });
+            }
+        } else if counter > hop_limit {
+            // Hop-limit exception: switch to the accurate software check for
+            // the remainder of the walk (paper §3.2). Re-walk is not needed:
+            // from here on we remember every word we visit; a cycle must
+            // eventually revisit one of them.
+            let mut seen = HashSet::new();
+            seen.insert(word);
+            seen.insert(next);
+            visited = Some(seen);
+            counter = 0;
+        }
+        word = next;
+    }
+    Ok(Resolution {
+        final_addr: word + offset,
+        hops,
+    })
+}
+
+/// Resolves with a generous default hop limit. Convenience for callers that
+/// do not model the hardware counter. (The limit only controls when the
+/// accurate cycle check engages — it never changes the result.)
+///
+/// # Errors
+///
+/// Returns [`CycleError`] on a genuine forwarding cycle.
+pub fn resolve_unbounded(mem: &TaggedMemory, addr: Addr) -> Result<Resolution, CycleError> {
+    resolve(mem, addr, 64)
+}
+
+/// Returns every word address on the forwarding chain starting at (and
+/// including) the word containing `addr`, ending at the terminal word.
+///
+/// Used by the memory-deallocation wrapper (paper §3.3): when an object is
+/// deallocated, all memory reachable via its forwarding chain must be
+/// deallocated as well.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] on a genuine forwarding cycle.
+pub fn chain_words(mem: &TaggedMemory, addr: Addr) -> Result<Vec<Addr>, CycleError> {
+    let mut word = addr.word_base();
+    let mut out = vec![word];
+    let mut seen = HashSet::new();
+    seen.insert(word);
+    let mut hops = 0;
+    while mem.fbit(word) {
+        let (fwd, _) = mem.unforwarded_read(word);
+        word = Addr(fwd).word_base();
+        hops += 1;
+        if !seen.insert(word) {
+            return Err(CycleError { at: word, hops });
+        }
+        out.push(word);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(mem: &mut TaggedMemory, hops: &[u64]) {
+        // hops = [a, b, c] builds a -> b -> c (c terminal).
+        for w in hops.windows(2) {
+            mem.unforwarded_write(Addr(w[0]), w[1], true);
+        }
+    }
+
+    #[test]
+    fn non_forwarded_is_identity() {
+        let mem = TaggedMemory::new();
+        let r = resolve(&mem, Addr(0x1004), 8).unwrap();
+        assert_eq!(r.final_addr, Addr(0x1004));
+        assert_eq!(r.hops, 0);
+        assert!(!r.forwarded());
+    }
+
+    #[test]
+    fn single_hop_preserves_offset() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x800, 0x5800]);
+        let r = resolve(&mem, Addr(0x804), 8).unwrap();
+        assert_eq!(r.final_addr, Addr(0x5804));
+        assert_eq!(r.hops, 1);
+        assert!(r.forwarded());
+    }
+
+    #[test]
+    fn multi_hop_chain() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x100, 0x200, 0x300, 0x400]);
+        let r = resolve(&mem, Addr(0x101), 8).unwrap();
+        assert_eq!(r.final_addr, Addr(0x401));
+        assert_eq!(r.hops, 3);
+    }
+
+    #[test]
+    fn long_chain_past_hop_limit_is_false_alarm() {
+        let mut mem = TaggedMemory::new();
+        let nodes: Vec<u64> = (0..50).map(|i| 0x1000 + i * 8).collect();
+        chain(&mut mem, &nodes);
+        // Limit of 4 forces the accurate check, which finds no cycle.
+        let r = resolve(&mem, Addr(0x1000), 4).unwrap();
+        assert_eq!(r.final_addr, Addr(0x1000 + 49 * 8));
+        assert_eq!(r.hops, 49);
+    }
+
+    #[test]
+    fn two_node_cycle_detected() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x100, 0x200, 0x100]);
+        let err = resolve(&mem, Addr(0x100), 8).unwrap_err();
+        assert!(err.hops >= 2);
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let mut mem = TaggedMemory::new();
+        mem.unforwarded_write(Addr(0x100), 0x100, true);
+        assert!(resolve(&mem, Addr(0x104), 16).is_err());
+        assert!(resolve_unbounded(&mem, Addr(0x104)).is_err());
+    }
+
+    #[test]
+    fn cycle_not_at_head_detected() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x100, 0x200, 0x300, 0x200]);
+        assert!(resolve(&mem, Addr(0x100), 2).is_err());
+    }
+
+    #[test]
+    fn chain_words_lists_whole_chain() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x100, 0x200, 0x300]);
+        let words = chain_words(&mem, Addr(0x104)).unwrap();
+        assert_eq!(words, vec![Addr(0x100), Addr(0x200), Addr(0x300)]);
+    }
+
+    #[test]
+    fn chain_words_cycle() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x100, 0x200, 0x100]);
+        assert!(chain_words(&mem, Addr(0x100)).is_err());
+    }
+
+    #[test]
+    fn forwarding_address_mid_word_offsets() {
+        // A 4-byte access at offset 4 of a forwarded word lands at
+        // final word + 4 (paper Fig. 1: load of 0804 returns value at 5804).
+        let mut mem = TaggedMemory::new();
+        mem.unforwarded_write(Addr(0x800), 0x5800, true);
+        mem.write_data(Addr(0x5804), 4, 47);
+        let r = resolve(&mem, Addr(0x804), 8).unwrap();
+        assert_eq!(mem.read_data(r.final_addr, 4), 47);
+    }
+}

@@ -1,0 +1,122 @@
+//! Error types for the tagged-memory substrate.
+
+use crate::word::Addr;
+use std::error::Error;
+use std::fmt;
+
+/// A genuine forwarding cycle was detected while resolving an address.
+///
+/// Cycles are created only by erroneous software that inserts an address
+/// more than once into a forwarding chain (paper §3.2). The hardware's
+/// hop-limit counter triggers an accurate software cycle check; if the check
+/// confirms a cycle, execution must be aborted — which in this simulator
+/// surfaces as this error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError {
+    /// The address whose resolution revisited an earlier chain element.
+    pub at: Addr,
+    /// Hops performed before the cycle closed.
+    pub hops: u32,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "forwarding cycle detected at {} after {} hops",
+            self.at, self.hops
+        )
+    }
+}
+
+impl Error for CycleError {}
+
+/// Errors produced by tagged-memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TagMemError {
+    /// Address resolution found a forwarding cycle.
+    Cycle(CycleError),
+    /// The heap is exhausted (allocation request cannot be satisfied).
+    OutOfMemory {
+        /// Size of the failed request in bytes.
+        requested: u64,
+    },
+    /// `free` was called on an address that is not the base of a live block.
+    InvalidFree {
+        /// The offending address.
+        addr: Addr,
+    },
+}
+
+impl fmt::Display for TagMemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagMemError::Cycle(c) => c.fmt(f),
+            TagMemError::OutOfMemory { requested } => {
+                write!(f, "simulated heap exhausted by {requested}-byte request")
+            }
+            TagMemError::InvalidFree { addr } => {
+                write!(f, "free of non-allocated address {addr}")
+            }
+        }
+    }
+}
+
+impl Error for TagMemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TagMemError::Cycle(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<CycleError> for TagMemError {
+    fn from(c: CycleError) -> Self {
+        TagMemError::Cycle(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let c = CycleError {
+            at: Addr(0x100),
+            hops: 3,
+        };
+        assert_eq!(
+            c.to_string(),
+            "forwarding cycle detected at 0x100 after 3 hops"
+        );
+        let e: TagMemError = c.into();
+        assert_eq!(e.to_string(), c.to_string());
+        assert!(TagMemError::OutOfMemory { requested: 64 }
+            .to_string()
+            .contains("64-byte"));
+        assert!(TagMemError::InvalidFree { addr: Addr(8) }
+            .to_string()
+            .contains("0x8"));
+    }
+
+    #[test]
+    fn error_source() {
+        let e: TagMemError = CycleError {
+            at: Addr(1),
+            hops: 0,
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&TagMemError::OutOfMemory { requested: 1 }).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TagMemError>();
+        assert_send_sync::<CycleError>();
+    }
+}

@@ -1,0 +1,248 @@
+//! The sparse tagged memory.
+
+use crate::page::{Page, PAGE_BYTES};
+use crate::word::{check_access, Addr, WORD_BYTES};
+use std::collections::HashMap;
+
+/// Occupancy statistics for a [`TaggedMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Number of 4 KiB pages materialized so far.
+    pub pages: u64,
+    /// Number of forwarding bits currently set across all pages.
+    pub fbits_set: u64,
+}
+
+impl MemStats {
+    /// Bytes of simulated data storage materialized.
+    pub fn data_bytes(&self) -> u64 {
+        self.pages * PAGE_BYTES as u64
+    }
+
+    /// Bytes of tag storage implied by the forwarding bits (1 bit per word),
+    /// i.e. the paper's fixed 1.5 % overhead on a 64-bit architecture.
+    pub fn tag_bytes(&self) -> u64 {
+        self.data_bytes() / (WORD_BYTES * 8)
+    }
+}
+
+/// A sparse, paged, byte-addressable 64-bit memory where every word carries
+/// a forwarding bit.
+///
+/// All accesses must be naturally aligned (so they are contained within a
+/// single word), mirroring the MIPS alignment rules assumed by the paper.
+/// Multi-byte values are little-endian.
+///
+/// Pages are materialized on first touch, zero-filled with forwarding bits
+/// clear — the initialization guarantee of paper §3.3.
+///
+/// # Example
+///
+/// ```
+/// use memfwd_tagmem::{Addr, TaggedMemory};
+/// let mut mem = TaggedMemory::new();
+/// mem.write_data(Addr(0x100), 4, 0xDEAD);
+/// assert_eq!(mem.read_data(Addr(0x100), 4), 0xDEAD);
+/// assert!(!mem.fbit(Addr(0x100)));
+/// ```
+#[derive(Default)]
+pub struct TaggedMemory {
+    pages: HashMap<u64, Page>,
+}
+
+impl TaggedMemory {
+    /// Creates an empty memory.
+    pub fn new() -> TaggedMemory {
+        TaggedMemory::default()
+    }
+
+    #[inline]
+    fn page(&mut self, addr: Addr) -> (&mut Page, usize) {
+        let pno = addr.0 / PAGE_BYTES as u64;
+        let off = (addr.0 % PAGE_BYTES as u64) as usize;
+        (self.pages.entry(pno).or_insert_with(Page::new), off)
+    }
+
+    #[inline]
+    fn page_ref(&self, addr: Addr) -> Option<(&Page, usize)> {
+        let pno = addr.0 / PAGE_BYTES as u64;
+        let off = (addr.0 % PAGE_BYTES as u64) as usize;
+        self.pages.get(&pno).map(|p| (p, off))
+    }
+
+    /// Reads `size` bytes (1, 2, 4, or 8) at `addr` as a little-endian
+    /// value, ignoring forwarding bits.
+    ///
+    /// Untouched memory reads as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is misaligned or `size` is unsupported.
+    #[track_caller]
+    pub fn read_data(&self, addr: Addr, size: u64) -> u64 {
+        check_access(addr, size);
+        match self.page_ref(addr) {
+            None => 0,
+            Some((p, off)) => {
+                let mut buf = [0u8; 8];
+                buf[..size as usize].copy_from_slice(p.bytes(off, size as usize));
+                u64::from_le_bytes(buf)
+            }
+        }
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`, ignoring (and not
+    /// touching) forwarding bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is misaligned or `size` is unsupported.
+    #[track_caller]
+    pub fn write_data(&mut self, addr: Addr, size: u64, value: u64) {
+        check_access(addr, size);
+        let (p, off) = self.page(addr);
+        p.bytes_mut(off, size as usize)
+            .copy_from_slice(&value.to_le_bytes()[..size as usize]);
+    }
+
+    /// Forwarding bit of the word containing `addr`.
+    pub fn fbit(&self, addr: Addr) -> bool {
+        let base = addr.word_base();
+        self.page_ref(base)
+            .map(|(p, off)| p.fbit(off))
+            .unwrap_or(false)
+    }
+
+    /// Sets or clears the forwarding bit of the word containing `addr`.
+    pub fn set_fbit(&mut self, addr: Addr, set: bool) {
+        let base = addr.word_base();
+        let (p, off) = self.page(base);
+        p.set_fbit(off, set);
+    }
+
+    /// The `Unforwarded_Read` ISA extension (paper Fig. 3): reads the whole
+    /// word containing `addr` and its forwarding bit, with the forwarding
+    /// mechanism disabled.
+    pub fn unforwarded_read(&self, addr: Addr) -> (u64, bool) {
+        let base = addr.word_base();
+        (self.read_data(base, WORD_BYTES), self.fbit(base))
+    }
+
+    /// The `Unforwarded_Write` ISA extension (paper Fig. 3): atomically
+    /// writes a whole word and its forwarding bit, with the forwarding
+    /// mechanism disabled.
+    pub fn unforwarded_write(&mut self, addr: Addr, value: u64, fbit: bool) {
+        let base = addr.word_base();
+        self.write_data(base, WORD_BYTES, value);
+        self.set_fbit(base, fbit);
+    }
+
+    /// Current occupancy statistics.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            pages: self.pages.len() as u64,
+            fbits_set: self.pages.values().map(|p| u64::from(p.fbits_set())).sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TaggedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("TaggedMemory")
+            .field("pages", &s.pages)
+            .field("fbits_set", &s.fbits_set)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_on_first_touch() {
+        let mem = TaggedMemory::new();
+        assert_eq!(mem.read_data(Addr(0xDEAD_BEE8), 8), 0);
+        assert!(!mem.fbit(Addr(0xDEAD_BEE8)));
+    }
+
+    #[test]
+    fn little_endian_subword() {
+        let mut mem = TaggedMemory::new();
+        mem.write_data(Addr(0x100), 8, 0x0807_0605_0403_0201);
+        assert_eq!(mem.read_data(Addr(0x100), 1), 0x01);
+        assert_eq!(mem.read_data(Addr(0x104), 4), 0x0807_0605);
+        assert_eq!(mem.read_data(Addr(0x106), 2), 0x0807);
+        mem.write_data(Addr(0x102), 2, 0xFFFF);
+        assert_eq!(mem.read_data(Addr(0x100), 8), 0x0807_0605_FFFF_0201);
+    }
+
+    #[test]
+    fn data_write_preserves_fbit() {
+        let mut mem = TaggedMemory::new();
+        mem.set_fbit(Addr(0x200), true);
+        mem.write_data(Addr(0x204), 4, 7);
+        assert!(mem.fbit(Addr(0x200)));
+        assert!(mem.fbit(Addr(0x207))); // any byte of the word
+        assert!(!mem.fbit(Addr(0x208)));
+    }
+
+    #[test]
+    fn unforwarded_ops_are_word_granular() {
+        let mut mem = TaggedMemory::new();
+        mem.unforwarded_write(Addr(0x304), 0x5800, true); // mid-word address
+        assert_eq!(mem.unforwarded_read(Addr(0x300)), (0x5800, true));
+        assert_eq!(mem.unforwarded_read(Addr(0x307)), (0x5800, true));
+        mem.unforwarded_write(Addr(0x300), 0, false);
+        assert_eq!(mem.unforwarded_read(Addr(0x300)), (0, false));
+    }
+
+    #[test]
+    fn stats_track_pages_and_fbits() {
+        let mut mem = TaggedMemory::new();
+        assert_eq!(mem.stats(), MemStats::default());
+        mem.write_data(Addr(0), 8, 1);
+        mem.write_data(Addr(8192), 8, 1);
+        mem.set_fbit(Addr(8192), true);
+        let s = mem.stats();
+        assert_eq!(s.pages, 2);
+        assert_eq!(s.fbits_set, 1);
+        assert_eq!(s.data_bytes(), 8192);
+        assert_eq!(s.tag_bytes(), 128); // 1.5625 % of data
+    }
+
+    #[test]
+    fn paper_figure_1_scenario() {
+        // Relocate five 32-bit elements (values 3, 47, 0, 12, 5 as in the
+        // paper's Fig. 1) from their old home to a new one. After the
+        // relocation, a 32-bit load of the subword at old+4 must be
+        // forwarded to new+4 and return 47.
+        let mut mem = TaggedMemory::new();
+        let vals = [3u64, 47, 0, 12, 5];
+        let old = Addr(0x800);
+        let new = Addr(0x5800);
+        for (i, v) in vals.iter().enumerate() {
+            mem.write_data(old + 4 * i as u64, 4, *v);
+        }
+        // Relocating the subword at old+16 also drags old+20 along: 3 words.
+        for w in 0..3u64 {
+            let (val, _) = mem.unforwarded_read(old.add_words(w));
+            mem.write_data(new.add_words(w), 8, val);
+            mem.unforwarded_write(old.add_words(w), (new.add_words(w)).0, true);
+        }
+        // A 32-bit load of old+4 forwards to new+4 and returns 47.
+        let probe = old + 4;
+        assert!(mem.fbit(probe));
+        let (fwd, _) = mem.unforwarded_read(probe);
+        let final_addr = Addr(fwd) + probe.word_offset();
+        assert_eq!(final_addr, new + 4);
+        assert_eq!(mem.read_data(final_addr, 4), 47);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let mem = TaggedMemory::new();
+        assert!(!format!("{mem:?}").is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Fixed-size pages backing the sparse simulated address space.
+
+/// Bytes per simulated page.
+pub const PAGE_BYTES: usize = 4096;
+
+/// Words per simulated page.
+pub const PAGE_WORDS: usize = PAGE_BYTES / 8;
+
+/// Number of `u64` limbs needed for one forwarding bit per word.
+const FBIT_LIMBS: usize = PAGE_WORDS / 64;
+
+/// One 4 KiB page: raw data plus the forwarding-bit bitmap.
+///
+/// A freshly created page is zero-filled with all forwarding bits clear,
+/// which models the paper's requirement (§3.3) that the operating system
+/// perform `Unforwarded_Write(0, 0)` on every word of a region before
+/// handing it to an application.
+pub(crate) struct Page {
+    data: Box<[u8; PAGE_BYTES]>,
+    fbits: [u64; FBIT_LIMBS],
+}
+
+impl Page {
+    pub(crate) fn new() -> Page {
+        Page {
+            data: Box::new([0u8; PAGE_BYTES]),
+            fbits: [0u64; FBIT_LIMBS],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bytes(&self, off: usize, len: usize) -> &[u8] {
+        &self.data[off..off + len]
+    }
+
+    #[inline]
+    pub(crate) fn bytes_mut(&mut self, off: usize, len: usize) -> &mut [u8] {
+        &mut self.data[off..off + len]
+    }
+
+    /// Forwarding bit of the word at byte offset `off` (must be 8-aligned).
+    #[inline]
+    pub(crate) fn fbit(&self, off: usize) -> bool {
+        let w = off / 8;
+        self.fbits[w / 64] >> (w % 64) & 1 == 1
+    }
+
+    #[inline]
+    pub(crate) fn set_fbit(&mut self, off: usize, set: bool) {
+        let w = off / 8;
+        let limb = &mut self.fbits[w / 64];
+        if set {
+            *limb |= 1 << (w % 64);
+        } else {
+            *limb &= !(1 << (w % 64));
+        }
+    }
+
+    /// Number of forwarding bits currently set in this page.
+    pub(crate) fn fbits_set(&self) -> u32 {
+        self.fbits.iter().map(|l| l.count_ones()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_page_is_clear() {
+        let p = Page::new();
+        assert_eq!(p.fbits_set(), 0);
+        assert!(p.bytes(0, PAGE_BYTES).iter().all(|&b| b == 0));
+        for off in (0..PAGE_BYTES).step_by(8) {
+            assert!(!p.fbit(off));
+        }
+    }
+
+    #[test]
+    fn fbit_roundtrip() {
+        let mut p = Page::new();
+        p.set_fbit(0, true);
+        p.set_fbit(4088, true);
+        assert!(p.fbit(0));
+        assert!(p.fbit(4088));
+        assert!(!p.fbit(8));
+        assert_eq!(p.fbits_set(), 2);
+        p.set_fbit(0, false);
+        assert!(!p.fbit(0));
+        assert_eq!(p.fbits_set(), 1);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let mut p = Page::new();
+        p.bytes_mut(100, 4).copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(p.bytes(100, 4), &[1, 2, 3, 4]);
+        assert_eq!(p.bytes(99, 1), &[0]);
+    }
+}

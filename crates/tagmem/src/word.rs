@@ -1,0 +1,217 @@
+//! Byte addresses and word geometry.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Width of a machine word in bytes.
+///
+/// The paper targets a 64-bit architecture: the minimum unit of relocation is
+/// the width of a pointer, since a relocated word must be able to hold a
+/// forwarding address. One forwarding bit is attached to each word, giving
+/// the 1/64 ≈ 1.5 % space overhead quoted in the paper.
+pub const WORD_BYTES: u64 = 8;
+
+/// A byte address in the simulated 64-bit address space.
+///
+/// `Addr` is a transparent newtype over `u64`; address zero is the null
+/// pointer of the simulated machine and is never backed by storage in
+/// well-behaved programs.
+///
+/// # Example
+///
+/// ```
+/// use memfwd_tagmem::Addr;
+/// let a = Addr(0x1004);
+/// assert_eq!(a.word_base(), Addr(0x1000));
+/// assert_eq!(a.word_offset(), 4);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The null address of the simulated machine.
+    pub const NULL: Addr = Addr(0);
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The address of the word containing this byte (rounded down to a
+    /// multiple of [`WORD_BYTES`]).
+    #[inline]
+    pub fn word_base(self) -> Addr {
+        Addr(self.0 & !(WORD_BYTES - 1))
+    }
+
+    /// The byte offset of this address within its containing word.
+    #[inline]
+    pub fn word_offset(self) -> u64 {
+        self.0 & (WORD_BYTES - 1)
+    }
+
+    /// Returns `true` if the address is aligned to `size` bytes.
+    ///
+    /// `size` must be a power of two.
+    #[inline]
+    pub fn is_aligned(self, size: u64) -> bool {
+        debug_assert!(size.is_power_of_two());
+        self.0 & (size - 1) == 0
+    }
+
+    /// The address advanced by `words` whole words.
+    #[inline]
+    pub fn add_words(self, words: u64) -> Addr {
+        Addr(self.0 + words * WORD_BYTES)
+    }
+
+    /// Byte distance from `other` to `self` (may be negative).
+    #[inline]
+    pub fn distance_from(self, other: Addr) -> i64 {
+        self.0 as i64 - other.0 as i64
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+    #[inline]
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(v: u64) -> Addr {
+        Addr(v)
+    }
+}
+
+impl From<Addr> for u64 {
+    #[inline]
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Validates that an access of `size` bytes at `addr` is naturally aligned
+/// and therefore contained within a single word.
+///
+/// # Panics
+///
+/// Panics if `size` is not one of 1, 2, 4, 8 or if `addr` is not a multiple
+/// of `size`. Misaligned accesses are a bug in the simulated program, as
+/// they would be on the MIPS machines the paper targets.
+#[inline]
+#[track_caller]
+pub(crate) fn check_access(addr: Addr, size: u64) {
+    assert!(
+        matches!(size, 1 | 2 | 4 | 8),
+        "unsupported access size {size} at {addr}"
+    );
+    assert!(
+        addr.is_aligned(size),
+        "misaligned {size}-byte access at {addr}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_geometry() {
+        let a = Addr(0x1007);
+        assert_eq!(a.word_base(), Addr(0x1000));
+        assert_eq!(a.word_offset(), 7);
+        assert_eq!(Addr(0x1000).word_offset(), 0);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Addr(0x1000).is_aligned(8));
+        assert!(Addr(0x1004).is_aligned(4));
+        assert!(!Addr(0x1004).is_aligned(8));
+        assert!(Addr(0x1001).is_aligned(1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Addr(8) + 8, Addr(16));
+        assert_eq!(Addr(16) - 8, Addr(8));
+        assert_eq!(Addr(0).add_words(3), Addr(24));
+        assert_eq!(Addr(24).distance_from(Addr(8)), 16);
+        assert_eq!(Addr(8).distance_from(Addr(24)), -16);
+    }
+
+    #[test]
+    fn null() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(1).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn conversions_and_format() {
+        let a: Addr = 0x10u64.into();
+        let v: u64 = a.into();
+        assert_eq!(v, 0x10);
+        assert_eq!(format!("{a}"), "0x10");
+        assert_eq!(format!("{a:?}"), "Addr(0x10)");
+        assert_eq!(format!("{a:x}"), "10");
+    }
+
+    #[test]
+    fn check_access_ok() {
+        check_access(Addr(0x1000), 8);
+        check_access(Addr(0x1004), 4);
+        check_access(Addr(0x1006), 2);
+        check_access(Addr(0x1007), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn check_access_misaligned() {
+        check_access(Addr(0x1001), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access size")]
+    fn check_access_bad_size() {
+        check_access(Addr(0x1000), 3);
+    }
+}

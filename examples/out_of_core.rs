@@ -1,0 +1,76 @@
+//! Out-of-core page locality (paper §2.2): "we can apply data relocation
+//! to improve the spatial locality within pages (and hence on disk) for
+//! out-of-core applications."
+//!
+//! A linked list is scattered over far more pages than fit in memory, so
+//! every traversal thrashes the resident set. Linearization packs the
+//! nodes into a handful of pages; the same traversal then faults only on
+//! its compulsory pages.
+//!
+//! Run with: `cargo run --release --example out_of_core`
+
+use memfwd_repro::core::{list_linearize, list_walk, ListDesc, Machine, PagingConfig, SimConfig};
+use memfwd_repro::tagmem::Addr;
+
+const NODES: u64 = 3000;
+const DESC: ListDesc = ListDesc {
+    node_words: 4,
+    next_word: 0,
+};
+
+fn traverse(m: &mut Machine, head: Addr) -> (u64, u64) {
+    let before = m.now();
+    let mut sum = 0u64;
+    list_walk(m, head, 0, |m, node, tok| {
+        let (v, t) = m.load_word_dep(node + 8, tok);
+        sum = sum.wrapping_add(v);
+        t
+    });
+    (sum, m.now() - before)
+}
+
+fn main() {
+    let cfg = SimConfig {
+        paging: Some(PagingConfig {
+            page_bytes: 4096,
+            resident_pages: 48,
+            fault_penalty: 50_000,
+        }),
+        ..SimConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+
+    // Scatter the list across ~hundreds of pages: each node is pushed far
+    // from its predecessor by large fragmentation gaps.
+    let head = m.malloc(8);
+    m.store_ptr(head, Addr::NULL);
+    for i in 0..NODES {
+        let _gap = m.malloc(2048 + (i % 5) * 1024);
+        let node = m.malloc(32);
+        let first = m.load_ptr(head);
+        m.store_ptr(node, first);
+        m.store_word(node + 8, i);
+        m.store_ptr(head, node);
+    }
+
+    let (sum1, cold) = traverse(&mut m, head);
+    let (_, thrash) = traverse(&mut m, head);
+
+    let mut pool = m.new_pool();
+    list_linearize(&mut m, head, DESC, &mut pool);
+
+    let (_, warmup) = traverse(&mut m, head);
+    let (sum2, packed) = traverse(&mut m, head);
+    assert_eq!(sum1, sum2);
+
+    let pages_needed = NODES * 32 / 4096 + 1;
+    println!("{NODES} nodes scattered over ~{} pages, {} resident", NODES * 3400 / 4096, 48);
+    println!("traversal (cold, scattered)   : {cold:>12} cycles");
+    println!("traversal (repeat, scattered) : {thrash:>12} cycles  <- thrashing");
+    println!("traversal (repeat, linearized): {packed:>12} cycles  ({} pages now suffice)", pages_needed);
+    println!("out-of-core speedup: {:.1}x", thrash as f64 / packed as f64);
+    let _ = warmup;
+
+    let stats = m.finish();
+    println!("total page faults: {}", stats.fwd.page_faults);
+}

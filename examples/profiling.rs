@@ -1,0 +1,67 @@
+//! Profiling workflow (paper §3.2): trace the program's references, find
+//! the hot miss lines and the stray pointers that experience forwarding,
+//! and inspect the layout — the information a tuning tool feeds back into
+//! better relocation decisions.
+//!
+//! Run with: `cargo run --release --example profiling`
+
+use memfwd_repro::core::{
+    dump_chain, forwarding_sources, heap_summary, hot_miss_lines, line_map, relocate, Machine,
+    SimConfig,
+};
+use memfwd_repro::tagmem::Addr;
+
+fn main() {
+    let mut m = Machine::new(SimConfig::default());
+
+    // A little object graph: an array of slots pointing at scattered
+    // records, some of which get relocated without updating the slots.
+    let slots = m.malloc(512 * 8);
+    let mut records = Vec::new();
+    for i in 0..512u64 {
+        let _pad = m.malloc(8 + (i % 5) * 256);
+        let r = m.malloc(16);
+        m.store_word(r, i * 7);
+        m.store_ptr(slots.add_words(i), r);
+        records.push(r);
+    }
+    let mut pool = m.new_pool();
+    for &r in records.iter().take(64) {
+        let tgt = m.pool_alloc(&mut pool, 16);
+        relocate(&mut m, r, tgt, 2);
+    }
+
+    // Trace a sweep through the slots.
+    m.enable_trace(1 << 16);
+    let mut acc = 0u64;
+    for round in 0..4 {
+        for i in 0..512u64 {
+            let r = m.load_ptr(slots.add_words(i));
+            acc = acc.wrapping_add(m.load_word(r)).wrapping_add(round);
+        }
+    }
+    let (records_tr, dropped) = m.take_trace();
+    println!("traced {} references ({} dropped)", records_tr.len(), dropped);
+
+    println!("\nhot L1-miss lines (top 5):");
+    for (line, misses) in hot_miss_lines(&records_tr, m.line_bytes(), 5) {
+        println!("  line {:#x}: {} misses", line * m.line_bytes(), misses);
+    }
+
+    println!("\nstray pointers found by the forwarding profile:");
+    let sources = forwarding_sources(&records_tr);
+    for (addr, hops, count) in sources.iter().take(5) {
+        println!("  {addr} forwarded {count} times ({hops} hop)");
+    }
+    println!("  ... {} distinct stray words in total", sources.len());
+
+    println!("\nchain of the first relocated record:");
+    println!("  {}", dump_chain(m.mem(), records[0]));
+
+    println!("\n{}", heap_summary(&m));
+
+    println!("\nlayout of the slot array's first lines ('d' data, 'F' forwarding):");
+    let base = Addr(slots.0 / 32 * 32);
+    print!("{}", line_map(m.mem(), base, 128, 32));
+    let _ = acc;
+}

@@ -1,0 +1,35 @@
+//! Facade crate for the *Memory Forwarding* (Luk & Mowry, ISCA 1999)
+//! reproduction.
+//!
+//! Re-exports the workspace crates so examples and downstream users can
+//! depend on a single package:
+//!
+//! - [`tagmem`] — tagged 64-bit memory with per-word forwarding bits.
+//! - [`cache`] — cache hierarchy timing model (L1D, unified L2, buses).
+//! - [`cpu`] — out-of-order superscalar timing skeleton.
+//! - [`core`] — the memory-forwarding machine and the layout-optimization
+//!   library (relocation, list linearization, subtree clustering, packing).
+//! - [`apps`] — the eight applications evaluated in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use memfwd_repro::core::{Machine, SimConfig};
+//! use memfwd_repro::tagmem::Addr;
+//!
+//! let mut m = Machine::new(SimConfig::default());
+//! let obj = m.malloc(16);
+//! m.store(obj, 8, 123);
+//! let new = m.malloc(16);
+//! memfwd_repro::core::relocate(&mut m, obj, new, 2);
+//! // A stray access through the old address is forwarded transparently.
+//! assert_eq!(m.load(obj, 8), 123);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use memfwd as core;
+pub use memfwd_apps as apps;
+pub use memfwd_cache as cache;
+pub use memfwd_cpu as cpu;
+pub use memfwd_tagmem as tagmem;

@@ -1,0 +1,141 @@
+//! Analytic validation: on access patterns with closed-form behaviour, the
+//! simulator must match the arithmetic, not just trend the right way.
+
+use memfwd_repro::core::{Machine, SimConfig, Token};
+
+#[test]
+fn sequential_stream_misses_exactly_once_per_line() {
+    for line in [32u64, 64, 128] {
+        let mut m = Machine::new(SimConfig::default().with_line_bytes(line));
+        let n_bytes = 1u64 << 18; // 256 KiB: beyond L1, beyond L2? (== L2)
+        let a = m.malloc(n_bytes);
+        for off in (0..n_bytes).step_by(8) {
+            m.load_word(a + off);
+        }
+        let s = m.finish();
+        let want = n_bytes / line;
+        // One FULL miss per line exactly; the out-of-order engine runs far
+        // enough ahead that same-line neighbours combine as partial misses.
+        assert_eq!(
+            s.cache.loads.full_misses, want,
+            "line {line}: one full miss per line exactly"
+        );
+        assert_eq!(
+            s.cache.loads.l1_hits + s.cache.loads.partial_misses,
+            n_bytes / 8 - want
+        );
+        // And the memory-side traffic is exactly the missed lines.
+        assert_eq!(s.bytes_l2_mem, want * line);
+    }
+}
+
+#[test]
+fn repeated_small_working_set_has_only_compulsory_misses() {
+    let mut m = Machine::new(SimConfig::default());
+    let a = m.malloc(4096); // fits L1 comfortably
+    for _round in 0..10 {
+        for off in (0..4096).step_by(8) {
+            m.load_word(a + off);
+        }
+    }
+    let s = m.finish();
+    assert_eq!(s.cache.loads.full_misses, 4096 / 32, "cold fills only");
+    assert!(
+        s.cache.loads.partial_misses <= 4096 / 8,
+        "partial misses can only come from the cold round"
+    );
+}
+
+#[test]
+fn dependent_chase_pays_full_memory_latency_per_hop() {
+    let cfg = SimConfig::default();
+    let mem_lat = cfg.hierarchy.mem_latency;
+    let mut m = Machine::new(cfg);
+    // A chain of pointers, each in its own page-distant line.
+    let n = 200u64;
+    let nodes: Vec<_> = (0..n).map(|_| m.malloc(4096)).collect();
+    for w in nodes.windows(2) {
+        m.store_word(w[0], w[1].0);
+    }
+    // Drain the build phase's influence: measure only the chase.
+    let start_cycle = m.now();
+    let mut p = nodes[0];
+    let mut tok = Token::ready();
+    for _ in 0..n - 1 {
+        let (v, t) = m.load_word_dep(p, tok);
+        p = memfwd_repro::tagmem::Addr(v);
+        tok = t;
+    }
+    let elapsed = tok.cycle() - start_cycle;
+    // Each hop costs at least the raw memory latency and at most ~2x the
+    // full L1+L2+mem+transfer path (stores may still be draining early on).
+    let per_hop = elapsed as f64 / (n - 1) as f64;
+    let floor = mem_lat as f64;
+    let ceil = 2.2 * (mem_lat as f64 + 30.0);
+    assert!(
+        per_hop >= floor && per_hop <= ceil,
+        "per-hop latency {per_hop:.1} outside [{floor}, {ceil}]"
+    );
+}
+
+#[test]
+fn forwarded_hop_costs_one_extra_serialized_access() {
+    // Averaged over many one-hop references in L1-resident state, the
+    // forwarding overhead per load is ~(L1 hit + hop penalty).
+    let cfg = SimConfig::default();
+    let hop_pen = cfg.fwd_hop_penalty;
+    let mut m = Machine::new(cfg);
+    let old = m.malloc(8);
+    let new = m.malloc(8);
+    m.store_word(new, 1);
+    m.unforwarded_write(old, new.0, true);
+    // Warm both lines.
+    m.load_word(old);
+    let before = *m.fwd_stats();
+    for _ in 0..1000 {
+        m.load_word(old);
+    }
+    let after = *m.fwd_stats();
+    let fwd_cycles = after.load_fwd_cycles - before.load_fwd_cycles;
+    let per_ref = fwd_cycles as f64 / 1000.0;
+    let want = 1.0 + hop_pen as f64; // L1 hit on the old word + penalty
+    assert!(
+        (per_ref - want).abs() <= 1.0,
+        "forwarding overhead {per_ref:.2}, expected ~{want}"
+    );
+}
+
+#[test]
+fn bandwidth_identity_holds() {
+    // bytes(L1<->L2) == (full misses + L1 writebacks) * line, exactly.
+    let mut m = Machine::new(SimConfig::default());
+    let a = m.malloc(1 << 20);
+    let mut x = 1u64;
+    for _ in 0..20_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let off = (x >> 33) % ((1 << 20) / 8) * 8;
+        if x.is_multiple_of(3) {
+            m.store_word(a + off, x);
+        } else {
+            m.load_word(a + off);
+        }
+    }
+    let s = m.finish();
+    let line = 32;
+    let fills = s.cache.loads.full_misses + s.cache.stores.full_misses;
+    assert_eq!(s.bytes_l1_l2, (fills + s.cache.l1_writebacks) * line);
+}
+
+#[test]
+fn tag_overhead_is_exactly_one_bit_per_word() {
+    let mut m = Machine::new(SimConfig::default());
+    let _ = m.malloc(1 << 20);
+    let a = m.malloc(8);
+    m.store_word(a, 1);
+    let s = m.finish();
+    assert_eq!(
+        s.mem.tag_bytes() * 64,
+        s.mem.data_bytes(),
+        "1 bit per 64-bit word, the paper's 1.5625% overhead"
+    );
+}

@@ -1,0 +1,106 @@
+//! Failure injection: corrupted forwarding state, resource exhaustion and
+//! API misuse must fail loudly and precisely, never corrupt silently.
+
+use memfwd_repro::core::{relocate, Machine, SimConfig};
+use memfwd_repro::tagmem::Addr;
+
+fn machine() -> Machine {
+    Machine::new(SimConfig::default())
+}
+
+#[test]
+#[should_panic(expected = "forwarding cycle")]
+fn load_through_injected_cycle_aborts() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    let b = m.malloc(8);
+    let c = m.malloc(8);
+    // Software erroneously inserts `a` into its own chain: a -> b -> c -> a.
+    m.unforwarded_write(a, b.0, true);
+    m.unforwarded_write(b, c.0, true);
+    m.unforwarded_write(c, a.0, true);
+    let _ = m.load_word(a);
+}
+
+#[test]
+#[should_panic(expected = "forwarding cycle")]
+fn store_through_injected_cycle_aborts() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    m.unforwarded_write(a, a.0, true); // self-loop
+    m.store_word(a, 1);
+}
+
+#[test]
+fn long_but_acyclic_chain_is_not_a_false_positive() {
+    // 3x the hop limit: the accurate check must call it a false alarm.
+    let mut m = machine();
+    let hop_limit = m.config().hop_limit;
+    let blocks: Vec<Addr> = (0..3 * hop_limit + 2).map(|_| m.malloc(8)).collect();
+    m.store_word(*blocks.last().unwrap(), 99);
+    for w in blocks.windows(2) {
+        m.unforwarded_write(w[0], w[1].0, true);
+    }
+    assert_eq!(m.load_word(blocks[0]), 99);
+}
+
+#[test]
+#[should_panic(expected = "simulated heap exhausted")]
+fn heap_exhaustion_panics_cleanly() {
+    let cfg = SimConfig {
+        heap_capacity: 1024,
+        ..SimConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    for _ in 0..1000 {
+        let _ = m.malloc(64);
+    }
+}
+
+#[test]
+#[should_panic(expected = "misaligned")]
+fn misaligned_access_is_rejected() {
+    let mut m = machine();
+    let a = m.malloc(16);
+    let _ = m.load(a + 1, 4);
+}
+
+#[test]
+#[should_panic(expected = "null dereference")]
+fn null_chase_is_rejected() {
+    let mut m = machine();
+    let head = m.malloc(8); // next pointer is 0
+    let next = m.load_ptr(head);
+    let _ = m.load_word(next);
+}
+
+#[test]
+#[should_panic(expected = "free of non-allocated address")]
+fn free_of_interior_pointer_is_rejected() {
+    let mut m = machine();
+    let a = m.malloc(32);
+    m.free(a + 8);
+}
+
+#[test]
+#[should_panic(expected = "word-aligned")]
+fn misaligned_relocation_is_rejected() {
+    let mut m = machine();
+    let a = m.malloc(16);
+    let b = m.malloc(16);
+    relocate(&mut m, a + 4, b, 1);
+}
+
+#[test]
+fn unforwarded_write_can_repair_a_cycle() {
+    // The §3.2 story: after the cycle check aborts (here: would panic), a
+    // supervisor can repair the chain with Unforwarded_Write and resume.
+    let mut m = machine();
+    let a = m.malloc(8);
+    let b = m.malloc(8);
+    m.unforwarded_write(a, b.0, true);
+    m.unforwarded_write(b, a.0, true); // corrupt: a <-> b
+    // Repair: make b the terminal again and give it the data.
+    m.unforwarded_write(b, 4242, false);
+    assert_eq!(m.load_word(a), 4242);
+}

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests of the forwarding mechanism itself:
+//! chains, sub-word accesses, pointer comparison, deallocation wrappers
+//! and traps, all through the public `Machine` API.
+
+use memfwd_repro::core::{
+    color_relocate, copy_region, final_address, list_linearize, merge_tables, ptr_eq, relocate,
+    ListDesc, Machine, SimConfig,
+};
+use memfwd_repro::tagmem::Addr;
+
+fn machine() -> Machine {
+    Machine::new(SimConfig::default())
+}
+
+#[test]
+fn every_subword_size_survives_relocation() {
+    let mut m = machine();
+    let old = m.malloc(16);
+    m.store(old, 1, 0x11);
+    m.store(old + 1, 1, 0x22);
+    m.store(old + 2, 2, 0x3344);
+    m.store(old + 4, 4, 0x5566_7788);
+    m.store(old + 8, 8, 0x99AA_BBCC_DDEE_FF00);
+    let new = m.malloc(16);
+    relocate(&mut m, old, new, 2);
+    // Reads through the OLD addresses, all sizes:
+    assert_eq!(m.load(old, 1), 0x11);
+    assert_eq!(m.load(old + 1, 1), 0x22);
+    assert_eq!(m.load(old + 2, 2), 0x3344);
+    assert_eq!(m.load(old + 4, 4), 0x5566_7788);
+    assert_eq!(m.load(old + 8, 8), 0x99AA_BBCC_DDEE_FF00);
+    // Writes through the OLD addresses land in the new home:
+    m.store(old + 2, 2, 0xBEEF);
+    assert_eq!(m.load(new + 2, 2), 0xBEEF);
+}
+
+#[test]
+fn chains_grow_at_the_end_and_stay_consistent() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    m.store_word(a, 111);
+    let mut homes = vec![a];
+    for _ in 0..5 {
+        let next = m.malloc(8);
+        relocate(&mut m, a, next, 1); // always relocate via the OLDEST name
+        homes.push(next);
+    }
+    // Every historical name of the object still reads the live value.
+    for h in &homes {
+        assert_eq!(m.load_word(*h), 111);
+    }
+    // And a store through the middle of the chain updates the terminal.
+    m.store_word(homes[2], 222);
+    assert_eq!(m.load_word(*homes.last().unwrap()), 222);
+    assert_eq!(m.load_word(homes[0]), 222);
+}
+
+#[test]
+fn pointer_comparison_across_relocation_generations() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    let b = m.malloc(8);
+    relocate(&mut m, a, b, 1);
+    let c = m.malloc(8);
+    relocate(&mut m, a, c, 1); // extends the chain: a -> b -> c
+    assert!(ptr_eq(&mut m, a, b));
+    assert!(ptr_eq(&mut m, b, c));
+    assert!(ptr_eq(&mut m, a, c));
+    assert_eq!(final_address(&mut m, a), c);
+    let other = m.malloc(8);
+    assert!(!ptr_eq(&mut m, a, other));
+}
+
+#[test]
+fn merge_tables_stale_access_and_update() {
+    let mut m = machine();
+    let a = m.malloc(8 * 8);
+    let b = m.malloc(8 * 8);
+    for i in 0..8 {
+        m.store_word(a.add_words(i), i);
+        m.store_word(b.add_words(i), 100 + i);
+    }
+    let mut pool = m.new_pool();
+    let t = merge_tables(&mut m, a, b, 8, &mut pool);
+    // Stale writes through the old tables must land in the merged table.
+    m.store_word(a.add_words(5), 555);
+    m.store_word(b.add_words(6), 666);
+    assert_eq!(m.load_word(t.a_entry(5)), 555);
+    assert_eq!(m.load_word(t.b_entry(6)), 666);
+}
+
+#[test]
+fn copy_region_and_coloring_compose() {
+    let mut m = machine();
+    let src = m.malloc(32);
+    for i in 0..4 {
+        m.store_word(src.add_words(i), i + 1);
+    }
+    let mut pool = m.new_pool();
+    let copy1 = copy_region(&mut m, src, 4, &mut pool);
+    // Color-relocate the copy (another generation of relocation).
+    let mut pools = vec![m.new_pool(), m.new_pool()];
+    let moved = color_relocate(&mut m, &[(copy1, 4, 1)], &mut pools);
+    for i in 0..4 {
+        assert_eq!(m.load_word(moved[0].add_words(i)), i + 1);
+        assert_eq!(m.load_word(src.add_words(i)), i + 1, "two hops");
+    }
+}
+
+#[test]
+fn free_reclaims_whole_chain_of_blocks() {
+    let mut m = machine();
+    let a = m.malloc(24);
+    let b = m.malloc(24);
+    let c = m.malloc(24);
+    relocate(&mut m, a, b, 3);
+    relocate(&mut m, a, c, 3);
+    let live_before = m.heap().stats().live_bytes;
+    m.free(a);
+    let s = m.heap().stats();
+    assert_eq!(live_before - s.live_bytes, 72, "a, b and c all freed");
+    let rs = m.finish();
+    assert_eq!(rs.fwd.chain_frees, 2);
+}
+
+#[test]
+fn freed_chain_memory_is_safe_to_reuse() {
+    let mut m = machine();
+    let a = m.malloc(16);
+    let b = m.malloc(16);
+    relocate(&mut m, a, b, 2);
+    m.free(a);
+    // Anything reallocated over the old storage must behave like fresh
+    // memory: no stale forwarding bits.
+    for _ in 0..8 {
+        let x = m.malloc(16);
+        m.store_word(x, 0xDEAD);
+        assert_eq!(m.load_word(x), 0xDEAD);
+        assert!(!m.mem().fbit(x), "recycled memory must have clear fbits");
+    }
+}
+
+#[test]
+fn linearization_of_a_list_with_external_aliases() {
+    const DESC: ListDesc = ListDesc {
+        node_words: 3,
+        next_word: 0,
+    };
+    let mut m = machine();
+    let head = m.malloc(8);
+    m.store_ptr(head, Addr::NULL);
+    let mut aliases = Vec::new();
+    for i in 0..40u64 {
+        let node = m.malloc(24);
+        let first = m.load_ptr(head);
+        m.store_ptr(node, first);
+        m.store_word(node + 8, i);
+        m.store_ptr(head, node);
+        if i % 7 == 0 {
+            aliases.push((node, i));
+        }
+    }
+    let mut pool = m.new_pool();
+    // Linearize TWICE; aliases get two hops but stay correct.
+    list_linearize(&mut m, head, DESC, &mut pool);
+    list_linearize(&mut m, head, DESC, &mut pool);
+    for (alias, want) in aliases {
+        assert_eq!(m.load_word(alias + 8), want);
+    }
+    let s = m.finish();
+    assert!(s.fwd.load_hops[2] > 0, "two-hop dereferences exercised");
+}
+
+#[test]
+fn traps_report_every_forwarded_reference_once() {
+    let mut m = machine();
+    let old = m.malloc(8);
+    let new = m.malloc(8);
+    m.store_word(old, 1);
+    relocate(&mut m, old, new, 1);
+    m.set_traps_enabled(true);
+    for _ in 0..5 {
+        m.load_word(old);
+    }
+    m.load_word(new); // direct: no trap
+    let traps = m.take_traps();
+    assert_eq!(traps.len(), 5);
+    assert!(traps.iter().all(|t| t.initial == old && t.final_addr == new));
+    assert!(traps.iter().all(|t| t.hops == 1 && !t.is_store));
+    assert_eq!(traps[0].displacement(), new.distance_from(old));
+}
+
+#[test]
+fn isa_extensions_observe_raw_state() {
+    let mut m = machine();
+    let old = m.malloc(8);
+    let new = m.malloc(8);
+    m.store_word(old, 42);
+    relocate(&mut m, old, new, 1);
+    // Read_FBit and Unforwarded_Read see the forwarding plumbing itself.
+    assert!(m.read_fbit(old));
+    assert!(!m.read_fbit(new));
+    let (raw, fbit) = m.unforwarded_read(old);
+    assert_eq!(raw, new.0);
+    assert!(fbit);
+    // Unforwarded_Write can surgically rewrite a forwarding address.
+    let third = m.malloc(8);
+    m.store_word(third, 43);
+    m.unforwarded_write(old, third.0, true);
+    assert_eq!(m.load_word(old), 43, "redirected to the third location");
+}

@@ -1,0 +1,138 @@
+//! The paper's qualitative results as executable assertions, at bench
+//! scale. These take minutes, so they are `#[ignore]`d by default; run
+//! them with:
+//!
+//! ```console
+//! cargo test --release --test paper_shapes -- --ignored
+//! ```
+
+use memfwd_repro::apps::{run, App, RunConfig, Variant};
+
+fn cell(app: App, variant: Variant, line: u64) -> memfwd_repro::apps::AppOutput {
+    let mut cfg = RunConfig::new(variant);
+    cfg.sim = cfg.sim.with_line_bytes(line);
+    run(app, &cfg)
+}
+
+#[test]
+#[ignore = "bench-scale: run explicitly with --ignored"]
+fn fig5_optimized_beats_original_except_compress() {
+    for app in App::FIG5 {
+        for line in [32u64, 64, 128] {
+            let n = cell(app, Variant::Original, line);
+            let l = cell(app, Variant::Optimized, line);
+            assert_eq!(n.checksum, l.checksum);
+            let speedup = l.stats.speedup_over(&n.stats);
+            if app == App::Compress && line < 128 {
+                assert!(
+                    speedup < 1.0,
+                    "{app}@{line}B: compress must lose at short lines, got {speedup:.2}"
+                );
+            } else {
+                assert!(
+                    speedup > 0.99,
+                    "{app}@{line}B: L must not lose, got {speedup:.2}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "bench-scale: run explicitly with --ignored"]
+fn fig5_speedups_grow_with_line_size_for_list_apps() {
+    for app in [App::Health, App::Mst, App::Vis] {
+        let mut prev = 0.0;
+        for line in [32u64, 64, 128] {
+            let n = cell(app, Variant::Original, line);
+            let l = cell(app, Variant::Optimized, line);
+            let s = l.stats.speedup_over(&n.stats);
+            assert!(
+                s > prev,
+                "{app}: speedup must grow with line size ({s:.2} after {prev:.2})"
+            );
+            prev = s;
+        }
+        assert!(prev > 1.5, "{app}: large gain expected at 128B, got {prev:.2}");
+    }
+}
+
+#[test]
+#[ignore = "bench-scale: run explicitly with --ignored"]
+fn fig5_unoptimized_degrades_with_line_size_without_locality() {
+    for app in [App::Mst, App::Vis, App::Bh, App::Compress] {
+        let at32 = cell(app, Variant::Original, 32).stats.cycles();
+        let at128 = cell(app, Variant::Original, 128).stats.cycles();
+        assert!(
+            at128 > at32,
+            "{app}: longer lines must hurt the sparse original layout"
+        );
+    }
+}
+
+#[test]
+#[ignore = "bench-scale: run explicitly with --ignored"]
+fn fig6_optimized_cuts_misses_and_bandwidth_for_linearized_apps() {
+    for app in [App::Health, App::Mst, App::Vis] {
+        let n = cell(app, Variant::Original, 128);
+        let l = cell(app, Variant::Optimized, 128);
+        assert!(
+            (l.stats.cache.loads.misses() as f64)
+                < 0.65 * n.stats.cache.loads.misses() as f64,
+            "{app}: expected >35% miss reduction at 128B"
+        );
+        assert!(
+            l.stats.bytes_l2_mem < n.stats.bytes_l2_mem,
+            "{app}: bandwidth must drop"
+        );
+    }
+}
+
+#[test]
+#[ignore = "bench-scale: run explicitly with --ignored"]
+fn fig7_linearization_prefetching_beats_pointer_chase_prefetching() {
+    // As in the paper, each case uses its best block size.
+    let best = |variant: Variant, app: App| {
+        [1u64, 2, 4]
+            .into_iter()
+            .map(|b| run(app, &RunConfig::new(variant).with_prefetch(b)))
+            .min_by_key(|o| o.stats.cycles())
+            .expect("non-empty")
+    };
+    for app in [App::Health, App::Radiosity, App::Vis, App::Eqntott] {
+        let np = best(Variant::Original, app);
+        let lp = best(Variant::Optimized, app);
+        assert_eq!(np.checksum, lp.checksum);
+        assert!(
+            lp.stats.cycles() < np.stats.cycles(),
+            "{app}: LP must beat NP (pointer chasing limits NP)"
+        );
+    }
+}
+
+#[test]
+#[ignore = "bench-scale: run explicitly with --ignored"]
+fn fig10_smv_orderings_hold() {
+    let n = run(App::Smv, &RunConfig::new(Variant::Original));
+    let l = run(App::Smv, &RunConfig::new(Variant::Optimized));
+    let mut pcfg = RunConfig::new(Variant::Optimized);
+    pcfg.sim = pcfg.sim.with_perfect_forwarding();
+    let p = run(App::Smv, &pcfg);
+    assert_eq!(n.checksum, l.checksum);
+    assert_eq!(n.checksum, p.checksum);
+    // (a) L slower than N; Perf between Perf < N marginally.
+    assert!(l.stats.cycles() > n.stats.cycles(), "L must pay for forwarding");
+    assert!(p.stats.cycles() < l.stats.cycles(), "Perf recovers the loss");
+    assert!(
+        (p.stats.cycles() as f64) > 0.85 * n.stats.cycles() as f64,
+        "Perf improves on N only marginally"
+    );
+    // (c) a few percent of loads forwarded, ~1-3% of stores, one hop.
+    let fl = l.stats.fwd.forwarded_load_fraction();
+    let fs = l.stats.fwd.forwarded_store_fraction();
+    assert!((0.03..0.15).contains(&fl), "load fwd fraction {fl}");
+    assert!((0.005..0.05).contains(&fs), "store fwd fraction {fs}");
+    assert_eq!(l.stats.fwd.load_hops[2..].iter().sum::<u64>(), 0, "1 hop only");
+    // (b) cache pollution: L touches old + new locations.
+    assert!(l.stats.cache.loads.misses() > n.stats.cache.loads.misses());
+}

@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) of the core invariants: relocation
+//! safety against a functional model, heap soundness, chain resolution,
+//! linearization, and statistics conservation.
+
+use memfwd_repro::core::{list_linearize, relocate, ListDesc, Machine, SimConfig};
+use memfwd_repro::tagmem::{resolve_unbounded, Addr, Heap, TaggedMemory};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations for the relocation-equivalence property.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Store `value` of `size` bytes at logical offset `off` of object
+    /// `obj`, through its `gen`-th historical address.
+    Store { obj: u8, gen: u8, off: u8, size: u8, value: u64 },
+    /// Load at logical offset `off` of `obj` through a historical address.
+    Load { obj: u8, gen: u8, off: u8, size: u8 },
+    /// Relocate `obj` to a fresh home through a historical address.
+    Relocate { obj: u8, gen: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let size = prop_oneof![Just(1u8), Just(2), Just(4), Just(8)];
+    prop_oneof![
+        (0u8..4, 0u8..8, 0u8..24, size.clone(), any::<u64>())
+            .prop_map(|(obj, gen, off, size, value)| Op::Store { obj, gen, off, size, value }),
+        (0u8..4, 0u8..8, 0u8..24, size).prop_map(|(obj, gen, off, size)| Op::Load {
+            obj,
+            gen,
+            off,
+            size
+        }),
+        (0u8..4, 0u8..8).prop_map(|(obj, gen)| Op::Relocate { obj, gen }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of stores, loads and relocations — through ANY
+    /// historical address of an object — behaves exactly like a flat,
+    /// never-relocated memory.
+    #[test]
+    fn relocation_is_transparent(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        const OBJ_WORDS: u64 = 3; // 24 bytes
+        let mut m = Machine::new(SimConfig::default());
+        // model[obj][byte offset] = value of that byte
+        let mut model: Vec<HashMap<u8, u8>> = vec![HashMap::new(); 4];
+        let mut homes: Vec<Vec<Addr>> = (0..4)
+            .map(|_| vec![m.malloc(OBJ_WORDS * 8)])
+            .collect();
+
+        for op in ops {
+            match op {
+                Op::Store { obj, gen, off, size, value } => {
+                    let o = obj as usize % 4;
+                    let addr = homes[o][gen as usize % homes[o].len()];
+                    let size = u64::from(size);
+                    let off = (u64::from(off) / size * size) % (OBJ_WORDS * 8);
+                    m.store(addr + off, size, value);
+                    for b in 0..size {
+                        model[o].insert((off + b) as u8, value.to_le_bytes()[b as usize]);
+                    }
+                }
+                Op::Load { obj, gen, off, size } => {
+                    let o = obj as usize % 4;
+                    let addr = homes[o][gen as usize % homes[o].len()];
+                    let size = u64::from(size);
+                    let off = (u64::from(off) / size * size) % (OBJ_WORDS * 8);
+                    let got = m.load(addr + off, size);
+                    let mut want = [0u8; 8];
+                    for b in 0..size {
+                        want[b as usize] =
+                            model[o].get(&((off + b) as u8)).copied().unwrap_or(0);
+                    }
+                    prop_assert_eq!(got, u64::from_le_bytes(want));
+                }
+                Op::Relocate { obj, gen } => {
+                    let o = obj as usize % 4;
+                    let src = homes[o][gen as usize % homes[o].len()];
+                    let tgt = m.malloc(OBJ_WORDS * 8);
+                    relocate(&mut m, src, tgt, OBJ_WORDS);
+                    homes[o].push(tgt);
+                }
+            }
+        }
+    }
+
+    /// The heap never hands out overlapping blocks, keeps everything
+    /// word-aligned, and its byte accounting is exact.
+    #[test]
+    fn heap_soundness(ops in proptest::collection::vec((any::<bool>(), 1u64..200), 1..200)) {
+        let mut h = Heap::new(Addr(0x1000), 1 << 22);
+        let mut live: Vec<(Addr, u64)> = Vec::new();
+        for (free, size) in ops {
+            if free && !live.is_empty() {
+                let (a, _) = live.swap_remove(size as usize % live.len());
+                h.free(a).unwrap();
+            } else {
+                let a = h.alloc(size).unwrap();
+                prop_assert!(a.is_aligned(8));
+                let rounded = size.div_ceil(8) * 8;
+                for &(b, bsz) in &live {
+                    let disjoint = a.0 + rounded <= b.0 || b.0 + bsz <= a.0;
+                    prop_assert!(disjoint, "{a:?}+{rounded} overlaps {b:?}+{bsz}");
+                }
+                live.push((a, rounded));
+            }
+        }
+        let want: u64 = live.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(h.stats().live_bytes, want);
+    }
+
+    /// Chain resolution always lands on the terminal word of the chain the
+    /// relocations built, with the hop count equal to the chain length.
+    #[test]
+    fn chain_resolution_matches_construction(hops in 0usize..12, offset in 0u64..8) {
+        let mut mem = TaggedMemory::new();
+        let homes: Vec<u64> = (0..=hops as u64).map(|i| 0x1000 + i * 0x100).collect();
+        for w in homes.windows(2) {
+            mem.unforwarded_write(Addr(w[0]), w[1], true);
+        }
+        let r = resolve_unbounded(&mem, Addr(homes[0] + offset)).unwrap();
+        prop_assert_eq!(r.final_addr, Addr(homes[hops] + offset));
+        prop_assert_eq!(r.hops, hops as u32);
+    }
+
+    /// Linearization preserves arbitrary list contents and produces
+    /// contiguous nodes, no matter the payloads or length.
+    #[test]
+    fn linearization_preserves_lists(payloads in proptest::collection::vec(any::<u64>(), 0..60)) {
+        const DESC: ListDesc = ListDesc { node_words: 3, next_word: 0 };
+        let mut m = Machine::new(SimConfig::default());
+        let head = m.malloc(8);
+        m.store_ptr(head, Addr::NULL);
+        for (i, &v) in payloads.iter().enumerate().rev() {
+            let _pad = m.malloc(8 * (i as u64 % 5 + 1));
+            let node = m.malloc(24);
+            let first = m.load_ptr(head);
+            m.store_ptr(node, first);
+            m.store_word(node + 8, v);
+            m.store_ptr(head, node);
+        }
+        let mut pool = m.new_pool();
+        let out = list_linearize(&mut m, head, DESC, &mut pool);
+        prop_assert_eq!(out.nodes, payloads.len() as u64);
+        // Walk and compare payloads + contiguity.
+        let mut node = m.load_ptr(head);
+        let mut prev = Addr::NULL;
+        for &want in &payloads {
+            prop_assert!(!node.is_null());
+            prop_assert_eq!(m.load_word(node + 8), want);
+            if !prev.is_null() {
+                prop_assert_eq!(node.0 - prev.0, 24);
+            }
+            prev = node;
+            node = m.load_ptr(node);
+        }
+        prop_assert!(node.is_null());
+    }
+
+    /// Access classification is conserved: every load is exactly one of
+    /// {L1 hit, partial miss, full miss}, and the same for stores.
+    #[test]
+    fn cache_stats_conserved(addrs in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..300)) {
+        let mut m = Machine::new(SimConfig::default());
+        let base = m.malloc(1 << 20);
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for (a, is_store) in addrs {
+            let addr = base + (u64::from(a) * 8) % (1 << 20);
+            if is_store {
+                m.store_word(addr, 1);
+                stores += 1;
+            } else {
+                m.load_word(addr);
+                loads += 1;
+            }
+        }
+        let s = m.finish();
+        prop_assert_eq!(s.cache.loads.total(), loads);
+        prop_assert_eq!(s.cache.stores.total(), stores);
+        prop_assert_eq!(s.fwd.loads, loads);
+        prop_assert_eq!(s.fwd.stores, stores);
+    }
+
+    /// Perfect forwarding and real forwarding always agree functionally.
+    #[test]
+    fn perfect_forwarding_functional_equivalence(
+        seeds in proptest::collection::vec(any::<u64>(), 1..6)
+    ) {
+        for seed in seeds {
+            let scramble = |perfect: bool| -> u64 {
+                let cfg = SimConfig {
+                    perfect_forwarding: perfect,
+                    ..SimConfig::default()
+                };
+                let mut m = Machine::new(cfg);
+                let mut x = seed | 1;
+                let objs: Vec<Addr> = (0..8).map(|_| m.malloc(16)).collect();
+                let mut sum = 0u64;
+                for i in 0..64u64 {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let o = objs[(x >> 33) as usize % 8];
+                    match x % 3 {
+                        0 => m.store_word(o + 8, x),
+                        1 => sum = sum.wrapping_add(m.load_word(o + 8)),
+                        _ => {
+                            let t = m.malloc(16);
+                            relocate(&mut m, o, t, 2);
+                        }
+                    }
+                    let _ = i;
+                }
+                sum
+            };
+            prop_assert_eq!(scramble(false), scramble(true));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's central claim, end to end: relocation enabled by memory
+//! forwarding is ALWAYS safe. Every application must produce bit-identical
+//! results in the original layout, the optimized layout, the optimized
+//! layout under perfect forwarding, and with prefetching on top — across
+//! seeds and line sizes.
+
+use memfwd_repro::apps::{run, App, RunConfig, Variant};
+
+fn smoke(variant: Variant, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(variant).smoke();
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn all_apps_safe_across_variants_and_seeds() {
+    for app in App::ALL {
+        for seed in [1u64, 99, 123_456_789] {
+            let orig = run(app, &smoke(Variant::Original, seed));
+            let opt = run(app, &smoke(Variant::Optimized, seed));
+            assert_eq!(
+                orig.checksum, opt.checksum,
+                "{app} seed {seed}: optimized layout changed the result"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_apps_safe_under_perfect_forwarding() {
+    for app in App::ALL {
+        let opt = run(app, &smoke(Variant::Optimized, 7));
+        let mut pcfg = smoke(Variant::Optimized, 7);
+        pcfg.sim = pcfg.sim.with_perfect_forwarding();
+        let perf = run(app, &pcfg);
+        assert_eq!(opt.checksum, perf.checksum, "{app}: Perf changed the result");
+    }
+}
+
+#[test]
+fn all_apps_safe_across_line_sizes() {
+    for app in App::ALL {
+        let mut reference = None;
+        for lb in [32u64, 64, 128, 256] {
+            for variant in [Variant::Original, Variant::Optimized] {
+                let mut cfg = smoke(variant, 42);
+                cfg.sim = cfg.sim.with_line_bytes(lb);
+                let out = run(app, &cfg);
+                let r = *reference.get_or_insert(out.checksum);
+                assert_eq!(r, out.checksum, "{app} @ {lb}B {variant:?} diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_apps_safe_with_prefetching() {
+    for app in App::ALL {
+        let orig = run(app, &smoke(Variant::Original, 3));
+        for variant in [Variant::Original, Variant::Optimized] {
+            for block in [1u64, 4] {
+                let cfg = smoke(variant, 3).with_prefetch(block);
+                let out = run(app, &cfg);
+                assert_eq!(
+                    orig.checksum, out.checksum,
+                    "{app} {variant:?} prefetch block {block} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_apps_safe_without_dependence_speculation() {
+    for app in App::ALL {
+        let orig = run(app, &smoke(Variant::Original, 11));
+        let mut cfg = smoke(Variant::Optimized, 11);
+        cfg.sim.dependence_speculation = false;
+        let out = run(app, &cfg);
+        assert_eq!(orig.checksum, out.checksum, "{app}: conservative mode diverged");
+    }
+}
+
+#[test]
+fn static_placement_is_safe_where_supported() {
+    for app in [App::Eqntott, App::Vis, App::Health] {
+        let orig = run(app, &smoke(Variant::Original, 5));
+        let st = run(app, &smoke(Variant::Static, 5));
+        assert_eq!(orig.checksum, st.checksum, "{app}: static placement diverged");
+        assert_eq!(st.stats.fwd.relocations, 0);
+    }
+}
+
+#[test]
+fn optimized_variants_actually_relocate() {
+    for app in App::ALL {
+        let opt = run(app, &smoke(Variant::Optimized, 1));
+        assert!(
+            opt.stats.fwd.relocations > 0,
+            "{app}: the optimized variant never relocated anything"
+        );
+        let orig = run(app, &smoke(Variant::Original, 1));
+        assert_eq!(
+            orig.stats.fwd.relocations, 0,
+            "{app}: the original variant must not relocate"
+        );
+    }
+}

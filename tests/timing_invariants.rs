@@ -1,0 +1,137 @@
+//! Invariants of the timing model that must hold for the paper's
+//! comparisons to be meaningful.
+
+use memfwd_repro::apps::{run, App, RunConfig, Variant};
+use memfwd_repro::core::{Machine, SimConfig, Token};
+
+#[test]
+fn slot_accounting_is_conserved_for_every_app() {
+    for app in App::ALL {
+        for variant in [Variant::Original, Variant::Optimized] {
+            let out = run(app, &RunConfig::new(variant).smoke());
+            let s = out.stats.slots();
+            assert_eq!(
+                s.total(),
+                out.stats.cycles() * 4,
+                "{app} {variant:?}: slots must equal cycles x width"
+            );
+            assert_eq!(
+                s.busy, out.stats.pipeline.dispatched,
+                "{app} {variant:?}: every dispatched instruction graduates once"
+            );
+        }
+    }
+}
+
+#[test]
+fn perfect_forwarding_never_slower_than_real_forwarding() {
+    // Same program, same relocations: removing hop latency and pollution
+    // can only help.
+    for app in [App::Smv, App::Health, App::Vis] {
+        let real = run(app, &RunConfig::new(Variant::Optimized).smoke());
+        let mut cfg = RunConfig::new(Variant::Optimized).smoke();
+        cfg.sim = cfg.sim.with_perfect_forwarding();
+        let perf = run(app, &cfg);
+        assert!(
+            perf.stats.cycles() <= real.stats.cycles(),
+            "{app}: Perf {} > real {}",
+            perf.stats.cycles(),
+            real.stats.cycles()
+        );
+    }
+}
+
+#[test]
+fn conservative_loads_never_faster_than_speculation() {
+    for app in [App::Smv, App::Mst] {
+        let spec = run(app, &RunConfig::new(Variant::Optimized).smoke());
+        let mut cfg = RunConfig::new(Variant::Optimized).smoke();
+        cfg.sim.dependence_speculation = false;
+        let cons = run(app, &cfg);
+        assert!(
+            cons.stats.cycles() >= spec.stats.cycles(),
+            "{app}: conservative {} < speculative {}",
+            cons.stats.cycles(),
+            spec.stats.cycles()
+        );
+    }
+}
+
+#[test]
+fn longer_memory_latency_slows_execution() {
+    let mut fast_cfg = RunConfig::new(Variant::Original).smoke();
+    fast_cfg.sim.hierarchy.mem_latency = 20;
+    let mut slow_cfg = RunConfig::new(Variant::Original).smoke();
+    slow_cfg.sim.hierarchy.mem_latency = 300;
+    let fast = run(App::Vis, &fast_cfg);
+    let slow = run(App::Vis, &slow_cfg);
+    assert_eq!(fast.checksum, slow.checksum, "latency must not change results");
+    assert!(slow.stats.cycles() > fast.stats.cycles());
+}
+
+#[test]
+fn bigger_cache_never_hurts_misses() {
+    let small = RunConfig::new(Variant::Original).smoke();
+    let mut big = RunConfig::new(Variant::Original).smoke();
+    big.sim.hierarchy.l1.size_bytes *= 8;
+    let s = run(App::Eqntott, &small);
+    let b = run(App::Eqntott, &big);
+    assert!(
+        b.stats.cache.loads.misses() <= s.stats.cache.loads.misses(),
+        "8x L1: {} misses vs {}",
+        b.stats.cache.loads.misses(),
+        s.stats.cache.loads.misses()
+    );
+}
+
+#[test]
+fn ideal_compute_ipc_reaches_machine_width() {
+    let mut m = Machine::new(SimConfig::default());
+    m.compute(40_000);
+    let s = m.finish();
+    let ipc = s.pipeline.dispatched as f64 / s.cycles() as f64;
+    assert!(ipc > 3.9, "independent ALU stream should reach ~4 IPC, got {ipc:.2}");
+}
+
+#[test]
+fn dependent_chain_is_latency_bound() {
+    let mut m = Machine::new(SimConfig::default());
+    let mut t = Token::ready();
+    for _ in 0..10_000 {
+        t = m.compute_dep(1, t);
+    }
+    let s = m.finish();
+    assert!(
+        s.cycles() >= 10_000,
+        "a dependent chain cannot beat 1 op/cycle: {}",
+        s.cycles()
+    );
+}
+
+#[test]
+fn instruction_counts_are_layout_independent_modulo_optimization() {
+    // The original variant executes the same instruction stream regardless
+    // of machine parameters.
+    let a = run(App::Compress, &RunConfig::new(Variant::Original).smoke());
+    let mut cfg = RunConfig::new(Variant::Original).smoke();
+    cfg.sim = cfg.sim.with_line_bytes(128);
+    cfg.sim.hierarchy.mem_latency = 200;
+    let b = run(App::Compress, &cfg);
+    assert_eq!(a.stats.pipeline.dispatched, b.stats.pipeline.dispatched);
+}
+
+#[test]
+fn bandwidth_grows_with_line_size_in_sparse_apps() {
+    let mut narrow = RunConfig::new(Variant::Original).smoke();
+    narrow.sim = narrow.sim.with_line_bytes(32);
+    let mut wide = RunConfig::new(Variant::Original).smoke();
+    wide.sim = wide.sim.with_line_bytes(128);
+    let n = run(App::Vis, &narrow);
+    let w = run(App::Vis, &wide);
+    assert!(
+        w.stats.bytes_l2_mem > n.stats.bytes_l2_mem,
+        "sparse lists waste bandwidth on long lines: {} vs {}",
+        w.stats.bytes_l2_mem,
+        n.stats.bytes_l2_mem
+    );
+}
