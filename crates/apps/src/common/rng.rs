@@ -12,7 +12,11 @@ pub struct Rng(u64);
 impl Rng {
     /// Creates a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> Rng {
-        Rng(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw 64-bit value.

@@ -203,7 +203,7 @@ fn maybe_scan_prefetch(m: &mut Machine, addr: Addr, lines: u64) {
 
 #[cfg(test)]
 mod tests {
-    use crate::registry::{run, App, RunConfig, Variant};
+    use crate::registry::{run_ok as run, App, RunConfig, Variant};
 
     #[test]
     fn checksums_match_across_variants() {

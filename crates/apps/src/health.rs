@@ -138,7 +138,12 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
             for &(i, id, time, sev) in movers.iter().rev() {
                 lib.delete_nth(&mut m, v_list, i, &mut pool);
                 let parent = villages[vi].parent.expect("movers require a parent");
-                lib.push_front(&mut m, villages[parent].waiting, &[id, time, sev], &mut pool);
+                lib.push_front(
+                    &mut m,
+                    villages[parent].waiting,
+                    &[id, time, sev],
+                    &mut pool,
+                );
             }
         }
         // Admit waiting patients.
@@ -195,7 +200,7 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{run, App, RunConfig, Variant};
+    use crate::registry::{run_ok as run, App, RunConfig, Variant};
 
     #[test]
     fn checksums_match_across_variants() {

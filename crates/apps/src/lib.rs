@@ -15,10 +15,15 @@
 //! ```
 //! use memfwd_apps::registry::{run, App, RunConfig, Variant};
 //!
-//! let orig = run(App::Vis, &RunConfig::new(Variant::Original).smoke());
-//! let opt = run(App::Vis, &RunConfig::new(Variant::Optimized).smoke());
+//! let orig = run(App::Vis, &RunConfig::new(Variant::Original).smoke()).unwrap();
+//! let opt = run(App::Vis, &RunConfig::new(Variant::Optimized).smoke()).unwrap();
 //! assert_eq!(orig.checksum, opt.checksum);
 //! ```
+//!
+//! `run` returns `Err(MachineFault)` when the simulated program aborts —
+//! e.g. under the fault-injection harness (`memfwd::InjectConfig`) — so
+//! callers can distinguish recovery from a typed abort. Harnesses whose
+//! workloads must not fault use [`registry::run_ok`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,4 +39,4 @@ pub mod registry;
 pub mod smv;
 pub mod vis;
 
-pub use registry::{run, App, AppOutput, RunConfig, Scale, Variant};
+pub use registry::{run, run_ok, App, AppOutput, RunConfig, Scale, Variant};

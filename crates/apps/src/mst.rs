@@ -206,7 +206,10 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
 /// Deterministic symmetric edge weight in `1..=16n`.
 fn edge_weight(a: u64, b: u64, n: u64) -> u64 {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-    (lo.wrapping_mul(0x9E37).wrapping_add(hi.wrapping_mul(0x85EB)) % (16 * n)) + 1
+    (lo.wrapping_mul(0x9E37)
+        .wrapping_add(hi.wrapping_mul(0x85EB))
+        % (16 * n))
+        + 1
 }
 
 fn insert_edge(m: &mut Machine, buckets: Addr, nbuckets: u64, key: u64, weight: u64) {
@@ -239,7 +242,7 @@ fn remove_vertex(m: &mut Machine, head: Addr, id: u64) {
 
 #[cfg(test)]
 mod tests {
-    use crate::registry::{run, App, RunConfig, Variant};
+    use crate::registry::{run_ok as run, App, RunConfig, Variant};
 
     #[test]
     fn checksums_match_across_variants() {

@@ -206,7 +206,7 @@ fn walk_interactions(
 
 #[cfg(test)]
 mod tests {
-    use crate::registry::{run, App, RunConfig, Variant};
+    use crate::registry::{run_ok as run, App, RunConfig, Variant};
 
     #[test]
     fn checksums_match_across_variants() {

@@ -2,7 +2,9 @@
 //! Table 1), with a uniform run interface used by tests, examples and the
 //! benchmark harness.
 
-use memfwd::{RunStats, SimConfig};
+use memfwd::{MachineFault, RunStats, SimConfig};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 /// The eight applications of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,9 +177,47 @@ pub struct AppOutput {
     pub stats: RunStats,
 }
 
+thread_local! {
+    /// True while `run` is catching machine-fault unwinds on this thread;
+    /// the wrapped panic hook stays silent for those.
+    static CAPTURING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Wraps the process panic hook (once) so that panics raised by the
+/// machine's infallible API while `run` is converting them to typed faults
+/// do not spray backtraces over the output. Panics outside a capture window
+/// are reported by the previous hook unchanged.
+fn install_silent_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
 /// Runs an application.
-pub fn run(app: App, cfg: &RunConfig) -> AppOutput {
-    match app {
+///
+/// Applications execute on the machine's infallible API (a fault aborts the
+/// simulated program, paper §3.2); `run` converts such aborts into the
+/// precise typed [`MachineFault`] so harnesses — the CLI, the corruption
+/// campaigns — can report recover-or-abort outcomes without ever seeing a
+/// silent divergence. Panics that are *not* machine faults (genuine bugs)
+/// are propagated unchanged.
+///
+/// # Errors
+///
+/// The [`MachineFault`] that aborted the simulated program, if one did.
+pub fn run(app: App, cfg: &RunConfig) -> Result<AppOutput, MachineFault> {
+    install_silent_hook();
+    // Clear any stale record so an unrelated earlier fault cannot be
+    // misattributed to this run.
+    let _ = memfwd::take_last_fault();
+    CAPTURING.with(|c| c.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| match app {
         App::Health => crate::health::run(cfg),
         App::Mst => crate::mst::run(cfg),
         App::Radiosity => crate::radiosity::run(cfg),
@@ -186,6 +226,31 @@ pub fn run(app: App, cfg: &RunConfig) -> AppOutput {
         App::Bh => crate::bh::run(cfg),
         App::Compress => crate::compress::run(cfg),
         App::Smv => crate::smv::run(cfg),
+    }));
+    CAPTURING.with(|c| c.set(false));
+    match result {
+        Ok(out) => Ok(out),
+        Err(payload) => match memfwd::take_last_fault() {
+            Some(fault) => Err(fault),
+            None => resume_unwind(payload),
+        },
+    }
+}
+
+/// Runs an application that is expected to complete, panicking on any
+/// machine fault.
+///
+/// Thin wrapper over [`run`] for harnesses — tests, benchmarks, examples —
+/// whose workloads are known-good and where a fault is a harness bug, not
+/// an outcome to report.
+///
+/// # Panics
+///
+/// Panics if the run aborts with a [`MachineFault`].
+pub fn run_ok(app: App, cfg: &RunConfig) -> AppOutput {
+    match run(app, cfg) {
+        Ok(out) => out,
+        Err(fault) => panic!("{app} aborted with a machine fault: {fault}"),
     }
 }
 

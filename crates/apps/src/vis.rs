@@ -117,7 +117,7 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
 #[cfg(test)]
 mod tests {
 
-    use crate::registry::{run, App, RunConfig, Variant};
+    use crate::registry::{run_ok as run, App, RunConfig, Variant};
 
     #[test]
     fn checksums_match_across_variants() {
@@ -134,10 +134,7 @@ mod tests {
         a.seed = 1;
         let mut b = a;
         b.seed = 2;
-        assert_ne!(
-            run(App::Vis, &a).checksum,
-            run(App::Vis, &b).checksum
-        );
+        assert_ne!(run(App::Vis, &a).checksum, run(App::Vis, &b).checksum);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! If a workload is changed *intentionally*, regenerate the table by
 //! running each app at smoke scale and pasting the new checksums.
 
-use memfwd_apps::{run, App, RunConfig, Variant};
+use memfwd_apps::{run_ok as run, App, RunConfig, Variant};
 
 const GOLDEN: [(App, u64); 8] = [
     (App::Health, 0x0000000051128597),

@@ -7,9 +7,9 @@
 //! 4. subtree clustering at a 256-byte line, where BH's 80-byte nodes
 //!    finally pack several to a line (paper §5.3).
 
-use memfwd_apps::{run, App, RunConfig, Variant};
-use memfwd_tagmem::AllocPolicy;
+use memfwd_apps::{run_ok as run, App, RunConfig, Variant};
 use memfwd_bench::{run_cell, scale_from_env};
+use memfwd_tagmem::AllocPolicy;
 
 fn main() {
     let scale = scale_from_env();

@@ -9,7 +9,7 @@
 //! (d) average cycles to complete a load/store, split into forwarding and
 //!     ordinary components.
 
-use memfwd_apps::{run, App, RunConfig, Variant};
+use memfwd_apps::{run_ok as run, App, RunConfig, Variant};
 use memfwd_bench::scale_from_env;
 
 fn main() {

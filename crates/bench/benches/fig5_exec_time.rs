@@ -68,7 +68,17 @@ fn main() {
     );
     write_csv(
         "fig5_exec_time",
-        &["app", "line_bytes", "case", "total", "busy", "load_stall", "store_stall", "inst_stall", "cycles"],
+        &[
+            "app",
+            "line_bytes",
+            "case",
+            "total",
+            "busy",
+            "load_stall",
+            "store_stall",
+            "inst_stall",
+            "cycles",
+        ],
         &csv,
     );
 }

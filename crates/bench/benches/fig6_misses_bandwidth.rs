@@ -85,7 +85,15 @@ fn main() {
     );
     write_csv(
         "fig6_misses_bandwidth",
-        &["app", "line_bytes", "case", "partial_misses", "full_misses", "bytes_l1_l2", "bytes_l2_mem"],
+        &[
+            "app",
+            "line_bytes",
+            "case",
+            "partial_misses",
+            "full_misses",
+            "bytes_l1_l2",
+            "bytes_l2_mem",
+        ],
         &csv,
     );
 }

@@ -50,7 +50,15 @@ fn main() {
     }
     write_csv(
         "fig7_prefetching",
-        &["app", "n_cycles", "l_cycles", "np_cycles", "np_block", "lp_cycles", "lp_block"],
+        &[
+            "app",
+            "n_cycles",
+            "l_cycles",
+            "np_cycles",
+            "np_block",
+            "lp_cycles",
+            "lp_block",
+        ],
         &csv,
     );
     println!();

@@ -13,10 +13,7 @@ use memfwd_bench::{run_cell, scale_from_env, write_csv};
 fn main() {
     let scale = scale_from_env();
     println!("Static placement (S) vs relocation (L), 64B lines, N = 100");
-    let header = format!(
-        "{:<10} {:>7} {:>7} {:>7}   verdict",
-        "app", "N", "S", "L"
-    );
+    let header = format!("{:<10} {:>7} {:>7} {:>7}   verdict", "app", "N", "S", "L");
     println!("{header}");
     memfwd_bench::rule(&header);
     let mut csv = Vec::new();

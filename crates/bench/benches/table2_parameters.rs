@@ -7,10 +7,22 @@ fn main() {
     println!("Table 2: simulation parameters");
     println!("------------------------------");
     println!("Pipeline");
-    println!("  dispatch/graduation width   {} insts/cycle", c.pipeline.width);
-    println!("  reorder buffer              {} entries", c.pipeline.rob_entries);
-    println!("  pipeline depth              {} cycles", c.pipeline.min_depth);
-    println!("  replay (misspec.) penalty   {} cycles", c.pipeline.replay_penalty);
+    println!(
+        "  dispatch/graduation width   {} insts/cycle",
+        c.pipeline.width
+    );
+    println!(
+        "  reorder buffer              {} entries",
+        c.pipeline.rob_entries
+    );
+    println!(
+        "  pipeline depth              {} cycles",
+        c.pipeline.min_depth
+    );
+    println!(
+        "  replay (misspec.) penalty   {} cycles",
+        c.pipeline.replay_penalty
+    );
     println!("  data-dependence speculation {}", c.dependence_speculation);
     println!("Memory hierarchy");
     println!(
@@ -25,8 +37,14 @@ fn main() {
         c.hierarchy.l2.assoc,
         c.hierarchy.l2.hit_latency
     );
-    println!("  line size                   {} B (swept: 32/64/128)", c.hierarchy.line_bytes);
-    println!("  memory latency              {} cycles", c.hierarchy.mem_latency);
+    println!(
+        "  line size                   {} B (swept: 32/64/128)",
+        c.hierarchy.line_bytes
+    );
+    println!(
+        "  memory latency              {} cycles",
+        c.hierarchy.mem_latency
+    );
     println!(
         "  L1<->L2 bandwidth           {} B/cycle",
         c.hierarchy.l1_l2_bytes_per_cycle
@@ -40,6 +58,9 @@ fn main() {
     println!("  forwarding-bit overhead     1 bit per 64-bit word (~1.5 %)");
     println!("  hop-limit before cycle chk  {} hops", c.hop_limit);
     println!("  per-hop penalty             {} cycles", c.fwd_hop_penalty);
-    println!("  cycle-check penalty         {} cycles", c.cycle_check_penalty);
+    println!(
+        "  cycle-check penalty         {} cycles",
+        c.cycle_check_penalty
+    );
     println!("  user-level trap penalty     {} cycles", c.trap_penalty);
 }

@@ -9,6 +9,7 @@
 //!       --app vis --variant optimized --line-bytes 128 --prefetch 2
 //! ```
 
+use memfwd::InjectConfig;
 use memfwd_apps::{run, App, RunConfig, Scale, Variant};
 
 const USAGE: &str = "\
@@ -30,12 +31,24 @@ OPTIONS:
     --hw-prefetch           enable the tagged next-line hardware prefetcher
     --scale <s>             smoke|bench (default: bench)
     --seed <n>              workload seed (default: 12345)
+    --inject-fbit <ppm>     corrupt forwarding bits, per million accesses
+    --inject-scramble <ppm> scramble forwarding-chain words, per million
+    --inject-alloc <ppm>    fail heap/pool allocations, per million
+    --inject-seed <n>       fault-injection RNG seed
+    --no-recover            leave injected corruption in place: the run ends
+                            in a typed machine fault (nonzero exit) instead
+                            of trap-based recovery
     --help                  print this text
+
+A run that aborts on a machine fault reports the typed fault on stderr
+and exits with a fault-specific code (10..=16); harness errors use 2.
 ";
 
 fn parse() -> Result<(App, RunConfig), String> {
     let mut app = App::Vis;
     let mut cfg = RunConfig::new(Variant::Original);
+    let mut inject = InjectConfig::default();
+    let mut inject_requested = false;
     let mut args = std::env::args().skip(1);
     let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -105,12 +118,43 @@ fn parse() -> Result<(App, RunConfig), String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--inject-fbit" => {
+                inject.fbit_flip_ppm = next_val(&mut args, "--inject-fbit")?
+                    .parse()
+                    .map_err(|e| format!("--inject-fbit: {e}"))?;
+                inject_requested = true;
+            }
+            "--inject-scramble" => {
+                inject.chain_scramble_ppm = next_val(&mut args, "--inject-scramble")?
+                    .parse()
+                    .map_err(|e| format!("--inject-scramble: {e}"))?;
+                inject_requested = true;
+            }
+            "--inject-alloc" => {
+                inject.alloc_fail_ppm = next_val(&mut args, "--inject-alloc")?
+                    .parse()
+                    .map_err(|e| format!("--inject-alloc: {e}"))?;
+                inject_requested = true;
+            }
+            "--inject-seed" => {
+                inject.seed = next_val(&mut args, "--inject-seed")?
+                    .parse()
+                    .map_err(|e| format!("--inject-seed: {e}"))?;
+                inject_requested = true;
+            }
+            "--no-recover" => {
+                inject.recover = false;
+                inject_requested = true;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+    if inject_requested {
+        cfg.sim = cfg.sim.with_fault_injection(inject);
     }
     Ok((app, cfg))
 }
@@ -125,11 +169,21 @@ fn main() {
     };
 
     let wall = std::time::Instant::now();
-    let out = run(app, &cfg);
+    let out = match run(app, &cfg) {
+        Ok(out) => out,
+        Err(fault) => {
+            eprintln!("machine fault: {fault}");
+            eprintln!("fault kind:    {}", fault.kind());
+            std::process::exit(fault.exit_code());
+        }
+    };
     let s = &out.stats;
     let slots = s.slots();
 
-    println!("app                  {app} ({:?}, seed {})", cfg.variant, cfg.seed);
+    println!(
+        "app                  {app} ({:?}, seed {})",
+        cfg.variant, cfg.seed
+    );
     println!("checksum             {:#018x}", out.checksum);
     println!("cycles               {}", s.cycles());
     println!(
@@ -180,10 +234,18 @@ fn main() {
     );
     println!(
         "memory               {} pages touched, {} fbits set, tag overhead {} B",
-        s.mem.pages, s.mem.fbits_set, s.mem.tag_bytes()
+        s.mem.pages,
+        s.mem.fbits_set,
+        s.mem.tag_bytes()
     );
     if s.fwd.page_faults > 0 {
         println!("page faults          {}", s.fwd.page_faults);
+    }
+    if s.fwd.injected_faults > 0 {
+        println!(
+            "fault injection      {} injected, {} repaired, {} trap deliveries",
+            s.fwd.injected_faults, s.fwd.fault_repairs, s.fwd.faults_delivered
+        );
     }
     println!("wall time            {:.2?}", wall.elapsed());
 }

@@ -1,4 +1,4 @@
-use memfwd_apps::{run, App, RunConfig, Variant};
+use memfwd_apps::{run_ok as run, App, RunConfig, Variant};
 
 fn main() {
     for app in App::FIG5 {
@@ -34,9 +34,12 @@ fn main() {
     assert_eq!(ro.checksum, rp.checksum);
     println!(
         "smv: N={} L={} Perf={} fwd_load_frac={:.3} fwd_store_frac={:.3} hops1={} hops2={}",
-        ro.stats.cycles(), rl.stats.cycles(), rp.stats.cycles(),
+        ro.stats.cycles(),
+        rl.stats.cycles(),
+        rp.stats.cycles(),
         rl.stats.fwd.forwarded_load_fraction(),
         rl.stats.fwd.forwarded_store_fraction(),
-        rl.stats.fwd.load_hops[1], rl.stats.fwd.load_hops[2],
+        rl.stats.fwd.load_hops[1],
+        rl.stats.fwd.load_hops[2],
     );
 }

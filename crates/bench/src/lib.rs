@@ -12,7 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use memfwd_apps::{run, App, AppOutput, RunConfig, Scale, Variant};
+use memfwd_apps::{run_ok as run, App, AppOutput, RunConfig, Scale, Variant};
 
 /// The line sizes swept by Fig. 5/6 of the paper.
 pub const LINE_SIZES: [u64; 3] = [32, 64, 128];
@@ -143,7 +143,11 @@ mod tests {
         let b = Breakdown::of(&out, out.stats.cycles());
         assert!((b.total - 100.0).abs() < 1e-9);
         let sum = b.busy + b.load_stall + b.store_stall + b.inst_stall;
-        assert!((sum - b.total).abs() < 1e-6, "sum {sum} != total {}", b.total);
+        assert!(
+            (sum - b.total).abs() < 1e-6,
+            "sum {sum} != total {}",
+            b.total
+        );
     }
 
     #[test]

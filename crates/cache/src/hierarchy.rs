@@ -187,7 +187,9 @@ impl Hierarchy {
         let lookup_l2_at = t + self.cfg.l1.hit_latency;
         let line_bytes = self.cfg.line_bytes;
         let (fill_done, outcome) = if self.l2.lookup(line) {
-            let done = self.bus12.transfer(lookup_l2_at + self.cfg.l2.hit_latency, line_bytes);
+            let done = self
+                .bus12
+                .transfer(lookup_l2_at + self.cfg.l2.hit_latency, line_bytes);
             self.stats.l2_hits += 1;
             (done, Outcome::L2Hit)
         } else {
@@ -362,7 +364,11 @@ mod tests {
         h.access(0, 0x2000, AccessKind::Load);
         // Third distinct-line miss at cycle 0 must wait for an MSHR.
         let c = h.access(0, 0x3000, AccessKind::Load);
-        assert!(c.complete_at > 92 + 80, "waited for an MSHR, got {}", c.complete_at);
+        assert!(
+            c.complete_at > 92 + 80,
+            "waited for an MSHR, got {}",
+            c.complete_at
+        );
     }
 
     #[test]
@@ -428,7 +434,10 @@ mod tests {
                 full += 1;
             }
         }
-        assert!(full <= 2, "next-line prefetch should cover the stream: {full}");
+        assert!(
+            full <= 2,
+            "next-line prefetch should cover the stream: {full}"
+        );
         assert!(h.stats().prefetches_issued > 0);
     }
 

@@ -55,7 +55,10 @@ impl MshrFile {
 
     /// Whether the filled line must be inserted dirty.
     pub fn dirty_on_fill(&self, line: u64) -> bool {
-        self.entries.get(&line).map(|e| e.dirty_on_fill).unwrap_or(false)
+        self.entries
+            .get(&line)
+            .map(|e| e.dirty_on_fill)
+            .unwrap_or(false)
     }
 
     /// True when every register is occupied (after pruning at `now`).

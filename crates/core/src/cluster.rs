@@ -193,8 +193,7 @@ mod tests {
         let root = build_tree(&mut m, 5);
         let before = checksum(&mut m, root);
         let mut pool = m.new_pool();
-        let new_root =
-            subtree_cluster(&mut m, root, &desc(), 4, &mut pool, &mut |_, _| true);
+        let new_root = subtree_cluster(&mut m, root, &desc(), 4, &mut pool, &mut |_, _| true);
         assert_ne!(new_root, root);
         assert_eq!(checksum(&mut m, new_root), before);
     }

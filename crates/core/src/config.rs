@@ -1,9 +1,10 @@
 //! Simulation configuration.
 
+use crate::inject::InjectConfig;
+use crate::paging::PagingConfig;
 use memfwd_cache::HierarchyConfig;
 use memfwd_cpu::PipelineConfig;
-use crate::paging::PagingConfig;
-use memfwd_tagmem::{Addr, AllocPolicy};
+use memfwd_tagmem::{Addr, AllocPolicy, DEFAULT_HOP_LIMIT};
 
 /// Complete configuration of the simulated machine.
 ///
@@ -56,6 +57,16 @@ pub struct SimConfig {
     /// this many entries instead of waiting for the cache (ablation knob;
     /// `None` reproduces the paper's store-stall behaviour).
     pub store_buffer_entries: Option<usize>,
+    /// Optional hard ceiling on forwarding hops per access. Unlike
+    /// [`SimConfig::hop_limit`] — which only decides when the accurate
+    /// cycle check engages — exceeding this budget raises a typed
+    /// [`crate::MachineFault::HopLimitExceeded`] even on an acyclic chain,
+    /// modelling a machine that refuses pathological chains outright.
+    /// `None` (the default) accepts chains of any finite length.
+    pub hard_hop_budget: Option<u32>,
+    /// Optional deterministic fault-injection campaign (see
+    /// [`crate::inject`]). `None` disables injection entirely.
+    pub fault_injection: Option<InjectConfig>,
 }
 
 impl Default for SimConfig {
@@ -63,7 +74,7 @@ impl Default for SimConfig {
         SimConfig {
             pipeline: PipelineConfig::default(),
             hierarchy: HierarchyConfig::default(),
-            hop_limit: 8,
+            hop_limit: DEFAULT_HOP_LIMIT,
             fwd_hop_penalty: 4,
             trap_penalty: 40,
             cycle_check_penalty: 200,
@@ -77,6 +88,8 @@ impl Default for SimConfig {
             alloc_policy: AllocPolicy::FirstFit,
             paging: None,
             store_buffer_entries: None,
+            hard_hop_budget: None,
+            fault_injection: None,
         }
     }
 }
@@ -93,6 +106,12 @@ impl SimConfig {
         self.perfect_forwarding = true;
         self
     }
+
+    /// Returns a copy with the given fault-injection campaign enabled.
+    pub fn with_fault_injection(mut self, inject: InjectConfig) -> Self {
+        self.fault_injection = Some(inject);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -106,11 +125,16 @@ mod tests {
         assert!(!c.perfect_forwarding);
         assert!(c.heap_base.is_aligned(8));
         assert!(c.pool_slab_bytes <= c.heap_capacity);
+        assert_eq!(c.hop_limit, DEFAULT_HOP_LIMIT);
+        assert!(c.hard_hop_budget.is_none());
+        assert!(c.fault_injection.is_none());
     }
 
     #[test]
     fn builders() {
-        let c = SimConfig::default().with_line_bytes(128).with_perfect_forwarding();
+        let c = SimConfig::default()
+            .with_line_bytes(128)
+            .with_perfect_forwarding();
         assert_eq!(c.hierarchy.line_bytes, 128);
         assert!(c.perfect_forwarding);
     }

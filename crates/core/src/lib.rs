@@ -41,6 +41,8 @@
 
 mod cluster;
 mod config;
+pub mod fault;
+pub mod inject;
 mod inspect;
 mod linearize;
 mod machine;
@@ -56,18 +58,20 @@ mod trap;
 
 pub use cluster::{subtree_cluster, TreeDesc};
 pub use config::SimConfig;
+pub use fault::{record_last_fault, take_last_fault, MachineFault};
+pub use inject::{Corruption, InjectConfig, InjectKind, Injector};
 pub use inspect::{dump_chain, heap_summary, line_map};
 pub use linearize::{list_linearize, list_walk, LinearizeOutcome, ListDesc};
 pub use machine::Machine;
 pub use packing::{color_relocate, copy_region, merge_tables, MergedTables};
 pub use paging::PagingConfig;
 pub use ptrcmp::{final_address, ptr_eq};
-pub use reloc::{relocate, relocate_adjacent};
+pub use reloc::{relocate, relocate_adjacent, try_relocate};
 pub use replay::replay_trace;
 pub use smp::{CoreStats, SmpConfig, SmpMachine};
 pub use stats::{FwdStats, RunStats, HOPS_BUCKETS};
 pub use trace::{forwarding_sources, hot_miss_lines, TraceKind, TraceRecord};
-pub use trap::TrapInfo;
+pub use trap::{FaultHandler, TrapInfo, TrapOutcome, MAX_FAULT_RETRIES};
 
 // Re-export the vocabulary types users need alongside the machine.
 pub use memfwd_cache::{CacheStats, HierarchyConfig};

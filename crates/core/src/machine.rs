@@ -2,13 +2,15 @@
 //! pipeline, with memory forwarding wired into every demand reference.
 
 use crate::config::SimConfig;
+use crate::fault::{record_last_fault, MachineFault};
+use crate::inject::{Corruption, InjectKind, Injector};
 use crate::paging::PageCache;
 use crate::stats::{FwdStats, RunStats, HOPS_BUCKETS};
 use crate::trace::{Trace, TraceKind, TraceRecord};
-use crate::trap::TrapInfo;
+use crate::trap::{FaultHandler, TrapInfo, TrapOutcome, MAX_FAULT_RETRIES};
 use memfwd_cache::{AccessKind, Hierarchy};
 use memfwd_cpu::{OpClass, Pipeline, SpecQueue, Token};
-use memfwd_tagmem::{Addr, Heap, Pool, TaggedMemory, WORD_BYTES};
+use memfwd_tagmem::{validate_access, Addr, Heap, Pool, TaggedMemory, WORD_BYTES};
 use std::collections::HashSet;
 
 /// The execution-driven simulator.
@@ -45,6 +47,8 @@ pub struct Machine {
     pages: Option<PageCache>,
     store_buf: std::collections::VecDeque<u64>,
     trace: Option<Trace>,
+    fault_handler: Option<FaultHandler>,
+    injector: Option<Injector>,
 }
 
 impl Machine {
@@ -63,6 +67,8 @@ impl Machine {
             pages: cfg.paging.map(PageCache::new),
             store_buf: std::collections::VecDeque::new(),
             trace: None,
+            fault_handler: None,
+            injector: cfg.fault_injection.map(Injector::new),
             cfg,
         }
     }
@@ -107,8 +113,15 @@ impl Machine {
     /// Walks the forwarding chain starting at `addr` with full timing:
     /// each hop reads the old word through the cache (polluting it) and
     /// pays the exception-dispatch penalty. Returns
-    /// `(final_addr, time_after_walk, hops, l1_miss_seen)`.
-    fn walk_chain(&mut self, addr: Addr, mut t: u64) -> (Addr, u64, u32, bool) {
+    /// `(final_addr, time_after_walk, hops, l1_miss_seen)`; on a genuine
+    /// cycle or an exceeded [`SimConfig::hard_hop_budget`], returns the
+    /// typed fault plus the time already spent walking (so the caller can
+    /// retire the dispatched slot honestly).
+    fn try_walk_chain(
+        &mut self,
+        addr: Addr,
+        mut t: u64,
+    ) -> Result<(Addr, u64, u32, bool), (MachineFault, u64)> {
         let mut cur = addr;
         let mut hops = 0u32;
         let mut l1_miss = false;
@@ -124,12 +137,24 @@ impl Machine {
             let (fwd, _) = self.mem.unforwarded_read(cur);
             let next = Addr(fwd) + cur.word_offset();
             hops += 1;
+            if let Some(budget) = self.cfg.hard_hop_budget {
+                if hops > budget {
+                    let fault = MachineFault::HopLimitExceeded {
+                        at: cur.word_base(),
+                        hops,
+                    };
+                    return Err((fault, t));
+                }
+            }
             counter += 1;
             if let Some(seen) = visited.as_mut() {
-                assert!(
-                    seen.insert(next.word_base()),
-                    "forwarding cycle at {next}: execution aborted"
-                );
+                if !seen.insert(next.word_base()) {
+                    let fault = MachineFault::ForwardingCycle {
+                        at: next.word_base(),
+                        hops,
+                    };
+                    return Err((fault, t));
+                }
             } else if counter > self.cfg.hop_limit {
                 // Hop-limit exception: accurate software cycle check.
                 t += self.cfg.cycle_check_penalty;
@@ -141,20 +166,29 @@ impl Machine {
             }
             cur = next;
         }
-        (cur, t, hops, l1_miss)
+        Ok((cur, t, hops, l1_miss))
     }
 
-    /// One demand reference (load or store). Returns the loaded value (0
-    /// for stores) and the completion token.
-    fn demand(
+    /// One attempt at a demand reference: validates, walks the forwarding
+    /// chain, performs the access. Raised faults are returned without
+    /// handler involvement — [`Machine::try_demand`] owns delivery/retry.
+    fn demand_attempt(
         &mut self,
         is_store: bool,
         addr: Addr,
         size: u64,
         val: u64,
         dep: Token,
-    ) -> (u64, Token) {
-        assert!(!addr.is_null(), "null dereference in simulated program");
+    ) -> Result<(u64, Token), MachineFault> {
+        if addr.is_null() {
+            return Err(MachineFault::NullDeref { is_store });
+        }
+        validate_access(addr, size)?;
+        let class = if is_store {
+            OpClass::Store
+        } else {
+            OpClass::Load
+        };
         let d = self.pipe.dispatch();
         let mut start = d.max(dep.cycle());
         if !self.cfg.dependence_speculation && !is_store {
@@ -163,13 +197,35 @@ impl Machine {
             start = start.max(self.last_store_resolve);
         }
 
-        let (final_addr, t_walk, hops, walk_miss) = if self.cfg.perfect_forwarding {
-            let r = memfwd_tagmem::resolve_unbounded(&self.mem, addr)
-                .expect("forwarding cycle: execution aborted");
-            (r.final_addr, start, 0, false)
+        let walk = if self.cfg.perfect_forwarding {
+            match memfwd_tagmem::resolve_unbounded(&self.mem, addr) {
+                Ok(r) => Ok((r.final_addr, start, 0, false)),
+                Err(c) => Err((MachineFault::from(c), start)),
+            }
         } else {
-            self.walk_chain(addr, start)
+            self.try_walk_chain(addr, start)
         };
+        let (final_addr, t_walk, hops, walk_miss) = match walk {
+            Ok(w) => w,
+            Err((fault, t)) => {
+                // Retire the dispatched slot as completing when the walk
+                // aborted, so the pipeline stays consistent across a fault.
+                self.pipe.complete(class, d, t.max(start) + 1, false);
+                return Err(fault);
+            }
+        };
+        // A healthy chain preserves the access offset, so the final address
+        // is aligned iff the (already validated) initial address was. A
+        // corrupted forwarding word can land anywhere: re-validate so the
+        // data access below cannot trip on an unchecked address.
+        if final_addr.is_null() {
+            self.pipe.complete(class, d, t_walk.max(start) + 1, false);
+            return Err(MachineFault::NullDeref { is_store });
+        }
+        if let Err(e) = validate_access(final_addr, size) {
+            self.pipe.complete(class, d, t_walk.max(start) + 1, false);
+            return Err(MachineFault::from(e));
+        }
         let fwd_cycles = t_walk - start;
 
         let kind = if is_store {
@@ -213,8 +269,11 @@ impl Machine {
         let out;
         if is_store {
             self.mem.write_data(final_addr, size, val);
-            self.spec
-                .on_store(addr.word_base().0, final_addr.word_base().0, acc.complete_at);
+            self.spec.on_store(
+                addr.word_base().0,
+                final_addr.word_base().0,
+                acc.complete_at,
+            );
             self.last_store_resolve = self.last_store_resolve.max(acc.complete_at);
             out = 0;
         } else {
@@ -247,7 +306,11 @@ impl Machine {
         if let Some(tr) = self.trace.as_mut() {
             tr.push(TraceRecord {
                 cycle: start,
-                kind: if is_store { TraceKind::Store } else { TraceKind::Load },
+                kind: if is_store {
+                    TraceKind::Store
+                } else {
+                    TraceKind::Load
+                },
                 initial: addr,
                 final_addr,
                 hops,
@@ -277,7 +340,203 @@ impl Machine {
             }
             self.pipe.complete(OpClass::Load, d, complete, l1_miss);
         }
-        (out, Token::at(complete))
+        Ok((out, Token::at(complete)))
+    }
+
+    /// One demand reference through the full fault machinery: injection at
+    /// entry, then attempt; on fault, delivery to the registered supervisor
+    /// handler with bounded retries (paper §3.2 recoverable traps).
+    fn try_demand(
+        &mut self,
+        is_store: bool,
+        addr: Addr,
+        size: u64,
+        val: u64,
+        dep: Token,
+    ) -> Result<(u64, Token), MachineFault> {
+        self.maybe_inject(addr);
+        let mut retries = 0u32;
+        loop {
+            match self.demand_attempt(is_store, addr, size, val, dep) {
+                Ok(out) => return Ok(out),
+                Err(fault) => match self.deliver_fault(fault) {
+                    TrapOutcome::Retry if retries < MAX_FAULT_RETRIES => retries += 1,
+                    _ => return Err(fault),
+                },
+            }
+        }
+    }
+
+    /// Infallible demand wrapper: records the typed fault for harnesses
+    /// (see [`crate::fault::take_last_fault`]) and panics with the crate's
+    /// historical message.
+    fn demand(
+        &mut self,
+        is_store: bool,
+        addr: Addr,
+        size: u64,
+        val: u64,
+        dep: Token,
+    ) -> (u64, Token) {
+        match self.try_demand(is_store, addr, size, val, dep) {
+            Ok(out) => out,
+            Err(fault) => {
+                record_last_fault(fault);
+                panic!("{fault}");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and recoverable supervisor traps.
+    // ------------------------------------------------------------------
+
+    /// Consults the injector at the head of a demand access and, if a roll
+    /// hits, corrupts the target word. In recovery mode the corruption is
+    /// detected and repaired immediately (within the same demand), charging
+    /// trap-dispatch plus timed `Unforwarded_Write` repairs — so the access
+    /// that follows always sees functionally correct memory.
+    fn maybe_inject(&mut self, addr: Addr) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        let scramble = inj.roll_chain_scramble();
+        let flip = !scramble && inj.roll_fbit_flip();
+        let recover = inj.config().recover;
+        if !(scramble || flip) {
+            return;
+        }
+        let word = addr.word_base();
+        if word.is_null() {
+            return;
+        }
+        let (saved_value, saved_fbit) = self.mem.unforwarded_read(word);
+        let kind = if scramble {
+            InjectKind::ChainScramble
+        } else {
+            InjectKind::FbitFlip
+        };
+        match kind {
+            // A forwarding self-loop: guaranteed to be caught by the
+            // accurate cycle check — a typed, never-silent corruption.
+            InjectKind::ChainScramble => self.mem.unforwarded_write(word, word.0, true),
+            InjectKind::FbitFlip => self.mem.set_fbit(word, true),
+        }
+        self.stats.injected_faults += 1;
+        if let Some(inj) = self.injector.as_mut() {
+            inj.record(Corruption {
+                word,
+                saved_value,
+                saved_fbit,
+                kind,
+            });
+        }
+        if recover {
+            self.repair_injected();
+        }
+    }
+
+    /// Repairs every corruption in the injector's log with timed
+    /// `Unforwarded_Write`s (the §3.2 repair story), charging one
+    /// trap-dispatch penalty for the exception that detected it. Returns
+    /// whether anything was repaired.
+    fn repair_injected(&mut self) -> bool {
+        let pending = match self.injector.as_mut() {
+            Some(inj) => inj.drain_log(),
+            None => return false,
+        };
+        if pending.is_empty() {
+            return false;
+        }
+        self.compute(self.cfg.trap_penalty);
+        for c in pending.iter().rev() {
+            self.unforwarded_write(c.word, c.saved_value, c.saved_fbit);
+            self.stats.fault_repairs += 1;
+        }
+        true
+    }
+
+    /// Delivers `fault` to the registered supervisor handler, charging the
+    /// trap penalty (exception dispatch + handler entry). Without a handler
+    /// the fault is not deliverable and the outcome is `Abort`.
+    fn deliver_fault(&mut self, fault: MachineFault) -> TrapOutcome {
+        let Some(mut handler) = self.fault_handler.take() else {
+            return TrapOutcome::Abort;
+        };
+        self.compute(self.cfg.trap_penalty);
+        self.stats.faults_delivered += 1;
+        let outcome = handler(self, &fault);
+        // The handler may have registered a replacement; keep the newer one.
+        if self.fault_handler.is_none() {
+            self.fault_handler = Some(handler);
+        }
+        outcome
+    }
+
+    /// Registers a recoverable supervisor trap handler (paper §3.2): every
+    /// fault raised by a demand access or allocation is delivered to it
+    /// before propagating, and the handler may repair the machine (e.g.
+    /// break a forwarding cycle with [`Machine::unforwarded_write`]) and
+    /// ask for a bounded retry. Replaces any previous handler.
+    pub fn set_fault_handler(&mut self, handler: FaultHandler) {
+        self.fault_handler = Some(handler);
+    }
+
+    /// Removes the supervisor trap handler; subsequent faults propagate
+    /// directly to the caller.
+    pub fn clear_fault_handler(&mut self) {
+        self.fault_handler = None;
+    }
+
+    /// Whether a supervisor trap handler is currently registered.
+    pub fn has_fault_handler(&self) -> bool {
+        self.fault_handler.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Fallible demand API.
+    // ------------------------------------------------------------------
+
+    /// Fallible [`Machine::load`]: returns the typed fault instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::NullDeref`], [`MachineFault::Misaligned`],
+    /// [`MachineFault::ForwardingCycle`], or (with a configured
+    /// [`SimConfig::hard_hop_budget`]) [`MachineFault::HopLimitExceeded`] —
+    /// each only after any registered handler declined to recover.
+    pub fn try_load(&mut self, addr: Addr, size: u64) -> Result<u64, MachineFault> {
+        self.try_demand(false, addr, size, 0, Token::ready())
+            .map(|(v, _)| v)
+    }
+
+    /// Fallible [`Machine::store`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::try_load`].
+    pub fn try_store(&mut self, addr: Addr, size: u64, val: u64) -> Result<(), MachineFault> {
+        self.try_demand(true, addr, size, val, Token::ready())
+            .map(|_| ())
+    }
+
+    /// Fallible [`Machine::load_word`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::try_load`].
+    pub fn try_load_word(&mut self, addr: Addr) -> Result<u64, MachineFault> {
+        self.try_load(addr, WORD_BYTES)
+    }
+
+    /// Fallible [`Machine::store_word`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::try_load`].
+    pub fn try_store_word(&mut self, addr: Addr, val: u64) -> Result<(), MachineFault> {
+        self.try_store(addr, WORD_BYTES, val)
     }
 
     /// Loads `size` bytes at `addr`, following forwarding chains.
@@ -286,6 +545,8 @@ impl Machine {
     ///
     /// Panics on a null dereference, a misaligned access, or a genuine
     /// forwarding cycle (the simulated program is aborted, as in §3.2).
+    /// The typed fault is recorded for [`crate::fault::take_last_fault`]
+    /// before the panic; [`Machine::try_load`] is the non-panicking twin.
     pub fn load(&mut self, addr: Addr, size: u64) -> u64 {
         self.demand(false, addr, size, 0, Token::ready()).0
     }
@@ -358,7 +619,9 @@ impl Machine {
     pub fn read_fbit_dep(&mut self, addr: Addr, dep: Token) -> (bool, Token) {
         let d = self.pipe.dispatch();
         let start = d.max(dep.cycle());
-        let acc = self.hier.access(start, addr.word_base().0, AccessKind::Load);
+        let acc = self
+            .hier
+            .access(start, addr.word_base().0, AccessKind::Load);
         self.stats.fbit_reads += 1;
         self.pipe
             .complete(OpClass::Load, d, acc.complete_at, acc.l1_miss());
@@ -376,7 +639,9 @@ impl Machine {
     pub fn unforwarded_read_dep(&mut self, addr: Addr, dep: Token) -> (u64, bool, Token) {
         let d = self.pipe.dispatch();
         let start = d.max(dep.cycle());
-        let acc = self.hier.access(start, addr.word_base().0, AccessKind::Load);
+        let acc = self
+            .hier
+            .access(start, addr.word_base().0, AccessKind::Load);
         self.stats.unforwarded_ops += 1;
         self.pipe
             .complete(OpClass::Load, d, acc.complete_at, acc.l1_miss());
@@ -446,16 +711,124 @@ impl Machine {
     // Heap.
     // ------------------------------------------------------------------
 
+    /// Decides whether an injected allocation failure fires for this
+    /// request, and if so either auto-recovers (transient failure: trap
+    /// charged, then the real allocation proceeds) or raises a fault for
+    /// the delivery loop. Returns the fault to raise, if any.
+    fn maybe_inject_alloc_fail(&mut self, requested: u64) -> Option<MachineFault> {
+        let inj = self.injector.as_mut()?;
+        if !inj.roll_alloc_fail() {
+            return None;
+        }
+        let recover = inj.config().recover;
+        self.stats.injected_faults += 1;
+        if recover {
+            // The supervisor observes the transient failure, releases the
+            // pressure (modelled as handler work), and the retry succeeds.
+            self.compute(self.cfg.trap_penalty);
+            self.stats.fault_repairs += 1;
+            None
+        } else {
+            Some(MachineFault::HeapExhausted { requested })
+        }
+    }
+
+    /// Fallible [`Machine::malloc`]: returns [`MachineFault::HeapExhausted`]
+    /// instead of panicking, after any registered handler declined to
+    /// recover (a handler that frees memory and returns `Retry` lets the
+    /// allocation succeed).
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::HeapExhausted`].
+    pub fn try_malloc(&mut self, bytes: u64) -> Result<Addr, MachineFault> {
+        self.compute(self.cfg.malloc_cost);
+        self.stats.mallocs += 1;
+        if let Some(fault) = self.maybe_inject_alloc_fail(bytes) {
+            match self.deliver_fault(fault) {
+                TrapOutcome::Retry => {} // injected failure was transient
+                TrapOutcome::Abort => return Err(fault),
+            }
+        }
+        let mut retries = 0u32;
+        loop {
+            match self.heap.alloc(bytes) {
+                Ok(a) => return Ok(a),
+                Err(e) => {
+                    let fault = MachineFault::from(e);
+                    match self.deliver_fault(fault) {
+                        TrapOutcome::Retry if retries < MAX_FAULT_RETRIES => retries += 1,
+                        _ => return Err(fault),
+                    }
+                }
+            }
+        }
+    }
+
     /// Allocates `bytes` of word-aligned heap memory, charging the
     /// allocator's instruction cost.
     ///
     /// # Panics
     ///
-    /// Panics if the simulated heap is exhausted.
+    /// Panics if the simulated heap is exhausted. [`Machine::try_malloc`]
+    /// is the non-panicking twin.
     pub fn malloc(&mut self, bytes: u64) -> Addr {
-        self.compute(self.cfg.malloc_cost);
-        self.stats.mallocs += 1;
-        self.heap.alloc(bytes).expect("simulated heap exhausted")
+        self.try_malloc(bytes).unwrap_or_else(|fault| {
+            record_last_fault(fault);
+            panic!("{fault}");
+        })
+    }
+
+    /// Fallible [`Machine::free`]: frees a heap block and everything
+    /// reachable through its forwarding chain (§3.3 wrapper deallocation),
+    /// reporting corruption as a typed fault instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::ForwardingCycle`] if the block's forwarding chain is
+    /// cyclic (nothing has been freed when this is returned), or
+    /// [`MachineFault::InvalidFree`] if `addr` is not the base of a live
+    /// allocation.
+    pub fn try_free(&mut self, addr: Addr) -> Result<(), MachineFault> {
+        self.compute(self.cfg.free_cost);
+        self.stats.frees += 1;
+        // Walk the chain of the first word, paying one unforwarded read per
+        // element, and collect chain targets that are themselves blocks.
+        let mut blocks = vec![addr];
+        let mut cur = addr.word_base();
+        let mut seen = HashSet::new();
+        seen.insert(cur);
+        let mut hops = 0u32;
+        loop {
+            let (val, fbit, _) = self.unforwarded_read_dep(cur, Token::ready());
+            if !fbit {
+                break;
+            }
+            cur = Addr(val).word_base();
+            hops += 1;
+            if !seen.insert(cur) {
+                return Err(MachineFault::ForwardingCycle { at: cur, hops });
+            }
+            if self.heap.is_live(cur) {
+                self.stats.chain_frees += 1;
+                blocks.push(cur);
+            }
+        }
+        for b in blocks {
+            // Reinitialize the block's forwarding bits before it can be
+            // recycled: §3.3 requires every word to start with a clear bit
+            // when next handed to the application.
+            let words = match self.heap.block_size(b) {
+                Some(bytes) => bytes / WORD_BYTES,
+                None => return Err(MachineFault::InvalidFree { addr: b }),
+            };
+            for w in 0..words {
+                self.mem.set_fbit(b.add_words(w), false);
+            }
+            self.compute(1 + words / 8); // amortized clearing cost
+            self.heap.free(b).expect("checked live");
+        }
+        Ok(())
     }
 
     /// Frees a heap block, first deallocating every block reachable through
@@ -466,43 +839,51 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if `addr` is not the base of a live allocation.
+    /// Panics if `addr` is not the base of a live allocation or its chain
+    /// is cyclic. [`Machine::try_free`] is the non-panicking twin.
     pub fn free(&mut self, addr: Addr) {
-        self.compute(self.cfg.free_cost);
-        self.stats.frees += 1;
-        // Walk the chain of the first word, paying one unforwarded read per
-        // element, and collect chain targets that are themselves blocks.
-        let mut blocks = vec![addr];
-        let mut cur = addr;
-        let mut guard = 0;
-        loop {
-            let (val, fbit, _) = self.unforwarded_read_dep(cur, Token::ready());
-            if !fbit {
-                break;
-            }
-            cur = Addr(val).word_base();
-            guard += 1;
-            assert!(guard < 1 << 16, "forwarding cycle during free({addr})");
-            if self.heap.is_live(cur) {
-                self.stats.chain_frees += 1;
-                blocks.push(cur);
+        if let Err(fault) = self.try_free(addr) {
+            record_last_fault(fault);
+            match fault {
+                MachineFault::ForwardingCycle { .. } => {
+                    panic!("forwarding cycle during free({addr}): {fault}")
+                }
+                _ => panic!("{fault}"),
             }
         }
-        for b in blocks {
-            // Reinitialize the block's forwarding bits before it can be
-            // recycled: §3.3 requires every word to start with a clear bit
-            // when next handed to the application.
-            let words = self
-                .heap
-                .block_size(b)
-                .expect("free of non-allocated address")
-                / WORD_BYTES;
-            for w in 0..words {
-                self.mem.set_fbit(b.add_words(w), false);
+    }
+
+    /// Fallible [`Machine::pool_alloc`].
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::PoolExhausted`] when the pool cannot obtain a slab,
+    /// after any registered handler declined to recover.
+    pub fn try_pool_alloc(&mut self, pool: &mut Pool, bytes: u64) -> Result<Addr, MachineFault> {
+        self.compute(6);
+        if self.maybe_inject_alloc_fail(bytes).is_some() {
+            let fault = MachineFault::PoolExhausted { requested: bytes };
+            match self.deliver_fault(fault) {
+                TrapOutcome::Retry => {}
+                TrapOutcome::Abort => return Err(fault),
             }
-            self.compute(1 + words / 8); // amortized clearing cost
-            self.heap.free(b).expect("checked live");
         }
+        let before = pool.bytes_handed_out();
+        let mut retries = 0u32;
+        let a = loop {
+            match pool.alloc(&mut self.heap, bytes) {
+                Ok(a) => break a,
+                Err(_) => {
+                    let fault = MachineFault::PoolExhausted { requested: bytes };
+                    match self.deliver_fault(fault) {
+                        TrapOutcome::Retry if retries < MAX_FAULT_RETRIES => retries += 1,
+                        _ => return Err(fault),
+                    }
+                }
+            }
+        };
+        self.stats.relocation_space_bytes += pool.bytes_handed_out() - before;
+        Ok(a)
     }
 
     /// Allocates `bytes` from a relocation pool (contiguous space), charging
@@ -511,15 +892,50 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the simulated heap is exhausted.
+    /// Panics if the simulated heap is exhausted. [`Machine::try_pool_alloc`]
+    /// is the non-panicking twin.
     pub fn pool_alloc(&mut self, pool: &mut Pool, bytes: u64) -> Addr {
-        self.compute(6);
+        self.try_pool_alloc(pool, bytes).unwrap_or_else(|fault| {
+            record_last_fault(fault);
+            panic!("{fault}");
+        })
+    }
+
+    /// Fallible [`Machine::pool_alloc_aligned`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::try_pool_alloc`].
+    pub fn try_pool_alloc_aligned(
+        &mut self,
+        pool: &mut Pool,
+        bytes: u64,
+        align: u64,
+    ) -> Result<Addr, MachineFault> {
+        self.compute(8);
+        if self.maybe_inject_alloc_fail(bytes).is_some() {
+            let fault = MachineFault::PoolExhausted { requested: bytes };
+            match self.deliver_fault(fault) {
+                TrapOutcome::Retry => {}
+                TrapOutcome::Abort => return Err(fault),
+            }
+        }
         let before = pool.bytes_handed_out();
-        let a = pool
-            .alloc(&mut self.heap, bytes)
-            .expect("simulated heap exhausted");
+        let mut retries = 0u32;
+        let a = loop {
+            match pool.alloc_aligned(&mut self.heap, bytes, align) {
+                Ok(a) => break a,
+                Err(_) => {
+                    let fault = MachineFault::PoolExhausted { requested: bytes };
+                    match self.deliver_fault(fault) {
+                        TrapOutcome::Retry if retries < MAX_FAULT_RETRIES => retries += 1,
+                        _ => return Err(fault),
+                    }
+                }
+            }
+        };
         self.stats.relocation_space_bytes += pool.bytes_handed_out() - before;
-        a
+        Ok(a)
     }
 
     /// Allocates an `align`-aligned chunk from a relocation pool. Used when
@@ -529,14 +945,13 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the simulated heap is exhausted.
+    /// [`Machine::try_pool_alloc_aligned`] is the non-panicking twin.
     pub fn pool_alloc_aligned(&mut self, pool: &mut Pool, bytes: u64, align: u64) -> Addr {
-        self.compute(8);
-        let before = pool.bytes_handed_out();
-        let a = pool
-            .alloc_aligned(&mut self.heap, bytes, align)
-            .expect("simulated heap exhausted");
-        self.stats.relocation_space_bytes += pool.bytes_handed_out() - before;
-        a
+        self.try_pool_alloc_aligned(pool, bytes, align)
+            .unwrap_or_else(|fault| {
+                record_last_fault(fault);
+                panic!("{fault}");
+            })
     }
 
     /// Creates a relocation pool with the configured slab size.
@@ -680,7 +1095,10 @@ mod tests {
         assert_eq!(m.load(old, 8), 5);
         let s = m.finish();
         assert_eq!(s.fwd.load_fwd_cycles, 0);
-        assert_eq!(s.fwd.forwarded_loads, 0, "Perf: as if pointers were updated");
+        assert_eq!(
+            s.fwd.forwarded_loads, 0,
+            "Perf: as if pointers were updated"
+        );
     }
 
     #[test]
@@ -723,7 +1141,11 @@ mod tests {
         }
         assert_eq!(m.load(blocks[0], 8), 777);
         let s = m.finish();
-        assert_eq!(s.fwd.load_hops[HOPS_BUCKETS - 1], 1, "19 hops in top bucket");
+        assert_eq!(
+            s.fwd.load_hops[HOPS_BUCKETS - 1],
+            1,
+            "19 hops in top bucket"
+        );
     }
 
     #[test]
@@ -876,7 +1298,10 @@ mod tests {
         };
         let (no_buf_cycles, no_buf_stall) = run(None);
         let (buf_cycles, buf_stall) = run(Some(8));
-        assert!(buf_cycles < no_buf_cycles, "{buf_cycles} !< {no_buf_cycles}");
+        assert!(
+            buf_cycles < no_buf_cycles,
+            "{buf_cycles} !< {no_buf_cycles}"
+        );
         assert!(buf_stall < no_buf_stall, "{buf_stall} !< {no_buf_stall}");
     }
 
@@ -939,6 +1364,196 @@ mod tests {
         // Tracing is off after take_trace.
         m.load_word(new);
         assert!(m.take_trace().0.is_empty());
+    }
+
+    #[test]
+    fn try_load_reports_typed_cycle() {
+        let mut m = machine();
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        m.unforwarded_write(a, b.0, true);
+        m.unforwarded_write(b, a.0, true);
+        match m.try_load(a, 8) {
+            Err(MachineFault::ForwardingCycle { hops, .. }) => assert!(hops >= 2),
+            other => panic!("expected ForwardingCycle, got {other:?}"),
+        }
+        // The machine is still usable after a typed fault.
+        let c = m.malloc(8);
+        m.store_word(c, 9);
+        assert_eq!(m.try_load_word(c), Ok(9));
+    }
+
+    #[test]
+    fn handler_repairs_cycle_and_access_retries() {
+        let mut m = machine();
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        m.unforwarded_write(a, b.0, true);
+        m.unforwarded_write(b, a.0, true);
+        m.set_fault_handler(Box::new(move |m, fault| {
+            assert!(matches!(fault, MachineFault::ForwardingCycle { .. }));
+            m.unforwarded_write(b, 4242, false);
+            TrapOutcome::Retry
+        }));
+        assert_eq!(m.try_load_word(a), Ok(4242));
+        let s = m.finish();
+        assert_eq!(s.fwd.faults_delivered, 1);
+    }
+
+    #[test]
+    fn handler_that_never_repairs_cannot_livelock() {
+        let mut m = machine();
+        let a = m.malloc(8);
+        m.unforwarded_write(a, a.0, true); // self-loop
+        m.set_fault_handler(Box::new(|_, _| TrapOutcome::Retry));
+        assert!(matches!(
+            m.try_load_word(a),
+            Err(MachineFault::ForwardingCycle { .. })
+        ));
+        let s = m.finish();
+        assert_eq!(s.fwd.faults_delivered, u64::from(MAX_FAULT_RETRIES) + 1);
+    }
+
+    #[test]
+    fn handler_abort_propagates_fault() {
+        let mut m = machine();
+        let a = m.malloc(8);
+        m.unforwarded_write(a, a.0, true);
+        m.set_fault_handler(Box::new(|_, _| TrapOutcome::Abort));
+        assert!(m.try_load_word(a).is_err());
+        let s = m.finish();
+        assert_eq!(s.fwd.faults_delivered, 1);
+    }
+
+    #[test]
+    fn hard_hop_budget_rejects_long_acyclic_chain() {
+        let mut m = Machine::new(SimConfig {
+            hard_hop_budget: Some(4),
+            ..SimConfig::default()
+        });
+        let blocks: Vec<Addr> = (0..8).map(|_| m.malloc(8)).collect();
+        m.poke_word(blocks[7], 1);
+        for w in blocks.windows(2) {
+            m.unforwarded_write(w[0], w[1].0, true);
+        }
+        assert!(matches!(
+            m.try_load_word(blocks[0]),
+            Err(MachineFault::HopLimitExceeded { hops: 5, .. })
+        ));
+        // A short chain is still fine under the budget.
+        assert_eq!(m.try_load_word(blocks[4]), Ok(1));
+    }
+
+    #[test]
+    fn try_demand_validates_before_timing() {
+        let mut m = machine();
+        assert_eq!(
+            m.try_load(Addr::NULL, 8),
+            Err(MachineFault::NullDeref { is_store: false })
+        );
+        let a = m.malloc(16);
+        assert_eq!(
+            m.try_store(a + 1, 4, 0),
+            Err(MachineFault::Misaligned {
+                addr: a + 1,
+                size: 4
+            })
+        );
+        assert_eq!(
+            m.try_load(a, 3),
+            Err(MachineFault::Misaligned { addr: a, size: 3 })
+        );
+    }
+
+    #[test]
+    fn try_free_reports_cycle_without_freeing() {
+        let mut m = machine();
+        let a = m.malloc(16);
+        let b = m.malloc(16);
+        m.unforwarded_write(a, b.0, true);
+        m.unforwarded_write(b, a.0, true);
+        assert!(matches!(
+            m.try_free(a),
+            Err(MachineFault::ForwardingCycle { .. })
+        ));
+        assert!(m.heap().is_live(a) && m.heap().is_live(b), "nothing freed");
+        assert_eq!(
+            m.try_free(m.config().heap_base + 8),
+            Err(MachineFault::InvalidFree {
+                addr: SimConfig::default().heap_base + 8
+            })
+        );
+    }
+
+    #[test]
+    fn try_malloc_reports_exhaustion_and_handler_can_rescue() {
+        let mut m = Machine::new(SimConfig {
+            heap_capacity: 64,
+            ..SimConfig::default()
+        });
+        let a = m.try_malloc(64).expect("fits");
+        assert_eq!(
+            m.try_malloc(64),
+            Err(MachineFault::HeapExhausted { requested: 64 })
+        );
+        // A handler that frees memory rescues the allocation.
+        m.set_fault_handler(Box::new(move |m, fault| {
+            assert!(matches!(fault, MachineFault::HeapExhausted { .. }));
+            m.free(a);
+            TrapOutcome::Retry
+        }));
+        assert!(m.try_malloc(64).is_ok());
+    }
+
+    #[test]
+    fn injection_with_recovery_preserves_values() {
+        let mut m = Machine::new(SimConfig {
+            fault_injection: Some(crate::inject::InjectConfig {
+                seed: 7,
+                fbit_flip_ppm: 250_000,
+                chain_scramble_ppm: 250_000,
+                recover: true,
+                ..crate::inject::InjectConfig::default()
+            }),
+            ..SimConfig::default()
+        });
+        let a = m.malloc(256);
+        for i in 0..32u64 {
+            m.store_word(a.add_words(i % 8), i);
+            assert_eq!(m.load_word(a.add_words(i % 8)), i);
+        }
+        let s = m.finish();
+        assert!(s.fwd.injected_faults > 0, "campaign must actually inject");
+        assert_eq!(
+            s.fwd.fault_repairs, s.fwd.injected_faults,
+            "recovery mode repairs every injection"
+        );
+    }
+
+    #[test]
+    fn injection_without_recovery_is_typed_never_silent() {
+        let mut m = Machine::new(SimConfig {
+            fault_injection: Some(crate::inject::InjectConfig {
+                seed: 11,
+                chain_scramble_ppm: 500_000,
+                recover: false,
+                ..crate::inject::InjectConfig::default()
+            }),
+            ..SimConfig::default()
+        });
+        let a = m.malloc(64);
+        let mut faulted = false;
+        for i in 0..16u64 {
+            match m.try_store_word(a.add_words(i % 4), i) {
+                Ok(()) => {}
+                Err(MachineFault::ForwardingCycle { .. }) => {
+                    faulted = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected fault {other:?}"),
+            }
+        }
+        assert!(faulted, "p=0.5 scramble per access must fire within 16");
     }
 
     #[test]

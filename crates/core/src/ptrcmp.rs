@@ -42,7 +42,10 @@ pub fn final_address(m: &mut Machine, a: Addr) -> Addr {
         cur = Addr(val) + cur.word_offset();
         tok = t2;
         guard += 1;
-        assert!(guard < 1 << 16, "forwarding cycle during pointer comparison");
+        assert!(
+            guard < 1 << 16,
+            "forwarding cycle during pointer comparison"
+        );
     }
 }
 

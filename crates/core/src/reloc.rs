@@ -6,28 +6,43 @@
 //! any existing forwarding chain: relocating an already-relocated object
 //! extends the chain rather than corrupting it.
 
+use crate::fault::{record_last_fault, MachineFault};
 use crate::machine::Machine;
 use memfwd_cpu::Token;
 use memfwd_tagmem::Addr;
+use std::collections::HashSet;
 
-/// Relocates `n_words` words from `src` to `tgt`, storing forwarding
-/// addresses into the chain-terminal old locations.
+/// Fallible [`relocate`]: moves `n_words` words from `src` to `tgt`,
+/// reporting corruption as a typed fault instead of panicking.
 ///
-/// Both `src` and `tgt` must be word-aligned (§3.3: relocatable objects are
-/// word-aligned so two objects never share a word).
+/// # Errors
 ///
-/// # Panics
-///
-/// Panics if `src` or `tgt` is not word-aligned, or if the forwarding chain
-/// of a source word is cyclic.
-pub fn relocate(m: &mut Machine, src: Addr, tgt: Addr, n_words: u64) {
-    assert!(src.is_aligned(8) && tgt.is_aligned(8), "relocation must be word-aligned");
+/// [`MachineFault::Misaligned`] if `src` or `tgt` is not word-aligned
+/// (nothing has moved when this is returned), or
+/// [`MachineFault::ForwardingCycle`] if the forwarding chain of a source
+/// word is cyclic (words before the faulting one have already been moved —
+/// each such word is individually consistent, so stray accesses to them
+/// remain safe).
+pub fn try_relocate(
+    m: &mut Machine,
+    src: Addr,
+    tgt: Addr,
+    n_words: u64,
+) -> Result<(), MachineFault> {
+    if !src.is_aligned(8) {
+        return Err(MachineFault::Misaligned { addr: src, size: 8 });
+    }
+    if !tgt.is_aligned(8) {
+        return Err(MachineFault::Misaligned { addr: tgt, size: 8 });
+    }
     m.compute(2); // loop setup
     for i in 0..n_words {
         let mut cur = src.add_words(i);
         let t = tgt.add_words(i);
         let mut dep = Token::ready();
-        let mut guard = 0u32;
+        let mut seen = HashSet::new();
+        seen.insert(cur.word_base());
+        let mut hops = 0u32;
         // Append at the end of the forwarding chain (if any).
         loop {
             let (val, fbit, tok) = m.unforwarded_read_dep(cur, dep);
@@ -41,11 +56,40 @@ pub fn relocate(m: &mut Machine, src: Addr, tgt: Addr, n_words: u64) {
             }
             cur = Addr(val);
             dep = tok;
-            guard += 1;
-            assert!(guard < 1 << 16, "forwarding cycle during relocate");
+            hops += 1;
+            if !seen.insert(cur.word_base()) {
+                return Err(MachineFault::ForwardingCycle {
+                    at: cur.word_base(),
+                    hops,
+                });
+            }
         }
     }
     m.note_relocation(n_words);
+    Ok(())
+}
+
+/// Relocates `n_words` words from `src` to `tgt`, storing forwarding
+/// addresses into the chain-terminal old locations.
+///
+/// Both `src` and `tgt` must be word-aligned (§3.3: relocatable objects are
+/// word-aligned so two objects never share a word).
+///
+/// # Panics
+///
+/// Panics if `src` or `tgt` is not word-aligned, or if the forwarding chain
+/// of a source word is cyclic. [`try_relocate`] is the non-panicking twin.
+pub fn relocate(m: &mut Machine, src: Addr, tgt: Addr, n_words: u64) {
+    if let Err(fault) = try_relocate(m, src, tgt, n_words) {
+        record_last_fault(fault);
+        match fault {
+            MachineFault::Misaligned { .. } => panic!("relocation must be word-aligned"),
+            MachineFault::ForwardingCycle { .. } => {
+                panic!("forwarding cycle during relocate: {fault}")
+            }
+            _ => panic!("{fault}"),
+        }
+    }
 }
 
 /// Relocates several disjoint pieces into one contiguous chunk allocated at
@@ -152,5 +196,40 @@ mod tests {
         let src = m.malloc(16);
         let tgt = m.malloc(16);
         relocate(&mut m, src + 4, tgt, 1);
+    }
+
+    #[test]
+    fn try_relocate_reports_typed_faults() {
+        let mut m = machine();
+        let src = m.malloc(16);
+        let tgt = m.malloc(16);
+        assert_eq!(
+            try_relocate(&mut m, src + 4, tgt, 1),
+            Err(crate::MachineFault::Misaligned {
+                addr: src + 4,
+                size: 8
+            })
+        );
+        assert_eq!(
+            try_relocate(&mut m, src, tgt + 4, 1),
+            Err(crate::MachineFault::Misaligned {
+                addr: tgt + 4,
+                size: 8
+            })
+        );
+        // A cyclic source chain surfaces as a typed cycle fault.
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        m.unforwarded_write(a, b.0, true);
+        m.unforwarded_write(b, a.0, true);
+        let c = m.malloc(8);
+        assert!(matches!(
+            try_relocate(&mut m, a, c, 1),
+            Err(crate::MachineFault::ForwardingCycle { .. })
+        ));
+        // Valid relocation still works through the fallible path.
+        m.store_word(src, 5);
+        assert_eq!(try_relocate(&mut m, src, tgt, 1), Ok(()));
+        assert_eq!(m.load_word(src), 5);
     }
 }

@@ -140,10 +140,7 @@ mod tests {
         slow_cfg.hierarchy.mem_latency = 500;
         let slow = replay_trace(&trace, slow_cfg);
         assert!(slow.cycles() > narrow.cycles());
-        assert_eq!(
-            wide.cache.loads.full_misses,
-            narrow.cache.loads.full_misses
-        );
+        assert_eq!(wide.cache.loads.full_misses, narrow.cache.loads.full_misses);
     }
 
     #[test]

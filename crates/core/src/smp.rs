@@ -17,9 +17,10 @@
 //! tracking which words of a line each core actually touched.
 
 use crate::config::SimConfig;
+use crate::fault::{record_last_fault, MachineFault};
 use memfwd_cache::CacheLevel;
-use memfwd_tagmem::{Addr, Heap, Pool, TaggedMemory};
-use std::collections::HashMap;
+use memfwd_tagmem::{validate_access, Addr, Heap, Pool, TaggedMemory, DEFAULT_HOP_LIMIT};
+use std::collections::{HashMap, HashSet};
 
 /// Configuration of the SMP model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,13 +190,36 @@ impl SmpMachine {
         self.cores[core].now += n;
     }
 
+    /// Fallible [`SmpMachine::malloc`].
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::HeapExhausted`].
+    pub fn try_malloc(&mut self, bytes: u64) -> Result<Addr, MachineFault> {
+        self.heap.alloc(bytes).map_err(MachineFault::from)
+    }
+
     /// Allocates shared heap memory (allocation itself is untimed here).
     ///
     /// # Panics
     ///
-    /// Panics if the simulated heap is exhausted.
+    /// Panics if the simulated heap is exhausted. [`SmpMachine::try_malloc`]
+    /// is the non-panicking twin.
     pub fn malloc(&mut self, bytes: u64) -> Addr {
-        self.heap.alloc(bytes).expect("simulated heap exhausted")
+        self.try_malloc(bytes).unwrap_or_else(|fault| {
+            record_last_fault(fault);
+            panic!("{fault}");
+        })
+    }
+
+    /// Fallible [`SmpMachine::pool_alloc`].
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::PoolExhausted`].
+    pub fn try_pool_alloc(&mut self, pool: &mut Pool, bytes: u64) -> Result<Addr, MachineFault> {
+        pool.alloc(&mut self.heap, bytes)
+            .map_err(|_| MachineFault::PoolExhausted { requested: bytes })
     }
 
     /// Allocates from a relocation pool.
@@ -203,9 +227,27 @@ impl SmpMachine {
     /// # Panics
     ///
     /// Panics if the simulated heap is exhausted.
+    /// [`SmpMachine::try_pool_alloc`] is the non-panicking twin.
     pub fn pool_alloc(&mut self, pool: &mut Pool, bytes: u64) -> Addr {
-        pool.alloc(&mut self.heap, bytes)
-            .expect("simulated heap exhausted")
+        self.try_pool_alloc(pool, bytes).unwrap_or_else(|fault| {
+            record_last_fault(fault);
+            panic!("{fault}");
+        })
+    }
+
+    /// Fallible [`SmpMachine::pool_alloc_aligned`].
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::PoolExhausted`].
+    pub fn try_pool_alloc_aligned(
+        &mut self,
+        pool: &mut Pool,
+        bytes: u64,
+        align: u64,
+    ) -> Result<Addr, MachineFault> {
+        pool.alloc_aligned(&mut self.heap, bytes, align)
+            .map_err(|_| MachineFault::PoolExhausted { requested: bytes })
     }
 
     /// Allocates an `align`-aligned chunk from a relocation pool — the
@@ -215,9 +257,13 @@ impl SmpMachine {
     /// # Panics
     ///
     /// Panics if the simulated heap is exhausted.
+    /// [`SmpMachine::try_pool_alloc_aligned`] is the non-panicking twin.
     pub fn pool_alloc_aligned(&mut self, pool: &mut Pool, bytes: u64, align: u64) -> Addr {
-        pool.alloc_aligned(&mut self.heap, bytes, align)
-            .expect("simulated heap exhausted")
+        self.try_pool_alloc_aligned(pool, bytes, align)
+            .unwrap_or_else(|fault| {
+                record_last_fault(fault);
+                panic!("{fault}");
+            })
     }
 
     fn word_mask(&self, addr: Addr, size: u64) -> (u64, u64) {
@@ -304,16 +350,59 @@ impl SmpMachine {
         latency
     }
 
+    /// Fallible [`SmpMachine::load`].
+    ///
+    /// # Errors
+    ///
+    /// [`MachineFault::NullDeref`], [`MachineFault::Misaligned`], or
+    /// [`MachineFault::ForwardingCycle`].
+    pub fn try_load(&mut self, core: usize, addr: Addr, size: u64) -> Result<u64, MachineFault> {
+        if addr.is_null() {
+            return Err(MachineFault::NullDeref { is_store: false });
+        }
+        validate_access(addr, size)?;
+        let final_addr = self.try_walk(core, addr)?;
+        self.validate_final(final_addr, size, false)?;
+        let lat = self.access(core, final_addr, size, false);
+        self.cores[core].now += lat;
+        Ok(self.mem.read_data(final_addr, size))
+    }
+
     /// A coherent, forwarding-aware load by `core`.
     ///
     /// # Panics
     ///
     /// Panics on misalignment or a forwarding cycle.
+    /// [`SmpMachine::try_load`] is the non-panicking twin.
     pub fn load(&mut self, core: usize, addr: Addr, size: u64) -> u64 {
-        let final_addr = self.walk(core, addr);
-        let lat = self.access(core, final_addr, size, false);
+        self.try_load(core, addr, size).unwrap_or_else(|fault| {
+            record_last_fault(fault);
+            panic!("{fault}");
+        })
+    }
+
+    /// Fallible [`SmpMachine::store`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`SmpMachine::try_load`].
+    pub fn try_store(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        size: u64,
+        value: u64,
+    ) -> Result<(), MachineFault> {
+        if addr.is_null() {
+            return Err(MachineFault::NullDeref { is_store: true });
+        }
+        validate_access(addr, size)?;
+        let final_addr = self.try_walk(core, addr)?;
+        self.validate_final(final_addr, size, true)?;
+        let lat = self.access(core, final_addr, size, true);
         self.cores[core].now += lat;
-        self.mem.read_data(final_addr, size)
+        self.mem.write_data(final_addr, size, value);
+        Ok(())
     }
 
     /// A coherent, forwarding-aware store by `core`.
@@ -321,29 +410,67 @@ impl SmpMachine {
     /// # Panics
     ///
     /// Panics on misalignment or a forwarding cycle.
+    /// [`SmpMachine::try_store`] is the non-panicking twin.
     pub fn store(&mut self, core: usize, addr: Addr, size: u64, value: u64) {
-        let final_addr = self.walk(core, addr);
-        let lat = self.access(core, final_addr, size, true);
-        self.cores[core].now += lat;
-        self.mem.write_data(final_addr, size, value);
+        if let Err(fault) = self.try_store(core, addr, size, value) {
+            record_last_fault(fault);
+            panic!("{fault}");
+        }
     }
 
-    fn walk(&mut self, core: usize, addr: Addr) -> Addr {
+    /// Re-validates the address a forwarding walk landed on: a healthy
+    /// chain preserves the (already validated) access offset, but a
+    /// corrupted forwarding word can point anywhere.
+    fn validate_final(
+        &self,
+        final_addr: Addr,
+        size: u64,
+        is_store: bool,
+    ) -> Result<(), MachineFault> {
+        if final_addr.is_null() {
+            return Err(MachineFault::NullDeref { is_store });
+        }
+        validate_access(final_addr, size)?;
+        Ok(())
+    }
+
+    /// Resolves `addr` through the forwarding chain with coherent, timed
+    /// reads of each chain word. Runs the hop counter with the accurate
+    /// software cycle check of §3.2 (same switchover as the uniprocessor
+    /// machine) instead of a blunt iteration guard.
+    fn try_walk(&mut self, core: usize, addr: Addr) -> Result<Addr, MachineFault> {
         let mut cur = addr;
         let mut hops = 0u32;
+        let mut counter = 0u32;
+        let mut visited: Option<HashSet<Addr>> = None;
         while self.mem.fbit(cur) {
             // The forwarding word itself is read coherently.
             let lat = self.access(core, cur.word_base(), 8, false);
             self.cores[core].now += lat + self.cfg.fwd_hop_penalty;
             let (fwd, _) = self.mem.unforwarded_read(cur);
-            cur = Addr(fwd) + cur.word_offset();
+            let next = Addr(fwd) + cur.word_offset();
             hops += 1;
-            assert!(hops < 1 << 16, "forwarding cycle at {cur}");
+            counter += 1;
+            if let Some(seen) = visited.as_mut() {
+                if !seen.insert(next.word_base()) {
+                    return Err(MachineFault::ForwardingCycle {
+                        at: next.word_base(),
+                        hops,
+                    });
+                }
+            } else if counter > DEFAULT_HOP_LIMIT {
+                let mut seen = HashSet::new();
+                seen.insert(cur.word_base());
+                seen.insert(next.word_base());
+                visited = Some(seen);
+                counter = 0;
+            }
+            cur = next;
         }
         if hops > 0 {
             self.cores[core].stats.forwarded += 1;
         }
-        cur
+        Ok(cur)
     }
 
     /// Relocates `n_words` from `src` to `tgt` (performed by `core`),
@@ -471,6 +598,51 @@ mod tests {
         assert_eq!(m.load(0, stale0, 8), 1);
         assert_eq!(m.load(0, stale1, 8), 2);
         assert!(m.total_stats().forwarded >= 2);
+    }
+
+    #[test]
+    fn try_api_reports_typed_faults() {
+        let mut m = smp(2);
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        m.mem.unforwarded_write(a, b.0, true);
+        m.mem.unforwarded_write(b, a.0, true);
+        assert!(matches!(
+            m.try_load(0, a, 8),
+            Err(MachineFault::ForwardingCycle { .. })
+        ));
+        assert!(matches!(
+            m.try_store(1, b, 8, 1),
+            Err(MachineFault::ForwardingCycle { .. })
+        ));
+        assert_eq!(
+            m.try_load(0, Addr::NULL, 8),
+            Err(MachineFault::NullDeref { is_store: false })
+        );
+        assert_eq!(
+            m.try_load(0, a + 1, 4),
+            Err(MachineFault::Misaligned {
+                addr: a + 1,
+                size: 4
+            })
+        );
+        // The machine keeps working after typed faults.
+        let c = m.malloc(8);
+        assert_eq!(m.try_store(0, c, 8, 7), Ok(()));
+        assert_eq!(m.try_load(1, c, 8), Ok(7));
+    }
+
+    #[test]
+    fn smp_accurate_check_tolerates_long_chains() {
+        let mut m = smp(1);
+        let blocks: Vec<Addr> = (0..DEFAULT_HOP_LIMIT as u64 + 8)
+            .map(|_| m.malloc(8))
+            .collect();
+        m.mem.write_data(*blocks.last().unwrap(), 8, 99);
+        for w in blocks.windows(2) {
+            m.mem.unforwarded_write(w[0], w[1].0, true);
+        }
+        assert_eq!(m.try_load(0, blocks[0], 8), Ok(99), "long != cyclic");
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct FwdStats {
     pub relocation_space_bytes: u64,
     /// Page faults taken (only when the paging layer is enabled).
     pub page_faults: u64,
+    /// Corruptions injected by the deterministic fault-injection engine.
+    pub injected_faults: u64,
+    /// Injected corruptions repaired (auto-recovery or a supervisor
+    /// handler's `Unforwarded_Write`).
+    pub fault_repairs: u64,
+    /// Machine faults delivered to a registered supervisor trap handler.
+    pub faults_delivered: u64,
 }
 
 impl FwdStats {
@@ -131,7 +138,10 @@ impl RunStats {
 
     /// Load D-cache misses split as (partial, full) — Fig. 6(a).
     pub fn load_misses(&self) -> (u64, u64) {
-        (self.cache.loads.partial_misses, self.cache.loads.full_misses)
+        (
+            self.cache.loads.partial_misses,
+            self.cache.loads.full_misses,
+        )
     }
 
     /// Speedup of this run relative to a baseline (baseline cycles divided

@@ -67,7 +67,10 @@ impl Trace {
     }
 
     pub(crate) fn take(&mut self) -> (Vec<TraceRecord>, u64) {
-        (std::mem::take(&mut self.records), std::mem::take(&mut self.dropped))
+        (
+            std::mem::take(&mut self.records),
+            std::mem::take(&mut self.dropped),
+        )
     }
 }
 
@@ -91,10 +94,7 @@ pub fn forwarding_sources(records: &[TraceRecord]) -> Vec<(Addr, u32, u64)> {
     for r in records.iter().filter(|r| r.hops > 0) {
         *counts.entry((r.initial.word_base(), r.hops)).or_default() += 1;
     }
-    let mut v: Vec<(Addr, u32, u64)> = counts
-        .into_iter()
-        .map(|((a, h), c)| (a, h, c))
-        .collect();
+    let mut v: Vec<(Addr, u32, u64)> = counts.into_iter().map(|((a, h), c)| (a, h, c)).collect();
     v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
     v
 }

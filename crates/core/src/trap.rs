@@ -1,16 +1,53 @@
-//! User-level traps on forwarded references (paper §3.2).
+//! User-level traps on forwarded references and recoverable supervisor
+//! traps on machine faults (paper §3.2).
 //!
 //! The paper proposes a lightweight user-level trapping mechanism invoked
 //! upon accessing a forwarded location, useful for (i) profiling tools that
 //! record which references experience forwarding, and (ii) on-the-fly
 //! optimization that updates stray pointers to point directly at final
-//! addresses. The [`crate::Machine`] implements the profiling flavour:
-//! while traps are enabled, every forwarded reference pays the trap penalty
-//! and deposits a [`TrapInfo`] record that the application can drain with
-//! [`crate::Machine::take_traps`] and act on (e.g. rewrite its own stray
-//! pointers with ordinary stores).
+//! addresses. The [`crate::Machine`] implements both flavours:
+//!
+//! - **Profiling traps**: while traps are enabled, every forwarded
+//!   reference pays the trap penalty and deposits a [`TrapInfo`] record
+//!   that the application can drain with [`crate::Machine::take_traps`] and
+//!   act on (e.g. rewrite its own stray pointers with ordinary stores).
+//! - **Recoverable supervisor traps**: a [`FaultHandler`] registered with
+//!   [`crate::Machine::set_fault_handler`] is invoked when a fallible
+//!   `try_*` access raises a [`crate::MachineFault`]. The handler runs with
+//!   full access to the machine — it can repair a broken forwarding chain
+//!   with `Unforwarded_Write`, free memory, or log — and returns a
+//!   [`TrapOutcome`] deciding whether the faulting access is retried or the
+//!   fault propagates. Each delivery charges the configured trap penalty,
+//!   modelling exception dispatch plus handler execution.
 
+use crate::fault::MachineFault;
+use crate::machine::Machine;
 use memfwd_tagmem::Addr;
+
+/// Decision returned by a [`FaultHandler`] after inspecting (and possibly
+/// repairing) a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapOutcome {
+    /// Retry the faulting access; if the handler repaired the damage the
+    /// access now succeeds. Retries are bounded (a handler that never
+    /// repairs cannot livelock the machine — the fault is propagated after
+    /// [`MAX_FAULT_RETRIES`] deliveries).
+    Retry,
+    /// Give up: propagate the fault to the caller of the `try_*` operation.
+    Abort,
+}
+
+/// Upper bound on handler-retry deliveries for a single access; after this
+/// many [`TrapOutcome::Retry`] responses the fault propagates anyway.
+pub const MAX_FAULT_RETRIES: u32 = 8;
+
+/// A recoverable supervisor trap handler (paper §3.2's repair story).
+///
+/// Invoked by the fallible `try_*` machine operations when a fault is
+/// raised. The handler receives the machine (so it can repair state — the
+/// cycles it spends doing so are charged to the run like any other work)
+/// and the typed fault.
+pub type FaultHandler = Box<dyn FnMut(&mut Machine, &MachineFault) -> TrapOutcome>;
 
 /// One forwarded reference observed by the trap mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -146,8 +146,8 @@ mod tests {
     fn load_miss_stall_attribution() {
         let mut g = GradAccountant::new(4);
         g.graduate(0, 0, StallClass::InstStall); // slot 0 of cycle 0
-        // Next instruction completes at cycle 3: 3 slots of cycle 0 and all
-        // of cycles 1,2 stall behind it.
+                                                 // Next instruction completes at cycle 3: 3 slots of cycle 0 and all
+                                                 // of cycles 1,2 stall behind it.
         g.graduate(3, 0, StallClass::LoadStall);
         let c = g.counts();
         assert_eq!(c.busy, 2);

@@ -212,7 +212,11 @@ mod tests {
         let s = p.finish();
         assert_eq!(s.dispatched, 4000);
         // 4-wide: ~1000 cycles (+ pipeline depth at the tail).
-        assert!(s.cycles >= 1000 && s.cycles <= 1010, "cycles = {}", s.cycles);
+        assert!(
+            s.cycles >= 1000 && s.cycles <= 1010,
+            "cycles = {}",
+            s.cycles
+        );
         assert_eq!(s.slots.busy, 4000);
     }
 
@@ -223,7 +227,11 @@ mod tests {
         p.complete(OpClass::Load, d, d + 100, true);
         let s = p.finish();
         assert!(s.cycles >= 100);
-        assert!(s.slots.load_stall > 300, "load stall = {}", s.slots.load_stall);
+        assert!(
+            s.slots.load_stall > 300,
+            "load stall = {}",
+            s.slots.load_stall
+        );
         assert_eq!(s.slots.busy, 1);
     }
 
@@ -262,7 +270,10 @@ mod tests {
                 assert!(d > i / 4, "dispatch must have stalled");
             }
         }
-        assert!(last >= 100, "dispatch ran {last} cycles: ROB should stall it");
+        assert!(
+            last >= 100,
+            "dispatch ran {last} cycles: ROB should stall it"
+        );
         let s = p.finish();
         assert_eq!(s.dispatched, 16);
     }

@@ -98,7 +98,10 @@ impl Heap {
     ///
     /// As for [`Heap::new`].
     pub fn with_policy(base: Addr, capacity: u64, policy: AllocPolicy) -> Heap {
-        assert!(base.is_aligned(WORD_BYTES), "heap base must be word-aligned");
+        assert!(
+            base.is_aligned(WORD_BYTES),
+            "heap base must be word-aligned"
+        );
         assert!(capacity >= WORD_BYTES, "heap capacity too small");
         Heap {
             base: base.0,
@@ -526,10 +529,7 @@ mod tests {
     fn size_class_oom_is_reported() {
         let mut h = Heap::with_policy(Addr(0x1000), 8 * 1024, AllocPolicy::SizeClass);
         // One class slab is 16 KiB: the arena cannot even hold one.
-        assert!(matches!(
-            h.alloc(32),
-            Err(TagMemError::OutOfMemory { .. })
-        ));
+        assert!(matches!(h.alloc(32), Err(TagMemError::OutOfMemory { .. })));
     }
 
     #[test]

@@ -12,6 +12,14 @@ use crate::memory::TaggedMemory;
 use crate::word::Addr;
 use std::collections::HashSet;
 
+/// Default hardware hop-limit: how many forwarding hops an access may take
+/// before the hop counter raises an exception and the accurate software
+/// cycle check engages (paper §3.2). Shared by [`resolve_unbounded`] and the
+/// core simulator's `SimConfig::hop_limit` default. The limit never changes
+/// the *result* of a resolution — only when the cycle check switches on — so
+/// any positive value is functionally equivalent.
+pub const DEFAULT_HOP_LIMIT: u32 = 8;
+
 /// Outcome of resolving an initial address to its final address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Resolution {
@@ -86,15 +94,15 @@ pub fn resolve(mem: &TaggedMemory, addr: Addr, hop_limit: u32) -> Result<Resolut
     })
 }
 
-/// Resolves with a generous default hop limit. Convenience for callers that
-/// do not model the hardware counter. (The limit only controls when the
+/// Resolves with the [`DEFAULT_HOP_LIMIT`]. Convenience for callers that do
+/// not model the hardware counter. (The limit only controls when the
 /// accurate cycle check engages — it never changes the result.)
 ///
 /// # Errors
 ///
 /// Returns [`CycleError`] on a genuine forwarding cycle.
 pub fn resolve_unbounded(mem: &TaggedMemory, addr: Addr) -> Result<Resolution, CycleError> {
-    resolve(mem, addr, 64)
+    resolve(mem, addr, DEFAULT_HOP_LIMIT)
 }
 
 /// Returns every word address on the forwarding chain starting at (and

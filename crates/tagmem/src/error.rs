@@ -47,6 +47,14 @@ pub enum TagMemError {
         /// The offending address.
         addr: Addr,
     },
+    /// A data access that is not naturally aligned, or whose size is not a
+    /// power of two between 1 and 8 bytes.
+    Misaligned {
+        /// The offending address.
+        addr: Addr,
+        /// The access size in bytes.
+        size: u64,
+    },
 }
 
 impl fmt::Display for TagMemError {
@@ -58,6 +66,13 @@ impl fmt::Display for TagMemError {
             }
             TagMemError::InvalidFree { addr } => {
                 write!(f, "free of non-allocated address {addr}")
+            }
+            TagMemError::Misaligned { addr, size } => {
+                if matches!(size, 1 | 2 | 4 | 8) {
+                    write!(f, "misaligned {size}-byte access at {addr}")
+                } else {
+                    write!(f, "unsupported access size {size} at {addr}")
+                }
             }
         }
     }
@@ -100,6 +115,22 @@ mod tests {
         assert!(TagMemError::InvalidFree { addr: Addr(8) }
             .to_string()
             .contains("0x8"));
+        assert_eq!(
+            TagMemError::Misaligned {
+                addr: Addr(0x1001),
+                size: 4
+            }
+            .to_string(),
+            "misaligned 4-byte access at 0x1001"
+        );
+        assert_eq!(
+            TagMemError::Misaligned {
+                addr: Addr(0x1000),
+                size: 5
+            }
+            .to_string(),
+            "unsupported access size 5 at 0x1000"
+        );
     }
 
     #[test]

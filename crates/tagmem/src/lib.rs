@@ -39,8 +39,8 @@ mod page;
 mod word;
 
 pub use alloc::{AllocPolicy, Heap, HeapStats, Pool};
-pub use chain::{chain_words, resolve, resolve_unbounded, Resolution};
+pub use chain::{chain_words, resolve, resolve_unbounded, Resolution, DEFAULT_HOP_LIMIT};
 pub use error::{CycleError, TagMemError};
 pub use memory::{MemStats, TaggedMemory};
 pub use page::{PAGE_BYTES, PAGE_WORDS};
-pub use word::{Addr, WORD_BYTES};
+pub use word::{validate_access, Addr, WORD_BYTES};

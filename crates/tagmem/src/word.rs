@@ -1,5 +1,6 @@
 //! Byte addresses and word geometry.
 
+use crate::error::TagMemError;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -131,11 +132,22 @@ impl fmt::LowerHex for Addr {
 /// Validates that an access of `size` bytes at `addr` is naturally aligned
 /// and therefore contained within a single word.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `size` is not one of 1, 2, 4, 8 or if `addr` is not a multiple
-/// of `size`. Misaligned accesses are a bug in the simulated program, as
-/// they would be on the MIPS machines the paper targets.
+/// Returns [`TagMemError::Misaligned`] if `size` is not one of 1, 2, 4, 8 or
+/// if `addr` is not a multiple of `size`. Misaligned accesses are a bug in
+/// the simulated program, as they would be on the MIPS machines the paper
+/// targets.
+#[inline]
+pub fn validate_access(addr: Addr, size: u64) -> Result<(), TagMemError> {
+    if !matches!(size, 1 | 2 | 4 | 8) || !addr.is_aligned(size) {
+        return Err(TagMemError::Misaligned { addr, size });
+    }
+    Ok(())
+}
+
+/// Panicking twin of [`validate_access`] used by the infallible data-access
+/// API; the panic messages are the crate's historical ones.
 #[inline]
 #[track_caller]
 pub(crate) fn check_access(addr: Addr, size: u64) {
@@ -213,5 +225,25 @@ mod tests {
     #[should_panic(expected = "unsupported access size")]
     fn check_access_bad_size() {
         check_access(Addr(0x1000), 3);
+    }
+
+    #[test]
+    fn validate_access_matches_check_access() {
+        assert!(validate_access(Addr(0x1000), 8).is_ok());
+        assert!(validate_access(Addr(0x1007), 1).is_ok());
+        assert_eq!(
+            validate_access(Addr(0x1001), 4),
+            Err(TagMemError::Misaligned {
+                addr: Addr(0x1001),
+                size: 4
+            })
+        );
+        assert_eq!(
+            validate_access(Addr(0x1000), 3),
+            Err(TagMemError::Misaligned {
+                addr: Addr(0x1000),
+                size: 3
+            })
+        );
     }
 }

@@ -59,11 +59,7 @@ fn main() {
     let line = m.line_bytes();
     let mut pools: Vec<Pool> = (0..CORES).map(|_| Pool::new(4096)).collect();
     for core in 0..CORES {
-        let chunk = m.pool_alloc_aligned(
-            &mut pools[core],
-            (COUNTERS_PER_CORE * 8) as u64,
-            line,
-        );
+        let chunk = m.pool_alloc_aligned(&mut pools[core], (COUNTERS_PER_CORE * 8) as u64, line);
         for (k, c) in counters[core].clone().into_iter().enumerate() {
             let tgt = chunk.add_words(k as u64);
             m.relocate(core, c, tgt, 1);

@@ -52,7 +52,10 @@ fn main() {
     let linearize_cycles = m.now() - t0;
 
     let (sum_after, cycles_after) = traverse_sum(&mut m, head);
-    assert_eq!(sum_before, sum_after, "linearization must preserve the list");
+    assert_eq!(
+        sum_before, sum_after,
+        "linearization must preserve the list"
+    );
 
     println!("list of {} nodes (4 words each)", out.nodes);
     println!("traversal before linearization: {cycles_before:>9} cycles");

@@ -64,10 +64,17 @@ fn main() {
     assert_eq!(sum1, sum2);
 
     let pages_needed = NODES * 32 / 4096 + 1;
-    println!("{NODES} nodes scattered over ~{} pages, {} resident", NODES * 3400 / 4096, 48);
+    println!(
+        "{NODES} nodes scattered over ~{} pages, {} resident",
+        NODES * 3400 / 4096,
+        48
+    );
     println!("traversal (cold, scattered)   : {cold:>12} cycles");
     println!("traversal (repeat, scattered) : {thrash:>12} cycles  <- thrashing");
-    println!("traversal (repeat, linearized): {packed:>12} cycles  ({} pages now suffice)", pages_needed);
+    println!(
+        "traversal (repeat, linearized): {packed:>12} cycles  ({} pages now suffice)",
+        pages_needed
+    );
     println!("out-of-core speedup: {:.1}x", thrash as f64 / packed as f64);
     let _ = warmup;
 

@@ -41,7 +41,11 @@ fn main() {
         }
     }
     let (records_tr, dropped) = m.take_trace();
-    println!("traced {} references ({} dropped)", records_tr.len(), dropped);
+    println!(
+        "traced {} references ({} dropped)",
+        records_tr.len(),
+        dropped
+    );
 
     println!("\nhot L1-miss lines (top 5):");
     for (line, misses) in hot_miss_lines(&records_tr, m.line_bytes(), 5) {

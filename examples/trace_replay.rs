@@ -36,10 +36,7 @@ fn main() {
     println!("recorded {} references ({} dropped)", trace.len(), dropped);
     println!();
     println!("replaying the same trace across machine configurations:");
-    println!(
-        "{:<34} {:>12} {:>10}",
-        "configuration", "cycles", "vs base"
-    );
+    println!("{:<34} {:>12} {:>10}", "configuration", "cycles", "vs base");
 
     let base = replay_trace(&trace, SimConfig::default());
     let show = |label: &str, stats: &memfwd_repro::core::RunStats| {

@@ -1,7 +1,15 @@
 //! Failure injection: corrupted forwarding state, resource exhaustion and
 //! API misuse must fail loudly and precisely, never corrupt silently.
+//!
+//! Every `should_panic` case has a Result-based twin below asserting the
+//! exact [`MachineFault`] variant through the `try_*` API, and the seeded
+//! corruption campaigns at the bottom drive all eight applications to a
+//! recover-or-typed-abort outcome — never a silently wrong checksum.
 
-use memfwd_repro::core::{relocate, Machine, SimConfig};
+use memfwd_repro::apps::{run, run_ok, App, RunConfig, Variant};
+use memfwd_repro::core::{
+    relocate, try_relocate, InjectConfig, Machine, MachineFault, SimConfig, TrapOutcome,
+};
 use memfwd_repro::tagmem::Addr;
 
 fn machine() -> Machine {
@@ -91,6 +99,247 @@ fn misaligned_relocation_is_rejected() {
     relocate(&mut m, a + 4, b, 1);
 }
 
+// ---------------------------------------------------------------------------
+// Result-based twins: the same failures through the fallible `try_*` API,
+// asserting the exact typed fault instead of a panic message.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn try_load_through_injected_cycle_reports_typed_fault() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    let b = m.malloc(8);
+    let c = m.malloc(8);
+    m.unforwarded_write(a, b.0, true);
+    m.unforwarded_write(b, c.0, true);
+    m.unforwarded_write(c, a.0, true);
+    match m.try_load_word(a) {
+        Err(MachineFault::ForwardingCycle { at, hops }) => {
+            assert!(hops > 0);
+            assert!([a, b, c].contains(&at), "cycle detected within the loop");
+        }
+        other => panic!("expected ForwardingCycle, got {other:?}"),
+    }
+}
+
+#[test]
+fn try_store_through_self_loop_reports_typed_fault() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    m.unforwarded_write(a, a.0, true);
+    assert!(matches!(
+        m.try_store_word(a, 1),
+        Err(MachineFault::ForwardingCycle { at, .. }) if at == a
+    ));
+}
+
+#[test]
+fn try_malloc_exhaustion_reports_typed_fault() {
+    let cfg = SimConfig {
+        heap_capacity: 1024,
+        ..SimConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    let mut last = Ok(Addr(0));
+    for _ in 0..1000 {
+        last = m.try_malloc(64);
+        if last.is_err() {
+            break;
+        }
+    }
+    assert_eq!(last, Err(MachineFault::HeapExhausted { requested: 64 }));
+}
+
+#[test]
+fn try_load_misaligned_reports_typed_fault() {
+    let mut m = machine();
+    let a = m.malloc(16);
+    assert_eq!(
+        m.try_load(a + 1, 4),
+        Err(MachineFault::Misaligned {
+            addr: a + 1,
+            size: 4
+        })
+    );
+}
+
+#[test]
+fn try_null_chase_reports_typed_fault() {
+    let mut m = machine();
+    let head = m.malloc(8); // next pointer is 0
+    let next = m.load_ptr(head);
+    assert_eq!(
+        m.try_load_word(next),
+        Err(MachineFault::NullDeref { is_store: false })
+    );
+    assert_eq!(
+        m.try_store_word(next, 1),
+        Err(MachineFault::NullDeref { is_store: true })
+    );
+}
+
+#[test]
+fn try_free_of_interior_pointer_reports_typed_fault() {
+    let mut m = machine();
+    let a = m.malloc(32);
+    assert_eq!(
+        m.try_free(a + 8),
+        Err(MachineFault::InvalidFree { addr: a + 8 })
+    );
+    // The block itself is still live and freeable.
+    assert_eq!(m.try_free(a), Ok(()));
+}
+
+#[test]
+fn try_relocate_misaligned_reports_typed_fault() {
+    let mut m = machine();
+    let a = m.malloc(16);
+    let b = m.malloc(16);
+    assert_eq!(
+        try_relocate(&mut m, a + 4, b, 1),
+        Err(MachineFault::Misaligned {
+            addr: a + 4,
+            size: 8
+        })
+    );
+}
+
+#[test]
+fn free_on_cycle_corrupted_chain_reports_typed_fault() {
+    // Regression (wrapper deallocation, paper §3.3): `free` walks the
+    // forwarding chain to release every link; a corrupted cyclic chain must
+    // surface as a typed cycle fault, not an endless walk or a panic deep
+    // in the heap bookkeeping.
+    let mut m = machine();
+    let a = m.malloc(8);
+    let b = m.malloc(8);
+    m.unforwarded_write(a, b.0, true);
+    m.unforwarded_write(b, a.0, true);
+    assert!(matches!(
+        m.try_free(a),
+        Err(MachineFault::ForwardingCycle { .. })
+    ));
+    // Nothing was freed: repairing the chain makes both blocks freeable.
+    m.unforwarded_write(b, 0, false);
+    assert_eq!(m.try_free(a), Ok(()));
+}
+
+#[test]
+#[should_panic(expected = "forwarding cycle during free")]
+fn free_on_cycle_corrupted_chain_panics_in_infallible_api() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    m.unforwarded_write(a, a.0, true);
+    m.free(a);
+}
+
+#[test]
+fn hard_hop_budget_rejects_acyclic_chains_beyond_budget() {
+    // Unlike the default accurate check (which forgives long acyclic
+    // chains), an explicit hard budget turns excess hops into a typed
+    // fault even when no cycle exists.
+    let cfg = SimConfig {
+        hard_hop_budget: Some(4),
+        ..SimConfig::default()
+    };
+    let mut m = Machine::new(cfg);
+    let blocks: Vec<Addr> = (0..8).map(|_| m.malloc(8)).collect();
+    m.store_word(*blocks.last().unwrap(), 7);
+    for w in blocks.windows(2) {
+        m.unforwarded_write(w[0], w[1].0, true);
+    }
+    // Short chains still resolve…
+    assert_eq!(m.try_load_word(blocks[4]), Ok(7));
+    // …but the full walk exceeds the budget.
+    assert!(matches!(
+        m.try_load_word(blocks[0]),
+        Err(MachineFault::HopLimitExceeded { hops, .. }) if hops > 4
+    ));
+}
+
+#[test]
+fn fault_exit_codes_are_distinct() {
+    let faults = [
+        MachineFault::ForwardingCycle {
+            at: Addr(8),
+            hops: 2,
+        },
+        MachineFault::HeapExhausted { requested: 1 },
+        MachineFault::PoolExhausted { requested: 1 },
+        MachineFault::Misaligned {
+            addr: Addr(1),
+            size: 4,
+        },
+        MachineFault::NullDeref { is_store: false },
+        MachineFault::InvalidFree { addr: Addr(8) },
+        MachineFault::HopLimitExceeded {
+            at: Addr(8),
+            hops: 9,
+        },
+    ];
+    let mut codes: Vec<i32> = faults.iter().map(|f| f.exit_code()).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert_eq!(codes.len(), faults.len(), "exit codes must be distinct");
+    assert!(
+        codes.iter().all(|&c| c >= 10),
+        "leave low codes to the harness"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Recoverable supervisor traps (paper §3.2): a registered handler can
+// repair corrupted state with Unforwarded_Write and resume the access.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn supervisor_trap_repairs_cycle_and_access_resumes() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    let b = m.malloc(8);
+    m.unforwarded_write(a, b.0, true);
+    m.unforwarded_write(b, a.0, true); // corrupt: a <-> b
+    m.set_fault_handler(Box::new(move |m, fault| {
+        assert!(matches!(fault, MachineFault::ForwardingCycle { .. }));
+        // Repair: make b the terminal again and give it the data.
+        m.unforwarded_write(b, 4242, false);
+        TrapOutcome::Retry
+    }));
+    assert_eq!(m.try_load_word(a), Ok(4242));
+    let s = m.finish();
+    assert_eq!(s.fwd.faults_delivered, 1);
+}
+
+#[test]
+fn supervisor_trap_abort_propagates_the_fault() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    m.unforwarded_write(a, a.0, true);
+    m.set_fault_handler(Box::new(|_, _| TrapOutcome::Abort));
+    assert!(matches!(
+        m.try_load_word(a),
+        Err(MachineFault::ForwardingCycle { .. })
+    ));
+    let s = m.finish();
+    assert_eq!(s.fwd.faults_delivered, 1);
+}
+
+#[test]
+fn unrepaired_retry_is_bounded_not_endless() {
+    let mut m = machine();
+    let a = m.malloc(8);
+    m.unforwarded_write(a, a.0, true);
+    // A handler that claims to have repaired but did nothing: the machine
+    // must give up after MAX_FAULT_RETRIES instead of spinning forever.
+    m.set_fault_handler(Box::new(|_, _| TrapOutcome::Retry));
+    assert!(m.try_load_word(a).is_err());
+    let s = m.finish();
+    assert_eq!(
+        s.fwd.faults_delivered,
+        1 + u64::from(memfwd_repro::core::MAX_FAULT_RETRIES)
+    );
+}
+
 #[test]
 fn unforwarded_write_can_repair_a_cycle() {
     // The §3.2 story: after the cycle check aborts (here: would panic), a
@@ -100,7 +349,125 @@ fn unforwarded_write_can_repair_a_cycle() {
     let b = m.malloc(8);
     m.unforwarded_write(a, b.0, true);
     m.unforwarded_write(b, a.0, true); // corrupt: a <-> b
-    // Repair: make b the terminal again and give it the data.
+                                       // Repair: make b the terminal again and give it the data.
     m.unforwarded_write(b, 4242, false);
     assert_eq!(m.load_word(a), 4242);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded corruption campaigns: all eight applications, multiple seeds.
+// Every run must end in recover-or-typed-abort — an `Ok` with a checksum
+// different from the clean run would be silent divergence, the one outcome
+// the fault model exists to rule out.
+// ---------------------------------------------------------------------------
+
+/// Fault-injection seeds for the campaigns (3 per the acceptance bar).
+const CAMPAIGN_SEEDS: [u64; 3] = [0x5eed_f417, 2, 0xdead_beef];
+
+fn smoke_cfg() -> RunConfig {
+    RunConfig::new(Variant::Optimized).smoke()
+}
+
+fn clean_checksum(app: App) -> u64 {
+    run_ok(app, &smoke_cfg()).checksum
+}
+
+#[test]
+fn recovery_campaign_all_apps_complete_with_golden_checksums() {
+    // End-to-end §3.2 recovery: corruption is injected mid-run and repaired
+    // by the supervisor trap (fbit flips, chain scrambles and transient
+    // allocation failures); every application must still complete with a
+    // checksum identical to its clean run.
+    for app in App::ALL {
+        let clean = clean_checksum(app);
+        for seed in CAMPAIGN_SEEDS {
+            let mut cfg = smoke_cfg();
+            cfg.sim = cfg.sim.with_fault_injection(InjectConfig {
+                seed,
+                fbit_flip_ppm: 2_000,
+                chain_scramble_ppm: 2_000,
+                alloc_fail_ppm: 2_000,
+                recover: true,
+                max_injections: 0,
+            });
+            let out = run(app, &cfg)
+                .unwrap_or_else(|fault| panic!("{app} seed {seed:#x}: recovery failed: {fault}"));
+            assert_eq!(
+                out.checksum, clean,
+                "{app} seed {seed:#x}: recovered run diverged from the clean run"
+            );
+            assert!(
+                out.stats.fwd.injected_faults > 0,
+                "{app} seed {seed:#x}: campaign injected nothing — vacuous"
+            );
+            assert_eq!(
+                out.stats.fwd.fault_repairs, out.stats.fwd.injected_faults,
+                "{app} seed {seed:#x}: every injected corruption must be repaired"
+            );
+        }
+    }
+}
+
+#[test]
+fn abort_campaign_all_apps_recover_or_abort_typed_never_diverge() {
+    // Without recovery, injected chain scrambles are left in place. The
+    // scrambled word is a forwarding self-loop, so the very access that
+    // would read corrupt data trips the accurate cycle check instead: the
+    // only possible outcomes are a clean finish (injection never hit) with
+    // the golden checksum, or a typed abort. Silent divergence is impossible.
+    let mut aborts = 0u32;
+    for app in App::ALL {
+        let clean = clean_checksum(app);
+        for seed in CAMPAIGN_SEEDS {
+            let mut cfg = smoke_cfg();
+            cfg.sim = cfg.sim.with_fault_injection(InjectConfig {
+                seed,
+                chain_scramble_ppm: 2_000,
+                recover: false,
+                ..InjectConfig::default()
+            });
+            match run(app, &cfg) {
+                Ok(out) => assert_eq!(
+                    out.checksum, clean,
+                    "{app} seed {seed:#x}: SILENT DIVERGENCE — completed with a wrong checksum"
+                ),
+                Err(fault) => {
+                    assert!(
+                        matches!(
+                            fault,
+                            MachineFault::ForwardingCycle { .. }
+                                | MachineFault::HopLimitExceeded { .. }
+                        ),
+                        "{app} seed {seed:#x}: unexpected fault {fault:?}"
+                    );
+                    aborts += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        aborts > 0,
+        "campaign never aborted — injection rate too low to test anything"
+    );
+}
+
+#[test]
+fn injection_campaigns_are_deterministic() {
+    // Same workload seed + same injection seed => bit-identical outcome,
+    // including the abort fault itself. This is what makes a campaign a
+    // reproducible bug report rather than a flake.
+    let mut cfg = smoke_cfg();
+    cfg.sim = cfg.sim.with_fault_injection(InjectConfig {
+        seed: 77,
+        chain_scramble_ppm: 2_000,
+        recover: false,
+        ..InjectConfig::default()
+    });
+    let a = run(App::Smv, &cfg);
+    let b = run(App::Smv, &cfg);
+    match (a, b) {
+        (Ok(x), Ok(y)) => assert_eq!(x.checksum, y.checksum),
+        (Err(x), Err(y)) => assert_eq!(x, y),
+        (x, y) => panic!("outcomes diverged across identical replays: {x:?} vs {y:?}"),
+    }
 }

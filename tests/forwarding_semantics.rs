@@ -185,7 +185,9 @@ fn traps_report_every_forwarded_reference_once() {
     m.load_word(new); // direct: no trap
     let traps = m.take_traps();
     assert_eq!(traps.len(), 5);
-    assert!(traps.iter().all(|t| t.initial == old && t.final_addr == new));
+    assert!(traps
+        .iter()
+        .all(|t| t.initial == old && t.final_addr == new));
     assert!(traps.iter().all(|t| t.hops == 1 && !t.is_store));
     assert_eq!(traps[0].displacement(), new.distance_from(old));
 }

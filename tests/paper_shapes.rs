@@ -6,7 +6,7 @@
 //! cargo test --release --test paper_shapes -- --ignored
 //! ```
 
-use memfwd_repro::apps::{run, App, RunConfig, Variant};
+use memfwd_repro::apps::{run_ok as run, App, RunConfig, Variant};
 
 fn cell(app: App, variant: Variant, line: u64) -> memfwd_repro::apps::AppOutput {
     let mut cfg = RunConfig::new(variant);
@@ -53,7 +53,10 @@ fn fig5_speedups_grow_with_line_size_for_list_apps() {
             );
             prev = s;
         }
-        assert!(prev > 1.5, "{app}: large gain expected at 128B, got {prev:.2}");
+        assert!(
+            prev > 1.5,
+            "{app}: large gain expected at 128B, got {prev:.2}"
+        );
     }
 }
 
@@ -77,8 +80,7 @@ fn fig6_optimized_cuts_misses_and_bandwidth_for_linearized_apps() {
         let n = cell(app, Variant::Original, 128);
         let l = cell(app, Variant::Optimized, 128);
         assert!(
-            (l.stats.cache.loads.misses() as f64)
-                < 0.65 * n.stats.cache.loads.misses() as f64,
+            (l.stats.cache.loads.misses() as f64) < 0.65 * n.stats.cache.loads.misses() as f64,
             "{app}: expected >35% miss reduction at 128B"
         );
         assert!(
@@ -121,8 +123,14 @@ fn fig10_smv_orderings_hold() {
     assert_eq!(n.checksum, l.checksum);
     assert_eq!(n.checksum, p.checksum);
     // (a) L slower than N; Perf between Perf < N marginally.
-    assert!(l.stats.cycles() > n.stats.cycles(), "L must pay for forwarding");
-    assert!(p.stats.cycles() < l.stats.cycles(), "Perf recovers the loss");
+    assert!(
+        l.stats.cycles() > n.stats.cycles(),
+        "L must pay for forwarding"
+    );
+    assert!(
+        p.stats.cycles() < l.stats.cycles(),
+        "Perf recovers the loss"
+    );
     assert!(
         (p.stats.cycles() as f64) > 0.85 * n.stats.cycles() as f64,
         "Perf improves on N only marginally"
@@ -132,7 +140,11 @@ fn fig10_smv_orderings_hold() {
     let fs = l.stats.fwd.forwarded_store_fraction();
     assert!((0.03..0.15).contains(&fl), "load fwd fraction {fl}");
     assert!((0.005..0.05).contains(&fs), "store fwd fraction {fs}");
-    assert_eq!(l.stats.fwd.load_hops[2..].iter().sum::<u64>(), 0, "1 hop only");
+    assert_eq!(
+        l.stats.fwd.load_hops[2..].iter().sum::<u64>(),
+        0,
+        "1 hop only"
+    );
     // (b) cache pollution: L touches old + new locations.
     assert!(l.stats.cache.loads.misses() > n.stats.cache.loads.misses());
 }

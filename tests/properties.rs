@@ -12,7 +12,13 @@ use std::collections::HashMap;
 enum Op {
     /// Store `value` of `size` bytes at logical offset `off` of object
     /// `obj`, through its `gen`-th historical address.
-    Store { obj: u8, gen: u8, off: u8, size: u8, value: u64 },
+    Store {
+        obj: u8,
+        gen: u8,
+        off: u8,
+        size: u8,
+        value: u64,
+    },
     /// Load at logical offset `off` of `obj` through a historical address.
     Load { obj: u8, gen: u8, off: u8, size: u8 },
     /// Relocate `obj` to a fresh home through a historical address.
@@ -22,8 +28,15 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     let size = prop_oneof![Just(1u8), Just(2), Just(4), Just(8)];
     prop_oneof![
-        (0u8..4, 0u8..8, 0u8..24, size.clone(), any::<u64>())
-            .prop_map(|(obj, gen, off, size, value)| Op::Store { obj, gen, off, size, value }),
+        (0u8..4, 0u8..8, 0u8..24, size.clone(), any::<u64>()).prop_map(
+            |(obj, gen, off, size, value)| Op::Store {
+                obj,
+                gen,
+                off,
+                size,
+                value
+            }
+        ),
         (0u8..4, 0u8..8, 0u8..24, size).prop_map(|(obj, gen, off, size)| Op::Load {
             obj,
             gen,
@@ -182,6 +195,62 @@ proptest! {
         prop_assert_eq!(s.cache.stores.total(), stores);
         prop_assert_eq!(s.fwd.loads, loads);
         prop_assert_eq!(s.fwd.stores, stores);
+    }
+
+    /// Randomly flipping forwarding bits over words holding arbitrary data
+    /// can never cause a *silent* wrong value: every load either returns
+    /// the functionally correct value, is visibly forwarded (a user-level
+    /// trap fires, paper §3.2), or raises a typed machine fault.
+    #[test]
+    fn random_fbit_corruption_is_never_silent(
+        values in proptest::collection::vec(any::<u64>(), 4..24),
+        flips in proptest::collection::vec(any::<bool>(), 24..25),
+    ) {
+        let mut m = Machine::new(SimConfig::default());
+        m.set_traps_enabled(true);
+        let words: Vec<Addr> = values
+            .iter()
+            .map(|&v| {
+                let a = m.malloc(8);
+                m.store_word(a, v);
+                a
+            })
+            .collect();
+        // Corrupt: set the forwarding bit on a random subset, turning each
+        // word's payload into a bogus forwarding address.
+        for (i, &a) in words.iter().enumerate() {
+            if flips[i] {
+                let (v, _) = m.unforwarded_read(a);
+                m.unforwarded_write(a, v, true);
+            }
+        }
+        for (i, &a) in words.iter().enumerate() {
+            let _ = m.take_traps();
+            match m.try_load_word(a) {
+                Ok(got) => {
+                    if got != values[i] {
+                        // A wrong value is only acceptable if the hardware
+                        // made the forwarding visible: the access trapped.
+                        let traps = m.take_traps();
+                        prop_assert!(
+                            !traps.is_empty() && traps.iter().all(|t| t.hops > 0),
+                            "SILENT corruption: word {i} returned {got:#x}, want {:#x}, no trap",
+                            values[i]
+                        );
+                    }
+                }
+                Err(fault) => prop_assert!(
+                    matches!(
+                        fault,
+                        memfwd_repro::core::MachineFault::ForwardingCycle { .. }
+                            | memfwd_repro::core::MachineFault::NullDeref { .. }
+                            | memfwd_repro::core::MachineFault::Misaligned { .. }
+                            | memfwd_repro::core::MachineFault::HopLimitExceeded { .. }
+                    ),
+                    "unexpected fault kind for fbit corruption: {fault:?}"
+                ),
+            }
+        }
     }
 
     /// Perfect forwarding and real forwarding always agree functionally.

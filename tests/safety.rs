@@ -4,7 +4,7 @@
 //! layout under perfect forwarding, and with prefetching on top — across
 //! seeds and line sizes.
 
-use memfwd_repro::apps::{run, App, RunConfig, Variant};
+use memfwd_repro::apps::{run_ok as run, App, RunConfig, Variant};
 
 fn smoke(variant: Variant, seed: u64) -> RunConfig {
     let mut cfg = RunConfig::new(variant).smoke();
@@ -33,7 +33,10 @@ fn all_apps_safe_under_perfect_forwarding() {
         let mut pcfg = smoke(Variant::Optimized, 7);
         pcfg.sim = pcfg.sim.with_perfect_forwarding();
         let perf = run(app, &pcfg);
-        assert_eq!(opt.checksum, perf.checksum, "{app}: Perf changed the result");
+        assert_eq!(
+            opt.checksum, perf.checksum,
+            "{app}: Perf changed the result"
+        );
     }
 }
 
@@ -77,7 +80,10 @@ fn all_apps_safe_without_dependence_speculation() {
         let mut cfg = smoke(Variant::Optimized, 11);
         cfg.sim.dependence_speculation = false;
         let out = run(app, &cfg);
-        assert_eq!(orig.checksum, out.checksum, "{app}: conservative mode diverged");
+        assert_eq!(
+            orig.checksum, out.checksum,
+            "{app}: conservative mode diverged"
+        );
     }
 }
 
@@ -86,7 +92,10 @@ fn static_placement_is_safe_where_supported() {
     for app in [App::Eqntott, App::Vis, App::Health] {
         let orig = run(app, &smoke(Variant::Original, 5));
         let st = run(app, &smoke(Variant::Static, 5));
-        assert_eq!(orig.checksum, st.checksum, "{app}: static placement diverged");
+        assert_eq!(
+            orig.checksum, st.checksum,
+            "{app}: static placement diverged"
+        );
         assert_eq!(st.stats.fwd.relocations, 0);
     }
 }

@@ -1,7 +1,7 @@
 //! Invariants of the timing model that must hold for the paper's
 //! comparisons to be meaningful.
 
-use memfwd_repro::apps::{run, App, RunConfig, Variant};
+use memfwd_repro::apps::{run_ok as run, App, RunConfig, Variant};
 use memfwd_repro::core::{Machine, SimConfig, Token};
 
 #[test]
@@ -65,7 +65,10 @@ fn longer_memory_latency_slows_execution() {
     slow_cfg.sim.hierarchy.mem_latency = 300;
     let fast = run(App::Vis, &fast_cfg);
     let slow = run(App::Vis, &slow_cfg);
-    assert_eq!(fast.checksum, slow.checksum, "latency must not change results");
+    assert_eq!(
+        fast.checksum, slow.checksum,
+        "latency must not change results"
+    );
     assert!(slow.stats.cycles() > fast.stats.cycles());
 }
 
@@ -90,7 +93,10 @@ fn ideal_compute_ipc_reaches_machine_width() {
     m.compute(40_000);
     let s = m.finish();
     let ipc = s.pipeline.dispatched as f64 / s.cycles() as f64;
-    assert!(ipc > 3.9, "independent ALU stream should reach ~4 IPC, got {ipc:.2}");
+    assert!(
+        ipc > 3.9,
+        "independent ALU stream should reach ~4 IPC, got {ipc:.2}"
+    );
 }
 
 #[test]

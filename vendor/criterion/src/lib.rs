@@ -1,0 +1,195 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion).
+//!
+//! The workspace's build environment cannot reach a crates.io mirror, so the
+//! real `criterion` cannot be downloaded. This crate vendors the small
+//! subset of the criterion 0.5 API used by the workspace's
+//! `benches/mechanism_micro.rs`: [`Criterion`], [`Criterion::benchmark_group`],
+//! `bench_function`, [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark routine runs for a
+//! short, bounded wall-clock window and the mean time per iteration is
+//! printed as one plain-text line. There is no statistical analysis, HTML
+//! report, or baseline comparison. Set `CRITERION_STUB_MS` to change the
+//! per-benchmark measurement window (default 20 ms).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped — accepted for API compatibility; the
+/// stub times every batch size the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Collects timing for one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+fn measurement_window() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(20);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let window = measurement_window();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= window {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine (not the setup) is counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let window = measurement_window();
+        let begin = Instant::now();
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            iters += 1;
+            if begin.elapsed() >= window {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = timed;
+    }
+
+    fn report(&self, name: &str) {
+        let per_iter = if self.iters == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iters as f64
+        };
+        println!("{name:<48} {per_iter:>14.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `routine` as a named benchmark and prints its mean time.
+    pub fn bench_function<R>(&mut self, name: impl Into<String>, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher::default();
+        routine(&mut b);
+        b.report(&name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks; names are reported as `group/function`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    prefix: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `routine` as `group/name`.
+    pub fn bench_function<R>(&mut self, name: impl Into<String>, routine: R) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        let mut b = Bencher::default();
+        routine(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group (reporting is per-function, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = { $config };
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_counts_and_reports() {
+        std::env::set_var("CRITERION_STUB_MS", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        c.bench_function("unit/spin", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("unit");
+        let mut batches = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 7u64, |x| batches += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(batches > 0);
+    }
+}
