@@ -8,9 +8,10 @@
 //! long cache lines — the clustering still helps at shorter lines by
 //! allocating clusters consecutively in traversal order.
 
+use crate::ckpt::{bad_cursor, push_addr_vec, Checkpointer, CkOutcome, CursorR};
 use crate::common::{prefetch_mode, scatter_pad, PrefetchMode, Rng};
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::{subtree_cluster, Machine, Token, TreeDesc};
+use memfwd::{subtree_cluster, Machine, MachineFault, Token, TreeDesc};
 use memfwd_tagmem::Addr;
 
 /// Internal node: `[tag=1, mass, child0..child7]` = 10 words (80 B).
@@ -59,32 +60,68 @@ fn tree_desc() -> TreeDesc {
 
 /// Runs `bh`.
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Runs `bh` under a checkpoint policy; see [`crate::registry::run_ck`].
+///
+/// The octree is rebuilt from the bodies at the top of every step, so the
+/// checkpoint cursor never needs to capture tree topology — only the body
+/// handles survive a step boundary.
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed ^ 0x6268);
     let optimized = cfg.variant == Variant::Optimized;
     let mode = prefetch_mode(cfg);
     let desc = tree_desc();
 
-    // ---- Create the bodies (linked in a list, never relocated).
-    let mut bodies: Vec<Addr> = Vec::with_capacity(p.bodies as usize);
-    let body_head = m.malloc(8);
-    m.store_ptr(body_head, Addr::NULL);
-    for id in 0..p.bodies {
-        scatter_pad(&mut m, &mut rng);
-        let b = m.malloc(BODY_WORDS * 8);
-        m.store_word(b, 0); // leaf tag
-        m.store_word(b.add_words(1), id % 7 + 1); // mass
-        m.store_word(b.add_words(2), rng.next_u64()); // position key
-        let first = m.load_ptr(body_head);
-        m.store_ptr(b.add_words(3), first);
-        m.store_ptr(body_head, b);
-        bodies.push(b);
-    }
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (step0, mut checksum, mut rng, body_head, bodies, mut pool) = if cursor.is_empty() {
+        let pool = m.new_pool();
+        let mut rng = Rng::new(cfg.seed ^ 0x6268);
+        // ---- Create the bodies (linked in a list, never relocated).
+        let mut bodies: Vec<Addr> = Vec::with_capacity(p.bodies as usize);
+        let body_head = m.malloc(8);
+        m.store_ptr(body_head, Addr::NULL);
+        for id in 0..p.bodies {
+            scatter_pad(&mut m, &mut rng);
+            let b = m.malloc(BODY_WORDS * 8);
+            m.store_word(b, 0); // leaf tag
+            m.store_word(b.add_words(1), id % 7 + 1); // mass
+            m.store_word(b.add_words(2), rng.next_u64()); // position key
+            let first = m.load_ptr(body_head);
+            m.store_ptr(b.add_words(3), first);
+            m.store_ptr(body_head, b);
+            bodies.push(b);
+        }
+        (0u64, 0u64, rng, body_head, bodies, pool)
+    } else {
+        let mut c = CursorR::new(&cursor);
+        let step0 = c.u64()?;
+        let checksum = c.u64()?;
+        let rng = c.rng()?;
+        let body_head = c.addr()?;
+        let bodies = c.addr_vec()?;
+        let pool = c.pool()?;
+        c.finish()?;
+        if bodies.len() as u64 != p.bodies || step0 > p.steps {
+            return Err(bad_cursor());
+        }
+        (step0, checksum, rng, body_head, bodies, pool)
+    };
 
-    let mut checksum = 0u64;
-    for step in 0..p.steps {
+    for step in step0..p.steps {
+        if ck.boundary(&m, || {
+            let mut w = vec![step, checksum, rng.state(), body_head.0];
+            push_addr_vec(&mut w, &bodies);
+            pool.encode_words(&mut w);
+            w
+        })? {
+            return Ok(CkOutcome::Stopped);
+        }
         // ---- Build the octree depth-first over current positions.
         let mut root = Addr::NULL;
         for &b in &bodies {
@@ -133,10 +170,10 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
         }
     }
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum,
         stats: m.finish(),
-    }
+    }))
 }
 
 /// Inserts body `b` into the subtree `node` (depth-first construction).

@@ -19,6 +19,18 @@ impl Rng {
         })
     }
 
+    /// The raw generator state, for checkpointing. Restore with
+    /// [`Rng::from_state`] to continue the identical stream.
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a generator from a [`Rng::state`] word *without* the zero
+    /// remapping of [`Rng::new`] (a live generator's state is never zero).
+    pub fn from_state(state: u64) -> Rng {
+        Rng(state)
+    }
+
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let mut x = self.0;

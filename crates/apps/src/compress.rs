@@ -17,9 +17,10 @@
 //! entry stride doubles the lines touched. The random probes (which the
 //! merge helps, one line instead of two) only win out once lines are long.
 
+use crate::ckpt::{bad_cursor, Checkpointer, CkOutcome, CursorR};
 use crate::common::Rng;
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::{Machine, Token};
+use memfwd::{Machine, MachineFault, Token};
 use memfwd_tagmem::Addr;
 
 /// Empty marker in `htab`.
@@ -58,70 +59,112 @@ impl Params {
 
 /// Runs `compress`.
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Runs `compress` under a checkpoint policy; see
+/// [`crate::registry::run_ck`].
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed ^ 0x636F_6D70);
     let merged_variant = cfg.variant == Variant::Optimized;
 
-    // ---- Generate a compressible input in simulated memory.
-    let input = m.malloc(p.input_len);
-    {
-        let mut recent: Vec<u8> = Vec::new();
-        let mut i = 0u64;
-        while i < p.input_len {
-            if recent.len() > 16 && rng.chance(7, 10) {
-                // Repeat a recent substring (this is what makes LZW bite).
-                let start = rng.below(recent.len() as u64 - 8) as usize;
-                let len = (rng.below(12) + 3) as usize;
-                for k in 0..len.min(recent.len() - start) {
-                    if i >= p.input_len {
-                        break;
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (mut pos, mut prefix, mut next_code, mut checksum, rng, input, htab, codetab, merged, pool);
+    if cursor.is_empty() {
+        let mut pool_ = m.new_pool();
+        let mut rng_ = Rng::new(cfg.seed ^ 0x636F_6D70);
+
+        // ---- Generate a compressible input in simulated memory.
+        input = m.malloc(p.input_len);
+        {
+            let mut recent: Vec<u8> = Vec::new();
+            let mut i = 0u64;
+            while i < p.input_len {
+                if recent.len() > 16 && rng_.chance(7, 10) {
+                    // Repeat a recent substring (what makes LZW bite).
+                    let start = rng_.below(recent.len() as u64 - 8) as usize;
+                    let len = (rng_.below(12) + 3) as usize;
+                    for k in 0..len.min(recent.len() - start) {
+                        if i >= p.input_len {
+                            break;
+                        }
+                        let b = recent[start + k];
+                        m.store(input + i, 1, u64::from(b));
+                        recent.push(b);
+                        i += 1;
                     }
-                    let b = recent[start + k];
+                } else {
+                    let b = (rng_.below(64) + 32) as u8;
                     m.store(input + i, 1, u64::from(b));
                     recent.push(b);
                     i += 1;
                 }
-            } else {
-                let b = (rng.below(64) + 32) as u8;
-                m.store(input + i, 1, u64::from(b));
-                recent.push(b);
-                i += 1;
-            }
-            if recent.len() > 4096 {
-                recent.drain(..2048);
+                if recent.len() > 4096 {
+                    recent.drain(..2048);
+                }
             }
         }
-    }
 
-    // ---- Allocate and initialize the dictionary tables.
-    let htab = m.malloc(p.hs * 8);
-    let codetab = m.malloc(p.hs * 2);
-    for i in 0..p.hs {
-        m.store_word(htab.add_words(i), EMPTY);
-        if cfg.prefetch {
-            maybe_scan_prefetch(&mut m, htab.add_words(i), cfg.prefetch_lines);
-        }
-    }
-
-    // ---- Optimized: merge the tables once, before compression.
-    // `htab` words are relocated (forwarding); `codetab` is plain-copied
-    // at its finer-than-word granularity and its base updated.
-    // (`merge_tables` handles two word-entry tables; codetab's 2-byte
-    // entries are finer than the word granularity, so the merge is done
-    // explicitly here: htab words relocated, codetab shorts copied.)
-    let merged = if merged_variant {
-        let base = m.pool_alloc(&mut pool, 2 * p.hs * 8);
+        // ---- Allocate and initialize the dictionary tables.
+        htab = m.malloc(p.hs * 8);
+        codetab = m.malloc(p.hs * 2);
         for i in 0..p.hs {
-            memfwd::relocate(&mut m, htab.add_words(i), base.add_words(2 * i), 1);
-            let c = m.load(codetab + 2 * i, 2);
-            m.store(base.add_words(2 * i + 1), 2, c);
+            m.store_word(htab.add_words(i), EMPTY);
+            if cfg.prefetch {
+                maybe_scan_prefetch(&mut m, htab.add_words(i), cfg.prefetch_lines);
+            }
         }
-        Some(base)
+
+        // ---- Optimized: merge the tables once, before compression.
+        // `htab` words are relocated (forwarding); `codetab` is
+        // plain-copied at its finer-than-word granularity and its base
+        // updated. (`merge_tables` handles two word-entry tables;
+        // codetab's 2-byte entries are finer than the word granularity,
+        // so the merge is done explicitly here: htab words relocated,
+        // codetab shorts copied.)
+        merged = if merged_variant {
+            let base = m.pool_alloc(&mut pool_, 2 * p.hs * 8);
+            for i in 0..p.hs {
+                memfwd::relocate(&mut m, htab.add_words(i), base.add_words(2 * i), 1);
+                let c = m.load(codetab + 2 * i, 2);
+                m.store(base.add_words(2 * i + 1), 2, c);
+            }
+            Some(base)
+        } else {
+            None
+        };
+
+        checksum = 0;
+        next_code = FIRST_CODE;
+        prefix = m.load(input, 1);
+        pos = 1u64;
+        rng = rng_;
+        pool = pool_;
     } else {
-        None
-    };
+        let mut c = CursorR::new(&cursor);
+        pos = c.u64()?;
+        prefix = c.u64()?;
+        next_code = c.u64()?;
+        checksum = c.u64()?;
+        rng = c.rng()?;
+        input = c.addr()?;
+        htab = c.addr()?;
+        codetab = c.addr()?;
+        merged = match c.u64()? {
+            0 => None,
+            1 => Some(c.addr()?),
+            _ => return Err(bad_cursor()),
+        };
+        pool = c.pool()?;
+        c.finish()?;
+        if pos == 0 || pos > p.input_len || merged.is_some() != merged_variant {
+            return Err(bad_cursor());
+        }
+    }
     let htab_addr = |i: u64| match merged {
         Some(base) => base.add_words(2 * i),
         None => htab.add_words(i),
@@ -132,11 +175,30 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
     };
 
     // ---- LZW main loop.
-    let mut checksum = 0u64;
-    let mut next_code = FIRST_CODE;
-    let mut prefix = m.load(input, 1);
-    let mut pos = 1u64;
     while pos < p.input_len {
+        if ck.boundary(&m, || {
+            let mut w = vec![
+                pos,
+                prefix,
+                next_code,
+                checksum,
+                rng.state(),
+                input.0,
+                htab.0,
+                codetab.0,
+            ];
+            match merged {
+                Some(base) => {
+                    w.push(1);
+                    w.push(base.0);
+                }
+                None => w.push(0),
+            }
+            pool.encode_words(&mut w);
+            w
+        })? {
+            return Ok(CkOutcome::Stopped);
+        }
         let c = m.load(input + pos, 1);
         pos += 1;
         let fcode = (prefix << 8) | c;
@@ -182,10 +244,10 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
     }
     checksum = checksum.wrapping_mul(31).wrapping_add(prefix);
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum,
         stats: m.finish(),
-    }
+    }))
 }
 
 #[inline]

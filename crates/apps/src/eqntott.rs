@@ -8,9 +8,10 @@
 //! chunk, and lays the chunks out contiguously in increasing hash order
 //! (paper Fig. 8(b)).
 
+use crate::ckpt::{bad_cursor, Checkpointer, CkOutcome, CursorR};
 use crate::common::{prefetch_mode, scatter_pad_if, PrefetchMode, Rng};
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::{relocate_adjacent, Machine, Token};
+use memfwd::{relocate_adjacent, MachineFault, Token};
 use memfwd_tagmem::Addr;
 
 /// `PTERM` record: `[ptand (array ptr), nvars, id, pad]`.
@@ -51,10 +52,17 @@ impl Params {
 
 /// Runs `eqntott`.
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Runs `eqntott` under a checkpoint policy; see
+/// [`crate::registry::run_ck`].
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed ^ 0x0065_716E);
     let optimized = cfg.variant == Variant::Optimized;
     // Static placement (§1): each record and its array are co-allocated in
     // one chunk at creation — the layout the one-shot packing would build,
@@ -62,64 +70,92 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
     let static_placement = cfg.variant == Variant::Static;
     let mode = prefetch_mode(cfg);
 
-    // ---- Build the hash table: scattered records and arrays (Fig. 8(a)).
-    let table = m.malloc(p.slots * 8);
-    let mut next_id = 0u64;
-    for i in 0..p.slots {
-        if rng.chance(p.fill_pct, 100) {
-            let (rec, arr);
-            scatter_pad_if(&mut m, &mut rng, !static_placement);
-            if static_placement {
-                scatter_pad_if(&mut m, &mut rng, false); // keep rng in step
-                let chunk = m.malloc((PTERM_WORDS + p.nvars_words) * 8);
-                rec = chunk;
-                arr = chunk.add_words(PTERM_WORDS);
-            } else {
-                rec = m.malloc(PTERM_WORDS * 8);
-                scatter_pad_if(&mut m, &mut rng, true);
-                arr = m.malloc(p.nvars_words * 8);
-            }
-            for w in 0..p.nvars_words {
-                m.store_word(arr.add_words(w), (next_id + w * 3) % 4); // 0/1/2 = literals, DC
-            }
-            m.store_ptr(rec, arr);
-            m.store_word(rec.add_words(1), p.nvars_words);
-            m.store_word(rec.add_words(2), next_id);
-            m.store_ptr(table.add_words(i), rec);
-            next_id += 1;
-        } else {
-            m.store_ptr(table.add_words(i), Addr::NULL);
-        }
-    }
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (sweep0, mut checksum, rng, table, probe, pool) = if cursor.is_empty() {
+        let mut pool = m.new_pool();
+        let mut rng = Rng::new(cfg.seed ^ 0x0065_716E);
 
-    // ---- One-shot packing optimization (Fig. 8(b)): record + array into
-    // one chunk, chunks contiguous in increasing hash order.
-    if optimized {
+        // ---- Build the hash table: scattered records, arrays (Fig. 8(a)).
+        let table = m.malloc(p.slots * 8);
+        let mut next_id = 0u64;
         for i in 0..p.slots {
-            let rec = m.load_ptr(table.add_words(i));
-            if rec.is_null() {
-                continue;
+            if rng.chance(p.fill_pct, 100) {
+                let (rec, arr);
+                scatter_pad_if(&mut m, &mut rng, !static_placement);
+                if static_placement {
+                    scatter_pad_if(&mut m, &mut rng, false); // keep rng in step
+                    let chunk = m.malloc((PTERM_WORDS + p.nvars_words) * 8);
+                    rec = chunk;
+                    arr = chunk.add_words(PTERM_WORDS);
+                } else {
+                    rec = m.malloc(PTERM_WORDS * 8);
+                    scatter_pad_if(&mut m, &mut rng, true);
+                    arr = m.malloc(p.nvars_words * 8);
+                }
+                for w in 0..p.nvars_words {
+                    m.store_word(arr.add_words(w), (next_id + w * 3) % 4); // 0/1/2 = literals, DC
+                }
+                m.store_ptr(rec, arr);
+                m.store_word(rec.add_words(1), p.nvars_words);
+                m.store_word(rec.add_words(2), next_id);
+                m.store_ptr(table.add_words(i), rec);
+                next_id += 1;
+            } else {
+                m.store_ptr(table.add_words(i), Addr::NULL);
             }
-            let arr = m.load_ptr(rec);
-            let chunk_words = PTERM_WORDS + p.nvars_words;
-            let chunk = m.pool_alloc(&mut pool, chunk_words * 8);
-            let bases =
-                relocate_adjacent(&mut m, &[(rec, PTERM_WORDS), (arr, p.nvars_words)], chunk);
-            // Update the slot and the record's array pointer to the new
-            // homes; any other pointers are covered by forwarding.
-            m.store_ptr(table.add_words(i), bases[0]);
-            m.store_ptr(bases[0], bases[1]);
         }
-    }
+
+        // ---- One-shot packing optimization (Fig. 8(b)): record + array
+        // into one chunk, chunks contiguous in increasing hash order.
+        if optimized {
+            for i in 0..p.slots {
+                let rec = m.load_ptr(table.add_words(i));
+                if rec.is_null() {
+                    continue;
+                }
+                let arr = m.load_ptr(rec);
+                let chunk_words = PTERM_WORDS + p.nvars_words;
+                let chunk = m.pool_alloc(&mut pool, chunk_words * 8);
+                let bases =
+                    relocate_adjacent(&mut m, &[(rec, PTERM_WORDS), (arr, p.nvars_words)], chunk);
+                // Update the slot and the record's array pointer to the new
+                // homes; any other pointers are covered by forwarding.
+                m.store_ptr(table.add_words(i), bases[0]);
+                m.store_ptr(bases[0], bases[1]);
+            }
+        }
+
+        // The rolling probe the cmppt sweeps compare against.
+        let probe = m.malloc(p.nvars_words * 8);
+        for w in 0..p.nvars_words {
+            m.store_word(probe.add_words(w), w % 3);
+        }
+        (0u64, 0u64, rng, table, probe, pool)
+    } else {
+        let mut c = CursorR::new(&cursor);
+        let sweep0 = c.u64()?;
+        let checksum = c.u64()?;
+        let rng = c.rng()?;
+        let table = c.addr()?;
+        let probe = c.addr()?;
+        let pool = c.pool()?;
+        c.finish()?;
+        if sweep0 > p.sweeps {
+            return Err(bad_cursor());
+        }
+        (sweep0, checksum, rng, table, probe, pool)
+    };
 
     // ---- cmppt sweeps: compare each pterm against a rolling probe.
-    let probe = m.malloc(p.nvars_words * 8);
-    for w in 0..p.nvars_words {
-        m.store_word(probe.add_words(w), w % 3);
-    }
-    let mut checksum = 0u64;
     let chunk_bytes = (PTERM_WORDS + p.nvars_words) * 8;
-    for sweep in 0..p.sweeps {
+    for sweep in sweep0..p.sweeps {
+        if ck.boundary(&m, || {
+            let mut w = vec![sweep, checksum, rng.state(), table.0, probe.0];
+            pool.encode_words(&mut w);
+            w
+        })? {
+            return Ok(CkOutcome::Stopped);
+        }
         for i in 0..p.slots {
             let (rec, t0) = m.load_ptr_dep(table.add_words(i), Token::ready());
             if rec.is_null() {
@@ -155,10 +191,10 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
         }
     }
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum,
         stats: m.finish(),
-    }
+    }))
 }
 
 #[cfg(test)]

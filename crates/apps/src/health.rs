@@ -8,9 +8,10 @@
 //! linearization periodically (via the mutation-counter threshold), which
 //! is exactly the optimization the paper applies.
 
+use crate::ckpt::{bad_cursor, Checkpointer, CkOutcome, CursorR};
 use crate::common::{prefetch_mode, scatter_pad_if, ListLib, PrefetchMode, Rng};
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::Machine;
+use memfwd::{Machine, MachineFault};
 use memfwd_tagmem::Addr;
 
 /// Patient node: `[next, id, time_in_system, severity]`.
@@ -56,54 +57,132 @@ struct Village {
     is_leaf: bool,
 }
 
+/// Serializes the village table into cursor words (4 per village; the
+/// parent index is stored +1 with 0 meaning "root").
+fn encode_villages(out: &mut Vec<u64>, villages: &[Village]) {
+    out.push(villages.len() as u64);
+    for v in villages {
+        out.push(v.list.0);
+        out.push(v.waiting.0);
+        out.push(v.parent.map_or(0, |p| p as u64 + 1));
+        out.push(u64::from(v.is_leaf));
+    }
+}
+
+fn decode_villages(c: &mut CursorR<'_>) -> Result<Vec<Village>, MachineFault> {
+    let n = c.u64()? as usize;
+    let mut villages = Vec::new();
+    for _ in 0..n {
+        let list = c.addr()?;
+        let waiting = c.addr()?;
+        let parent = match c.u64()? {
+            0 => None,
+            p if (p as usize) <= n => Some(p as usize - 1),
+            _ => return Err(bad_cursor()),
+        };
+        let is_leaf = match c.u64()? {
+            0 => false,
+            1 => true,
+            _ => return Err(bad_cursor()),
+        };
+        villages.push(Village {
+            list,
+            waiting,
+            parent,
+            is_leaf,
+        });
+    }
+    Ok(villages)
+}
+
 /// Runs `health`.
-#[allow(clippy::needless_range_loop)] // loops index `villages` while `m` is borrowed mutably
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Runs `health` under a checkpoint policy; see [`crate::registry::run_ck`].
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+#[allow(clippy::needless_range_loop)] // loops index `villages` while `m` is borrowed mutably
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
     let threshold = match cfg.variant {
         Variant::Optimized => Some(cfg.linearize_threshold.unwrap_or(p.threshold)),
         _ => None,
     };
     let scatter = cfg.variant != Variant::Static;
     let lib = ListLib::new(NODE_WORDS, threshold);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed);
     let mode = prefetch_mode(cfg);
 
-    // ---- Build the village tree (breadth-first) with scattered patients.
-    let mut villages: Vec<Village> = Vec::new();
-    let new_village = |m: &mut Machine, parent: Option<usize>, is_leaf: bool| Village {
-        list: lib.new_list(m),
-        waiting: lib.new_list(m),
-        parent,
-        is_leaf,
-    };
-    villages.push(new_village(&mut m, None, p.depth == 0));
-    let mut frontier = vec![0usize];
-    for d in 1..=p.depth {
-        let mut next = Vec::new();
-        for &parent in &frontier {
-            for _ in 0..4 {
-                villages.push(new_village(&mut m, Some(parent), d == p.depth));
-                next.push(villages.len() - 1);
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (step0, mut next_id, mut checksum, mut rng, villages, mut pool) = if cursor.is_empty() {
+        let mut pool = m.new_pool();
+        let mut rng = Rng::new(cfg.seed);
+        // ---- Build the village tree (breadth-first), scattered patients.
+        let mut built: Vec<Village> = Vec::new();
+        let new_village = |m: &mut Machine, parent: Option<usize>, is_leaf: bool| Village {
+            list: lib.new_list(m),
+            waiting: lib.new_list(m),
+            parent,
+            is_leaf,
+        };
+        built.push(new_village(&mut m, None, p.depth == 0));
+        let mut frontier = vec![0usize];
+        for d in 1..=p.depth {
+            let mut next = Vec::new();
+            for &parent in &frontier {
+                for _ in 0..4 {
+                    built.push(new_village(&mut m, Some(parent), d == p.depth));
+                    next.push(built.len() - 1);
+                }
+            }
+            frontier = next;
+        }
+        let mut next_id = 0u64;
+        for vi in 0..built.len() {
+            for _ in 0..p.init_patients {
+                scatter_pad_if(&mut m, &mut rng, scatter);
+                let sev = rng.below(4) + 1;
+                lib.push_front(&mut m, built[vi].list, &[next_id, 0, sev], &mut pool);
+                next_id += 1;
             }
         }
-        frontier = next;
-    }
-    let mut next_id = 0u64;
-    for vi in 0..villages.len() {
-        for _ in 0..p.init_patients {
-            scatter_pad_if(&mut m, &mut rng, scatter);
-            let sev = rng.below(4) + 1;
-            lib.push_front(&mut m, villages[vi].list, &[next_id, 0, sev], &mut pool);
-            next_id += 1;
+        (0u64, next_id, 0u64, rng, built, pool)
+    } else {
+        let mut c = CursorR::new(&cursor);
+        let step0 = c.u64()?;
+        let next_id = c.u64()?;
+        let checksum = c.u64()?;
+        let rng = c.rng()?;
+        let villages = decode_villages(&mut c)?;
+        let pool = c.pool()?;
+        c.finish()?;
+        if villages.is_empty() || step0 > p.steps {
+            return Err(bad_cursor());
         }
-    }
+        (step0, next_id, checksum, rng, villages, pool)
+    };
+    let save_cursor = |step: u64,
+                       next_id: u64,
+                       checksum: u64,
+                       rng: &Rng,
+                       villages: &[Village],
+                       pool: &memfwd_tagmem::Pool| {
+        let mut w = vec![step, next_id, checksum, rng.state()];
+        encode_villages(&mut w, villages);
+        pool.encode_words(&mut w);
+        w
+    };
 
     // ---- Simulate.
-    let mut checksum = 0u64;
-    for _step in 0..p.steps {
+    for step in step0..p.steps {
+        if ck.boundary(&m, || {
+            save_cursor(step, next_id, checksum, &rng, &villages, &pool)
+        })? {
+            return Ok(CkOutcome::Stopped);
+        }
         // Assessment pass: every village checks its patients (read-only),
         // as the original program's `check_patients_*` routines do.
         for v in &villages {
@@ -177,7 +256,13 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
         }
     }
 
-    // ---- Final accounting traversal.
+    // ---- Final accounting traversal (its own boundary: a resume can
+    // land after the last simulation step).
+    if ck.boundary(&m, || {
+        save_cursor(p.steps, next_id, checksum, &rng, &villages, &pool)
+    })? {
+        return Ok(CkOutcome::Stopped);
+    }
     for (vi, v) in villages.iter().enumerate() {
         let mut local = 0u64;
         lib.traverse(&mut m, v.list, mode, |m, node, tok| {
@@ -191,10 +276,10 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
         checksum = checksum.wrapping_add(local.wrapping_mul(vi as u64 + 1));
     }
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum,
         stats: m.finish(),
-    }
+    }))
 }
 
 #[cfg(test)]

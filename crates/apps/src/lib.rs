@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bh;
+pub mod ckpt;
 pub mod common;
 pub mod compress;
 pub mod eqntott;
@@ -39,4 +40,5 @@ pub mod registry;
 pub mod smv;
 pub mod vis;
 
-pub use registry::{run, run_ok, App, AppOutput, RunConfig, Scale, Variant};
+pub use ckpt::{Checkpointer, CkOutcome, DEFAULT_CHECKPOINT_EVERY};
+pub use registry::{run, run_ck, run_ok, App, AppOutput, RunConfig, Scale, Variant};

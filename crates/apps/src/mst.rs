@@ -9,9 +9,10 @@
 //! optimized variant linearizes the vertex list (periodically, as removals
 //! mutate it) and every bucket list (once, after construction).
 
+use crate::ckpt::{bad_cursor, Checkpointer, CkOutcome, CursorR};
 use crate::common::{prefetch_mode, scatter_pad, PrefetchMode, Rng};
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::{list_linearize, list_walk, ListDesc, Machine, Token};
+use memfwd::{list_linearize, list_walk, ListDesc, Machine, MachineFault, Token};
 use memfwd_tagmem::Addr;
 
 /// Vertex node: `[next, id, mindist, buckets_ptr]`.
@@ -63,76 +64,55 @@ impl Params {
 
 /// Runs `mst`.
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Runs `mst` under a checkpoint policy; see [`crate::registry::run_ck`].
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed ^ 0x006D_7374);
     let optimized = cfg.variant == Variant::Optimized;
     let mode = prefetch_mode(cfg);
 
-    // ---- Build the graph: vertex list + per-vertex hash tables.
-    let head = m.malloc(8);
-    m.store_ptr(head, Addr::NULL);
-    let mut vertex_of: Vec<Addr> = Vec::with_capacity(p.vertices as usize);
-    for id in 0..p.vertices {
-        scatter_pad(&mut m, &mut rng);
-        let v = m.malloc(VERTEX_WORDS * 8);
-        let buckets = m.malloc(p.buckets * 8);
-        for b in 0..p.buckets {
-            m.store_ptr(buckets.add_words(b), Addr::NULL);
-        }
-        let first = m.load_ptr(head);
-        m.store_ptr(v, first);
-        m.store_word(v.add_words(1), id);
-        m.store_word(v.add_words(2), u64::MAX);
-        m.store_ptr(v.add_words(3), buckets);
-        m.store_ptr(head, v);
-        vertex_of.push(v);
-    }
-    // Edges: vertex id -> `degree` neighbours at deterministic offsets, with
-    // symmetric weights so the MST is well-defined.
-    for id in 0..p.vertices {
-        let buckets = m.load_ptr(vertex_of[id as usize].add_words(3));
-        for e in 1..=p.degree {
-            scatter_pad(&mut m, &mut rng);
-            let nb = (id + e * e) % p.vertices;
-            if nb == id {
-                continue;
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (round0, mut chosen_id, mut total_weight, mut removals, rng, head, mut pool) =
+        if cursor.is_empty() {
+            build(cfg, &p, &mut m, optimized)
+        } else {
+            let mut c = CursorR::new(&cursor);
+            let round0 = c.u64()?;
+            let chosen_id = c.u64()?;
+            let total_weight = c.u64()?;
+            let removals = c.u64()?;
+            let rng = c.rng()?;
+            let head = c.addr()?;
+            let pool = c.pool()?;
+            c.finish()?;
+            if round0 == 0 || round0 > p.vertices {
+                return Err(bad_cursor());
             }
-            let weight = edge_weight(id, nb, p.vertices);
-            insert_edge(&mut m, buckets, p.buckets, nb, weight);
-            let nb_buckets = m.load_ptr(vertex_of[nb as usize].add_words(3));
-            insert_edge(&mut m, nb_buckets, p.buckets, id, weight);
-        }
-    }
-
-    // ---- One-shot optimization after construction.
-    if optimized {
-        list_linearize(&mut m, head, VERTEX_DESC, &mut pool);
-        // Bucket lists, per vertex in (new) list order.
-        let mut bucket_slots = Vec::new();
-        list_walk(&mut m, head, 0, |m, v, tok| {
-            let (buckets, t) = m.load_ptr_dep(v.add_words(3), tok);
-            for b in 0..p.buckets {
-                bucket_slots.push(buckets.add_words(b));
-            }
-            t
-        });
-        for slot in bucket_slots {
-            list_linearize(&mut m, slot, EDGE_DESC, &mut pool);
-        }
-    }
+            (round0, chosen_id, total_weight, removals, rng, head, pool)
+        };
 
     // ---- Prim's algorithm over the remaining-vertex list.
-    // Remove the list-head vertex; it seeds the tree.
-    let first_v = m.load_ptr(head);
-    let mut chosen_id = m.load_word(first_v.add_words(1));
-    let next0 = m.load_ptr(first_v);
-    m.store_ptr(head, next0);
-
-    let mut total_weight = 0u64;
-    let mut removals = 0u64;
-    for _round in 1..p.vertices {
+    for round in round0..p.vertices {
+        if ck.boundary(&m, || {
+            let mut w = vec![
+                round,
+                chosen_id,
+                total_weight,
+                removals,
+                rng.state(),
+                head.0,
+            ];
+            pool.encode_words(&mut w);
+            w
+        })? {
+            return Ok(CkOutcome::Stopped);
+        }
         // Walk the remaining vertices, updating min-distances via a hash
         // lookup against the newly chosen vertex.
         let mut best: Option<(u64, u64)> = None; // (dist, id)
@@ -197,10 +177,85 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
         }
     }
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum: total_weight,
         stats: m.finish(),
+    }))
+}
+
+/// Graph construction plus the one-shot optimization and the seed-vertex
+/// removal — everything that precedes Prim's loop. Returns the loop's
+/// starting state.
+#[allow(clippy::type_complexity)]
+fn build(
+    cfg: &RunConfig,
+    p: &Params,
+    m: &mut Machine,
+    optimized: bool,
+) -> (u64, u64, u64, u64, Rng, Addr, memfwd_tagmem::Pool) {
+    let mut pool = m.new_pool();
+    let mut rng = Rng::new(cfg.seed ^ 0x006D_7374);
+
+    // ---- Build the graph: vertex list + per-vertex hash tables.
+    let head = m.malloc(8);
+    m.store_ptr(head, Addr::NULL);
+    let mut vertex_of: Vec<Addr> = Vec::with_capacity(p.vertices as usize);
+    for id in 0..p.vertices {
+        scatter_pad(m, &mut rng);
+        let v = m.malloc(VERTEX_WORDS * 8);
+        let buckets = m.malloc(p.buckets * 8);
+        for b in 0..p.buckets {
+            m.store_ptr(buckets.add_words(b), Addr::NULL);
+        }
+        let first = m.load_ptr(head);
+        m.store_ptr(v, first);
+        m.store_word(v.add_words(1), id);
+        m.store_word(v.add_words(2), u64::MAX);
+        m.store_ptr(v.add_words(3), buckets);
+        m.store_ptr(head, v);
+        vertex_of.push(v);
     }
+    // Edges: vertex id -> `degree` neighbours at deterministic offsets, with
+    // symmetric weights so the MST is well-defined.
+    for id in 0..p.vertices {
+        let buckets = m.load_ptr(vertex_of[id as usize].add_words(3));
+        for e in 1..=p.degree {
+            scatter_pad(m, &mut rng);
+            let nb = (id + e * e) % p.vertices;
+            if nb == id {
+                continue;
+            }
+            let weight = edge_weight(id, nb, p.vertices);
+            insert_edge(m, buckets, p.buckets, nb, weight);
+            let nb_buckets = m.load_ptr(vertex_of[nb as usize].add_words(3));
+            insert_edge(m, nb_buckets, p.buckets, id, weight);
+        }
+    }
+
+    // ---- One-shot optimization after construction.
+    if optimized {
+        list_linearize(m, head, VERTEX_DESC, &mut pool);
+        // Bucket lists, per vertex in (new) list order.
+        let mut bucket_slots = Vec::new();
+        list_walk(m, head, 0, |m, v, tok| {
+            let (buckets, t) = m.load_ptr_dep(v.add_words(3), tok);
+            for b in 0..p.buckets {
+                bucket_slots.push(buckets.add_words(b));
+            }
+            t
+        });
+        for slot in bucket_slots {
+            list_linearize(m, slot, EDGE_DESC, &mut pool);
+        }
+    }
+
+    // Remove the list-head vertex; it seeds the tree.
+    let first_v = m.load_ptr(head);
+    let chosen_id = m.load_word(first_v.add_words(1));
+    let next0 = m.load_ptr(first_v);
+    m.store_ptr(head, next0);
+
+    (1, chosen_id, 0, 0, rng, head, pool)
 }
 
 /// Deterministic symmetric edge weight in `1..=16n`.

@@ -8,9 +8,10 @@
 //! exploits. Gathering also dereferences the partner patch record, adding
 //! the irregular secondary access the real program exhibits.
 
+use crate::ckpt::{bad_cursor, push_addr_vec, Checkpointer, CkOutcome, CursorR};
 use crate::common::{prefetch_mode, scatter_pad, PrefetchMode, Rng};
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::{list_linearize, ListDesc, Machine, Token};
+use memfwd::{list_linearize, ListDesc, Machine, MachineFault, Token};
 use memfwd_tagmem::Addr;
 
 /// Interaction node: `[next, partner_patch_ptr, form_factor, pad]`.
@@ -61,49 +62,89 @@ impl Params {
 }
 
 /// Runs `radiosity`.
-#[allow(clippy::needless_range_loop)] // loops index `lists` while `m` is borrowed mutably
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Runs `radiosity` under a checkpoint policy; see
+/// [`crate::registry::run_ck`].
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+#[allow(clippy::needless_range_loop)] // loops index `lists` while `m` is borrowed mutably
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed ^ 0x0072_6164);
     let optimized = cfg.variant == Variant::Optimized;
     let mode = prefetch_mode(cfg);
 
-    // ---- Build patches and their scattered interaction lists.
-    let mut patches: Vec<Addr> = Vec::new();
-    let mut lists: Vec<Addr> = Vec::new(); // interaction-list head handles
-    for id in 0..p.patches {
-        scatter_pad(&mut m, &mut rng);
-        let patch = m.malloc(PATCH_WORDS * 8);
-        m.store_word(patch, (id % 97 + 1) * FP); // initial energy
-        m.store_word(patch.add_words(1), 0);
-        m.store_word(patch.add_words(2), id);
-        patches.push(patch);
-        let head = m.malloc(8);
-        m.store_ptr(head, Addr::NULL);
-        lists.push(head);
-    }
-    for id in 0..p.patches {
-        for k in 1..=p.interactions {
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (iter0, pass0, mut checksum, mut rng, patches, lists, mut pool) = if cursor.is_empty() {
+        let pool = m.new_pool();
+        let mut rng = Rng::new(cfg.seed ^ 0x0072_6164);
+        // ---- Build patches and their scattered interaction lists.
+        let mut patches: Vec<Addr> = Vec::new();
+        let mut lists: Vec<Addr> = Vec::new(); // interaction-list head handles
+        for id in 0..p.patches {
             scatter_pad(&mut m, &mut rng);
-            let partner = (id + k * 37 + k * k) % p.patches;
-            if partner == id {
-                continue;
-            }
-            let ff = (id * 13 + k * 29) % (FP / 2) + 1;
-            push_interaction(&mut m, lists[id as usize], patches[partner as usize], ff);
+            let patch = m.malloc(PATCH_WORDS * 8);
+            m.store_word(patch, (id % 97 + 1) * FP); // initial energy
+            m.store_word(patch.add_words(1), 0);
+            m.store_word(patch.add_words(2), id);
+            patches.push(patch);
+            let head = m.malloc(8);
+            m.store_ptr(head, Addr::NULL);
+            lists.push(head);
         }
-    }
+        for id in 0..p.patches {
+            for k in 1..=p.interactions {
+                scatter_pad(&mut m, &mut rng);
+                let partner = (id + k * 37 + k * k) % p.patches;
+                if partner == id {
+                    continue;
+                }
+                let ff = (id * 13 + k * 29) % (FP / 2) + 1;
+                push_interaction(&mut m, lists[id as usize], patches[partner as usize], ff);
+            }
+        }
+        (0u64, 0u64, 0u64, rng, patches, lists, pool)
+    } else {
+        let mut c = CursorR::new(&cursor);
+        let iter0 = c.u64()?;
+        let pass0 = c.u64()?;
+        let checksum = c.u64()?;
+        let rng = c.rng()?;
+        let patches = c.addr_vec()?;
+        let lists = c.addr_vec()?;
+        let pool = c.pool()?;
+        c.finish()?;
+        if patches.len() as u64 != p.patches
+            || lists.len() as u64 != p.patches
+            || iter0 > p.iterations
+            || pass0 >= p.gathers.max(1)
+        {
+            return Err(bad_cursor());
+        }
+        (iter0, pass0, checksum, rng, patches, lists, pool)
+    };
 
     // ---- Gather / refine iterations.
-    let mut checksum = 0u64;
-    for iter in 0..p.iterations {
+    for iter in iter0..p.iterations {
         // Gather passes: for each patch, walk its interaction list, read
         // each partner's energy, scale by the form factor, accumulate,
         // then fold the energy back (damped). Several passes run between
         // refinements, as the solver iterates toward convergence.
-        for _pass in 0..p.gathers {
+        let pass_start = if iter == iter0 { pass0 } else { 0 };
+        for pass in pass_start..p.gathers {
+            if ck.boundary(&m, || {
+                let mut w = vec![iter, pass, checksum, rng.state()];
+                push_addr_vec(&mut w, &patches);
+                push_addr_vec(&mut w, &lists);
+                pool.encode_words(&mut w);
+                w
+            })? {
+                return Ok(CkOutcome::Stopped);
+            }
             for pi in 0..p.patches as usize {
                 let mut gathered = 0u64;
                 walk_interactions(&mut m, lists[pi], mode, |m, node, tok| {
@@ -150,10 +191,10 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
         }
     }
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum,
         stats: m.finish(),
-    }
+    }))
 }
 
 fn push_interaction(m: &mut Machine, head: Addr, partner: Addr, ff: u64) {

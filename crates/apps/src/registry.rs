@@ -2,6 +2,7 @@
 //! Table 1), with a uniform run interface used by tests, examples and the
 //! benchmark harness.
 
+use crate::ckpt::{Checkpointer, CkOutcome};
 use memfwd::{MachineFault, RunStats, SimConfig};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Once;
@@ -212,28 +213,62 @@ fn install_silent_hook() {
 ///
 /// The [`MachineFault`] that aborted the simulated program, if one did.
 pub fn run(app: App, cfg: &RunConfig) -> Result<AppOutput, MachineFault> {
+    match run_ck(app, cfg, &mut Checkpointer::disabled())? {
+        CkOutcome::Done(out) => Ok(out),
+        CkOutcome::Stopped => unreachable!("a disabled checkpointer never stops a run"),
+    }
+}
+
+/// Runs an application under a checkpoint policy (see [`Checkpointer`]).
+///
+/// With [`Checkpointer::disabled`] this is exactly [`run`]. A checkpointed
+/// or resumed run issues the identical simulated reference stream — the
+/// boundaries only *read* the machine — so any stop/resume split
+/// reproduces the uninterrupted run's checksum and `RunStats` bit for bit.
+///
+/// # Errors
+///
+/// The [`MachineFault`] that aborted the simulated program, including
+/// [`MachineFault::CorruptSnapshot`] for a rejected resume image or a
+/// failed checkpoint write.
+pub fn run_ck(app: App, cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     install_silent_hook();
     // Clear any stale record so an unrelated earlier fault cannot be
     // misattributed to this run.
     let _ = memfwd::take_last_fault();
     CAPTURING.with(|c| c.set(true));
     let result = catch_unwind(AssertUnwindSafe(|| match app {
-        App::Health => crate::health::run(cfg),
-        App::Mst => crate::mst::run(cfg),
-        App::Radiosity => crate::radiosity::run(cfg),
-        App::Vis => crate::vis::run(cfg),
-        App::Eqntott => crate::eqntott::run(cfg),
-        App::Bh => crate::bh::run(cfg),
-        App::Compress => crate::compress::run(cfg),
-        App::Smv => crate::smv::run(cfg),
+        App::Health => crate::health::run_ck(cfg, ck),
+        App::Mst => crate::mst::run_ck(cfg, ck),
+        App::Radiosity => crate::radiosity::run_ck(cfg, ck),
+        App::Vis => crate::vis::run_ck(cfg, ck),
+        App::Eqntott => crate::eqntott::run_ck(cfg, ck),
+        App::Bh => crate::bh::run_ck(cfg, ck),
+        App::Compress => crate::compress::run_ck(cfg, ck),
+        App::Smv => crate::smv::run_ck(cfg, ck),
     }));
     CAPTURING.with(|c| c.set(false));
     match result {
-        Ok(out) => Ok(out),
+        Ok(out) => out,
         Err(payload) => match memfwd::take_last_fault() {
             Some(fault) => Err(fault),
             None => resume_unwind(payload),
         },
+    }
+}
+
+/// Unwraps a checkpoint-capable run for the legacy infallible per-app
+/// `run` entry points (always called with a disabled checkpointer): a
+/// fault re-enters the record-and-panic protocol that the [`run`] wrapper
+/// converts back into a typed error.
+pub(crate) fn unwrap_uncheckpointed(r: Result<CkOutcome, MachineFault>) -> AppOutput {
+    match r {
+        Ok(CkOutcome::Done(out)) => out,
+        Ok(CkOutcome::Stopped) => unreachable!("a disabled checkpointer never stops a run"),
+        Err(fault) => {
+            memfwd::record_last_fault(fault);
+            panic!("{fault}");
+        }
     }
 }
 

@@ -14,9 +14,10 @@
 //! The `Perf` bound of Fig. 10 is obtained by running the optimized
 //! variant with [`memfwd::SimConfig::perfect_forwarding`] set.
 
+use crate::ckpt::{bad_cursor, push_addr_vec, Checkpointer, CkOutcome, CursorR};
 use crate::common::{scatter_pad, Rng};
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::{list_linearize, ptr_eq, ListDesc, Machine, Token};
+use memfwd::{list_linearize, ptr_eq, ListDesc, Machine, MachineFault, Token};
 use memfwd_tagmem::Addr;
 
 /// BDD node: `[hash_next, left, right, packed(var<<32 | value)]`.
@@ -130,54 +131,140 @@ fn mk(
 
 /// Runs `smv`.
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Encodes the loop state at an `(iter, phase)` boundary — phase 0 is
+/// "about to linearize + look up", phase 1 is "about to traverse".
+// One argument per cursor field keeps the encode order visibly in sync
+// with the decode in `run_ck`.
+#[allow(clippy::too_many_arguments)]
+fn save_cursor(
+    iter: u64,
+    phase: u64,
+    checksum: u64,
+    rng: &Rng,
+    buckets: Addr,
+    nodes: &[Addr],
+    triples: &[(u64, usize, usize)],
+    pool: &memfwd_tagmem::Pool,
+) -> Vec<u64> {
+    let mut w = vec![iter, phase, checksum, rng.state(), buckets.0];
+    push_addr_vec(&mut w, nodes);
+    w.push(triples.len() as u64);
+    for &(var, li, ri) in triples {
+        w.push(var);
+        w.push(li as u64);
+        w.push(ri as u64);
+    }
+    pool.encode_words(&mut w);
+    w
+}
+
+/// Runs `smv` under a checkpoint policy; see [`crate::registry::run_ck`].
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed ^ 0x0073_6D76);
     let optimized = cfg.variant == Variant::Optimized;
 
-    let buckets = m.malloc(p.buckets * 8);
-    for b in 0..p.buckets {
-        m.store_ptr(buckets.add_words(b), Addr::NULL);
-    }
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (iter0, phase0, mut checksum, mut rng, buckets, nodes, triples, mut pool) =
+        if cursor.is_empty() {
+            let pool = m.new_pool();
+            let mut rng = Rng::new(cfg.seed ^ 0x0073_6D76);
+
+            let buckets = m.malloc(p.buckets * 8);
+            for b in 0..p.buckets {
+                m.store_ptr(buckets.add_words(b), Addr::NULL);
+            }
+            let ut = UniqueTable {
+                buckets,
+                nbuckets: p.buckets,
+            };
+
+            // ---- Build phase: terminals, then random combinations.
+            let t0 = mk(&mut m, &ut, 0, Addr::NULL, Addr::NULL, 0, &mut rng);
+            let t1 = mk(&mut m, &ut, 0, Addr::NULL, Addr::NULL, 1, &mut rng);
+            // `created` records the build triples by *index* so that lookups
+            // later are layout-independent (the safety requirement across
+            // variants).
+            let mut nodes: Vec<Addr> = vec![t0, t1];
+            let mut triples: Vec<(u64, usize, usize)> = Vec::new();
+            for k in 0..p.build_nodes {
+                let var = k % 48 + 1;
+                let li = rng.below(nodes.len() as u64) as usize;
+                let ri = rng.below(nodes.len() as u64) as usize;
+                let n = mk(&mut m, &ut, var, nodes[li], nodes[ri], k, &mut rng);
+                nodes.push(n);
+                triples.push((var, li, ri));
+            }
+            (0u64, 0u64, 0u64, rng, buckets, nodes, triples, pool)
+        } else {
+            let mut c = CursorR::new(&cursor);
+            let iter0 = c.u64()?;
+            let phase0 = c.u64()?;
+            let checksum = c.u64()?;
+            let rng = c.rng()?;
+            let buckets = c.addr()?;
+            let nodes = c.addr_vec()?;
+            let nt = c.u64()?;
+            if nt != p.build_nodes {
+                return Err(bad_cursor());
+            }
+            let mut triples = Vec::with_capacity(nt as usize);
+            for _ in 0..nt {
+                let var = c.u64()?;
+                let li = c.u64()? as usize;
+                let ri = c.u64()? as usize;
+                if li >= nodes.len() || ri >= nodes.len() {
+                    return Err(bad_cursor());
+                }
+                triples.push((var, li, ri));
+            }
+            let pool = c.pool()?;
+            c.finish()?;
+            if nodes.len() as u64 != p.build_nodes + 2 || iter0 > p.iterations || phase0 > 1 {
+                return Err(bad_cursor());
+            }
+            (iter0, phase0, checksum, rng, buckets, nodes, triples, pool)
+        };
     let ut = UniqueTable {
         buckets,
         nbuckets: p.buckets,
     };
 
-    // ---- Build phase: terminals, then random combinations.
-    let t0 = mk(&mut m, &ut, 0, Addr::NULL, Addr::NULL, 0, &mut rng);
-    let t1 = mk(&mut m, &ut, 0, Addr::NULL, Addr::NULL, 1, &mut rng);
-    // `created` records the build triples by *index* so that lookups later
-    // are layout-independent (the safety requirement across variants).
-    let mut nodes: Vec<Addr> = vec![t0, t1];
-    let mut triples: Vec<(u64, usize, usize)> = Vec::new();
-    for k in 0..p.build_nodes {
-        let var = k % 48 + 1;
-        let li = rng.below(nodes.len() as u64) as usize;
-        let ri = rng.below(nodes.len() as u64) as usize;
-        let n = mk(&mut m, &ut, var, nodes[li], nodes[ri], k, &mut rng);
-        nodes.push(n);
-        triples.push((var, li, ri));
-    }
-
     // ---- Work iterations: hash lookups + tree traversals.
-    let mut checksum = 0u64;
-    for iter in 0..p.iterations {
-        if optimized && p.linearize_at.contains(&iter) {
-            // Linearize every bucket list. Bucket heads and hash_next
-            // pointers are updated; tree pointers (left/right inside
-            // nodes, and our stale root handles) are NOT.
-            for b in 0..p.buckets {
-                list_linearize(&mut m, buckets.add_words(b), NODE_DESC, &mut pool);
+    let mut phase = phase0;
+    for iter in iter0..p.iterations {
+        if phase == 0 {
+            if ck.boundary(&m, || {
+                save_cursor(iter, 0, checksum, &rng, buckets, &nodes, &triples, &pool)
+            })? {
+                return Ok(CkOutcome::Stopped);
+            }
+            if optimized && p.linearize_at.contains(&iter) {
+                // Linearize every bucket list. Bucket heads and hash_next
+                // pointers are updated; tree pointers (left/right inside
+                // nodes, and our stale root handles) are NOT.
+                for b in 0..p.buckets {
+                    list_linearize(&mut m, buckets.add_words(b), NODE_DESC, &mut pool);
+                }
+            }
+            // (a) Hash phase: re-find known triples through the unique table.
+            for q in 0..p.lookups {
+                let (var, li, ri) = triples[rng.below(triples.len() as u64) as usize];
+                let n = mk(&mut m, &ut, var, nodes[li], nodes[ri], q, &mut rng);
+                let packed = m.load_word(n.add_words(PACKED));
+                checksum = checksum.wrapping_add(packed).rotate_left(1);
             }
         }
-        // (a) Hash phase: re-find known triples through the unique table.
-        for q in 0..p.lookups {
-            let (var, li, ri) = triples[rng.below(triples.len() as u64) as usize];
-            let n = mk(&mut m, &ut, var, nodes[li], nodes[ri], q, &mut rng);
-            let packed = m.load_word(n.add_words(PACKED));
-            checksum = checksum.wrapping_add(packed).rotate_left(1);
+        if ck.boundary(&m, || {
+            save_cursor(iter, 1, checksum, &rng, buckets, &nodes, &triples, &pool)
+        })? {
+            return Ok(CkOutcome::Stopped);
         }
         // (b) Tree phase: descend through left/right pointers, which become
         // stale after each linearization — this is where forwarding bites.
@@ -204,12 +291,13 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
                 depth += 1;
             }
         }
+        phase = 0;
     }
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum,
         stats: m.finish(),
-    }
+    }))
 }
 
 #[cfg(test)]

@@ -9,9 +9,11 @@
 //! — with the library's counter-triggered linearization as the optimized
 //! variant.
 
+use crate::ckpt::{bad_cursor, push_addr_vec, Checkpointer, CkOutcome, CursorR};
 use crate::common::{prefetch_mode, scatter_pad_if, ListLib, Rng};
 use crate::registry::{AppOutput, RunConfig, Scale, Variant};
-use memfwd::Machine;
+use memfwd::MachineFault;
+use memfwd_tagmem::Addr;
 
 /// Element node: `[next, key, value, pad]`.
 const NODE_WORDS: u64 = 4;
@@ -52,8 +54,16 @@ impl Params {
 
 /// Runs `vis`.
 pub fn run(cfg: &RunConfig) -> AppOutput {
+    crate::registry::unwrap_uncheckpointed(run_ck(cfg, &mut Checkpointer::disabled()))
+}
+
+/// Runs `vis` under a checkpoint policy; see [`crate::registry::run_ck`].
+///
+/// # Errors
+///
+/// Any [`MachineFault`] the run raises, including a rejected resume image.
+pub fn run_ck(cfg: &RunConfig, ck: &mut Checkpointer) -> Result<CkOutcome, MachineFault> {
     let p = Params::for_scale(cfg.scale);
-    let mut m = Machine::new(cfg.sim);
     let threshold = match cfg.variant {
         Variant::Optimized => Some(cfg.linearize_threshold.unwrap_or(p.threshold)),
         _ => None,
@@ -62,24 +72,48 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
     // layout cannot adapt as the lists mutate afterwards.
     let scatter = cfg.variant != Variant::Static;
     let lib = ListLib::new(NODE_WORDS, threshold);
-    let mut pool = m.new_pool();
-    let mut rng = Rng::new(cfg.seed ^ 0x0076_6973);
     let mode = prefetch_mode(cfg);
 
-    // Build the lists with interleaved allocations so nodes scatter.
-    let heads: Vec<_> = (0..p.lists).map(|_| lib.new_list(&mut m)).collect();
-    let mut next_key = 0u64;
-    for round in 0..p.init_len {
-        for &h in &heads {
-            scatter_pad_if(&mut m, &mut rng, scatter);
-            lib.push_front(&mut m, h, &[next_key, round], &mut pool);
-            next_key += 1;
+    let (mut m, cursor) = ck.begin(cfg)?;
+    let (op0, mut next_key, mut checksum, mut rng, heads, mut pool) = if cursor.is_empty() {
+        let mut pool = m.new_pool();
+        let mut rng = Rng::new(cfg.seed ^ 0x0076_6973);
+        // Build the lists with interleaved allocations so nodes scatter.
+        let heads: Vec<Addr> = (0..p.lists).map(|_| lib.new_list(&mut m)).collect();
+        let mut next_key = 0u64;
+        for round in 0..p.init_len {
+            for &h in &heads {
+                scatter_pad_if(&mut m, &mut rng, scatter);
+                lib.push_front(&mut m, h, &[next_key, round], &mut pool);
+                next_key += 1;
+            }
         }
-    }
+        (0u64, next_key, 0u64, rng, heads, pool)
+    } else {
+        let mut c = CursorR::new(&cursor);
+        let op0 = c.u64()?;
+        let next_key = c.u64()?;
+        let checksum = c.u64()?;
+        let rng = c.rng()?;
+        let heads = c.addr_vec()?;
+        let pool = c.pool()?;
+        c.finish()?;
+        if heads.len() as u64 != p.lists || op0 > p.ops {
+            return Err(bad_cursor());
+        }
+        (op0, next_key, checksum, rng, heads, pool)
+    };
 
     // Mixed operation stream.
-    let mut checksum = 0u64;
-    for op in 0..p.ops {
+    for op in op0..p.ops {
+        if ck.boundary(&m, || {
+            let mut w = vec![op, next_key, checksum, rng.state()];
+            push_addr_vec(&mut w, &heads);
+            pool.encode_words(&mut w);
+            w
+        })? {
+            return Ok(CkOutcome::Stopped);
+        }
         let h = heads[rng.below(p.lists) as usize];
         match rng.below(10) {
             0..=2 => {
@@ -108,10 +142,10 @@ pub fn run(cfg: &RunConfig) -> AppOutput {
         }
     }
 
-    AppOutput {
+    Ok(CkOutcome::Done(AppOutput {
         checksum,
         stats: m.finish(),
-    }
+    }))
 }
 
 #[cfg(test)]

@@ -9,8 +9,9 @@
 //!       --app vis --variant optimized --line-bytes 128 --prefetch 2
 //! ```
 
-use memfwd::InjectConfig;
-use memfwd_apps::{run, App, RunConfig, Scale, Variant};
+use memfwd::{InjectConfig, MachineFault};
+use memfwd_apps::{run_ck, App, Checkpointer, CkOutcome, RunConfig, Scale, Variant};
+use std::path::PathBuf;
 
 const USAGE: &str = "\
 memfwd-sim: run one application on the memory-forwarding simulator
@@ -31,6 +32,14 @@ OPTIONS:
     --hw-prefetch           enable the tagged next-line hardware prefetcher
     --scale <s>             smoke|bench (default: bench)
     --seed <n>              workload seed (default: 12345)
+    --checkpoint-dir <dir>  periodically write a crash-safe snapshot to
+                            <dir>/<app>.ckpt (atomic temp-file + rename);
+                            the run's results are unaffected
+    --checkpoint-every <n>  checkpoint cadence in demand references
+                            (default: 16384)
+    --resume <file>         resume from a snapshot written by
+                            --checkpoint-dir; all other flags must match
+                            the configuration that wrote the snapshot
     --inject-fbit <ppm>     corrupt forwarding bits, per million accesses
     --inject-scramble <ppm> scramble forwarding-chain words, per million
     --inject-alloc <ppm>    fail heap/pool allocations, per million
@@ -41,12 +50,29 @@ OPTIONS:
     --help                  print this text
 
 A run that aborts on a machine fault reports the typed fault on stderr
-and exits with a fault-specific code (10..=16); harness errors use 2.
+and exits with a fault-specific code; harness errors use 2.
+
+EXIT CODES:
+    0   success                      2   usage / harness error
+    10  forwarding-cycle             15  invalid-free
+    11  heap-exhausted               16  hop-limit-exceeded
+    12  pool-exhausted               17  corrupt-snapshot
+    13  misaligned                   18  no-progress (watchdog)
+    14  null-deref                   19  walk-storm (watchdog)
 ";
 
-fn parse() -> Result<(App, RunConfig), String> {
+struct Cli {
+    app: App,
+    cfg: RunConfig,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
+}
+
+fn parse() -> Result<Cli, String> {
     let mut app = App::Vis;
     let mut cfg = RunConfig::new(Variant::Original);
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
     let mut inject = InjectConfig::default();
     let mut inject_requested = false;
     let mut args = std::env::args().skip(1);
@@ -118,6 +144,21 @@ fn parse() -> Result<(App, RunConfig), String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(PathBuf::from(next_val(&mut args, "--checkpoint-dir")?));
+            }
+            "--checkpoint-every" => {
+                let refs: u64 = next_val(&mut args, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if refs == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+                cfg.sim = cfg.sim.with_checkpoint_every(refs);
+            }
+            "--resume" => {
+                resume = Some(PathBuf::from(next_val(&mut args, "--resume")?));
+            }
             "--inject-fbit" => {
                 inject.fbit_flip_ppm = next_val(&mut args, "--inject-fbit")?
                     .parse()
@@ -156,26 +197,52 @@ fn parse() -> Result<(App, RunConfig), String> {
     if inject_requested {
         cfg.sim = cfg.sim.with_fault_injection(inject);
     }
-    Ok((app, cfg))
+    Ok(Cli {
+        app,
+        cfg,
+        checkpoint_dir,
+        resume,
+    })
+}
+
+fn fault_exit(fault: &MachineFault) -> ! {
+    eprintln!("machine fault: {fault}");
+    eprintln!("fault kind:    {}", fault.kind());
+    std::process::exit(fault.exit_code());
 }
 
 fn main() {
-    let (app, cfg) = match parse() {
+    let cli = match parse() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
         }
     };
+    let (app, cfg) = (cli.app, cli.cfg);
+
+    let mut ck = match &cli.checkpoint_dir {
+        Some(dir) => {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: --checkpoint-dir {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+            Checkpointer::to_file(dir.join(format!("{app}.ckpt")))
+        }
+        None => Checkpointer::disabled(),
+    };
+    if let Some(path) = &cli.resume {
+        match memfwd::read_snapshot_file(path) {
+            Ok(image) => ck = ck.resume_from(image),
+            Err(e) => fault_exit(&MachineFault::from(e)),
+        }
+    }
 
     let wall = std::time::Instant::now();
-    let out = match run(app, &cfg) {
-        Ok(out) => out,
-        Err(fault) => {
-            eprintln!("machine fault: {fault}");
-            eprintln!("fault kind:    {}", fault.kind());
-            std::process::exit(fault.exit_code());
-        }
+    let out = match run_ck(app, &cfg, &mut ck) {
+        Ok(CkOutcome::Done(out)) => out,
+        Ok(CkOutcome::Stopped) => unreachable!("the CLI never uses a stop_after checkpointer"),
+        Err(fault) => fault_exit(&fault),
     };
     let s = &out.stats;
     let slots = s.slots();
@@ -240,6 +307,13 @@ fn main() {
     );
     if s.fwd.page_faults > 0 {
         println!("page faults          {}", s.fwd.page_faults);
+    }
+    if let Some(dir) = &cli.checkpoint_dir {
+        println!(
+            "checkpoints          {} written to {}",
+            ck.boundaries_seen(),
+            dir.join(format!("{app}.ckpt")).display()
+        );
     }
     if s.fwd.injected_faults > 0 {
         println!(

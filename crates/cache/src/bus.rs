@@ -46,6 +46,28 @@ impl Bus {
     pub fn free_at(&self) -> u64 {
         self.free_at
     }
+
+    /// Serializes the bus state.
+    pub fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
+        enc.u64(self.bytes_per_cycle);
+        enc.u64(self.free_at);
+        enc.u64(self.total_bytes);
+    }
+
+    /// Rebuilds a bus written by [`Bus::snapshot_encode`].
+    pub fn snapshot_decode(
+        dec: &mut memfwd_tagmem::SnapDecoder<'_>,
+    ) -> Result<Bus, memfwd_tagmem::SnapCodecError> {
+        let bytes_per_cycle = dec.u64()?;
+        if bytes_per_cycle == 0 {
+            return Err(memfwd_tagmem::SnapCodecError::BadValue);
+        }
+        Ok(Bus {
+            bytes_per_cycle,
+            free_at: dec.u64()?,
+            total_bytes: dec.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@ use crate::bus::Bus;
 use crate::config::HierarchyConfig;
 use crate::level::CacheLevel;
 use crate::mshr::MshrFile;
-use crate::stats::CacheStats;
+use crate::stats::{CacheStats, ClassCounts};
+use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
 use std::collections::HashSet;
 
 /// The class of a memory access presented to the hierarchy.
@@ -280,6 +281,80 @@ impl Hierarchy {
     /// Bytes moved between L2 and memory (fills + writebacks) — Fig. 6(b).
     pub fn bytes_l2_mem(&self) -> u64 {
         self.busmem.total_bytes()
+    }
+
+    /// Serializes the entire hierarchy runtime state (both levels, MSHRs,
+    /// buses, statistics, prefetcher tags). The configuration is **not**
+    /// encoded — [`Hierarchy::snapshot_decode`] takes it as a parameter, and
+    /// the snapshot container carries a configuration fingerprint instead.
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        self.l1.snapshot_encode(enc);
+        self.l2.snapshot_encode(enc);
+        self.mshr.snapshot_encode(enc);
+        self.bus12.snapshot_encode(enc);
+        self.busmem.snapshot_encode(enc);
+        for c in [&self.stats.loads, &self.stats.stores] {
+            enc.u64(c.l1_hits);
+            enc.u64(c.partial_misses);
+            enc.u64(c.full_misses);
+        }
+        enc.u64(self.stats.l2_hits);
+        enc.u64(self.stats.l2_misses);
+        enc.u64(self.stats.prefetches_issued);
+        enc.u64(self.stats.prefetches_dropped);
+        enc.u64(self.stats.prefetches_redundant);
+        enc.u64(self.stats.l1_writebacks);
+        enc.u64(self.stats.l2_writebacks);
+        let mut tagged: Vec<u64> = self.hw_tagged.iter().copied().collect();
+        tagged.sort_unstable();
+        enc.seq(tagged.iter(), |e, &line| e.u64(line));
+    }
+
+    /// Rebuilds a hierarchy written by [`Hierarchy::snapshot_encode`] under
+    /// configuration `cfg` (which must match the one in force at save time).
+    pub fn snapshot_decode(
+        dec: &mut SnapDecoder<'_>,
+        cfg: HierarchyConfig,
+    ) -> Result<Hierarchy, SnapCodecError> {
+        let l1 = CacheLevel::snapshot_decode(dec)?;
+        let l2 = CacheLevel::snapshot_decode(dec)?;
+        let mshr = MshrFile::snapshot_decode(dec)?;
+        let bus12 = Bus::snapshot_decode(dec)?;
+        let busmem = Bus::snapshot_decode(dec)?;
+        let mut classes = [ClassCounts::default(); 2];
+        for c in &mut classes {
+            c.l1_hits = dec.u64()?;
+            c.partial_misses = dec.u64()?;
+            c.full_misses = dec.u64()?;
+        }
+        let stats = CacheStats {
+            loads: classes[0],
+            stores: classes[1],
+            l2_hits: dec.u64()?,
+            l2_misses: dec.u64()?,
+            prefetches_issued: dec.u64()?,
+            prefetches_dropped: dec.u64()?,
+            prefetches_redundant: dec.u64()?,
+            l1_writebacks: dec.u64()?,
+            l2_writebacks: dec.u64()?,
+        };
+        let n = dec.seq_len(8)?;
+        let mut hw_tagged = HashSet::with_capacity(n);
+        for _ in 0..n {
+            if !hw_tagged.insert(dec.u64()?) {
+                return Err(SnapCodecError::BadValue);
+            }
+        }
+        Ok(Hierarchy {
+            cfg,
+            l1,
+            l2,
+            mshr,
+            bus12,
+            busmem,
+            stats,
+            hw_tagged,
+        })
     }
 }
 

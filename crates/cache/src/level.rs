@@ -2,6 +2,7 @@
 
 use crate::config::CacheLevelConfig;
 use crate::lru::{Evicted, LruSet};
+use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
 
 /// A single write-back, write-allocate cache level.
 ///
@@ -79,6 +80,35 @@ impl CacheLevel {
     /// Number of lines currently resident.
     pub fn resident_lines(&self) -> usize {
         self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Serializes the level's full state (geometry, LRU clock, every set).
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        enc.u32(self.assoc);
+        enc.u64(self.seq);
+        enc.seq(self.sets.iter(), |e, s| s.snapshot_encode(e));
+    }
+
+    /// Rebuilds a level written by [`CacheLevel::snapshot_encode`].
+    pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<CacheLevel, SnapCodecError> {
+        let assoc = dec.u32()?;
+        if assoc == 0 {
+            return Err(SnapCodecError::BadValue);
+        }
+        let seq = dec.u64()?;
+        let n = dec.seq_len(8)?;
+        if n == 0 {
+            return Err(SnapCodecError::BadValue);
+        }
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let set = LruSet::snapshot_decode(dec)?;
+            if set.len() > assoc as usize {
+                return Err(SnapCodecError::BadValue);
+            }
+            sets.push(set);
+        }
+        Ok(CacheLevel { sets, assoc, seq })
     }
 }
 

@@ -1,5 +1,7 @@
 //! A true-LRU cache set.
 
+use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
+
 /// One way of a set.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Way {
@@ -84,6 +86,31 @@ impl LruSet {
     /// Number of resident lines.
     pub fn len(&self) -> usize {
         self.ways.len()
+    }
+
+    /// Serializes the set. Ways are written in stored order — not sorted —
+    /// because `swap_remove` makes the physical order part of the eviction
+    /// behaviour; a restored set must evict identically.
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        enc.seq(self.ways.iter(), |e, w| {
+            e.u64(w.tag);
+            e.bool(w.dirty);
+            e.u64(w.last_used);
+        });
+    }
+
+    /// Rebuilds a set written by [`LruSet::snapshot_encode`].
+    pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<LruSet, SnapCodecError> {
+        let n = dec.seq_len(17)?;
+        let mut ways = Vec::with_capacity(n);
+        for _ in 0..n {
+            ways.push(Way {
+                tag: dec.u64()?,
+                dirty: dec.bool()?,
+                last_used: dec.u64()?,
+            });
+        }
+        Ok(LruSet { ways })
     }
 }
 

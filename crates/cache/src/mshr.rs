@@ -1,6 +1,7 @@
 //! Miss-status holding registers (MSHRs): the bookkeeping that makes the
 //! caches non-blocking and defines the paper's partial/full miss split.
 
+use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
 use std::collections::HashMap;
 
 /// An entry for one outstanding line fill.
@@ -94,6 +95,45 @@ impl MshrFile {
     /// Number of outstanding fills.
     pub fn outstanding(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Serializes the file (capacity + outstanding fills, sorted by line so
+    /// the encoding is byte-stable).
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        enc.usize(self.capacity);
+        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        enc.usize(lines.len());
+        for line in lines {
+            let e = self.entries[&line];
+            enc.u64(line);
+            enc.u64(e.fill_done);
+            enc.bool(e.dirty_on_fill);
+        }
+    }
+
+    /// Rebuilds a file written by [`MshrFile::snapshot_encode`].
+    pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<MshrFile, SnapCodecError> {
+        let capacity = dec.usize()?;
+        if capacity == 0 {
+            return Err(SnapCodecError::BadValue);
+        }
+        let n = dec.seq_len(17)?;
+        if n > capacity {
+            return Err(SnapCodecError::BadValue);
+        }
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let line = dec.u64()?;
+            let entry = Entry {
+                fill_done: dec.u64()?,
+                dirty_on_fill: dec.bool()?,
+            };
+            if entries.insert(line, entry).is_some() {
+                return Err(SnapCodecError::BadValue);
+            }
+        }
+        Ok(MshrFile { capacity, entries })
     }
 }
 

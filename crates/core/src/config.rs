@@ -67,6 +67,51 @@ pub struct SimConfig {
     /// Optional deterministic fault-injection campaign (see
     /// [`crate::inject`]). `None` disables injection entirely.
     pub fault_injection: Option<InjectConfig>,
+    /// Checkpoint cadence for crash-safe runs: the application harness
+    /// snapshots the machine every this-many demand references (`None`
+    /// disables checkpointing). Consumed by `memfwd_apps`' checkpoint
+    /// driver; the machine itself only carries the knob so one [`SimConfig`]
+    /// describes the whole run (and so the snapshot config fingerprint
+    /// covers it).
+    pub checkpoint_every: Option<u64>,
+    /// Bounded-progress watchdog (see [`WatchdogConfig`]).
+    pub watchdog: WatchdogConfig,
+}
+
+/// Bounded-progress watchdog: converts silent livelock into typed faults.
+///
+/// Forwarding pathologies that are not cycles — ever-growing acyclic
+/// chains, repeated walk storms over a corrupted heap — can stall a run
+/// indefinitely without tripping the cycle check. The watchdog bounds the
+/// damage: a reference whose graduation stalls longer than
+/// [`WatchdogConfig::stall_cycles`] raises
+/// [`crate::MachineFault::NoProgress`], and a burst of forwarding-walk hops
+/// exceeding [`WatchdogConfig::walk_hop_budget`] within a sliding window of
+/// [`WatchdogConfig::walk_window`] references raises
+/// [`crate::MachineFault::WalkStorm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WatchdogConfig {
+    /// Maximum cycles a single demand reference may take from issue to
+    /// completion before [`crate::MachineFault::NoProgress`] is raised.
+    /// `None` (the default) disables the stall check.
+    pub stall_cycles: Option<u64>,
+    /// Length, in demand references, of the sliding window over which
+    /// forwarding-walk hops are summed for the storm check.
+    pub walk_window: u64,
+    /// Maximum total forwarding hops tolerated within the window before
+    /// [`crate::MachineFault::WalkStorm`] is raised. `None` (the default)
+    /// disables the storm check.
+    pub walk_hop_budget: Option<u64>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_cycles: None,
+            walk_window: 1024,
+            walk_hop_budget: None,
+        }
+    }
 }
 
 impl Default for SimConfig {
@@ -90,6 +135,8 @@ impl Default for SimConfig {
             store_buffer_entries: None,
             hard_hop_budget: None,
             fault_injection: None,
+            checkpoint_every: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -110,6 +157,18 @@ impl SimConfig {
     /// Returns a copy with the given fault-injection campaign enabled.
     pub fn with_fault_injection(mut self, inject: InjectConfig) -> Self {
         self.fault_injection = Some(inject);
+        self
+    }
+
+    /// Returns a copy with the given progress-watchdog configuration.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Returns a copy checkpointing every `refs` demand references.
+    pub fn with_checkpoint_every(mut self, refs: u64) -> Self {
+        self.checkpoint_every = Some(refs);
         self
     }
 }

@@ -43,6 +43,7 @@
 //! assert_eq!(m.try_load_word(a).unwrap(), 4242);
 //! ```
 
+use crate::snapshot::SnapshotError;
 use memfwd_tagmem::{Addr, CycleError, TagMemError};
 use std::cell::Cell;
 use std::error::Error;
@@ -105,6 +106,30 @@ pub enum MachineFault {
         /// Hops performed (equals the budget).
         hops: u32,
     },
+    /// A checkpoint snapshot could not be restored: truncated, bit-flipped,
+    /// version-skewed, or written under a different configuration. The
+    /// snapshot is rejected wholesale — never partially applied.
+    CorruptSnapshot {
+        /// Why the snapshot was rejected.
+        error: SnapshotError,
+    },
+    /// The progress watchdog observed a demand reference stalled past
+    /// [`crate::WatchdogConfig::stall_cycles`] cycles without graduating.
+    NoProgress {
+        /// The initial address of the stalled reference.
+        at: Addr,
+        /// Cycles the reference spent from issue to (would-be) completion.
+        stalled: u64,
+    },
+    /// The progress watchdog observed more forwarding-walk hops within its
+    /// sliding window than [`crate::WatchdogConfig::walk_hop_budget`]
+    /// allows — the signature of a forwarding livelock.
+    WalkStorm {
+        /// Total hops walked within the window.
+        hops: u64,
+        /// Window length in demand references.
+        window: u64,
+    },
 }
 
 impl fmt::Display for MachineFault {
@@ -142,6 +167,21 @@ impl fmt::Display for MachineFault {
                 write!(
                     f,
                     "forwarding hop budget exceeded at {at} after {hops} hops"
+                )
+            }
+            MachineFault::CorruptSnapshot { error } => {
+                write!(f, "corrupt snapshot rejected: {error}")
+            }
+            MachineFault::NoProgress { at, stalled } => {
+                write!(
+                    f,
+                    "watchdog: no progress at {at} after {stalled} stalled cycles"
+                )
+            }
+            MachineFault::WalkStorm { hops, window } => {
+                write!(
+                    f,
+                    "watchdog: forwarding walk storm ({hops} hops within {window} references)"
                 )
             }
         }
@@ -182,6 +222,9 @@ impl MachineFault {
             MachineFault::NullDeref { .. } => "null-deref",
             MachineFault::InvalidFree { .. } => "invalid-free",
             MachineFault::HopLimitExceeded { .. } => "hop-limit-exceeded",
+            MachineFault::CorruptSnapshot { .. } => "corrupt-snapshot",
+            MachineFault::NoProgress { .. } => "no-progress",
+            MachineFault::WalkStorm { .. } => "walk-storm",
         }
     }
 
@@ -197,7 +240,16 @@ impl MachineFault {
             MachineFault::NullDeref { .. } => 14,
             MachineFault::InvalidFree { .. } => 15,
             MachineFault::HopLimitExceeded { .. } => 16,
+            MachineFault::CorruptSnapshot { .. } => 17,
+            MachineFault::NoProgress { .. } => 18,
+            MachineFault::WalkStorm { .. } => 19,
         }
+    }
+}
+
+impl From<SnapshotError> for MachineFault {
+    fn from(error: SnapshotError) -> Self {
+        MachineFault::CorruptSnapshot { error }
     }
 }
 
@@ -316,6 +368,14 @@ mod tests {
                 at: Addr(0),
                 hops: 0,
             },
+            MachineFault::CorruptSnapshot {
+                error: SnapshotError::Truncated,
+            },
+            MachineFault::NoProgress {
+                at: Addr(0),
+                stalled: 0,
+            },
+            MachineFault::WalkStorm { hops: 0, window: 0 },
         ];
         let mut codes: Vec<i32> = faults.iter().map(|f| f.exit_code()).collect();
         codes.sort_unstable();

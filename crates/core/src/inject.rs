@@ -173,6 +173,58 @@ impl Injector {
     pub fn drain_log(&mut self) -> Vec<Corruption> {
         std::mem::take(&mut self.log)
     }
+
+    /// Serializes the injector's mutable state (RNG position, injection
+    /// count, unrepaired-corruption log). The campaign configuration is
+    /// *not* encoded: snapshots carry a configuration fingerprint instead,
+    /// and [`Injector::snapshot_decode`] takes the config as a parameter.
+    pub fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
+        enc.u64(self.state);
+        enc.u64(self.injected);
+        enc.seq(self.log.iter(), |e, c| {
+            e.addr(c.word);
+            e.u64(c.saved_value);
+            e.bool(c.saved_fbit);
+            e.u8(match c.kind {
+                InjectKind::FbitFlip => 0,
+                InjectKind::ChainScramble => 1,
+            });
+        });
+    }
+
+    /// Rebuilds an injector written by [`Injector::snapshot_encode`],
+    /// resuming the campaign `cfg` exactly where the snapshot left it.
+    pub fn snapshot_decode(
+        dec: &mut memfwd_tagmem::SnapDecoder<'_>,
+        cfg: InjectConfig,
+    ) -> Result<Injector, memfwd_tagmem::SnapCodecError> {
+        let state = dec.u64()?;
+        let injected = dec.u64()?;
+        let n = dec.seq_len(18)?;
+        let mut log = Vec::with_capacity(n);
+        for _ in 0..n {
+            let word = dec.addr()?;
+            let saved_value = dec.u64()?;
+            let saved_fbit = dec.bool()?;
+            let kind = match dec.u8()? {
+                0 => InjectKind::FbitFlip,
+                1 => InjectKind::ChainScramble,
+                _ => return Err(memfwd_tagmem::SnapCodecError::BadValue),
+            };
+            log.push(Corruption {
+                word,
+                saved_value,
+                saved_fbit,
+                kind,
+            });
+        }
+        Ok(Injector {
+            cfg,
+            state,
+            injected,
+            log,
+        })
+    }
 }
 
 #[cfg(test)]

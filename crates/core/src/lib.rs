@@ -52,12 +52,13 @@ mod ptrcmp;
 mod reloc;
 mod replay;
 mod smp;
+pub mod snapshot;
 mod stats;
 mod trace;
 mod trap;
 
 pub use cluster::{subtree_cluster, TreeDesc};
-pub use config::SimConfig;
+pub use config::{SimConfig, WatchdogConfig};
 pub use fault::{record_last_fault, take_last_fault, MachineFault};
 pub use inject::{Corruption, InjectConfig, InjectKind, Injector};
 pub use inspect::{dump_chain, heap_summary, line_map};
@@ -67,8 +68,12 @@ pub use packing::{color_relocate, copy_region, merge_tables, MergedTables};
 pub use paging::PagingConfig;
 pub use ptrcmp::{final_address, ptr_eq};
 pub use reloc::{relocate, relocate_adjacent, try_relocate};
-pub use replay::replay_trace;
+pub use replay::{replay_trace, try_replay_trace};
 pub use smp::{CoreStats, SmpConfig, SmpMachine};
+pub use snapshot::{
+    read_snapshot_file, restore_machine, restore_smp, save_machine, save_smp, write_snapshot_file,
+    SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use stats::{FwdStats, RunStats, HOPS_BUCKETS};
 pub use trace::{forwarding_sources, hot_miss_lines, TraceKind, TraceRecord};
 pub use trap::{FaultHandler, TrapInfo, TrapOutcome, MAX_FAULT_RETRIES};

@@ -34,21 +34,25 @@ use std::collections::HashSet;
 /// assert!(stats.cycles() > 0);
 /// ```
 pub struct Machine {
-    cfg: SimConfig,
-    mem: TaggedMemory,
-    heap: Heap,
-    hier: Hierarchy,
-    pipe: Pipeline,
-    spec: SpecQueue,
-    stats: FwdStats,
-    traps_enabled: bool,
-    trap_log: Vec<TrapInfo>,
-    last_store_resolve: u64,
-    pages: Option<PageCache>,
-    store_buf: std::collections::VecDeque<u64>,
-    trace: Option<Trace>,
-    fault_handler: Option<FaultHandler>,
-    injector: Option<Injector>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) mem: TaggedMemory,
+    pub(crate) heap: Heap,
+    pub(crate) hier: Hierarchy,
+    pub(crate) pipe: Pipeline,
+    pub(crate) spec: SpecQueue,
+    pub(crate) stats: FwdStats,
+    pub(crate) traps_enabled: bool,
+    pub(crate) trap_log: Vec<TrapInfo>,
+    pub(crate) last_store_resolve: u64,
+    pub(crate) pages: Option<PageCache>,
+    pub(crate) store_buf: std::collections::VecDeque<u64>,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) fault_handler: Option<FaultHandler>,
+    pub(crate) injector: Option<Injector>,
+    /// Sliding window of forwarding-hop counts of the most recent demand
+    /// references, for the watchdog's walk-storm check.
+    pub(crate) walk_hops_window: std::collections::VecDeque<u64>,
+    pub(crate) walk_hops_sum: u64,
 }
 
 impl Machine {
@@ -69,6 +73,8 @@ impl Machine {
             trace: None,
             fault_handler: None,
             injector: cfg.fault_injection.map(Injector::new),
+            walk_hops_window: std::collections::VecDeque::new(),
+            walk_hops_sum: 0,
             cfg,
         }
     }
@@ -228,6 +234,26 @@ impl Machine {
         }
         let fwd_cycles = t_walk - start;
 
+        // Watchdog: account this walk in the sliding hop window and raise a
+        // typed fault when the window's hop volume explodes — a forwarding
+        // livelock signature that per-access checks cannot see.
+        if let Some(budget) = self.cfg.watchdog.walk_hop_budget {
+            let window = self.cfg.watchdog.walk_window.max(1);
+            self.walk_hops_window.push_back(u64::from(hops));
+            self.walk_hops_sum += u64::from(hops);
+            while self.walk_hops_window.len() as u64 > window {
+                let oldest = self.walk_hops_window.pop_front().unwrap_or(0);
+                self.walk_hops_sum -= oldest;
+            }
+            if self.walk_hops_sum > budget {
+                self.pipe.complete(class, d, t_walk.max(start) + 1, false);
+                return Err(MachineFault::WalkStorm {
+                    hops: self.walk_hops_sum,
+                    window,
+                });
+            }
+        }
+
         let kind = if is_store {
             AccessKind::Store
         } else {
@@ -299,6 +325,18 @@ impl Machine {
                     final_addr,
                     hops,
                     is_store,
+                });
+            }
+        }
+
+        // Watchdog: a reference stalled past the configured bound raises a
+        // typed fault instead of silently absorbing an unbounded latency.
+        if let Some(stall) = self.cfg.watchdog.stall_cycles {
+            if complete.saturating_sub(start) > stall {
+                self.pipe.complete(class, d, complete, l1_miss);
+                return Err(MachineFault::NoProgress {
+                    at: addr,
+                    stalled: complete - start,
                 });
             }
         }
@@ -519,6 +557,37 @@ impl Machine {
     pub fn try_store(&mut self, addr: Addr, size: u64, val: u64) -> Result<(), MachineFault> {
         self.try_demand(true, addr, size, val, Token::ready())
             .map(|_| ())
+    }
+
+    /// Fallible [`Machine::load_dep`]: a load with an explicit address
+    /// dependence that reports faults instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::try_load`].
+    pub fn try_load_dep(
+        &mut self,
+        addr: Addr,
+        size: u64,
+        dep: Token,
+    ) -> Result<(u64, Token), MachineFault> {
+        self.try_demand(false, addr, size, 0, dep)
+    }
+
+    /// Fallible [`Machine::store_dep`]: a store with an explicit address
+    /// dependence that reports faults instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::try_load`].
+    pub fn try_store_dep(
+        &mut self,
+        addr: Addr,
+        size: u64,
+        val: u64,
+        dep: Token,
+    ) -> Result<Token, MachineFault> {
+        self.try_demand(true, addr, size, val, dep).map(|(_, t)| t)
     }
 
     /// Fallible [`Machine::load_word`].

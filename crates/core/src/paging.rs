@@ -83,6 +83,47 @@ impl PageCache {
     pub(crate) fn faults(&self) -> u64 {
         self.faults
     }
+
+    /// Serializes the resident set (sorted by page number for byte
+    /// stability) and the LRU/fault counters. The paging configuration is
+    /// covered by the snapshot's config fingerprint, not encoded here.
+    pub(crate) fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
+        let mut pages: Vec<(u64, u64)> = self.resident.iter().map(|(&p, &t)| (p, t)).collect();
+        pages.sort_unstable();
+        enc.seq(pages.into_iter(), |e, (p, t)| {
+            e.u64(p);
+            e.u64(t);
+        });
+        enc.u64(self.stamp);
+        enc.u64(self.faults);
+        enc.u64(self.accesses);
+    }
+
+    /// Rebuilds a page cache written by [`PageCache::snapshot_encode`].
+    pub(crate) fn snapshot_decode(
+        dec: &mut memfwd_tagmem::SnapDecoder<'_>,
+        cfg: PagingConfig,
+    ) -> Result<PageCache, memfwd_tagmem::SnapCodecError> {
+        let n = dec.seq_len(16)?;
+        if n > cfg.resident_pages {
+            return Err(memfwd_tagmem::SnapCodecError::BadValue);
+        }
+        let mut resident = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let page = dec.u64()?;
+            let stamp = dec.u64()?;
+            if resident.insert(page, stamp).is_some() {
+                return Err(memfwd_tagmem::SnapCodecError::BadValue);
+            }
+        }
+        Ok(PageCache {
+            cfg,
+            resident,
+            stamp: dec.u64()?,
+            faults: dec.u64()?,
+            accesses: dec.u64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //! layout); use a full application run to study forwarding itself.
 
 use crate::config::SimConfig;
+use crate::fault::MachineFault;
 use crate::machine::Machine;
 use crate::stats::RunStats;
 use crate::trace::{TraceKind, TraceRecord};
@@ -46,6 +47,21 @@ use std::collections::HashMap;
 /// assert!(slowed.cycles() > fast.cycles());
 /// ```
 pub fn replay_trace(records: &[TraceRecord], cfg: SimConfig) -> RunStats {
+    try_replay_trace(records, cfg).unwrap_or_else(|fault| {
+        crate::fault::record_last_fault(fault);
+        panic!("{fault}");
+    })
+}
+
+/// Fallible twin of [`replay_trace`]: a trace whose recorded addresses
+/// fault under `cfg` (null, misaligned, or corrupted into a forwarding
+/// pathology) yields a typed [`MachineFault`] instead of a panic.
+///
+/// # Errors
+///
+/// Whatever fault the replayed reference stream raises — the same set a
+/// live run's [`Machine::try_load`]/[`Machine::try_store`] can produce.
+pub fn try_replay_trace(records: &[TraceRecord], cfg: SimConfig) -> Result<RunStats, MachineFault> {
     let mut m = Machine::new(cfg);
     // recorded completion cycle -> replayed completion token
     let mut by_completion: HashMap<u64, Token> = HashMap::new();
@@ -55,12 +71,12 @@ pub fn replay_trace(records: &[TraceRecord], cfg: SimConfig) -> RunStats {
             .copied()
             .unwrap_or_else(Token::ready);
         let tok = match r.kind {
-            TraceKind::Load => m.load_dep(r.final_addr, 8, dep).1,
-            TraceKind::Store => m.store_dep(r.final_addr, 8, 0, dep),
+            TraceKind::Load => m.try_load_dep(r.final_addr, 8, dep)?.1,
+            TraceKind::Store => m.try_store_dep(r.final_addr, 8, 0, dep)?,
         };
         by_completion.insert(r.complete_cycle, tok);
     }
-    m.finish()
+    Ok(m.finish())
 }
 
 #[cfg(test)]
@@ -148,5 +164,29 @@ mod tests {
         let s = replay_trace(&[], SimConfig::default());
         assert_eq!(s.fwd.loads, 0);
         assert_eq!(s.cycles(), 0);
+    }
+
+    #[test]
+    fn try_replay_matches_replay_on_clean_traces() {
+        let trace = record(32, true);
+        let infallible = replay_trace(&trace, SimConfig::default());
+        let fallible = try_replay_trace(&trace, SimConfig::default()).expect("clean trace");
+        assert_eq!(infallible, fallible);
+    }
+
+    #[test]
+    fn try_replay_reports_corrupted_records_as_typed_faults() {
+        let mut trace = record(8, false);
+        trace[3].final_addr = Addr::NULL;
+        assert!(matches!(
+            try_replay_trace(&trace, SimConfig::default()),
+            Err(MachineFault::NullDeref { is_store: false })
+        ));
+        let mut trace = record(8, false);
+        trace[5].final_addr = Addr(trace[5].final_addr.0 + 1);
+        assert!(matches!(
+            try_replay_trace(&trace, SimConfig::default()),
+            Err(MachineFault::Misaligned { .. })
+        ));
     }
 }

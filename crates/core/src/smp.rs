@@ -18,6 +18,7 @@
 
 use crate::config::SimConfig;
 use crate::fault::{record_last_fault, MachineFault};
+use crate::inject::{Corruption, InjectKind, Injector};
 use memfwd_cache::CacheLevel;
 use memfwd_tagmem::{validate_access, Addr, Heap, Pool, TaggedMemory, DEFAULT_HOP_LIMIT};
 use std::collections::{HashMap, HashSet};
@@ -74,22 +75,22 @@ pub struct CoreStats {
 }
 
 #[derive(Debug, Default, Clone)]
-struct LineInfo {
+pub(crate) struct LineInfo {
     /// Which cores hold the line (bitmask).
-    sharers: u32,
+    pub(crate) sharers: u32,
     /// Core holding the line modified, if any.
-    owner: Option<usize>,
+    pub(crate) owner: Option<usize>,
     /// Per-core mask of words of this line the core has touched since it
     /// last (re)acquired the line.
-    touched: HashMap<usize, u64>,
+    pub(crate) touched: HashMap<usize, u64>,
     /// Word mask written by the last writer.
-    written: u64,
+    pub(crate) written: u64,
 }
 
-struct Core {
-    l1: CacheLevel,
-    now: u64,
-    stats: CoreStats,
+pub(crate) struct Core {
+    pub(crate) l1: CacheLevel,
+    pub(crate) now: u64,
+    pub(crate) stats: CoreStats,
 }
 
 /// The multiprocessor machine.
@@ -106,11 +107,15 @@ struct Core {
 /// assert_eq!(smp.load(1, a, 8), 7);
 /// ```
 pub struct SmpMachine {
-    cfg: SmpConfig,
-    mem: TaggedMemory,
-    heap: Heap,
-    cores: Vec<Core>,
-    lines: HashMap<u64, LineInfo>,
+    pub(crate) cfg: SmpConfig,
+    pub(crate) sim: SimConfig,
+    pub(crate) mem: TaggedMemory,
+    pub(crate) heap: Heap,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) lines: HashMap<u64, LineInfo>,
+    pub(crate) injector: Option<Injector>,
+    pub(crate) injected_faults: u64,
+    pub(crate) fault_repairs: u64,
 }
 
 impl SmpMachine {
@@ -133,7 +138,11 @@ impl SmpMachine {
                 })
                 .collect(),
             lines: HashMap::new(),
+            injector: sim.fault_injection.map(Injector::new),
+            injected_faults: 0,
+            fault_repairs: 0,
             cfg,
+            sim,
         }
     }
 
@@ -155,6 +164,75 @@ impl SmpMachine {
     /// Per-core statistics.
     pub fn core_stats(&self, core: usize) -> CoreStats {
         self.cores[core].stats
+    }
+
+    /// Corruptions injected by the deterministic fault-injection engine.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected_faults
+    }
+
+    /// Injected corruptions repaired by the auto-recovery path.
+    pub fn fault_repairs(&self) -> u64 {
+        self.fault_repairs
+    }
+
+    /// Consults the injector at the head of a coherent access by `core`
+    /// and, if a roll hits, corrupts the target word — exactly the
+    /// uniprocessor machine's adversary, here racing against all cores'
+    /// accesses to shared memory. In recovery mode the corruption is
+    /// repaired immediately (the repair is charged to the victim core like
+    /// a trap-handler invalidation), so the access that follows always
+    /// sees functionally correct memory.
+    fn maybe_inject(&mut self, core: usize, addr: Addr) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        let scramble = inj.roll_chain_scramble();
+        let flip = !scramble && inj.roll_fbit_flip();
+        let recover = inj.config().recover;
+        if !(scramble || flip) {
+            return;
+        }
+        let word = addr.word_base();
+        if word.is_null() {
+            return;
+        }
+        let (saved_value, saved_fbit) = self.mem.unforwarded_read(word);
+        let kind = if scramble {
+            InjectKind::ChainScramble
+        } else {
+            InjectKind::FbitFlip
+        };
+        match kind {
+            InjectKind::ChainScramble => self.mem.unforwarded_write(word, word.0, true),
+            InjectKind::FbitFlip => self.mem.set_fbit(word, true),
+        }
+        self.injected_faults += 1;
+        if let Some(inj) = self.injector.as_mut() {
+            inj.record(Corruption {
+                word,
+                saved_value,
+                saved_fbit,
+                kind,
+            });
+        }
+        if recover {
+            let pending = self
+                .injector
+                .as_mut()
+                .map(Injector::drain_log)
+                .unwrap_or_default();
+            if !pending.is_empty() {
+                // Exception dispatch plus one coherent repair write each.
+                self.cores[core].now += self.cfg.miss_latency;
+                for c in pending.iter().rev() {
+                    self.mem
+                        .unforwarded_write(c.word, c.saved_value, c.saved_fbit);
+                    self.cores[core].now += self.cfg.hit_latency;
+                    self.fault_repairs += 1;
+                }
+            }
+        }
     }
 
     /// Aggregated statistics over all cores.
@@ -361,6 +439,7 @@ impl SmpMachine {
             return Err(MachineFault::NullDeref { is_store: false });
         }
         validate_access(addr, size)?;
+        self.maybe_inject(core, addr);
         let final_addr = self.try_walk(core, addr)?;
         self.validate_final(final_addr, size, false)?;
         let lat = self.access(core, final_addr, size, false);
@@ -397,6 +476,7 @@ impl SmpMachine {
             return Err(MachineFault::NullDeref { is_store: true });
         }
         validate_access(addr, size)?;
+        self.maybe_inject(core, addr);
         let final_addr = self.try_walk(core, addr)?;
         self.validate_final(final_addr, size, true)?;
         let lat = self.access(core, final_addr, size, true);

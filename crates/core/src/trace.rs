@@ -72,6 +72,61 @@ impl Trace {
             std::mem::take(&mut self.dropped),
         )
     }
+
+    /// Serializes the buffered records, the capacity, and the drop count.
+    pub(crate) fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
+        enc.usize(self.capacity);
+        enc.u64(self.dropped);
+        enc.seq(self.records.iter(), |e, r| {
+            e.u64(r.cycle);
+            e.u8(match r.kind {
+                TraceKind::Load => 0,
+                TraceKind::Store => 1,
+            });
+            e.addr(r.initial);
+            e.addr(r.final_addr);
+            e.u32(r.hops);
+            e.bool(r.l1_miss);
+            e.u64(r.dep_cycle);
+            e.u64(r.complete_cycle);
+        });
+    }
+
+    /// Rebuilds a trace written by [`Trace::snapshot_encode`].
+    pub(crate) fn snapshot_decode(
+        dec: &mut memfwd_tagmem::SnapDecoder<'_>,
+    ) -> Result<Trace, memfwd_tagmem::SnapCodecError> {
+        let capacity = dec.usize()?;
+        let dropped = dec.u64()?;
+        let n = dec.seq_len(46)?;
+        if n > capacity {
+            return Err(memfwd_tagmem::SnapCodecError::BadValue);
+        }
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cycle = dec.u64()?;
+            let kind = match dec.u8()? {
+                0 => TraceKind::Load,
+                1 => TraceKind::Store,
+                _ => return Err(memfwd_tagmem::SnapCodecError::BadValue),
+            };
+            records.push(TraceRecord {
+                cycle,
+                kind,
+                initial: dec.addr()?,
+                final_addr: dec.addr()?,
+                hops: dec.u32()?,
+                l1_miss: dec.bool()?,
+                dep_cycle: dec.u64()?,
+                complete_cycle: dec.u64()?,
+            });
+        }
+        Ok(Trace {
+            records,
+            capacity,
+            dropped,
+        })
+    }
 }
 
 /// The cache lines with the most L1 misses in a trace, hottest first —

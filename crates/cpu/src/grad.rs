@@ -124,6 +124,44 @@ impl GradAccountant {
     pub fn counts(&self) -> SlotCounts {
         self.counts
     }
+
+    /// Serializes the accountant.
+    pub fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
+        enc.u32(self.width);
+        enc.u64(self.gcycle);
+        enc.u32(self.gslot);
+        enc.u64(self.counts.busy);
+        enc.u64(self.counts.load_stall);
+        enc.u64(self.counts.store_stall);
+        enc.u64(self.counts.inst_stall);
+    }
+
+    /// Rebuilds an accountant written by [`GradAccountant::snapshot_encode`].
+    pub fn snapshot_decode(
+        dec: &mut memfwd_tagmem::SnapDecoder<'_>,
+    ) -> Result<GradAccountant, memfwd_tagmem::SnapCodecError> {
+        let width = dec.u32()?;
+        if width == 0 {
+            return Err(memfwd_tagmem::SnapCodecError::BadValue);
+        }
+        let gcycle = dec.u64()?;
+        let gslot = dec.u32()?;
+        if gslot >= width {
+            return Err(memfwd_tagmem::SnapCodecError::BadValue);
+        }
+        let counts = SlotCounts {
+            busy: dec.u64()?,
+            load_stall: dec.u64()?,
+            store_stall: dec.u64()?,
+            inst_stall: dec.u64()?,
+        };
+        Ok(GradAccountant {
+            width,
+            gcycle,
+            gslot,
+            counts,
+        })
+    }
 }
 
 #[cfg(test)]

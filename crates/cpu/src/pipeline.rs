@@ -179,6 +179,65 @@ impl Pipeline {
         self.dispatched
     }
 
+    /// Serializes the pipeline's runtime state. The configuration is not
+    /// encoded; [`Pipeline::snapshot_decode`] takes it as a parameter.
+    pub fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
+        enc.u64(self.dispatch_cycle);
+        enc.u32(self.dispatched_this_cycle);
+        enc.seq(self.pending.iter(), |e, p| {
+            e.u64(p.complete);
+            e.u64(p.earliest);
+            e.u8(match p.stall {
+                StallClass::LoadStall => 0,
+                StallClass::StoreStall => 1,
+                StallClass::InstStall => 2,
+            });
+        });
+        self.grad.snapshot_encode(enc);
+        enc.u64(self.dispatched);
+        enc.u64(self.replays);
+    }
+
+    /// Rebuilds a pipeline written by [`Pipeline::snapshot_encode`] under
+    /// configuration `cfg` (which must match the one in force at save time).
+    pub fn snapshot_decode(
+        dec: &mut memfwd_tagmem::SnapDecoder<'_>,
+        cfg: PipelineConfig,
+    ) -> Result<Pipeline, memfwd_tagmem::SnapCodecError> {
+        let dispatch_cycle = dec.u64()?;
+        let dispatched_this_cycle = dec.u32()?;
+        let n = dec.seq_len(17)?;
+        if n > cfg.rob_entries {
+            return Err(memfwd_tagmem::SnapCodecError::BadValue);
+        }
+        let mut pending = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let complete = dec.u64()?;
+            let earliest = dec.u64()?;
+            let stall = match dec.u8()? {
+                0 => StallClass::LoadStall,
+                1 => StallClass::StoreStall,
+                2 => StallClass::InstStall,
+                _ => return Err(memfwd_tagmem::SnapCodecError::BadValue),
+            };
+            pending.push_back(Pending {
+                complete,
+                earliest,
+                stall,
+            });
+        }
+        let grad = GradAccountant::snapshot_decode(dec)?;
+        Ok(Pipeline {
+            cfg,
+            dispatch_cycle,
+            dispatched_this_cycle,
+            pending,
+            grad,
+            dispatched: dec.u64()?,
+            replays: dec.u64()?,
+        })
+    }
+
     /// Drains the reorder buffer and returns the final statistics.
     pub fn finish(mut self) -> PipelineStats {
         while !self.pending.is_empty() {

@@ -87,6 +87,31 @@ impl SpecQueue {
     pub fn is_empty(&self) -> bool {
         self.stores.is_empty()
     }
+
+    /// Serializes the queue in store order.
+    pub fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
+        enc.seq(self.stores.iter(), |e, s| {
+            e.u64(s.init_word);
+            e.u64(s.final_word);
+            e.u64(s.resolved_at);
+        });
+    }
+
+    /// Rebuilds a queue written by [`SpecQueue::snapshot_encode`].
+    pub fn snapshot_decode(
+        dec: &mut memfwd_tagmem::SnapDecoder<'_>,
+    ) -> Result<SpecQueue, memfwd_tagmem::SnapCodecError> {
+        let n = dec.seq_len(24)?;
+        let mut stores = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            stores.push_back(StoreRec {
+                init_word: dec.u64()?,
+                final_word: dec.u64()?,
+                resolved_at: dec.u64()?,
+            });
+        }
+        Ok(SpecQueue { stores })
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! applications' `malloc`/`free` with instrumented versions.
 
 use crate::error::TagMemError;
+use crate::snapcodec::{SnapCodecError, SnapDecoder, SnapEncoder};
 use crate::word::{Addr, WORD_BYTES};
 use std::collections::BTreeMap;
 
@@ -272,6 +273,106 @@ impl Heap {
     pub fn stats(&self) -> HeapStats {
         self.stats
     }
+
+    /// Serializes the full allocator state (arena bounds, break, policy,
+    /// free/live maps, size-class lists, statistics) into `enc`. `BTreeMap`
+    /// iteration is already address-ordered, so the encoding is byte-stable.
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        enc.u64(self.base);
+        enc.u64(self.capacity);
+        enc.u64(self.brk);
+        enc.u8(match self.policy {
+            AllocPolicy::FirstFit => 0,
+            AllocPolicy::SizeClass => 1,
+        });
+        enc.seq(self.free.iter(), |e, (&a, &sz)| {
+            e.u64(a);
+            e.u64(sz);
+        });
+        enc.seq(self.live.iter(), |e, (&a, &sz)| {
+            e.u64(a);
+            e.u64(sz);
+        });
+        enc.seq(self.class_free.iter(), |e, list| {
+            e.seq(list.iter(), |e, &a| e.u64(a));
+        });
+        enc.seq(self.class_bump.iter(), |e, &(cur, end)| {
+            e.u64(cur);
+            e.u64(end);
+        });
+        enc.u64(self.stats.live_bytes);
+        enc.u64(self.stats.peak_bytes);
+        enc.u64(self.stats.total_allocated);
+        enc.u64(self.stats.allocations);
+        enc.u64(self.stats.frees);
+    }
+
+    /// Rebuilds a heap written by [`Heap::snapshot_encode`].
+    pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<Heap, SnapCodecError> {
+        let base = dec.u64()?;
+        let capacity = dec.u64()?;
+        let brk = dec.u64()?;
+        let policy = match dec.u8()? {
+            0 => AllocPolicy::FirstFit,
+            1 => AllocPolicy::SizeClass,
+            _ => return Err(SnapCodecError::BadValue),
+        };
+        let decode_map = |dec: &mut SnapDecoder<'_>| -> Result<BTreeMap<u64, u64>, SnapCodecError> {
+            let n = dec.seq_len(16)?;
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                let a = dec.u64()?;
+                let sz = dec.u64()?;
+                if map.insert(a, sz).is_some() {
+                    return Err(SnapCodecError::BadValue);
+                }
+            }
+            Ok(map)
+        };
+        let free = decode_map(dec)?;
+        let live = decode_map(dec)?;
+        let n_classes = dec.seq_len(8)?;
+        if n_classes != SIZE_CLASSES.len() {
+            return Err(SnapCodecError::BadValue);
+        }
+        let mut class_free = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let n = dec.seq_len(8)?;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                list.push(dec.u64()?);
+            }
+            class_free.push(list);
+        }
+        let n_bump = dec.seq_len(16)?;
+        if n_bump != SIZE_CLASSES.len() {
+            return Err(SnapCodecError::BadValue);
+        }
+        let mut class_bump = Vec::with_capacity(n_bump);
+        for _ in 0..n_bump {
+            let cur = dec.u64()?;
+            let end = dec.u64()?;
+            class_bump.push((cur, end));
+        }
+        let stats = HeapStats {
+            live_bytes: dec.u64()?,
+            peak_bytes: dec.u64()?,
+            total_allocated: dec.u64()?,
+            allocations: dec.u64()?,
+            frees: dec.u64()?,
+        };
+        Ok(Heap {
+            base,
+            capacity,
+            brk,
+            policy,
+            free,
+            live,
+            class_free,
+            class_bump,
+            stats,
+        })
+    }
 }
 
 /// A pool of contiguous memory used as the target of relocation.
@@ -393,6 +494,41 @@ impl Pool {
     /// Slabs carved so far (their total size bounds the address-space cost).
     pub fn slab_count(&self) -> usize {
         self.slabs.len()
+    }
+
+    /// Appends the pool's complete state to a word-oriented cursor buffer
+    /// (used by the application checkpoint cursors, which are `Vec<u64>`).
+    pub fn encode_words(&self, out: &mut Vec<u64>) {
+        out.push(self.slab_bytes);
+        out.push(self.cur);
+        out.push(self.end);
+        out.push(self.handed_out);
+        out.push(self.slabs.len() as u64);
+        out.extend(self.slabs.iter().map(|a| a.0));
+    }
+
+    /// Rebuilds a pool from the words written by [`Pool::encode_words`],
+    /// returning the pool and the number of words consumed. Returns `None`
+    /// on truncated or invalid input.
+    pub fn decode_words(words: &[u64]) -> Option<(Pool, usize)> {
+        let (&slab_bytes, rest) = words.split_first()?;
+        if slab_bytes < WORD_BYTES {
+            return None;
+        }
+        if rest.len() < 4 {
+            return None;
+        }
+        let (cur, end, handed_out) = (rest[0], rest[1], rest[2]);
+        let n_slabs = usize::try_from(rest[3]).ok()?;
+        let slab_words = rest.get(4..4 + n_slabs)?;
+        let pool = Pool {
+            slab_bytes,
+            cur,
+            end,
+            handed_out,
+            slabs: slab_words.iter().map(|&w| Addr(w)).collect(),
+        };
+        Some((pool, 5 + n_slabs))
     }
 }
 

@@ -36,6 +36,7 @@ mod chain;
 mod error;
 mod memory;
 mod page;
+mod snapcodec;
 mod word;
 
 pub use alloc::{AllocPolicy, Heap, HeapStats, Pool};
@@ -43,4 +44,5 @@ pub use chain::{chain_words, resolve, resolve_unbounded, Resolution, DEFAULT_HOP
 pub use error::{CycleError, TagMemError};
 pub use memory::{MemStats, TaggedMemory};
 pub use page::{PAGE_BYTES, PAGE_WORDS};
+pub use snapcodec::{SnapCodecError, SnapDecoder, SnapEncoder};
 pub use word::{validate_access, Addr, WORD_BYTES};

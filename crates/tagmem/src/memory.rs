@@ -1,6 +1,7 @@
 //! The sparse tagged memory.
 
-use crate::page::{Page, PAGE_BYTES};
+use crate::page::{Page, PAGE_BYTES, PAGE_WORDS};
+use crate::snapcodec::{SnapCodecError, SnapDecoder, SnapEncoder};
 use crate::word::{check_access, Addr, WORD_BYTES};
 use std::collections::HashMap;
 
@@ -135,6 +136,49 @@ impl TaggedMemory {
         let base = addr.word_base();
         self.write_data(base, WORD_BYTES, value);
         self.set_fbit(base, fbit);
+    }
+
+    /// Serializes the full memory image — every materialized page's data and
+    /// forwarding bits — into `enc`, pages in ascending page-number order so
+    /// the encoding is byte-stable across save/restore cycles.
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
+        pnos.sort_unstable();
+        enc.usize(pnos.len());
+        for pno in pnos {
+            let (data, fbits) = self.pages[&pno].raw();
+            enc.u64(pno);
+            enc.raw(&data[..]);
+            for limb in fbits {
+                enc.u64(*limb);
+            }
+        }
+    }
+
+    /// Rebuilds a memory image written by [`TaggedMemory::snapshot_encode`].
+    ///
+    /// Rejects duplicate or unsorted page numbers so a bit-flipped snapshot
+    /// cannot silently drop or reorder pages.
+    pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<TaggedMemory, SnapCodecError> {
+        const PAGE_RECORD_BYTES: usize = 8 + PAGE_BYTES + PAGE_WORDS / 8;
+        let n = dec.seq_len(PAGE_RECORD_BYTES)?;
+        let mut pages = HashMap::with_capacity(n);
+        let mut last_pno = None;
+        for _ in 0..n {
+            let pno = dec.u64()?;
+            if last_pno.is_some_and(|prev| pno <= prev) {
+                return Err(SnapCodecError::BadValue);
+            }
+            last_pno = Some(pno);
+            let data = dec.raw(PAGE_BYTES)?;
+            let mut fbits = [0u64; PAGE_WORDS / 64];
+            for limb in &mut fbits {
+                *limb = dec.u64()?;
+            }
+            let page = Page::from_raw(data, &fbits).ok_or(SnapCodecError::BadValue)?;
+            pages.insert(pno, page);
+        }
+        Ok(TaggedMemory { pages })
     }
 
     /// Current occupancy statistics.

@@ -60,6 +60,23 @@ impl Page {
     pub(crate) fn fbits_set(&self) -> u32 {
         self.fbits.iter().map(|l| l.count_ones()).sum()
     }
+
+    /// Raw views of the page contents for snapshot encoding.
+    pub(crate) fn raw(&self) -> (&[u8; PAGE_BYTES], &[u64; FBIT_LIMBS]) {
+        (&self.data, &self.fbits)
+    }
+
+    /// Rebuilds a page from snapshot bytes. `data` must be exactly
+    /// [`PAGE_BYTES`] long and `fbits` exactly [`FBIT_LIMBS`] limbs.
+    pub(crate) fn from_raw(data: &[u8], fbits: &[u64]) -> Option<Page> {
+        let mut p = Page::new();
+        if data.len() != PAGE_BYTES || fbits.len() != FBIT_LIMBS {
+            return None;
+        }
+        p.data.copy_from_slice(data);
+        p.fbits.copy_from_slice(fbits);
+        Some(p)
+    }
 }
 
 #[cfg(test)]

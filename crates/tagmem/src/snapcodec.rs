@@ -1,0 +1,265 @@
+//! Byte-level snapshot codec shared by every crate that serializes machine
+//! state into a crash-safe checkpoint.
+//!
+//! The format is deliberately primitive: little-endian fixed-width integers
+//! and length-prefixed sequences, written in a canonical (sorted) order so
+//! that `save → restore → save` is byte-stable. There is no schema evolution
+//! beyond the container's single version number — the snapshot layer in
+//! `memfwd` rejects any version it does not know.
+//!
+//! Decoding is total: every read is bounds-checked and every enum tag is
+//! validated, so a truncated or bit-flipped snapshot surfaces as a
+//! [`SnapCodecError`], never a panic or a silently wrong value.
+
+use crate::word::Addr;
+use std::fmt;
+
+/// Decoding failure: the byte stream ended early or held an invalid value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapCodecError {
+    /// The stream ended before the value was complete.
+    Truncated,
+    /// A tag, length, or discriminant held an impossible value.
+    BadValue,
+}
+
+impl fmt::Display for SnapCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapCodecError::Truncated => write!(f, "snapshot stream truncated"),
+            SnapCodecError::BadValue => write!(f, "snapshot stream holds an invalid value"),
+        }
+    }
+}
+
+impl std::error::Error for SnapCodecError {}
+
+/// Appends snapshot fields to a growing byte buffer.
+#[derive(Debug, Default)]
+pub struct SnapEncoder {
+    buf: Vec<u8>,
+}
+
+impl SnapEncoder {
+    /// Creates an empty encoder.
+    pub fn new() -> SnapEncoder {
+        SnapEncoder::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an [`Addr`] as its raw `u64`.
+    pub fn addr(&mut self, a: Addr) {
+        self.u64(a.0);
+    }
+
+    /// Writes raw bytes with no length prefix (fixed-size fields).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed sequence via a per-element closure.
+    pub fn seq<T>(
+        &mut self,
+        items: impl ExactSizeIterator<Item = T>,
+        mut f: impl FnMut(&mut Self, T),
+    ) {
+        self.usize(items.len());
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// Reads snapshot fields back out of a byte slice, bounds-checked.
+#[derive(Debug)]
+pub struct SnapDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapDecoder<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> SnapDecoder<'a> {
+        SnapDecoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapCodecError> {
+        if self.remaining() < n {
+            return Err(SnapCodecError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool`, rejecting anything but 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, SnapCodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapCodecError::BadValue),
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapCodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapCodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `usize` written by [`SnapEncoder::usize`], rejecting values
+    /// that cannot possibly fit in the remaining stream (so a corrupted
+    /// length cannot trigger an enormous allocation).
+    pub fn usize(&mut self) -> Result<usize, SnapCodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapCodecError::BadValue)
+    }
+
+    /// Reads a sequence length, additionally checking that at least
+    /// `min_bytes_per_item * len` bytes remain.
+    pub fn seq_len(&mut self, min_bytes_per_item: usize) -> Result<usize, SnapCodecError> {
+        let len = self.usize()?;
+        if len
+            .checked_mul(min_bytes_per_item.max(1))
+            .is_none_or(|need| need > self.remaining())
+        {
+            return Err(SnapCodecError::BadValue);
+        }
+        Ok(len)
+    }
+
+    /// Reads an [`Addr`].
+    pub fn addr(&mut self) -> Result<Addr, SnapCodecError> {
+        Ok(Addr(self.u64()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], SnapCodecError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut e = SnapEncoder::new();
+        e.u8(7);
+        e.bool(true);
+        e.bool(false);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.usize(42);
+        e.addr(Addr(0x1000));
+        e.raw(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = SnapDecoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.usize().unwrap(), 42);
+        assert_eq!(d.addr().unwrap(), Addr(0x1000));
+        assert_eq!(d.raw(3).unwrap(), &[1, 2, 3]);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let mut e = SnapEncoder::new();
+        e.u64(1);
+        let bytes = e.into_bytes();
+        let mut d = SnapDecoder::new(&bytes[..5]);
+        assert_eq!(d.u64(), Err(SnapCodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_is_typed() {
+        let mut d = SnapDecoder::new(&[2]);
+        assert_eq!(d.bool(), Err(SnapCodecError::BadValue));
+    }
+
+    #[test]
+    fn absurd_seq_len_rejected() {
+        let mut e = SnapEncoder::new();
+        e.usize(usize::MAX / 2);
+        let bytes = e.into_bytes();
+        let mut d = SnapDecoder::new(&bytes);
+        assert_eq!(d.seq_len(8), Err(SnapCodecError::BadValue));
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let mut e = SnapEncoder::new();
+        let v = vec![3u64, 1, 4, 1, 5];
+        e.seq(v.iter(), |e, &x| e.u64(x));
+        let bytes = e.into_bytes();
+        let mut d = SnapDecoder::new(&bytes);
+        let n = d.seq_len(8).unwrap();
+        let got: Vec<u64> = (0..n).map(|_| d.u64().unwrap()).collect();
+        assert_eq!(got, v);
+    }
+}

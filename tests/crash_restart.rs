@@ -1,0 +1,296 @@
+//! Deterministic crash-restart campaigns: every application, stopped at a
+//! checkpoint boundary and resumed from the snapshot, must reproduce the
+//! uninterrupted run's checksum **and** its complete `RunStats` bit for
+//! bit. Torn or cross-configuration snapshots must be rejected with the
+//! typed [`MachineFault::CorruptSnapshot`] — never a panic, never a
+//! silently wrong result.
+//!
+//! The progress watchdog is exercised at the bottom: induced forwarding
+//! livelock is converted into [`MachineFault::NoProgress`] /
+//! [`MachineFault::WalkStorm`] within the configured bound.
+
+use memfwd_repro::apps::{
+    run, run_ck, App, AppOutput, Checkpointer, CkOutcome, RunConfig, Variant,
+};
+use memfwd_repro::core::{
+    restore_machine, save_machine, Machine, MachineFault, SimConfig, SnapshotError, WatchdogConfig,
+};
+
+/// Workload seeds for the campaigns (3 per the acceptance bar).
+const CAMPAIGN_SEEDS: [u64; 3] = [0x5eed_f417, 2, 0xdead_beef];
+
+/// Cadence small enough that every smoke-scale app crosses several
+/// boundaries.
+const EVERY: u64 = 64;
+
+fn cfg_for(seed: u64, variant: Variant) -> RunConfig {
+    let mut cfg = RunConfig::new(variant).smoke();
+    cfg.seed = seed;
+    cfg
+}
+
+/// Runs to the `k`-th fired boundary, captures the snapshot, resumes from
+/// it, and returns the resumed run's output.
+fn crash_and_restart(app: App, cfg: &RunConfig, k: u64) -> (Vec<u8>, AppOutput) {
+    let mut ck = Checkpointer::stop_after(k).with_every(EVERY);
+    match run_ck(app, cfg, &mut ck) {
+        Ok(CkOutcome::Stopped) => {}
+        other => panic!("{app}: expected a checkpoint stop at boundary {k}, got {other:?}"),
+    }
+    let image = ck
+        .take_captured()
+        .expect("a stopped checkpointer holds the snapshot");
+    let mut rck = Checkpointer::disabled().resume_from(image.clone());
+    match run_ck(app, cfg, &mut rck) {
+        Ok(CkOutcome::Done(out)) => (image, out),
+        other => panic!("{app}: resumed run did not complete: {other:?}"),
+    }
+}
+
+#[test]
+fn crash_restart_campaign_all_apps_all_seeds_bit_identical() {
+    // 8 apps x 3 seeds: crash at a deterministic boundary, resume from the
+    // snapshot, and require the resumed run to be indistinguishable from
+    // the uninterrupted one — same checksum AND same complete RunStats.
+    for app in App::ALL {
+        for seed in CAMPAIGN_SEEDS {
+            let cfg = cfg_for(seed, Variant::Optimized);
+            let golden = run(app, &cfg).expect("clean run");
+            let (_, resumed) = crash_and_restart(app, &cfg, 2);
+            assert_eq!(
+                resumed.checksum, golden.checksum,
+                "{app} seed {seed:#x}: resumed checksum diverged"
+            );
+            assert_eq!(
+                resumed.stats, golden.stats,
+                "{app} seed {seed:#x}: resumed RunStats diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_capture_point_resumes_identically() {
+    // The equivalence must hold at whichever boundary the crash lands on,
+    // not just one lucky capture point.
+    let cfg = cfg_for(CAMPAIGN_SEEDS[0], Variant::Optimized);
+    let golden = run(App::Vis, &cfg).expect("clean run");
+    for k in 1..=4 {
+        let (_, resumed) = crash_and_restart(App::Vis, &cfg, k);
+        assert_eq!(resumed.checksum, golden.checksum, "boundary {k}");
+        assert_eq!(resumed.stats, golden.stats, "boundary {k}");
+    }
+}
+
+#[test]
+fn original_and_static_variants_restart_identically_too() {
+    // Checkpointing must be variant-agnostic: the forwarding-free layouts
+    // round-trip through the same snapshot container.
+    for variant in [Variant::Original, Variant::Static] {
+        let cfg = cfg_for(CAMPAIGN_SEEDS[1], variant);
+        let golden = run(App::Eqntott, &cfg).expect("clean run");
+        let (_, resumed) = crash_and_restart(App::Eqntott, &cfg, 2);
+        assert_eq!(resumed.checksum, golden.checksum, "{variant:?}");
+        assert_eq!(resumed.stats, golden.stats, "{variant:?}");
+    }
+}
+
+#[test]
+fn checkpointing_never_perturbs_the_run() {
+    // A boundary only reads the machine: a run that checkpoints and is
+    // never crashed must match the plain run exactly.
+    let cfg = cfg_for(CAMPAIGN_SEEDS[2], Variant::Optimized);
+    let golden = run(App::Health, &cfg).expect("clean run");
+    let mut ck = Checkpointer::stop_after(u64::MAX).with_every(EVERY);
+    match run_ck(App::Health, &cfg, &mut ck) {
+        Ok(CkOutcome::Done(out)) => {
+            assert_eq!(out.checksum, golden.checksum);
+            assert_eq!(out.stats, golden.stats);
+            assert!(ck.boundaries_seen() >= 2, "cadence too coarse to test");
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Torn and mismatched snapshots: typed rejection, never a panic or a
+// silently wrong resume.
+// ---------------------------------------------------------------------------
+
+fn captured_image(app: App, cfg: &RunConfig) -> Vec<u8> {
+    let mut ck = Checkpointer::stop_after(2).with_every(EVERY);
+    match run_ck(app, cfg, &mut ck) {
+        Ok(CkOutcome::Stopped) => ck.take_captured().expect("snapshot"),
+        other => panic!("expected a stop, got {other:?}"),
+    }
+}
+
+fn resume_err(app: App, cfg: &RunConfig, image: Vec<u8>) -> MachineFault {
+    let mut ck = Checkpointer::disabled().resume_from(image);
+    match run_ck(app, cfg, &mut ck) {
+        Err(fault) => fault,
+        other => panic!("{app}: corrupt image was accepted: {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_typed() {
+    let cfg = cfg_for(7, Variant::Optimized);
+    let image = captured_image(App::Mst, &cfg);
+    for cut in [0, 7, 27, image.len() / 2, image.len() - 1] {
+        let fault = resume_err(App::Mst, &cfg, image[..cut].to_vec());
+        assert!(
+            matches!(fault, MachineFault::CorruptSnapshot { .. }),
+            "cut at {cut}: got {fault:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flipped_snapshot_is_rejected_typed() {
+    let cfg = cfg_for(7, Variant::Optimized);
+    let image = captured_image(App::Compress, &cfg);
+    // Flip one bit in the payload: the container checksum must catch it.
+    let mut torn = image.clone();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x10;
+    assert_eq!(
+        resume_err(App::Compress, &cfg, torn),
+        MachineFault::CorruptSnapshot {
+            error: SnapshotError::BadChecksum
+        }
+    );
+    // Bad magic and unknown version are identified as such.
+    let mut bad_magic = image.clone();
+    bad_magic[0] ^= 0xFF;
+    assert_eq!(
+        resume_err(App::Compress, &cfg, bad_magic),
+        MachineFault::CorruptSnapshot {
+            error: SnapshotError::BadMagic
+        }
+    );
+    let mut bad_version = image;
+    bad_version[8] = 0xEE;
+    assert!(matches!(
+        resume_err(App::Compress, &cfg, bad_version),
+        MachineFault::CorruptSnapshot {
+            error: SnapshotError::BadVersion { .. }
+        }
+    ));
+}
+
+#[test]
+fn cross_configuration_resume_is_rejected_typed() {
+    // A snapshot written under one SimConfig must not silently resume
+    // under another (the timing model would diverge undetectably).
+    let cfg = cfg_for(7, Variant::Optimized);
+    let image = captured_image(App::Radiosity, &cfg);
+    let mut other = cfg;
+    other.sim = other.sim.with_line_bytes(256);
+    assert_eq!(
+        resume_err(App::Radiosity, &other, image),
+        MachineFault::CorruptSnapshot {
+            error: SnapshotError::ConfigMismatch
+        }
+    );
+}
+
+#[test]
+fn cross_application_resume_is_rejected_typed() {
+    // Same SimConfig, wrong host cursor: the application's cursor
+    // validation must reject it as corrupt, not misinterpret it.
+    let cfg = cfg_for(7, Variant::Optimized);
+    let image = captured_image(App::Vis, &cfg);
+    let fault = resume_err(App::Mst, &cfg, image);
+    assert!(
+        matches!(fault, MachineFault::CorruptSnapshot { .. }),
+        "got {fault:?}"
+    );
+}
+
+#[test]
+fn snapshot_byte_stream_round_trips_through_the_core_api() {
+    // The captured image is a plain `save_machine` container: the core
+    // restore returns the identical cursor and a machine whose re-save is
+    // byte-identical (restore is lossless).
+    let cfg = cfg_for(7, Variant::Optimized);
+    let image = captured_image(App::Bh, &cfg);
+    let (m, cursor) = restore_machine(&image, cfg.sim).expect("valid image");
+    assert_eq!(save_machine(&m, &cursor), image);
+}
+
+// ---------------------------------------------------------------------------
+// Progress watchdog: induced livelock becomes a typed fault within the
+// configured bound instead of an unbounded stall.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn walk_storm_watchdog_trips_on_induced_livelock() {
+    let budget = 64;
+    let cfg = SimConfig::default().with_watchdog(WatchdogConfig {
+        stall_cycles: None,
+        walk_window: 16,
+        walk_hop_budget: Some(budget),
+    });
+    let mut m = Machine::new(cfg);
+    // A long acyclic forwarding chain hammered in a loop: each access
+    // walks the full chain, so the sliding window's hop volume explodes.
+    let blocks: Vec<_> = (0..32).map(|_| m.malloc(8)).collect();
+    m.store_word(*blocks.last().unwrap(), 5);
+    for w in blocks.windows(2) {
+        m.unforwarded_write(w[0], w[1].0, true);
+    }
+    let mut result = Ok(0);
+    let mut accesses = 0u64;
+    for _ in 0..1024 {
+        accesses += 1;
+        result = m.try_load_word(blocks[0]);
+        if result.is_err() {
+            break;
+        }
+    }
+    match result {
+        Err(MachineFault::WalkStorm { hops, window }) => {
+            assert!(hops > budget);
+            assert_eq!(window, 16);
+            // The storm must be declared promptly: within the first window
+            // of accesses, not after an unbounded stall.
+            assert!(accesses <= 16, "took {accesses} accesses to trip");
+        }
+        other => panic!("expected WalkStorm, got {other:?}"),
+    }
+}
+
+#[test]
+fn no_progress_watchdog_trips_on_stalled_reference() {
+    let cfg = SimConfig::default().with_watchdog(WatchdogConfig {
+        stall_cycles: Some(200),
+        ..WatchdogConfig::default()
+    });
+    let mut m = Machine::new(cfg);
+    // One reference through a long chain stalls past the bound on its own.
+    let blocks: Vec<_> = (0..64).map(|_| m.malloc(8)).collect();
+    m.store_word(*blocks.last().unwrap(), 5);
+    for w in blocks.windows(2) {
+        m.unforwarded_write(w[0], w[1].0, true);
+    }
+    match m.try_load_word(blocks[0]) {
+        Err(MachineFault::NoProgress { stalled, .. }) => assert!(stalled > 200),
+        other => panic!("expected NoProgress, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_is_silent_on_healthy_runs() {
+    // Generous bounds must never fire across the whole campaign surface.
+    let mut cfg = cfg_for(CAMPAIGN_SEEDS[0], Variant::Optimized);
+    cfg.sim = cfg.sim.with_watchdog(WatchdogConfig {
+        stall_cycles: Some(1 << 20),
+        walk_window: 1024,
+        walk_hop_budget: Some(1 << 20),
+    });
+    for app in App::ALL {
+        let out = run(app, &cfg);
+        assert!(out.is_ok(), "{app}: healthy run tripped the watchdog");
+    }
+}

@@ -8,7 +8,8 @@
 
 use memfwd_repro::apps::{run, run_ok, App, RunConfig, Variant};
 use memfwd_repro::core::{
-    relocate, try_relocate, InjectConfig, Machine, MachineFault, SimConfig, TrapOutcome,
+    relocate, try_relocate, InjectConfig, Machine, MachineFault, SimConfig, SmpConfig, SmpMachine,
+    TrapOutcome,
 };
 use memfwd_repro::tagmem::Addr;
 
@@ -448,6 +449,107 @@ fn abort_campaign_all_apps_recover_or_abort_typed_never_diverge() {
     assert!(
         aborts > 0,
         "campaign never aborted — injection rate too low to test anything"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SMP campaign: the same adversary racing against all cores' accesses to
+// coherent shared memory (the §2.2 false-sharing model). Forwarding is on
+// the hot path — every counter access dereferences a stale pre-relocation
+// address — so injected corruption lands exactly where it hurts.
+// ---------------------------------------------------------------------------
+
+/// A false-sharing workload on the stale (forwarded) addresses: packed
+/// per-core counters are relocated to private lines up front, then every
+/// core increments its counter through the old packed address.
+fn smp_forwarded_counters(sim: SimConfig) -> Result<(u64, u64, u64), MachineFault> {
+    let mut smp = SmpMachine::new(SmpConfig::default(), sim);
+    let cores = smp.cores();
+    let line = smp.line_bytes();
+    let packed = smp.malloc(cores as u64 * 8);
+    let spread = smp.malloc(cores as u64 * line);
+    for c in 0..cores as u64 {
+        smp.relocate(0, packed.add_words(c), spread + c * line, 1);
+    }
+    for round in 0..500u64 {
+        for c in 0..cores {
+            let a = packed.add_words(c as u64);
+            let v = smp.try_load(c, a, 8)?;
+            smp.try_store(c, a, 8, v.wrapping_add(round + c as u64))?;
+        }
+        smp.barrier();
+    }
+    let mut checksum = 0u64;
+    for c in 0..cores as u64 {
+        checksum =
+            checksum
+                .wrapping_mul(31)
+                .wrapping_add(smp.try_load(0, packed.add_words(c), 8)?);
+    }
+    Ok((checksum, smp.injected_faults(), smp.fault_repairs()))
+}
+
+#[test]
+fn smp_recovery_campaign_matches_clean_run() {
+    let (clean, injected, _) = smp_forwarded_counters(SimConfig::default()).expect("clean run");
+    assert_eq!(injected, 0);
+    for seed in CAMPAIGN_SEEDS {
+        let sim = SimConfig::default().with_fault_injection(InjectConfig {
+            seed,
+            fbit_flip_ppm: 2_000,
+            chain_scramble_ppm: 2_000,
+            recover: true,
+            ..InjectConfig::default()
+        });
+        let (checksum, injected, repairs) = smp_forwarded_counters(sim)
+            .unwrap_or_else(|fault| panic!("seed {seed:#x}: SMP recovery failed: {fault}"));
+        assert_eq!(
+            checksum, clean,
+            "seed {seed:#x}: recovered SMP run diverged from the clean run"
+        );
+        assert!(
+            injected > 0,
+            "seed {seed:#x}: SMP campaign injected nothing — vacuous"
+        );
+        assert_eq!(
+            repairs, injected,
+            "seed {seed:#x}: every injected corruption must be repaired"
+        );
+    }
+}
+
+#[test]
+fn smp_abort_campaign_recover_or_abort_typed_never_diverge() {
+    let (clean, _, _) = smp_forwarded_counters(SimConfig::default()).expect("clean run");
+    let mut aborts = 0u32;
+    for seed in CAMPAIGN_SEEDS {
+        let sim = SimConfig::default().with_fault_injection(InjectConfig {
+            seed,
+            chain_scramble_ppm: 2_000,
+            recover: false,
+            ..InjectConfig::default()
+        });
+        match smp_forwarded_counters(sim) {
+            Ok((checksum, _, _)) => assert_eq!(
+                checksum, clean,
+                "seed {seed:#x}: SILENT SMP DIVERGENCE — wrong checksum"
+            ),
+            Err(fault) => {
+                assert!(
+                    matches!(
+                        fault,
+                        MachineFault::ForwardingCycle { .. }
+                            | MachineFault::HopLimitExceeded { .. }
+                    ),
+                    "seed {seed:#x}: unexpected SMP fault {fault:?}"
+                );
+                aborts += 1;
+            }
+        }
+    }
+    assert!(
+        aborts > 0,
+        "SMP campaign never aborted — injection rate too low to test anything"
     );
 }
 

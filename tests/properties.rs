@@ -2,7 +2,9 @@
 //! safety against a functional model, heap soundness, chain resolution,
 //! linearization, and statistics conservation.
 
-use memfwd_repro::core::{list_linearize, relocate, ListDesc, Machine, SimConfig};
+use memfwd_repro::core::{
+    list_linearize, relocate, restore_machine, save_machine, ListDesc, Machine, SimConfig,
+};
 use memfwd_repro::tagmem::{resolve_unbounded, Addr, Heap, TaggedMemory};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -251,6 +253,71 @@ proptest! {
                 ),
             }
         }
+    }
+
+    /// Snapshots round-trip losslessly: `restore` of a machine's own image
+    /// returns the exact host cursor, re-saving is byte-identical, and the
+    /// restored machine answers every access — including through stale
+    /// pre-relocation addresses — exactly like the original.
+    #[test]
+    fn snapshot_round_trip_is_lossless(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 0..80),
+        cursor in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let mut m = Machine::new(SimConfig::default());
+        let objs: Vec<Addr> = (0..4).map(|_| m.malloc(32)).collect();
+        let mut homes = objs.clone();
+        for (sel, val) in ops {
+            let o = sel as usize % 4;
+            match sel % 3 {
+                0 => m.store_word(homes[o] + (val % 4) * 8, val),
+                1 => { let _ = m.load_word(objs[o] + (val % 4) * 8); }
+                _ => {
+                    let t = m.malloc(32);
+                    relocate(&mut m, homes[o], t, 4);
+                    homes[o] = t;
+                }
+            }
+        }
+        let img = save_machine(&m, &cursor);
+        let (mut r, rcursor) =
+            restore_machine(&img, SimConfig::default()).expect("own image restores");
+        prop_assert_eq!(&rcursor, &cursor);
+        prop_assert_eq!(save_machine(&r, &rcursor), img.clone());
+        for (o, &stale) in objs.iter().enumerate() {
+            for w in 0..4u64 {
+                prop_assert_eq!(
+                    r.load_word(stale + w * 8),
+                    m.load_word(stale + w * 8),
+                    "object {} word {} diverged after restore", o, w
+                );
+            }
+        }
+        // The replayed loads above perturbed both machines identically:
+        // their images must still agree.
+        prop_assert_eq!(save_machine(&r, &rcursor), save_machine(&m, &cursor));
+    }
+
+    /// Any truncation and any single bit flip of a valid snapshot image is
+    /// rejected with a typed error — decoding is total and never panics,
+    /// and no corruption slips through the container checks.
+    #[test]
+    fn snapshot_corruption_is_always_typed(
+        cursor in proptest::collection::vec(any::<u64>(), 0..8),
+        cut in any::<u64>(),
+        flip_byte in any::<u64>(),
+        flip_bit in 0u32..8,
+    ) {
+        let mut m = Machine::new(SimConfig::default());
+        let a = m.malloc(16);
+        m.store_word(a, 7);
+        let img = save_machine(&m, &cursor);
+        let cut = (cut as usize) % img.len();
+        prop_assert!(restore_machine(&img[..cut], SimConfig::default()).is_err());
+        let mut torn = img.clone();
+        let i = (flip_byte as usize) % torn.len();
+        torn[i] ^= 1 << flip_bit;
+        prop_assert!(restore_machine(&torn, SimConfig::default()).is_err());
     }
 
     /// Perfect forwarding and real forwarding always agree functionally.
