@@ -70,6 +70,11 @@ impl App {
         }
     }
 
+    /// Parses a lower-case application name (the inverse of [`App::name`]).
+    pub fn from_name(name: &str) -> Option<App> {
+        App::ALL.into_iter().find(|a| a.name() == name)
+    }
+
     /// The locality optimization applied in the optimized variant
     /// (Table 1's "Optimization" column).
     pub fn optimization(self) -> &'static str {
@@ -104,6 +109,24 @@ pub enum Variant {
     /// applications whose layout can be chosen up front (health, vis,
     /// eqntott), and equivalent to `Original` elsewhere.
     Static,
+}
+
+impl Variant {
+    /// Lower-case name for CLI / report use.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Original => "original",
+            Variant::Optimized => "optimized",
+            Variant::Static => "static",
+        }
+    }
+
+    /// Parses a lower-case variant name (the inverse of [`Variant::name`]).
+    pub fn from_name(name: &str) -> Option<Variant> {
+        [Variant::Original, Variant::Optimized, Variant::Static]
+            .into_iter()
+            .find(|v| v.name() == name)
+    }
 }
 
 /// Workload size.

@@ -1,0 +1,247 @@
+//! `memfwd_sweep` — parallel sweep driver.
+//!
+//! Expands a declarative sweep spec (app × variant × line-bytes ×
+//! mem-latency × seed) into independent simulator runs, executes them on a
+//! worker pool, and writes a machine-readable `BENCH_sweep.json`. The
+//! report content is bit-identical at any `--jobs` value; only the
+//! `host_`-prefixed timing fields change between hosts and runs.
+//!
+//! ```console
+//! $ cargo run --release -p memfwd-bench --bin memfwd_sweep -- \
+//!       --apps health,mst --variants original,optimized \
+//!       --line-bytes 32,64,128 --jobs 8 --scale bench
+//! ```
+
+use memfwd_apps::{App, Scale, Variant};
+use memfwd_bench::sweep::{run_sweep, selftest, strip_host_lines, validate_report, SweepSpec};
+
+const USAGE: &str = "\
+memfwd-sweep: run an app/variant/line/latency/seed sweep in parallel
+
+USAGE:
+    memfwd_sweep [OPTIONS]
+
+OPTIONS:
+    --apps <a,b,...>        comma-separated subset of
+                            health,mst,radiosity,vis,eqntott,bh,compress,smv
+                            or 'all' (default: all)
+    --variants <v,...>      comma-separated subset of
+                            original,optimized,static
+                            (default: original,optimized)
+    --line-bytes <n,...>    cache line sizes to sweep (default: 32)
+    --mem-latency <n,...>   memory latencies to sweep (default: 75)
+    --seeds <n,...>         workload seeds to sweep (default: 12345)
+    --scale <s>             smoke|bench for every cell (default: smoke)
+    --jobs <n>              worker threads (default: 1)
+    --out <file>            report path (default: BENCH_sweep.json)
+    --selftest              also time the fixed single-run probe cell
+                            (health/optimized) and record its
+                            refs-per-second in the report
+    --validate <file>       validate an existing report's schema and exit
+    --strip-host <file>     print a report with host-timing lines removed
+                            (for determinism diffs) and exit
+    --help                  print this text
+
+EXIT CODES:
+    0  success    1  validation failed    2  usage error
+";
+
+struct Cli {
+    spec: SweepSpec,
+    jobs: usize,
+    out: std::path::PathBuf,
+    selftest: bool,
+}
+
+enum Mode {
+    Sweep(Cli),
+    Validate(std::path::PathBuf),
+    StripHost(std::path::PathBuf),
+}
+
+fn parse_list<T, E: std::fmt::Display>(
+    flag: &str,
+    val: &str,
+    f: impl Fn(&str) -> Result<T, E>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, E> = val.split(',').map(|s| f(s.trim())).collect();
+    let items = items.map_err(|e| format!("{flag}: {e}"))?;
+    if items.is_empty() {
+        return Err(format!("{flag}: empty list"));
+    }
+    Ok(items)
+}
+
+fn parse() -> Result<Mode, String> {
+    let mut spec = SweepSpec::default();
+    let mut jobs = 1usize;
+    let mut out = std::path::PathBuf::from("BENCH_sweep.json");
+    let mut want_selftest = false;
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--apps" => {
+                let v = next_val(&mut args, "--apps")?;
+                spec.apps = if v == "all" {
+                    App::ALL.to_vec()
+                } else {
+                    parse_list("--apps", &v, |s| {
+                        App::from_name(s).ok_or_else(|| format!("unknown app '{s}'"))
+                    })?
+                };
+            }
+            "--variants" => {
+                let v = next_val(&mut args, "--variants")?;
+                spec.variants = parse_list("--variants", &v, |s| {
+                    Variant::from_name(s).ok_or_else(|| format!("unknown variant '{s}'"))
+                })?;
+            }
+            "--line-bytes" => {
+                let v = next_val(&mut args, "--line-bytes")?;
+                spec.line_bytes = parse_list("--line-bytes", &v, |s| s.parse::<u64>())?;
+            }
+            "--mem-latency" => {
+                let v = next_val(&mut args, "--mem-latency")?;
+                spec.mem_latency = parse_list("--mem-latency", &v, |s| s.parse::<u64>())?;
+            }
+            "--seeds" => {
+                let v = next_val(&mut args, "--seeds")?;
+                spec.seeds = parse_list("--seeds", &v, |s| s.parse::<u64>())?;
+            }
+            "--scale" => {
+                spec.scale = match next_val(&mut args, "--scale")?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "bench" => Scale::Bench,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--jobs" => {
+                jobs = next_val(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--out" => out = std::path::PathBuf::from(next_val(&mut args, "--out")?),
+            "--selftest" => want_selftest = true,
+            "--validate" => {
+                return Ok(Mode::Validate(std::path::PathBuf::from(next_val(
+                    &mut args,
+                    "--validate",
+                )?)));
+            }
+            "--strip-host" => {
+                return Ok(Mode::StripHost(std::path::PathBuf::from(next_val(
+                    &mut args,
+                    "--strip-host",
+                )?)));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(Mode::Sweep(Cli {
+        spec,
+        jobs,
+        out,
+        selftest: want_selftest,
+    }))
+}
+
+fn read_or_die(path: &std::path::Path) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let cli = match parse() {
+        Ok(Mode::Sweep(cli)) => cli,
+        Ok(Mode::Validate(path)) => {
+            let text = read_or_die(&path);
+            match validate_report(&text) {
+                Ok(()) => {
+                    println!("{}: valid BENCH_sweep.json", path.display());
+                    std::process::exit(0);
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        Ok(Mode::StripHost(path)) => {
+            println!("{}", strip_host_lines(&read_or_die(&path)));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let selftest_rps = if cli.selftest {
+        let r = selftest(cli.spec.scale);
+        let rps = r.refs_per_second();
+        println!(
+            "selftest: {} ({:?}) {} refs in {:.2?} -> {:.0} refs/s",
+            r.spec.app,
+            r.spec.variant,
+            r.refs,
+            std::time::Duration::from_nanos(r.host_nanos),
+            rps
+        );
+        Some(rps)
+    } else {
+        None
+    };
+
+    let n_cells = cli.spec.expand().len();
+    eprintln!(
+        "sweep: {} cells on {} worker(s), scale {:?}",
+        n_cells, cli.jobs, cli.spec.scale
+    );
+    let mut report = run_sweep(&cli.spec, cli.jobs);
+    report.selftest_refs_per_second = selftest_rps;
+
+    for c in &report.cells {
+        println!(
+            "{:>10} {:>9} line {:>3} lat {:>3} seed {:>6}  {:#018x}  {:>12} cycles  {:>8.2?}",
+            c.spec.app.name(),
+            c.spec.variant.name(),
+            c.spec.line_bytes,
+            c.spec.mem_latency,
+            c.spec.seed,
+            c.checksum,
+            c.stats.cycles(),
+            std::time::Duration::from_nanos(c.host_nanos),
+        );
+    }
+    let total_refs: u64 = report.cells.iter().map(|c| c.refs).sum();
+    let wall = std::time::Duration::from_nanos(report.host_wall_nanos);
+    println!(
+        "sweep wall time {:.2?} for {} refs ({:.0} refs/s aggregate)",
+        wall,
+        total_refs,
+        total_refs as f64 * 1e9 / report.host_wall_nanos.max(1) as f64
+    );
+
+    let json = report.to_json();
+    debug_assert!(validate_report(&json).is_ok());
+    if let Err(e) = std::fs::write(&cli.out, &json) {
+        eprintln!("error: writing {}: {e}", cli.out.display());
+        std::process::exit(2);
+    }
+    println!("report written to {}", cli.out.display());
+}

@@ -14,6 +14,8 @@
 
 use memfwd_apps::{run_ok as run, App, AppOutput, RunConfig, Scale, Variant};
 
+pub mod sweep;
+
 /// The line sizes swept by Fig. 5/6 of the paper.
 pub const LINE_SIZES: [u64; 3] = [32, 64, 128];
 

@@ -1,0 +1,683 @@
+//! Declarative parallel sweeps: the engine behind the `memfwd_sweep` binary.
+//!
+//! A [`SweepSpec`] names the axes of a paper figure — applications ×
+//! variants × line sizes × memory latencies × seeds — and expands into
+//! independent simulator runs. [`run_sweep`] executes the cells on a
+//! `std::thread` worker pool (workers steal the next unclaimed cell from a
+//! shared atomic counter) and collects results **in spec order**, so the
+//! report is byte-identical at any `--jobs` value: every cell is a fully
+//! independent `Machine`, and only the `host_`-prefixed timing fields
+//! depend on the host.
+//!
+//! The report serializes to `BENCH_sweep.json` via [`SweepReport::to_json`];
+//! [`strip_host_lines`] removes the host-timing lines so two reports can be
+//! compared for determinism, and [`validate_report`] checks the schema
+//! (see EXPERIMENTS.md for the field-by-field description).
+
+use memfwd::RunStats;
+use memfwd_apps::{run_ok, App, RunConfig, Scale, Variant};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Version stamped into every report; bump when the schema changes shape.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The axes of a sweep. Cells are expanded in nested order — app, variant,
+/// line bytes, memory latency, seed — which is also the order of the
+/// report's `cells` array.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Applications to run.
+    pub apps: Vec<App>,
+    /// Layout variants per application.
+    pub variants: Vec<Variant>,
+    /// Cache line sizes in bytes (the Fig. 5/6 axis).
+    pub line_bytes: Vec<u64>,
+    /// Main-memory latencies in cycles (the Fig. 9 axis).
+    pub mem_latency: Vec<u64>,
+    /// Workload seeds.
+    pub seeds: Vec<u64>,
+    /// Workload scale for every cell.
+    pub scale: Scale,
+}
+
+impl Default for SweepSpec {
+    fn default() -> SweepSpec {
+        SweepSpec {
+            apps: App::ALL.to_vec(),
+            variants: vec![Variant::Original, Variant::Optimized],
+            line_bytes: vec![32],
+            mem_latency: vec![75],
+            seeds: vec![12345],
+            scale: Scale::Smoke,
+        }
+    }
+}
+
+/// One fully specified simulator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Application.
+    pub app: App,
+    /// Layout variant.
+    pub variant: Variant,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Expands the axes into the ordered cell list.
+    pub fn expand(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::new();
+        for &app in &self.apps {
+            for &variant in &self.variants {
+                for &line_bytes in &self.line_bytes {
+                    for &mem_latency in &self.mem_latency {
+                        for &seed in &self.seeds {
+                            cells.push(CellSpec {
+                                app,
+                                variant,
+                                line_bytes,
+                                mem_latency,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// Result of one cell: the simulated outputs (deterministic) plus host
+/// timing (not).
+#[derive(Debug, Clone, Copy)]
+pub struct CellResult {
+    /// The cell that was run.
+    pub spec: CellSpec,
+    /// Layout-independent output digest.
+    pub checksum: u64,
+    /// Full simulator statistics.
+    pub stats: RunStats,
+    /// Demand references issued (loads + stores).
+    pub refs: u64,
+    /// Host nanoseconds spent simulating this cell.
+    pub host_nanos: u64,
+}
+
+impl CellResult {
+    /// Host-side simulation rate in demand references per second.
+    pub fn refs_per_second(&self) -> f64 {
+        if self.host_nanos == 0 {
+            0.0
+        } else {
+            self.refs as f64 * 1e9 / self.host_nanos as f64
+        }
+    }
+}
+
+/// A completed sweep, cells in spec order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Worker count the sweep ran with.
+    pub jobs: usize,
+    /// Scale every cell ran at.
+    pub scale: Scale,
+    /// Per-cell results, in [`SweepSpec::expand`] order.
+    pub cells: Vec<CellResult>,
+    /// Host wall-clock for the whole sweep, in nanoseconds.
+    pub host_wall_nanos: u64,
+    /// Refs-per-second of the single-run selftest, when one was taken.
+    pub selftest_refs_per_second: Option<f64>,
+}
+
+fn run_one(scale: Scale, c: CellSpec) -> CellResult {
+    let mut cfg = RunConfig::new(c.variant);
+    cfg.scale = scale;
+    cfg.seed = c.seed;
+    cfg.sim = cfg.sim.with_line_bytes(c.line_bytes);
+    cfg.sim.hierarchy.mem_latency = c.mem_latency;
+    let t = Instant::now();
+    let out = run_ok(c.app, &cfg);
+    let host_nanos = t.elapsed().as_nanos() as u64;
+    CellResult {
+        spec: c,
+        checksum: out.checksum,
+        stats: out.stats,
+        refs: out.stats.fwd.loads + out.stats.fwd.stores,
+        host_nanos,
+    }
+}
+
+/// Runs every cell of `spec` on `jobs` worker threads.
+///
+/// Workers claim the next unclaimed cell index from a shared atomic counter
+/// (work stealing at cell granularity: a worker that finishes early keeps
+/// claiming while slower cells run elsewhere), so wall-clock scales with
+/// `jobs` while the report content stays identical.
+pub fn run_sweep(spec: &SweepSpec, jobs: usize) -> SweepReport {
+    let cells = spec.expand();
+    let jobs = jobs.max(1);
+    let workers = jobs.min(cells.len().max(1));
+    let t0 = Instant::now();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let cells = &cells;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let r = run_one(spec.scale, cells[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<CellResult>> = vec![None; cells.len()];
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    SweepReport {
+        jobs,
+        scale: spec.scale,
+        cells: slots
+            .into_iter()
+            .map(|s| s.expect("every cell was claimed exactly once"))
+            .collect(),
+        host_wall_nanos: t0.elapsed().as_nanos() as u64,
+        selftest_refs_per_second: None,
+    }
+}
+
+/// The fixed single cell measured by `--selftest`: `health`, optimized
+/// layout, default geometry — the repo's refs-per-second trajectory probe.
+pub const SELFTEST_CELL: CellSpec = CellSpec {
+    app: App::Health,
+    variant: Variant::Optimized,
+    line_bytes: 32,
+    mem_latency: 75,
+    seed: 12345,
+};
+
+/// Runs the selftest cell at `scale` and returns its result (host timing
+/// included); the caller records [`CellResult::refs_per_second`] in the
+/// report.
+pub fn selftest(scale: Scale) -> CellResult {
+    run_one(scale, SELFTEST_CELL)
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Bench => "bench",
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SweepReport {
+    /// Serializes the report as pretty-printed JSON, one key per line.
+    ///
+    /// Every host-dependent field is prefixed `host_`; everything else is a
+    /// pure function of the sweep spec, so two reports from the same spec
+    /// agree exactly after [`strip_host_lines`], regardless of `jobs`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(self.scale)));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"host_wall_nanos\": {},\n",
+            self.host_wall_nanos
+        ));
+        if let Some(rps) = self.selftest_refs_per_second {
+            out.push_str(&format!("  \"host_selftest_refs_per_second\": {rps:.1},\n"));
+        }
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"app\": \"{}\",\n", c.spec.app.name()));
+            out.push_str(&format!(
+                "      \"variant\": \"{}\",\n",
+                c.spec.variant.name()
+            ));
+            out.push_str(&format!("      \"line_bytes\": {},\n", c.spec.line_bytes));
+            out.push_str(&format!("      \"mem_latency\": {},\n", c.spec.mem_latency));
+            out.push_str(&format!("      \"seed\": {},\n", c.spec.seed));
+            out.push_str(&format!("      \"checksum\": \"{:#018x}\",\n", c.checksum));
+            out.push_str(&format!("      \"refs\": {},\n", c.refs));
+            out.push_str(&format!("      \"cycles\": {},\n", c.stats.cycles()));
+            out.push_str(&format!(
+                "      \"stats\": \"{}\",\n",
+                json_escape(&format!("{:?}", c.stats))
+            ));
+            out.push_str(&format!(
+                "      \"host_refs_per_second\": {:.1},\n",
+                c.refs_per_second()
+            ));
+            out.push_str(&format!("      \"host_nanos\": {}\n", c.host_nanos));
+            out.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Removes every line carrying a `host_`-prefixed key, plus the `jobs`
+/// line (how the sweep was parallelized, not what it computed), leaving
+/// only the deterministic content. The result is for *comparison* (string
+/// equality between two stripped reports), not for parsing.
+pub fn strip_host_lines(report: &str) -> String {
+    report
+        .lines()
+        .filter(|l| {
+            let l = l.trim_start();
+            !l.starts_with("\"host_") && !l.starts_with("\"jobs\"")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ---------------------------------------------------------------------
+// Schema validation: a minimal JSON parser (no crates.io here) plus the
+// BENCH_sweep.json shape checks used by CI.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("JSON error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through byte-wise; the
+                    // input is a &str so they are guaranteed well-formed.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after top-level value"));
+    }
+    Ok(v)
+}
+
+fn require<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{what}: missing required key \"{key}\""))
+}
+
+/// Validates that `text` is a well-formed `BENCH_sweep.json` report:
+/// parseable JSON with the documented top-level and per-cell keys, a known
+/// schema version, and a non-empty hex checksum per cell.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let root = parse_json(text)?;
+    let version = require(&root, "schema_version", "report")?;
+    if *version != Json::Num(SCHEMA_VERSION as f64) {
+        return Err(format!(
+            "report: unsupported schema_version (expected {SCHEMA_VERSION})"
+        ));
+    }
+    match require(&root, "scale", "report")? {
+        Json::Str(s) if s == "smoke" || s == "bench" => {}
+        _ => return Err("report: \"scale\" must be \"smoke\" or \"bench\"".into()),
+    }
+    match require(&root, "jobs", "report")? {
+        Json::Num(n) if *n >= 1.0 => {}
+        _ => return Err("report: \"jobs\" must be a number >= 1".into()),
+    }
+    require(&root, "host_wall_nanos", "report")?;
+    let cells = match require(&root, "cells", "report")? {
+        Json::Arr(cells) => cells,
+        _ => return Err("report: \"cells\" must be an array".into()),
+    };
+    for (i, cell) in cells.iter().enumerate() {
+        let what = format!("cell {i}");
+        match require(cell, "app", &what)? {
+            Json::Str(name) if App::from_name(name).is_some() => {}
+            _ => return Err(format!("{what}: \"app\" is not a known application")),
+        }
+        match require(cell, "variant", &what)? {
+            Json::Str(name) if Variant::from_name(name).is_some() => {}
+            _ => return Err(format!("{what}: \"variant\" is not a known variant")),
+        }
+        for key in ["line_bytes", "mem_latency", "seed", "refs", "cycles"] {
+            match require(cell, key, &what)? {
+                Json::Num(_) => {}
+                _ => return Err(format!("{what}: \"{key}\" must be a number")),
+            }
+        }
+        match require(cell, "checksum", &what)? {
+            Json::Str(s)
+                if s.starts_with("0x")
+                    && s.len() == 18
+                    && s[2..].bytes().all(|b| b.is_ascii_hexdigit()) => {}
+            _ => {
+                return Err(format!(
+                    "{what}: \"checksum\" must be an 0x 16-digit hex string"
+                ))
+            }
+        }
+        match require(cell, "stats", &what)? {
+            Json::Str(s) if s.starts_with("RunStats") => {}
+            _ => return Err(format!("{what}: \"stats\" must be a RunStats debug string")),
+        }
+        require(cell, "host_nanos", &what)?;
+        require(cell, "host_refs_per_second", &what)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            apps: vec![App::Vis, App::Mst],
+            variants: vec![Variant::Original, Variant::Optimized],
+            line_bytes: vec![32],
+            mem_latency: vec![75],
+            seeds: vec![12345],
+            scale: Scale::Smoke,
+        }
+    }
+
+    #[test]
+    fn expand_order_is_nested() {
+        let cells = tiny_spec().expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].app, App::Vis);
+        assert_eq!(cells[0].variant, Variant::Original);
+        assert_eq!(cells[1].variant, Variant::Optimized);
+        assert_eq!(cells[2].app, App::Mst);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_jobs() {
+        let spec = tiny_spec();
+        let a = run_sweep(&spec, 1);
+        let b = run_sweep(&spec, 4);
+        assert_eq!(
+            strip_host_lines(&a.to_json()),
+            strip_host_lines(&b.to_json())
+        );
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.checksum, y.checksum);
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn report_validates_and_strip_removes_only_host_lines() {
+        let mut report = run_sweep(&tiny_spec(), 2);
+        report.selftest_refs_per_second = Some(123.4);
+        let json = report.to_json();
+        validate_report(&json).expect("valid schema");
+        let stripped = strip_host_lines(&json);
+        assert!(!stripped.contains("host_"));
+        assert!(stripped.contains("\"checksum\""));
+        assert!(stripped.contains("\"stats\""));
+    }
+
+    #[test]
+    fn validator_rejects_garbage_and_missing_keys() {
+        assert!(validate_report("not json").is_err());
+        assert!(validate_report("{}").is_err());
+        let bad_version = format!("{{\"schema_version\": {}}}", SCHEMA_VERSION + 1);
+        assert!(validate_report(&bad_version).is_err());
+        // A structurally valid report with a corrupted checksum fails.
+        let report = run_sweep(
+            &SweepSpec {
+                apps: vec![App::Vis],
+                variants: vec![Variant::Original],
+                ..tiny_spec()
+            },
+            1,
+        );
+        let json = report.to_json().replace("\"0x", "\"zz");
+        assert!(validate_report(&json).is_err());
+    }
+
+    #[test]
+    fn selftest_measures_the_probe_cell() {
+        let r = selftest(Scale::Smoke);
+        assert_eq!(r.spec, SELFTEST_CELL);
+        assert!(r.refs > 0);
+        assert!(r.refs_per_second() > 0.0);
+    }
+}

@@ -5,8 +5,7 @@ use crate::config::HierarchyConfig;
 use crate::level::CacheLevel;
 use crate::mshr::MshrFile;
 use crate::stats::{CacheStats, ClassCounts};
-use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
-use std::collections::HashSet;
+use memfwd_tagmem::{FxHashSet, SnapCodecError, SnapDecoder, SnapEncoder};
 
 /// The class of a memory access presented to the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +65,22 @@ pub struct Hierarchy {
     stats: CacheStats,
     /// Lines brought in by the hardware prefetcher and not yet demanded —
     /// the "tag" of tagged next-line prefetching.
-    hw_tagged: HashSet<u64>,
+    hw_tagged: FxHashSet<u64>,
+    /// `log2(line_bytes)` when the line size is a power of two (always true
+    /// for configs built through `with_line_bytes`); [`LINE_SHIFT_DIV`]
+    /// selects the division fallback.
+    line_shift: u32,
+}
+
+/// Sentinel `line_shift`: line size is not a power of two, divide instead.
+const LINE_SHIFT_DIV: u32 = u32::MAX;
+
+fn line_shift_of(line_bytes: u64) -> u32 {
+    if line_bytes.is_power_of_two() {
+        line_bytes.trailing_zeros()
+    } else {
+        LINE_SHIFT_DIV
+    }
 }
 
 impl Hierarchy {
@@ -79,7 +93,8 @@ impl Hierarchy {
             bus12: Bus::new(cfg.l1_l2_bytes_per_cycle),
             busmem: Bus::new(cfg.mem_bytes_per_cycle),
             stats: CacheStats::default(),
-            hw_tagged: HashSet::new(),
+            hw_tagged: FxHashSet::default(),
+            line_shift: line_shift_of(cfg.line_bytes),
             cfg,
         }
     }
@@ -92,7 +107,11 @@ impl Hierarchy {
     /// Line number containing byte address `addr`.
     #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.cfg.line_bytes
+        if self.line_shift != LINE_SHIFT_DIV {
+            addr >> self.line_shift
+        } else {
+            addr / self.cfg.line_bytes
+        }
     }
 
     /// Presents an access at cycle `now` for byte address `addr`.
@@ -119,33 +138,24 @@ impl Hierarchy {
 
     fn access_inner(&mut self, now: u64, addr: u64, kind: AccessKind) -> Access {
         let line = self.line_of(addr);
-        self.mshr.prune(now);
 
-        // 1. Combine with an in-flight fill (partial miss).
-        if let Some(fill_done) = self.mshr.in_flight(line) {
-            return match kind {
-                AccessKind::Prefetch => {
-                    self.stats.prefetches_redundant += 1;
-                    Access {
-                        complete_at: now,
-                        outcome: Outcome::PrefetchRedundant,
-                    }
-                }
-                AccessKind::Load | AccessKind::Store => {
-                    self.count_class(kind, |c| c.partial_misses += 1);
-                    if kind == AccessKind::Store {
-                        self.l1.mark_dirty(line);
-                    }
-                    Access {
-                        complete_at: fill_done.max(now + self.cfg.l1.hit_latency),
-                        outcome: Outcome::PartialMiss,
-                    }
-                }
-            };
+        // 1. Combine with an in-flight fill (partial miss). When no fills
+        // are outstanding — the steady state of a cache-resident working
+        // set — skip the prune and probe entirely.
+        if !self.mshr.is_empty() {
+            self.mshr.prune(now);
+            if let Some(fill_done) = self.mshr.in_flight(line) {
+                return self.partial_miss(now, kind, line, fill_done);
+            }
         }
-
-        // 2. L1 lookup.
-        if self.l1.lookup(line) {
+        // 2. L1 lookup. A store hit touches recency and sets the dirty bit
+        // in the same way scan.
+        let l1_hit = if kind == AccessKind::Store {
+            self.l1.lookup_store(line)
+        } else {
+            self.l1.lookup(line)
+        };
+        if l1_hit {
             return match kind {
                 AccessKind::Prefetch => {
                     self.stats.prefetches_redundant += 1;
@@ -156,9 +166,6 @@ impl Hierarchy {
                 }
                 AccessKind::Load | AccessKind::Store => {
                     self.count_class(kind, |c| c.l1_hits += 1);
-                    if kind == AccessKind::Store {
-                        self.l1.mark_dirty(line);
-                    }
                     Access {
                         complete_at: now + self.cfg.l1.hit_latency,
                         outcome: Outcome::L1Hit,
@@ -230,6 +237,29 @@ impl Hierarchy {
                 Access {
                     complete_at: fill_done,
                     outcome,
+                }
+            }
+        }
+    }
+
+    #[cold]
+    fn partial_miss(&mut self, now: u64, kind: AccessKind, line: u64, fill_done: u64) -> Access {
+        match kind {
+            AccessKind::Prefetch => {
+                self.stats.prefetches_redundant += 1;
+                Access {
+                    complete_at: now,
+                    outcome: Outcome::PrefetchRedundant,
+                }
+            }
+            AccessKind::Load | AccessKind::Store => {
+                self.count_class(kind, |c| c.partial_misses += 1);
+                if kind == AccessKind::Store {
+                    self.l1.mark_dirty(line);
+                }
+                Access {
+                    complete_at: fill_done.max(now + self.cfg.l1.hit_latency),
+                    outcome: Outcome::PartialMiss,
                 }
             }
         }
@@ -339,13 +369,15 @@ impl Hierarchy {
             l2_writebacks: dec.u64()?,
         };
         let n = dec.seq_len(8)?;
-        let mut hw_tagged = HashSet::with_capacity(n);
+        let mut hw_tagged = FxHashSet::default();
+        hw_tagged.reserve(n);
         for _ in 0..n {
             if !hw_tagged.insert(dec.u64()?) {
                 return Err(SnapCodecError::BadValue);
             }
         }
         Ok(Hierarchy {
+            line_shift: line_shift_of(cfg.line_bytes),
             cfg,
             l1,
             l2,

@@ -13,31 +13,71 @@ pub struct CacheLevel {
     sets: Vec<LruSet>,
     assoc: u32,
     seq: u64,
+    /// `log2(sets.len())` when the set count is a power of two (the normal
+    /// geometry), letting [`CacheLevel::split`] use mask/shift instead of a
+    /// hardware-unrealistic (and host-slow) divide. [`SET_SHIFT_DIV`] marks
+    /// the division fallback for odd geometries built from raw config
+    /// literals.
+    set_shift: u32,
+    set_mask: u64,
+}
+
+/// Sentinel `set_shift`: the set count is not a power of two, index by
+/// division.
+const SET_SHIFT_DIV: u32 = u32::MAX;
+
+fn index_math(n_sets: usize) -> (u32, u64) {
+    let n = n_sets as u64;
+    if n.is_power_of_two() {
+        (n.trailing_zeros(), n - 1)
+    } else {
+        (SET_SHIFT_DIV, 0)
+    }
 }
 
 impl CacheLevel {
     /// Builds the level for a given line size.
     pub fn new(cfg: CacheLevelConfig, line_bytes: u64) -> CacheLevel {
         let n = cfg.sets(line_bytes);
+        let (set_shift, set_mask) = index_math(n as usize);
         CacheLevel {
             sets: vec![LruSet::default(); n as usize],
             assoc: cfg.assoc,
             seq: 0,
+            set_shift,
+            set_mask,
         }
     }
 
     #[inline]
     fn split(&self, line: u64) -> (usize, u64) {
-        let n = self.sets.len() as u64;
-        ((line % n) as usize, line / n)
+        if self.set_shift != SET_SHIFT_DIV {
+            ((line & self.set_mask) as usize, line >> self.set_shift)
+        } else {
+            let n = self.sets.len() as u64;
+            ((line % n) as usize, line / n)
+        }
     }
 
     /// Looks up `line`; on hit refreshes LRU recency and returns `true`.
+    /// Inlined into the hierarchy's L1-hit fast path.
+    #[inline]
     pub fn lookup(&mut self, line: u64) -> bool {
         self.seq += 1;
         let seq = self.seq;
         let (set, tag) = self.split(line);
         self.sets[set].touch(tag, seq)
+    }
+
+    /// Store lookup: on hit refreshes recency *and* sets the dirty bit in
+    /// one way scan. State-identical to [`CacheLevel::lookup`] followed by
+    /// [`CacheLevel::mark_dirty`].
+    #[inline]
+    pub fn lookup_store(&mut self, line: u64) -> bool {
+        self.seq += 1;
+        let seq = self.seq;
+        let (set, tag) = self.split(line);
+        self.sets[set].touch_dirty(tag, seq)
     }
 
     /// Presence check without recency update.
@@ -108,7 +148,14 @@ impl CacheLevel {
             }
             sets.push(set);
         }
-        Ok(CacheLevel { sets, assoc, seq })
+        let (set_shift, set_mask) = index_math(sets.len());
+        Ok(CacheLevel {
+            sets,
+            assoc,
+            seq,
+            set_shift,
+            set_mask,
+        })
     }
 }
 

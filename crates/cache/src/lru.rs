@@ -26,6 +26,7 @@ pub(crate) struct Evicted {
 impl LruSet {
     /// Looks up `tag`; on hit, refreshes recency (at logical time `seq`) and
     /// returns `true`.
+    #[inline]
     pub fn touch(&mut self, tag: u64, seq: u64) -> bool {
         if let Some(w) = self.ways.iter_mut().find(|w| w.tag == tag) {
             w.last_used = seq;
@@ -36,11 +37,26 @@ impl LruSet {
     }
 
     /// Presence check without recency update.
+    #[inline]
     pub fn contains(&self, tag: u64) -> bool {
         self.ways.iter().any(|w| w.tag == tag)
     }
 
+    /// [`LruSet::touch`] and [`LruSet::mark_dirty`] in a single way scan —
+    /// the store-hit path. State-identical to calling them back to back.
+    #[inline]
+    pub fn touch_dirty(&mut self, tag: u64, seq: u64) -> bool {
+        if let Some(w) = self.ways.iter_mut().find(|w| w.tag == tag) {
+            w.last_used = seq;
+            w.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Marks `tag` dirty if present; returns whether it was present.
+    #[inline]
     pub fn mark_dirty(&mut self, tag: u64) -> bool {
         if let Some(w) = self.ways.iter_mut().find(|w| w.tag == tag) {
             w.dirty = true;

@@ -2,11 +2,11 @@
 //! caches non-blocking and defines the paper's partial/full miss split.
 
 use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
-use std::collections::HashMap;
 
 /// An entry for one outstanding line fill.
 #[derive(Debug, Clone, Copy)]
 struct Entry {
+    line: u64,
     fill_done: u64,
     dirty_on_fill: bool,
 }
@@ -16,10 +16,16 @@ struct Entry {
 /// A miss that finds its line already in flight *combines* with the existing
 /// entry — a **partial miss** in the paper's terminology — and completes when
 /// that fill completes, rather than paying the full latency again.
+///
+/// The file holds a handful of registers (hardware MSHR files are 4–16
+/// entries), so it is a flat array scanned linearly: the per-access prune
+/// and probe touch one or two cache lines instead of sweeping hash-map
+/// buckets. Every query is order-insensitive, so results are identical to
+/// the map-based representation.
 #[derive(Debug)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, Entry>,
+    entries: Vec<Entry>,
 }
 
 impl MshrFile {
@@ -32,24 +38,36 @@ impl MshrFile {
         assert!(capacity > 0, "need at least one MSHR");
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: Vec::with_capacity(capacity),
         }
     }
 
     /// Discards entries whose fills completed at or before `now`.
+    #[inline]
     pub fn prune(&mut self, now: u64) {
-        self.entries.retain(|_, e| e.fill_done > now);
+        self.entries.retain(|e| e.fill_done > now);
+    }
+
+    /// True when no fills are outstanding — the hierarchy's fast path skips
+    /// the prune + in-flight probe entirely in that case.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     /// If `line` is in flight, returns the cycle its fill completes.
+    #[inline]
     pub fn in_flight(&self, line: u64) -> Option<u64> {
-        self.entries.get(&line).map(|e| e.fill_done)
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.fill_done)
     }
 
     /// Records a store combining with an in-flight fill so the line is
     /// filled dirty.
     pub fn mark_dirty_on_fill(&mut self, line: u64) {
-        if let Some(e) = self.entries.get_mut(&line) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
             e.dirty_on_fill = true;
         }
     }
@@ -57,7 +75,8 @@ impl MshrFile {
     /// Whether the filled line must be inserted dirty.
     pub fn dirty_on_fill(&self, line: u64) -> bool {
         self.entries
-            .get(&line)
+            .iter()
+            .find(|e| e.line == line)
             .map(|e| e.dirty_on_fill)
             .unwrap_or(false)
     }
@@ -71,7 +90,7 @@ impl MshrFile {
     /// Earliest completion among outstanding fills, if any — the time a new
     /// miss must wait for when the file is full.
     pub fn earliest_completion(&self) -> Option<u64> {
-        self.entries.values().map(|e| e.fill_done).min()
+        self.entries.iter().map(|e| e.fill_done).min()
     }
 
     /// Allocates a register for `line` completing at `fill_done`.
@@ -82,14 +101,12 @@ impl MshrFile {
     /// must check [`MshrFile::full`] / [`MshrFile::in_flight`] first.
     pub fn allocate(&mut self, line: u64, fill_done: u64, dirty_on_fill: bool) {
         assert!(self.entries.len() < self.capacity, "MSHR file full");
-        let prev = self.entries.insert(
+        assert!(self.in_flight(line).is_none(), "line already in flight");
+        self.entries.push(Entry {
             line,
-            Entry {
-                fill_done,
-                dirty_on_fill,
-            },
-        );
-        assert!(prev.is_none(), "line already in flight");
+            fill_done,
+            dirty_on_fill,
+        });
     }
 
     /// Number of outstanding fills.
@@ -101,12 +118,11 @@ impl MshrFile {
     /// the encoding is byte-stable).
     pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
         enc.usize(self.capacity);
-        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
-        lines.sort_unstable();
-        enc.usize(lines.len());
-        for line in lines {
-            let e = self.entries[&line];
-            enc.u64(line);
+        let mut sorted: Vec<&Entry> = self.entries.iter().collect();
+        sorted.sort_unstable_by_key(|e| e.line);
+        enc.usize(sorted.len());
+        for e in sorted {
+            enc.u64(e.line);
             enc.u64(e.fill_done);
             enc.bool(e.dirty_on_fill);
         }
@@ -122,18 +138,21 @@ impl MshrFile {
         if n > capacity {
             return Err(SnapCodecError::BadValue);
         }
-        let mut entries = HashMap::with_capacity(n);
+        let mut file = MshrFile::new(capacity);
         for _ in 0..n {
             let line = dec.u64()?;
-            let entry = Entry {
-                fill_done: dec.u64()?,
-                dirty_on_fill: dec.bool()?,
-            };
-            if entries.insert(line, entry).is_some() {
+            let fill_done = dec.u64()?;
+            let dirty_on_fill = dec.bool()?;
+            if file.in_flight(line).is_some() {
                 return Err(SnapCodecError::BadValue);
             }
+            file.entries.push(Entry {
+                line,
+                fill_done,
+                dirty_on_fill,
+            });
         }
-        Ok(MshrFile { capacity, entries })
+        Ok(file)
     }
 }
 

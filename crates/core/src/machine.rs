@@ -53,6 +53,24 @@ pub struct Machine {
     /// references, for the watchdog's walk-storm check.
     pub(crate) walk_hops_window: std::collections::VecDeque<u64>,
     pub(crate) walk_hops_sum: u64,
+    /// Reusable scratch for the chain walk's accurate cycle check, so even
+    /// walks that trip the hop limit allocate nothing in steady state.
+    pub(crate) walk_scratch: Vec<Addr>,
+}
+
+/// Outcome of a timed forwarding-chain walk.
+struct Walk {
+    /// Where the chain ended.
+    final_addr: Addr,
+    /// Simulated time after the walk.
+    t: u64,
+    /// Hops taken (0 = unforwarded).
+    hops: u32,
+    /// Whether any hop missed L1.
+    l1_miss: bool,
+    /// The data word at the final address — the walk's last probe already
+    /// read it, so loads need no second page lookup.
+    final_word: u64,
 }
 
 impl Machine {
@@ -75,6 +93,7 @@ impl Machine {
             injector: cfg.fault_injection.map(Injector::new),
             walk_hops_window: std::collections::VecDeque::new(),
             walk_hops_sum: 0,
+            walk_scratch: Vec::new(),
             cfg,
         }
     }
@@ -118,29 +137,34 @@ impl Machine {
 
     /// Walks the forwarding chain starting at `addr` with full timing:
     /// each hop reads the old word through the cache (polluting it) and
-    /// pays the exception-dispatch penalty. Returns
-    /// `(final_addr, time_after_walk, hops, l1_miss_seen)`; on a genuine
-    /// cycle or an exceeded [`SimConfig::hard_hop_budget`], returns the
-    /// typed fault plus the time already spent walking (so the caller can
-    /// retire the dispatched slot honestly).
-    fn try_walk_chain(
-        &mut self,
-        addr: Addr,
-        mut t: u64,
-    ) -> Result<(Addr, u64, u32, bool), (MachineFault, u64)> {
+    /// pays the exception-dispatch penalty. On a genuine cycle or an
+    /// exceeded [`SimConfig::hard_hop_budget`], returns the typed fault
+    /// plus the time already spent walking (so the caller can retire the
+    /// dispatched slot honestly).
+    fn try_walk_chain(&mut self, addr: Addr, mut t: u64) -> Result<Walk, (MachineFault, u64)> {
         let mut cur = addr;
         let mut hops = 0u32;
         let mut l1_miss = false;
         let mut counter = 0u32;
-        let mut visited: Option<HashSet<Addr>> = None;
-        while self.mem.fbit(cur) {
+        let mut checking = false;
+        let final_word;
+        loop {
+            // One combined page lookup yields the word and its forwarding
+            // bit together (the old fbit-probe-then-read hit the page map
+            // twice per hop).
+            let (fwd, fbit) = self.mem.read_word_tagged(cur);
+            if !fbit {
+                // The word just read is the data at the final address; hand
+                // it back so a whole-word load needs no second page lookup.
+                final_word = fwd;
+                break;
+            }
             if let Some(p) = self.pages.as_mut() {
                 t += p.touch(cur);
             }
             let acc = self.hier.access(t, cur.word_base().0, AccessKind::Load);
             l1_miss |= acc.l1_miss();
             t = acc.complete_at + self.cfg.fwd_hop_penalty;
-            let (fwd, _) = self.mem.unforwarded_read(cur);
             let next = Addr(fwd) + cur.word_offset();
             hops += 1;
             if let Some(budget) = self.cfg.hard_hop_budget {
@@ -153,26 +177,34 @@ impl Machine {
                 }
             }
             counter += 1;
-            if let Some(seen) = visited.as_mut() {
-                if !seen.insert(next.word_base()) {
+            if checking {
+                if self.walk_scratch.contains(&next.word_base()) {
                     let fault = MachineFault::ForwardingCycle {
                         at: next.word_base(),
                         hops,
                     };
                     return Err((fault, t));
                 }
+                self.walk_scratch.push(next.word_base());
             } else if counter > self.cfg.hop_limit {
-                // Hop-limit exception: accurate software cycle check.
+                // Hop-limit exception: accurate software cycle check,
+                // tracked in the machine's reusable scratch buffer.
                 t += self.cfg.cycle_check_penalty;
-                let mut seen = HashSet::new();
-                seen.insert(cur.word_base());
-                seen.insert(next.word_base());
-                visited = Some(seen);
+                self.walk_scratch.clear();
+                self.walk_scratch.push(cur.word_base());
+                self.walk_scratch.push(next.word_base());
+                checking = true;
                 counter = 0;
             }
             cur = next;
         }
-        Ok((cur, t, hops, l1_miss))
+        Ok(Walk {
+            final_addr: cur,
+            t,
+            hops,
+            l1_miss,
+            final_word,
+        })
     }
 
     /// One attempt at a demand reference: validates, walks the forwarding
@@ -204,14 +236,34 @@ impl Machine {
         }
 
         let walk = if self.cfg.perfect_forwarding {
-            match memfwd_tagmem::resolve_unbounded(&self.mem, addr) {
-                Ok(r) => Ok((r.final_addr, start, 0, false)),
+            match memfwd_tagmem::resolve_with_scratch(
+                &self.mem,
+                addr,
+                memfwd_tagmem::DEFAULT_HOP_LIMIT,
+                &mut self.walk_scratch,
+            ) {
+                Ok(r) => {
+                    let (w, _) = self.mem.read_word_tagged(r.final_addr);
+                    Ok(Walk {
+                        final_addr: r.final_addr,
+                        t: start,
+                        hops: 0,
+                        l1_miss: false,
+                        final_word: w,
+                    })
+                }
                 Err(c) => Err((MachineFault::from(c), start)),
             }
         } else {
             self.try_walk_chain(addr, start)
         };
-        let (final_addr, t_walk, hops, walk_miss) = match walk {
+        let Walk {
+            final_addr,
+            t: t_walk,
+            hops,
+            l1_miss: walk_miss,
+            final_word,
+        } = match walk {
             Ok(w) => w,
             Err((fault, t)) => {
                 // Retire the dispatched slot as completing when the walk
@@ -223,14 +275,17 @@ impl Machine {
         // A healthy chain preserves the access offset, so the final address
         // is aligned iff the (already validated) initial address was. A
         // corrupted forwarding word can land anywhere: re-validate so the
-        // data access below cannot trip on an unchecked address.
-        if final_addr.is_null() {
-            self.pipe.complete(class, d, t_walk.max(start) + 1, false);
-            return Err(MachineFault::NullDeref { is_store });
-        }
-        if let Err(e) = validate_access(final_addr, size) {
-            self.pipe.complete(class, d, t_walk.max(start) + 1, false);
-            return Err(MachineFault::from(e));
+        // data access below cannot trip on an unchecked address. An
+        // unforwarded access kept its already-checked address.
+        if final_addr != addr {
+            if final_addr.is_null() {
+                self.pipe.complete(class, d, t_walk.max(start) + 1, false);
+                return Err(MachineFault::NullDeref { is_store });
+            }
+            if let Err(e) = validate_access(final_addr, size) {
+                self.pipe.complete(class, d, t_walk.max(start) + 1, false);
+                return Err(MachineFault::from(e));
+            }
         }
         let fwd_cycles = t_walk - start;
 
@@ -303,7 +358,15 @@ impl Machine {
             self.last_store_resolve = self.last_store_resolve.max(acc.complete_at);
             out = 0;
         } else {
-            out = self.mem.read_data(final_addr, size);
+            // The walk's last probe already fetched the word at the final
+            // address; extract the little-endian field instead of paying a
+            // second page translation.
+            out = if size == WORD_BYTES {
+                final_word
+            } else {
+                (final_word >> (8 * (final_addr.0 & 7))) & ((1u64 << (8 * size)) - 1)
+            };
+            debug_assert_eq!(out, self.mem.read_data(final_addr, size));
             if self.cfg.dependence_speculation {
                 if let Some(v) =
                     self.spec

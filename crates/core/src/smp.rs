@@ -21,7 +21,7 @@ use crate::fault::{record_last_fault, MachineFault};
 use crate::inject::{Corruption, InjectKind, Injector};
 use memfwd_cache::CacheLevel;
 use memfwd_tagmem::{validate_access, Addr, Heap, Pool, TaggedMemory, DEFAULT_HOP_LIMIT};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Configuration of the SMP model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -522,27 +522,34 @@ impl SmpMachine {
         let mut cur = addr;
         let mut hops = 0u32;
         let mut counter = 0u32;
-        let mut visited: Option<HashSet<Addr>> = None;
-        while self.mem.fbit(cur) {
+        let mut checking = false;
+        // Lazily populated: `Vec::new` does not allocate, and nothing is
+        // pushed until a hop-limit exception engages the accurate check.
+        let mut scratch: Vec<Addr> = Vec::new();
+        loop {
+            // Word and forwarding bit in one page lookup.
+            let (fwd, fbit) = self.mem.read_word_tagged(cur);
+            if !fbit {
+                break;
+            }
             // The forwarding word itself is read coherently.
             let lat = self.access(core, cur.word_base(), 8, false);
             self.cores[core].now += lat + self.cfg.fwd_hop_penalty;
-            let (fwd, _) = self.mem.unforwarded_read(cur);
             let next = Addr(fwd) + cur.word_offset();
             hops += 1;
             counter += 1;
-            if let Some(seen) = visited.as_mut() {
-                if !seen.insert(next.word_base()) {
+            if checking {
+                if scratch.contains(&next.word_base()) {
                     return Err(MachineFault::ForwardingCycle {
                         at: next.word_base(),
                         hops,
                     });
                 }
+                scratch.push(next.word_base());
             } else if counter > DEFAULT_HOP_LIMIT {
-                let mut seen = HashSet::new();
-                seen.insert(cur.word_base());
-                seen.insert(next.word_base());
-                visited = Some(seen);
+                scratch.push(cur.word_base());
+                scratch.push(next.word_base());
+                checking = true;
                 counter = 0;
             }
             cur = next;

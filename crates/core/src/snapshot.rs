@@ -355,6 +355,7 @@ fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, 
         injector,
         walk_hops_window,
         walk_hops_sum,
+        walk_scratch: Vec::new(),
     })
 }
 

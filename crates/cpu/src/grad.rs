@@ -80,14 +80,18 @@ impl GradAccountant {
     /// oldest and incomplete. Returns the cycle in which it graduated.
     pub fn graduate(&mut self, complete: u64, earliest: u64, stall: StallClass) -> u64 {
         let target = complete.max(earliest);
-        while self.gcycle < target {
-            let idle = u64::from(self.width - self.gslot);
+        if self.gcycle < target {
+            // Closed form of advancing cycle by cycle: the current partial
+            // cycle wastes its remaining slots, every further cycle up to
+            // `target` wastes all `width`.
+            let idle = u64::from(self.width - self.gslot)
+                + (target - self.gcycle - 1) * u64::from(self.width);
             match stall {
                 StallClass::LoadStall => self.counts.load_stall += idle,
                 StallClass::StoreStall => self.counts.store_stall += idle,
                 StallClass::InstStall => self.counts.inst_stall += idle,
             }
-            self.gcycle += 1;
+            self.gcycle = target;
             self.gslot = 0;
         }
         self.counts.busy += 1;

@@ -24,13 +24,49 @@ struct StoreRec {
     init_word: u64,
     final_word: u64,
     resolved_at: u64,
+    /// Length of the deferred-prune log when this store was recorded; only
+    /// log entries at or past this index apply to it.
+    epoch: u32,
+}
+
+/// Deferred prunes are replayed before the log can grow past this bound, so
+/// replay cost stays O(1) amortized per check.
+const PRUNE_LOG_CAP: usize = 256;
+
+/// `out[k]` = max of `log[k..]`; `out[log.len()]` is a sentinel never used
+/// (entries inserted after the last prune are always kept).
+fn suffix_max(log: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; log.len() + 1];
+    for k in (0..log.len()).rev() {
+        out[k] = log[k].max(out[k + 1]);
+    }
+    out
 }
 
 /// Tracks in-flight stores whose final addresses resolve late, and checks
 /// speculatively issued loads against them.
+///
+/// A violation requires a *final*-address collision without an
+/// *initial*-address collision, which is impossible unless the store or the
+/// load was forwarded. The queue exploits that: checks by unforwarded loads
+/// against a queue of unforwarded stores — the overwhelmingly common case —
+/// defer their prune into a log and return `None` in O(1). The log is
+/// replayed, entry-exactly, before anything whose outcome could depend on
+/// queue content: a check that can match, the capacity bound, an explicit
+/// prune, or a snapshot.
 #[derive(Debug, Default)]
 pub struct SpecQueue {
     stores: VecDeque<StoreRec>,
+    /// Upper bound on `resolved_at` across tracked stores (monotone; never
+    /// lowered on removal). When it is `<= issue`, every tracked store has
+    /// resolved and a check can clear-and-exit without scanning.
+    max_resolved: u64,
+    /// Prune issues deferred by fast-path checks, in order.
+    prune_log: Vec<u64>,
+    /// Forwarded stores (`init != final`) currently in `stores`. Counted
+    /// over the deferred queue, which is a superset of the pruned one, so
+    /// zero here proves zero in the exact queue.
+    fwd_count: usize,
 }
 
 impl SpecQueue {
@@ -43,54 +79,152 @@ impl SpecQueue {
     /// and after forwarding; `resolved_at` is when the final address became
     /// known (the store's completion).
     pub fn on_store(&mut self, init_word: u64, final_word: u64, resolved_at: u64) {
+        self.max_resolved = self.max_resolved.max(resolved_at);
         self.stores.push_back(StoreRec {
             init_word,
             final_word,
             resolved_at,
+            epoch: self.prune_log.len() as u32,
         });
-        // Bound the window (a real LSQ is finite).
+        if init_word != final_word {
+            self.fwd_count += 1;
+        }
+        // Bound the window (a real LSQ is finite). The bound applies to the
+        // *pruned* queue, so replay deferred prunes before deciding to pop.
         if self.stores.len() > 128 {
-            self.stores.pop_front();
+            self.materialize();
+            if self.stores.len() > 128 {
+                if let Some(s) = self.stores.pop_front() {
+                    if s.init_word != s.final_word {
+                        self.fwd_count -= 1;
+                    }
+                }
+            }
         }
     }
 
     /// Drops stores whose final addresses were already resolved at `now`;
     /// they can no longer be mis-speculated against.
     pub fn prune(&mut self, now: u64) {
-        self.stores.retain(|s| s.resolved_at > now);
+        self.materialize();
+        let mut fwd = self.fwd_count;
+        self.stores.retain(|s| {
+            let keep = s.resolved_at > now;
+            if !keep && s.init_word != s.final_word {
+                fwd -= 1;
+            }
+            keep
+        });
+        self.fwd_count = fwd;
     }
 
     /// Checks a load that issued at `issue` and finally resolved to
     /// `final_word`. Returns a violation if an earlier store's late-resolved
     /// final address collides while its initial address did not.
     pub fn check_load(&mut self, issue: u64, init_word: u64, final_word: u64) -> Option<Violation> {
-        self.prune(issue);
+        if self.max_resolved <= issue {
+            // Every tracked store already resolved: the prune would drop
+            // them all and the scan would find nothing.
+            self.stores.clear();
+            self.prune_log.clear();
+            self.fwd_count = 0;
+            return None;
+        }
+        if self.fwd_count == 0 && init_word == final_word {
+            // Unforwarded load against a queue of unforwarded stores: a
+            // match would need `s.final == final == init` yet
+            // `s.init != init` with `s.init == s.final` — contradiction.
+            // Only the prune has an effect, and it can be deferred.
+            if self.prune_log.len() >= PRUNE_LOG_CAP {
+                self.materialize();
+            }
+            self.prune_log.push(issue);
+            return None;
+        }
+        self.materialize();
+        // One pass doing both the prune and the scan: entries surviving the
+        // retain are exactly the unresolved ones (`resolved_at > issue`),
+        // and the first survivor whose final word collides while its
+        // initial word did not (the same initial word would have been
+        // caught by the LSQ) is the violation.
+        let mut hit: Option<Violation> = None;
+        let mut fwd = self.fwd_count;
+        self.stores.retain(|s| {
+            if s.resolved_at <= issue {
+                if s.init_word != s.final_word {
+                    fwd -= 1;
+                }
+                return false;
+            }
+            if hit.is_none() && s.final_word == final_word && s.init_word != init_word {
+                hit = Some(Violation {
+                    final_word,
+                    store_resolved_at: s.resolved_at,
+                });
+            }
+            true
+        });
+        self.fwd_count = fwd;
+        hit
+    }
+
+    /// Replays the deferred prunes, restoring the queue to exactly the
+    /// content eager per-check pruning would have produced: an entry is
+    /// dropped iff some prune logged *after* its insertion had
+    /// `issue >= resolved_at`, i.e. iff the max issue over the log suffix
+    /// starting at its epoch reaches its `resolved_at`.
+    fn materialize(&mut self) {
+        if self.prune_log.is_empty() {
+            return;
+        }
+        let sm = suffix_max(&self.prune_log);
+        let n = self.prune_log.len();
+        let mut fwd = self.fwd_count;
+        self.stores.retain(|s| {
+            let keep = s.epoch as usize == n || s.resolved_at > sm[s.epoch as usize];
+            if !keep && s.init_word != s.final_word {
+                fwd -= 1;
+            }
+            keep
+        });
+        self.fwd_count = fwd;
+        for s in self.stores.iter_mut() {
+            s.epoch = 0;
+        }
+        self.prune_log.clear();
+    }
+
+    /// Iterates the live (pruned-view) entries without mutating the queue.
+    fn live(&self) -> impl Iterator<Item = &StoreRec> {
+        let n = self.prune_log.len();
+        let sm = if n == 0 {
+            Vec::new()
+        } else {
+            suffix_max(&self.prune_log)
+        };
         self.stores
             .iter()
-            .find(|s| {
-                s.resolved_at > issue       // store unresolved when load issued
-                    && s.final_word == final_word
-                    && s.init_word != init_word // same initial word would have been caught by the LSQ
-            })
-            .map(|s| Violation {
-                final_word,
-                store_resolved_at: s.resolved_at,
-            })
+            .filter(move |s| s.epoch as usize == n || s.resolved_at > sm[s.epoch as usize])
     }
 
     /// Number of stores currently tracked.
     pub fn len(&self) -> usize {
-        self.stores.len()
+        if self.prune_log.is_empty() {
+            self.stores.len()
+        } else {
+            self.live().count()
+        }
     }
 
     /// True when no stores are tracked.
     pub fn is_empty(&self) -> bool {
-        self.stores.is_empty()
+        self.len() == 0
     }
 
     /// Serializes the queue in store order.
     pub fn snapshot_encode(&self, enc: &mut memfwd_tagmem::SnapEncoder) {
-        enc.seq(self.stores.iter(), |e, s| {
+        let live: Vec<&StoreRec> = self.live().collect();
+        enc.seq(live.into_iter(), |e, s| {
             e.u64(s.init_word);
             e.u64(s.final_word);
             e.u64(s.resolved_at);
@@ -108,9 +242,20 @@ impl SpecQueue {
                 init_word: dec.u64()?,
                 final_word: dec.u64()?,
                 resolved_at: dec.u64()?,
+                epoch: 0,
             });
         }
-        Ok(SpecQueue { stores })
+        let max_resolved = stores.iter().map(|s| s.resolved_at).max().unwrap_or(0);
+        let fwd_count = stores
+            .iter()
+            .filter(|s| s.init_word != s.final_word)
+            .count();
+        Ok(SpecQueue {
+            stores,
+            max_resolved,
+            prune_log: Vec::new(),
+            fwd_count,
+        })
     }
 }
 

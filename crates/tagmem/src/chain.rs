@@ -6,11 +6,17 @@
 //! forwarding bit is found (paper §3.2). The functions here perform that
 //! walk, including the hop-limit counter and the accurate software cycle
 //! check the paper describes for breaking forwarding cycles.
+//!
+//! The walks are **allocation-free** in the common case: the accurate cycle
+//! check only engages after a hop-limit exception, and when it does it
+//! records visited words in a caller-supplied scratch `Vec` (see
+//! [`resolve_with_scratch`]) instead of building a fresh hash set per
+//! resolution. Chains short enough to pass the accurate check are tiny, so a
+//! linear `contains` scan over the scratch beats hashing.
 
 use crate::error::CycleError;
 use crate::memory::TaggedMemory;
 use crate::word::Addr;
-use std::collections::HashSet;
 
 /// Default hardware hop-limit: how many forwarding hops an access may take
 /// before the hop counter raises an exception and the accurate software
@@ -60,30 +66,54 @@ impl Resolution {
 /// # Ok::<(), memfwd_tagmem::CycleError>(())
 /// ```
 pub fn resolve(mem: &TaggedMemory, addr: Addr, hop_limit: u32) -> Result<Resolution, CycleError> {
+    let mut scratch = Vec::new();
+    resolve_with_scratch(mem, addr, hop_limit, &mut scratch)
+}
+
+/// [`resolve`] with a caller-held scratch buffer for the cycle check, so hot
+/// loops resolving many addresses perform no heap allocation at all.
+///
+/// The scratch is cleared on entry; its contents between calls are
+/// meaningless. It is only written after a hop-limit exception engages the
+/// accurate check, so for chains within `hop_limit` it stays untouched.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the chain revisits a word it already traversed.
+pub fn resolve_with_scratch(
+    mem: &TaggedMemory,
+    addr: Addr,
+    hop_limit: u32,
+    scratch: &mut Vec<Addr>,
+) -> Result<Resolution, CycleError> {
+    scratch.clear();
     let offset = addr.word_offset();
     let mut word = addr.word_base();
     let mut hops = 0u32;
     let mut counter = 0u32;
-    let mut visited: Option<HashSet<Addr>> = None;
+    let mut checking = false;
 
-    while mem.fbit(word) {
-        let (fwd, _) = mem.unforwarded_read(word);
+    loop {
+        let (fwd, fbit) = mem.read_word_tagged(word);
+        if !fbit {
+            break;
+        }
         let next = Addr(fwd).word_base();
         hops += 1;
         counter += 1;
-        if let Some(seen) = visited.as_mut() {
-            if !seen.insert(next) {
+        if checking {
+            if scratch.contains(&next) {
                 return Err(CycleError { at: next, hops });
             }
+            scratch.push(next);
         } else if counter > hop_limit {
             // Hop-limit exception: switch to the accurate software check for
             // the remainder of the walk (paper §3.2). Re-walk is not needed:
             // from here on we remember every word we visit; a cycle must
             // eventually revisit one of them.
-            let mut seen = HashSet::new();
-            seen.insert(word);
-            seen.insert(next);
-            visited = Some(seen);
+            scratch.push(word);
+            scratch.push(next);
+            checking = true;
             counter = 0;
         }
         word = next;
@@ -112,20 +142,27 @@ pub fn resolve_unbounded(mem: &TaggedMemory, addr: Addr) -> Result<Resolution, C
 /// deallocated, all memory reachable via its forwarding chain must be
 /// deallocated as well.
 ///
+/// The cycle check is lazy, like [`resolve`]'s: it only engages once the
+/// walk exceeds [`DEFAULT_HOP_LIMIT`] hops, and then scans `out` itself —
+/// which already records every visited word — instead of maintaining a
+/// separate hash set. Unforwarded words (the overwhelmingly common
+/// deallocation case) cost one combined read and one `Vec` push.
+///
 /// # Errors
 ///
 /// Returns [`CycleError`] on a genuine forwarding cycle.
 pub fn chain_words(mem: &TaggedMemory, addr: Addr) -> Result<Vec<Addr>, CycleError> {
     let mut word = addr.word_base();
     let mut out = vec![word];
-    let mut seen = HashSet::new();
-    seen.insert(word);
     let mut hops = 0;
-    while mem.fbit(word) {
-        let (fwd, _) = mem.unforwarded_read(word);
+    loop {
+        let (fwd, fbit) = mem.read_word_tagged(word);
+        if !fbit {
+            break;
+        }
         word = Addr(fwd).word_base();
         hops += 1;
-        if !seen.insert(word) {
+        if hops > DEFAULT_HOP_LIMIT && out.contains(&word) {
             return Err(CycleError { at: word, hops });
         }
         out.push(word);
@@ -207,6 +244,32 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_across_resolutions() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x100, 0x200, 0x300, 0x400]);
+        chain(&mut mem, &[0x900, 0xA00]);
+        let mut scratch = Vec::new();
+        // Force the accurate check on the first walk so scratch is dirty.
+        let r = resolve_with_scratch(&mem, Addr(0x100), 1, &mut scratch).unwrap();
+        assert_eq!(r.final_addr, Addr(0x400));
+        assert!(!scratch.is_empty());
+        // Second walk must not be confused by leftovers.
+        let r = resolve_with_scratch(&mem, Addr(0x900), 1, &mut scratch).unwrap();
+        assert_eq!(r.final_addr, Addr(0xA00));
+        assert_eq!(r.hops, 1);
+    }
+
+    #[test]
+    fn scratch_untouched_within_hop_limit() {
+        let mut mem = TaggedMemory::new();
+        chain(&mut mem, &[0x100, 0x200, 0x300]);
+        let mut scratch = Vec::new();
+        let r = resolve_with_scratch(&mem, Addr(0x100), 8, &mut scratch).unwrap();
+        assert_eq!(r.hops, 2);
+        assert!(scratch.is_empty(), "accurate check never engaged");
+    }
+
+    #[test]
     fn chain_words_lists_whole_chain() {
         let mut mem = TaggedMemory::new();
         chain(&mut mem, &[0x100, 0x200, 0x300]);
@@ -219,6 +282,15 @@ mod tests {
         let mut mem = TaggedMemory::new();
         chain(&mut mem, &[0x100, 0x200, 0x100]);
         assert!(chain_words(&mem, Addr(0x100)).is_err());
+    }
+
+    #[test]
+    fn chain_words_long_chain_no_false_cycle() {
+        let mut mem = TaggedMemory::new();
+        let nodes: Vec<u64> = (0..40).map(|i| 0x2000 + i * 8).collect();
+        chain(&mut mem, &nodes);
+        let words = chain_words(&mem, Addr(0x2000)).unwrap();
+        assert_eq!(words.len(), 40);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Vendored FxHash: the deterministic, multiply-rotate hash used by rustc.
+//!
+//! The simulator's hot paths index small integer-keyed maps (page numbers,
+//! cache line numbers) millions of times per second. `std`'s default SipHash
+//! is DoS-resistant but costs tens of cycles per probe; Fx hashes a `u64`
+//! key in a handful of ALU ops. The build environment cannot reach
+//! crates.io, so the (tiny, public-domain-style) algorithm is vendored here
+//! rather than pulled in as the `rustc-hash` crate.
+//!
+//! Determinism matters beyond speed: `FxBuildHasher` has no random per-map
+//! seed, so map iteration order is stable across runs and threads. Nothing
+//! in the simulator *depends* on iteration order (snapshots sort their
+//! keys), but stable order keeps host behaviour reproducible when
+//! debugging.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplicative constant from the Firefox/rustc implementation.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A streaming hasher implementing the Fx algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `BuildHasher` producing [`FxHasher`]s (no per-map random seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_maps() {
+        let mut a = FxHashMap::default();
+        let mut b = FxHashMap::default();
+        for i in 0..1000u64 {
+            a.insert(i, i * 2);
+            b.insert(i, i * 2);
+        }
+        // No random seed: identical insert sequences iterate identically.
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn hashes_spread_small_integers() {
+        let mut seen = FxHashSet::default();
+        for i in 0..4096u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 4096, "no collisions on consecutive keys");
+    }
+
+    #[test]
+    fn write_bytes_matches_chunked_u64s() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(h1.finish(), h2.finish());
+    }
+}

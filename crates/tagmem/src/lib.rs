@@ -34,14 +34,18 @@
 mod alloc;
 mod chain;
 mod error;
+mod fxhash;
 mod memory;
 mod page;
 mod snapcodec;
 mod word;
 
 pub use alloc::{AllocPolicy, Heap, HeapStats, Pool};
-pub use chain::{chain_words, resolve, resolve_unbounded, Resolution, DEFAULT_HOP_LIMIT};
+pub use chain::{
+    chain_words, resolve, resolve_unbounded, resolve_with_scratch, Resolution, DEFAULT_HOP_LIMIT,
+};
 pub use error::{CycleError, TagMemError};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memory::{MemStats, TaggedMemory};
 pub use page::{PAGE_BYTES, PAGE_WORDS};
 pub use snapcodec::{SnapCodecError, SnapDecoder, SnapEncoder};

@@ -1,9 +1,10 @@
 //! The sparse tagged memory.
 
+use crate::fxhash::FxHashMap;
 use crate::page::{Page, PAGE_BYTES, PAGE_WORDS};
 use crate::snapcodec::{SnapCodecError, SnapDecoder, SnapEncoder};
 use crate::word::{check_access, Addr, WORD_BYTES};
-use std::collections::HashMap;
+use std::cell::Cell;
 
 /// Occupancy statistics for a [`TaggedMemory`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,6 +28,11 @@ impl MemStats {
     }
 }
 
+/// Sentinel page number marking the micro-TLB as empty. No reachable page
+/// can have this number: page `u64::MAX` would require a byte address above
+/// `u64::MAX * PAGE_BYTES`, which does not exist.
+const TLB_EMPTY: u64 = u64::MAX;
+
 /// A sparse, paged, byte-addressable 64-bit memory where every word carries
 /// a forwarding bit.
 ///
@@ -37,6 +43,12 @@ impl MemStats {
 /// Pages are materialized on first touch, zero-filled with forwarding bits
 /// clear — the initialization guarantee of paper §3.3.
 ///
+/// Pages live in a dense `Vec` indexed through a page-number map, with a
+/// single-entry micro-TLB caching the last translation: consecutive accesses
+/// to the same 4 KiB page (the overwhelmingly common case) skip the hash
+/// probe entirely. Pages are never deallocated, so a cached index can never
+/// go stale; the TLB only resets when a whole image is rebuilt.
+///
 /// # Example
 ///
 /// ```
@@ -46,9 +58,21 @@ impl MemStats {
 /// assert_eq!(mem.read_data(Addr(0x100), 4), 0xDEAD);
 /// assert!(!mem.fbit(Addr(0x100)));
 /// ```
-#[derive(Default)]
 pub struct TaggedMemory {
-    pages: HashMap<u64, Page>,
+    pages: Vec<Page>,
+    index: FxHashMap<u64, u32>,
+    /// Micro-TLB: the last `(page number, index into pages)` translation.
+    tlb: Cell<(u64, u32)>,
+}
+
+impl Default for TaggedMemory {
+    fn default() -> TaggedMemory {
+        TaggedMemory {
+            pages: Vec::new(),
+            index: FxHashMap::default(),
+            tlb: Cell::new((TLB_EMPTY, 0)),
+        }
+    }
 }
 
 impl TaggedMemory {
@@ -57,18 +81,42 @@ impl TaggedMemory {
         TaggedMemory::default()
     }
 
+    /// Translates a page number to its index in `pages`, consulting the
+    /// micro-TLB first and refilling it on a map hit.
+    #[inline]
+    fn translate(&self, pno: u64) -> Option<u32> {
+        let (cached_pno, cached_idx) = self.tlb.get();
+        if cached_pno == pno {
+            return Some(cached_idx);
+        }
+        let idx = *self.index.get(&pno)?;
+        self.tlb.set((pno, idx));
+        Some(idx)
+    }
+
     #[inline]
     fn page(&mut self, addr: Addr) -> (&mut Page, usize) {
         let pno = addr.0 / PAGE_BYTES as u64;
         let off = (addr.0 % PAGE_BYTES as u64) as usize;
-        (self.pages.entry(pno).or_insert_with(Page::new), off)
+        let idx = match self.translate(pno) {
+            Some(idx) => idx,
+            None => {
+                let idx = u32::try_from(self.pages.len()).expect("page count fits u32");
+                self.pages.push(Page::new());
+                self.index.insert(pno, idx);
+                self.tlb.set((pno, idx));
+                idx
+            }
+        };
+        (&mut self.pages[idx as usize], off)
     }
 
     #[inline]
     fn page_ref(&self, addr: Addr) -> Option<(&Page, usize)> {
         let pno = addr.0 / PAGE_BYTES as u64;
         let off = (addr.0 % PAGE_BYTES as u64) as usize;
-        self.pages.get(&pno).map(|p| (p, off))
+        self.translate(pno)
+            .map(|idx| (&self.pages[idx as usize], off))
     }
 
     /// Reads `size` bytes (1, 2, 4, or 8) at `addr` as a little-endian
@@ -85,6 +133,9 @@ impl TaggedMemory {
         match self.page_ref(addr) {
             None => 0,
             Some((p, off)) => {
+                if size == WORD_BYTES {
+                    return p.word(off);
+                }
                 let mut buf = [0u8; 8];
                 buf[..size as usize].copy_from_slice(p.bytes(off, size as usize));
                 u64::from_le_bytes(buf)
@@ -102,11 +153,16 @@ impl TaggedMemory {
     pub fn write_data(&mut self, addr: Addr, size: u64, value: u64) {
         check_access(addr, size);
         let (p, off) = self.page(addr);
+        if size == WORD_BYTES {
+            p.set_word(off, value);
+            return;
+        }
         p.bytes_mut(off, size as usize)
             .copy_from_slice(&value.to_le_bytes()[..size as usize]);
     }
 
     /// Forwarding bit of the word containing `addr`.
+    #[inline]
     pub fn fbit(&self, addr: Addr) -> bool {
         let base = addr.word_base();
         self.page_ref(base)
@@ -121,12 +177,24 @@ impl TaggedMemory {
         p.set_fbit(off, set);
     }
 
+    /// Reads the whole word containing `addr` together with its forwarding
+    /// bit in a **single** page lookup — the combined accessor the access
+    /// pipeline's chain walk is built on. Functionally identical to
+    /// [`TaggedMemory::unforwarded_read`].
+    #[inline]
+    pub fn read_word_tagged(&self, addr: Addr) -> (u64, bool) {
+        match self.page_ref(addr.word_base()) {
+            None => (0, false),
+            Some((p, off)) => (p.word(off), p.fbit(off)),
+        }
+    }
+
     /// The `Unforwarded_Read` ISA extension (paper Fig. 3): reads the whole
     /// word containing `addr` and its forwarding bit, with the forwarding
     /// mechanism disabled.
+    #[inline]
     pub fn unforwarded_read(&self, addr: Addr) -> (u64, bool) {
-        let base = addr.word_base();
-        (self.read_data(base, WORD_BYTES), self.fbit(base))
+        self.read_word_tagged(addr)
     }
 
     /// The `Unforwarded_Write` ISA extension (paper Fig. 3): atomically
@@ -134,19 +202,20 @@ impl TaggedMemory {
     /// mechanism disabled.
     pub fn unforwarded_write(&mut self, addr: Addr, value: u64, fbit: bool) {
         let base = addr.word_base();
-        self.write_data(base, WORD_BYTES, value);
-        self.set_fbit(base, fbit);
+        let (p, off) = self.page(base);
+        p.set_word(off, value);
+        p.set_fbit(off, fbit);
     }
 
     /// Serializes the full memory image — every materialized page's data and
     /// forwarding bits — into `enc`, pages in ascending page-number order so
     /// the encoding is byte-stable across save/restore cycles.
     pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
-        let mut pnos: Vec<u64> = self.pages.keys().copied().collect();
+        let mut pnos: Vec<u64> = self.index.keys().copied().collect();
         pnos.sort_unstable();
         enc.usize(pnos.len());
         for pno in pnos {
-            let (data, fbits) = self.pages[&pno].raw();
+            let (data, fbits) = self.pages[self.index[&pno] as usize].raw();
             enc.u64(pno);
             enc.raw(&data[..]);
             for limb in fbits {
@@ -162,9 +231,11 @@ impl TaggedMemory {
     pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<TaggedMemory, SnapCodecError> {
         const PAGE_RECORD_BYTES: usize = 8 + PAGE_BYTES + PAGE_WORDS / 8;
         let n = dec.seq_len(PAGE_RECORD_BYTES)?;
-        let mut pages = HashMap::with_capacity(n);
+        let mut pages = Vec::with_capacity(n);
+        let mut index = FxHashMap::default();
+        index.reserve(n);
         let mut last_pno = None;
-        for _ in 0..n {
+        for i in 0..n {
             let pno = dec.u64()?;
             if last_pno.is_some_and(|prev| pno <= prev) {
                 return Err(SnapCodecError::BadValue);
@@ -176,16 +247,21 @@ impl TaggedMemory {
                 *limb = dec.u64()?;
             }
             let page = Page::from_raw(data, &fbits).ok_or(SnapCodecError::BadValue)?;
-            pages.insert(pno, page);
+            pages.push(page);
+            index.insert(pno, i as u32);
         }
-        Ok(TaggedMemory { pages })
+        Ok(TaggedMemory {
+            pages,
+            index,
+            tlb: Cell::new((TLB_EMPTY, 0)),
+        })
     }
 
     /// Current occupancy statistics.
     pub fn stats(&self) -> MemStats {
         MemStats {
             pages: self.pages.len() as u64,
-            fbits_set: self.pages.values().map(|p| u64::from(p.fbits_set())).sum(),
+            fbits_set: self.pages.iter().map(|p| u64::from(p.fbits_set())).sum(),
         }
     }
 }
@@ -240,6 +316,32 @@ mod tests {
         assert_eq!(mem.unforwarded_read(Addr(0x307)), (0x5800, true));
         mem.unforwarded_write(Addr(0x300), 0, false);
         assert_eq!(mem.unforwarded_read(Addr(0x300)), (0, false));
+    }
+
+    #[test]
+    fn read_word_tagged_is_one_probe_combined_view() {
+        let mut mem = TaggedMemory::new();
+        assert_eq!(mem.read_word_tagged(Addr(0x400)), (0, false), "cold page");
+        mem.write_data(Addr(0x400), 8, 77);
+        assert_eq!(mem.read_word_tagged(Addr(0x404)), (77, false));
+        mem.set_fbit(Addr(0x400), true);
+        assert_eq!(mem.read_word_tagged(Addr(0x400)), (77, true));
+    }
+
+    #[test]
+    fn micro_tlb_survives_cross_page_interleave() {
+        let mut mem = TaggedMemory::new();
+        // Alternate between two pages so the TLB refills constantly; every
+        // read must still see its own page's data.
+        for i in 0..64u64 {
+            mem.write_data(Addr(0x1000 + i * 8), 8, i);
+            mem.write_data(Addr(0x9000 + i * 8), 8, i + 1000);
+        }
+        for i in 0..64u64 {
+            assert_eq!(mem.read_data(Addr(0x1000 + i * 8), 8), i);
+            assert_eq!(mem.read_data(Addr(0x9000 + i * 8), 8), i + 1000);
+        }
+        assert_eq!(mem.stats().pages, 2);
     }
 
     #[test]

@@ -38,6 +38,22 @@ impl Page {
         &mut self.data[off..off + len]
     }
 
+    /// The 64-bit little-endian word at byte offset `off` (must be 8-aligned).
+    #[inline]
+    pub(crate) fn word(&self, off: usize) -> u64 {
+        let base = off & !7;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.data[base..base + 8]);
+        u64::from_le_bytes(buf)
+    }
+
+    /// Stores a full 64-bit little-endian word at byte offset `off`.
+    #[inline]
+    pub(crate) fn set_word(&mut self, off: usize, value: u64) {
+        let base = off & !7;
+        self.data[base..base + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
     /// Forwarding bit of the word at byte offset `off` (must be 8-aligned).
     #[inline]
     pub(crate) fn fbit(&self, off: usize) -> bool {

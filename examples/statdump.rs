@@ -1,0 +1,18 @@
+//! Dumps checksum + full RunStats (Debug) for every app × variant at smoke
+//! scale, for bit-identity comparison across simulator-engine changes.
+
+use memfwd_apps::{run_ok, App, RunConfig, Variant};
+
+fn main() {
+    let bench = std::env::args().any(|a| a == "--bench");
+    for app in App::ALL {
+        for variant in [Variant::Original, Variant::Optimized, Variant::Static] {
+            let mut cfg = RunConfig::new(variant).smoke();
+            if bench {
+                cfg.scale = memfwd_apps::Scale::Bench;
+            }
+            let out = run_ok(app, &cfg);
+            println!("{app} {variant:?} {:#018x} {:?}", out.checksum, out.stats);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end determinism of the parallel sweep driver.
+//!
+//! The `memfwd_sweep` contract is that the report's simulated content —
+//! checksum, `RunStats`, refs, cycles — is a pure function of the sweep
+//! spec: running the same spec on one worker or many must produce
+//! byte-identical reports once the `host_`-prefixed timing lines are
+//! stripped. These tests pin that contract for the full 8-application
+//! matrix, and pin the golden smoke-scale checksums so a hot-path
+//! "optimization" that changes simulated behaviour fails loudly.
+
+use memfwd_apps::{run_ok, App, RunConfig, Scale, Variant};
+use memfwd_bench::sweep::{run_sweep, strip_host_lines, validate_report, SweepSpec};
+
+fn full_smoke_spec() -> SweepSpec {
+    SweepSpec {
+        apps: App::ALL.to_vec(),
+        variants: vec![Variant::Original, Variant::Optimized],
+        line_bytes: vec![32],
+        mem_latency: vec![75],
+        seeds: vec![12345],
+        scale: Scale::Smoke,
+    }
+}
+
+/// The smoke-scale output digests at the default seed, identical across
+/// layout variants (that equality is the paper's safety property and is
+/// asserted separately below).
+const GOLDEN_CHECKSUMS: [(App, u64); 8] = [
+    (App::Health, 0x0000000051128597),
+    (App::Mst, 0x0000000000000bfa),
+    (App::Radiosity, 0x52b908c459595752),
+    (App::Vis, 0x7d5ab56b682b228a),
+    (App::Eqntott, 0x00000000001bda85),
+    (App::Bh, 0x0a597c1c147d4cf1),
+    (App::Compress, 0x6ff0327239124e75),
+    (App::Smv, 0xde1120526afad793),
+];
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let spec = full_smoke_spec();
+    let serial = run_sweep(&spec, 1);
+    let parallel = run_sweep(&spec, 4);
+
+    // Cell-by-cell, the simulated outputs agree bit for bit.
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.checksum, b.checksum, "{:?} checksum diverged", a.spec);
+        assert_eq!(a.stats, b.stats, "{:?} RunStats diverged", a.spec);
+        assert_eq!(a.refs, b.refs, "{:?} ref count diverged", a.spec);
+    }
+
+    // And so do the serialized reports, modulo host-timing lines.
+    assert_eq!(
+        strip_host_lines(&serial.to_json()),
+        strip_host_lines(&parallel.to_json())
+    );
+    validate_report(&serial.to_json()).expect("serial report validates");
+    validate_report(&parallel.to_json()).expect("parallel report validates");
+}
+
+#[test]
+fn sweep_cells_match_golden_checksums_and_direct_runs() {
+    let spec = full_smoke_spec();
+    let report = run_sweep(&spec, 4);
+
+    for cell in &report.cells {
+        let (_, golden) = GOLDEN_CHECKSUMS
+            .iter()
+            .find(|(app, _)| *app == cell.spec.app)
+            .expect("every app has a golden checksum");
+        assert_eq!(
+            cell.checksum,
+            *golden,
+            "{} ({}) checksum drifted from golden",
+            cell.spec.app,
+            cell.spec.variant.name()
+        );
+
+        // A sweep cell is exactly one direct run — same config, same
+        // stats — not an approximation of one.
+        let mut cfg = RunConfig::new(cell.spec.variant);
+        cfg.scale = Scale::Smoke;
+        cfg.seed = cell.spec.seed;
+        cfg.sim = cfg.sim.with_line_bytes(cell.spec.line_bytes);
+        cfg.sim.hierarchy.mem_latency = cell.spec.mem_latency;
+        let direct = run_ok(cell.spec.app, &cfg);
+        assert_eq!(cell.checksum, direct.checksum);
+        assert_eq!(cell.stats, direct.stats, "{:?}", cell.spec);
+        assert_eq!(cell.refs, direct.stats.fwd.loads + direct.stats.fwd.stores);
+    }
+}
