@@ -1,0 +1,187 @@
+//! `memfwd_lint` — the static forwarding-safety linter.
+//!
+//! Verifies relocation plans (captured from the stock applications or read
+//! from plan files) and certifies SMP campaigns race-free, reporting
+//! stable `MF0xx` diagnostics in human or JSON form.
+
+use memfwd_analyze::{
+    app_target, capture_app_plan, certify_stock_campaigns, parse_plan, race_report, render_human,
+    render_json, verify_plan, DenySet, Report,
+};
+use memfwd_apps::{App, RunConfig, Scale, Variant};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+memfwd-lint: statically verify relocation schedules and certify SMP campaigns
+
+USAGE:
+    memfwd_lint [OPTIONS]
+
+TARGETS (at least one; may be repeated/combined):
+    --app <name|all>        capture and verify the relocation plan of a
+                            stock app (health|mst|radiosity|vis|eqntott|
+                            bh|compress|smv, or 'all')
+    --plan <file>           verify a plan file (see fixtures/*.plan)
+    --smp-certify           run the stock SMP campaigns through the
+                            happens-before race certifier
+    --smp-seeded-race       run the deliberately racy campaign (expected
+                            to flag MF009; for testing the certifier)
+
+OPTIONS:
+    --variant <v>           original|optimized|static (default: optimized)
+    --scale <s>             smoke|bench (default: smoke)
+    --seed <n>              workload seed (default: 12345)
+    --format <f>            human|json (default: human)
+    --deny <codes|all>      comma-separated warning codes to deny, or
+                            'all'; error-severity diagnostics always deny
+    --help                  print this text
+
+EXIT CODES:
+    0  no denied diagnostics     1  lint gate failed    2  usage error
+";
+
+struct Cli {
+    apps: Vec<App>,
+    plans: Vec<PathBuf>,
+    smp_certify: bool,
+    smp_seeded_race: bool,
+    variant: Variant,
+    scale: Scale,
+    seed: u64,
+    json: bool,
+    deny: DenySet,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        apps: Vec::new(),
+        plans: Vec::new(),
+        smp_certify: false,
+        smp_seeded_race: false,
+        variant: Variant::Optimized,
+        scale: Scale::Smoke,
+        seed: 12345,
+        json: false,
+        deny: DenySet::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--app" => {
+                let v = next_val(&mut args, "--app")?;
+                if v == "all" {
+                    cli.apps.extend(App::ALL);
+                } else {
+                    cli.apps
+                        .push(App::from_name(&v).ok_or_else(|| format!("unknown app '{v}'"))?);
+                }
+            }
+            "--plan" => cli
+                .plans
+                .push(PathBuf::from(next_val(&mut args, "--plan")?)),
+            "--smp-certify" => cli.smp_certify = true,
+            "--smp-seeded-race" => cli.smp_seeded_race = true,
+            "--variant" => {
+                let v = next_val(&mut args, "--variant")?;
+                cli.variant =
+                    Variant::from_name(&v).ok_or_else(|| format!("unknown variant '{v}'"))?;
+            }
+            "--scale" => {
+                cli.scale = match next_val(&mut args, "--scale")?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "bench" => Scale::Bench,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--seed" => {
+                cli.seed = next_val(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--format" => {
+                cli.json = match next_val(&mut args, "--format")?.as_str() {
+                    "human" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+            }
+            "--deny" => cli.deny.parse_into(&next_val(&mut args, "--deny")?)?,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if cli.apps.is_empty() && cli.plans.is_empty() && !cli.smp_certify && !cli.smp_seeded_race {
+        return Err(
+            "nothing to lint: give --app, --plan, --smp-certify or --smp-seeded-race".into(),
+        );
+    }
+    Ok(cli)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    for &app in &cli.apps {
+        let mut cfg = RunConfig::new(cli.variant);
+        cfg.scale = cli.scale;
+        cfg.seed = cli.seed;
+        let cap = capture_app_plan(app, &cfg);
+        let mut report = verify_plan(&app_target(app, &cfg), &cap.plan);
+        if let Err(fault) = &cap.result {
+            // A faulted capture run is itself reportable: keep the static
+            // findings (they explain the fault) and surface the abort.
+            report.target = format!("{} [capture run faulted: {fault}]", report.target);
+        }
+        reports.push(report);
+    }
+    for path in &cli.plans {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let plan = match parse_plan(&text) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        reports.push(verify_plan(&format!("plan:{}", path.display()), &plan));
+    }
+    if cli.smp_certify {
+        reports.extend(certify_stock_campaigns(cli.seed));
+    }
+    if cli.smp_seeded_race {
+        let (name, cores, trace) = memfwd_analyze::race::seeded_race_campaign();
+        reports.push(race_report(name, cores, &trace));
+    }
+
+    if cli.json {
+        print!("{}", render_json(&reports, &cli.deny));
+    } else {
+        for r in &reports {
+            print!("{}", render_human(r));
+        }
+    }
+    let denied: usize = reports.iter().map(|r| cli.deny.denied(r).count()).sum();
+    if denied > 0 {
+        eprintln!("memfwd_lint: {denied} denied diagnostic(s)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,69 @@
+//! Capturing relocation plans from the stock applications.
+//!
+//! An application run is its own plan generator: with the thread-local
+//! capture hook armed, every `relocate()` the app performs is recorded,
+//! and the resulting [`RelocPlan`] carries the run's heap bounds and hop
+//! budget. Capture is host-side only, so the captured run is bit-identical
+//! to a normal one — which is what lets `memfwd_sim --lint` certify the
+//! very schedule it is about to execute.
+
+use memfwd::{begin_plan_capture, take_captured_steps, MachineFault, RelocPlan};
+use memfwd_apps::{run, App, RunConfig};
+
+/// A captured application run: the plan it executed and how it ended.
+#[derive(Debug)]
+pub struct CapturedRun {
+    /// The relocation schedule the run performed (possibly truncated at
+    /// the step that faulted, which is included).
+    pub plan: RelocPlan,
+    /// The run's outcome: the layout-independent checksum, or the typed
+    /// fault that aborted it.
+    pub result: Result<u64, MachineFault>,
+}
+
+/// Runs `app` under `cfg` with plan capture armed and returns the captured
+/// plan together with the run's outcome.
+pub fn capture_app_plan(app: App, cfg: &RunConfig) -> CapturedRun {
+    begin_plan_capture();
+    let result = run(app, cfg).map(|out| out.checksum);
+    let steps = take_captured_steps().unwrap_or_default();
+    let mut plan = RelocPlan::new(cfg.sim.heap_base, cfg.sim.heap_capacity);
+    plan.steps = steps;
+    plan.hard_hop_budget = cfg.sim.hard_hop_budget;
+    CapturedRun { plan, result }
+}
+
+/// `"app:<name>/<variant>"` — the report label for a captured app plan.
+pub fn app_target(app: App, cfg: &RunConfig) -> String {
+    format!("app:{}/{}", app.name(), cfg.variant.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfwd_apps::Variant;
+
+    #[test]
+    fn optimized_health_captures_a_nonempty_plan() {
+        let cfg = RunConfig::new(Variant::Optimized).smoke();
+        let cap = capture_app_plan(App::Health, &cfg);
+        assert!(cap.result.is_ok(), "{:?}", cap.result);
+        assert!(
+            !cap.plan.steps.is_empty(),
+            "the optimized variant must relocate"
+        );
+        assert!(cap.plan.pre.is_empty());
+        assert_eq!(cap.plan.heap_base, cfg.sim.heap_base);
+    }
+
+    #[test]
+    fn original_variant_captures_an_empty_plan() {
+        let cfg = RunConfig::new(Variant::Original).smoke();
+        let cap = capture_app_plan(App::Mst, &cfg);
+        assert!(cap.result.is_ok());
+        assert!(
+            cap.plan.steps.is_empty(),
+            "the original layout never relocates"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! **Static analysis for memory forwarding**: a relocation-plan safety
+//! verifier, a clippy-style diagnostic engine with stable `MF0xx` codes,
+//! and an SMP happens-before race certifier.
+//!
+//! The paper argues that relocation safety cannot be proven statically *in
+//! general* — hardware forwarding guarantees it dynamically (§2, §3.2).
+//! But once a concrete relocation **schedule** exists (captured from a run
+//! or written as a plan file), its forwarding-chain graph is a finite
+//! object that can be checked before simulation. This crate is that
+//! checker:
+//!
+//! - [`verify::verify_plan`] — abstract interpretation of a
+//!   [`memfwd::RelocPlan`] over the forwarding-edge graph, detecting
+//!   cycles, hop-budget overruns, overlapping ranges, forwarded targets,
+//!   double relocations, out-of-bounds targets, null and misaligned
+//!   addresses;
+//! - [`diag`] — stable codes ([`diag::Code`]), severities, the verdict
+//!   lattice (`Safe < SafeWithWarnings < Unsafe`), human/JSON rendering,
+//!   and the `--deny` gate;
+//! - [`capture`] — plan capture from the eight stock applications;
+//! - [`planfile`] — a tiny text format for synthetic plans and fixtures;
+//! - [`race`] — vector-clock happens-before race detection over
+//!   [`memfwd::SmpEvent`] traces, with barrier-disciplined stock campaigns
+//!   and a seeded racy one;
+//! - [`shadow`] (feature `shadow`, default on) — the shadow sanitizer
+//!   cross-validating static verdicts against real executions.
+//!
+//! The `memfwd_lint` binary fronts all of it; `memfwd_sim --lint` runs the
+//! verifier as a pre-flight over the exact schedule it is about to
+//! execute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Same discipline as the core crates: bare `unwrap()` is test-only.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod capture;
+pub mod diag;
+pub mod planfile;
+pub mod race;
+#[cfg(feature = "shadow")]
+pub mod shadow;
+pub mod verify;
+
+pub use capture::{app_target, capture_app_plan, CapturedRun};
+pub use diag::{render_human, render_json, Code, DenySet, Diagnostic, Report, Severity, Verdict};
+pub use planfile::{parse_plan, render_plan};
+pub use race::{certify_stock_campaigns, find_races, race_report, RaceFinding};
+pub use verify::verify_plan;

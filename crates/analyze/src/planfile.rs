@@ -1,0 +1,132 @@
+//! A tiny line-oriented text format for relocation plans, used by the
+//! seeded-defect fixtures and the `memfwd_lint --plan` entry point.
+//!
+//! ```text
+//! # comment
+//! bounds 0x10000 0x80000000      # heap base, capacity (defaults shown)
+//! budget 8                       # hard hop budget (default: none)
+//! pre 0x20000 0x20100            # pre-existing forwarding edge
+//! reloc 0x20000 0x30000 4        # relocate 4 words from src to tgt
+//! ```
+//!
+//! Numbers are decimal or `0x`-prefixed hex. Directives may appear in any
+//! order; `reloc` lines execute in file order.
+
+use memfwd::{RelocPlan, RelocStep};
+use memfwd_tagmem::Addr;
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    r.map_err(|_| format!("bad number '{s}'"))
+}
+
+/// Parses the plan format described in the module docs.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending line.
+pub fn parse_plan(text: &str) -> Result<RelocPlan, String> {
+    let mut plan = RelocPlan::new(Addr(0x10_000), 1 << 31);
+    for (no, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {}: {msg}", no + 1);
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let args: Result<Vec<u64>, String> = fields[1..].iter().map(|f| parse_num(f)).collect();
+        let args = args.map_err(err)?;
+        let want = |n: usize| -> Result<(), String> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "line {}: '{}' takes {n} arguments, got {}",
+                    no + 1,
+                    fields[0],
+                    args.len()
+                ))
+            }
+        };
+        match fields[0] {
+            "bounds" => {
+                want(2)?;
+                plan.heap_base = Addr(args[0]);
+                plan.heap_capacity = args[1];
+            }
+            "budget" => {
+                want(1)?;
+                let b = u32::try_from(args[0])
+                    .map_err(|_| format!("line {}: budget out of range", no + 1))?;
+                plan.hard_hop_budget = Some(b);
+            }
+            "pre" => {
+                want(2)?;
+                plan.pre.push((Addr(args[0]).word_base(), Addr(args[1])));
+            }
+            "reloc" => {
+                want(3)?;
+                plan.steps.push(RelocStep {
+                    src: Addr(args[0]),
+                    tgt: Addr(args[1]),
+                    words: args[2],
+                });
+            }
+            other => return Err(format!("line {}: unknown directive '{other}'", no + 1)),
+        }
+    }
+    Ok(plan)
+}
+
+/// Renders `plan` in the format [`parse_plan`] reads.
+pub fn render_plan(plan: &RelocPlan) -> String {
+    let mut out = format!("bounds {:#x} {:#x}\n", plan.heap_base.0, plan.heap_capacity);
+    if let Some(b) = plan.hard_hop_budget {
+        out.push_str(&format!("budget {b}\n"));
+    }
+    for &(w, t) in &plan.pre {
+        out.push_str(&format!("pre {:#x} {:#x}\n", w.0, t.0));
+    }
+    for s in &plan.steps {
+        out.push_str(&format!(
+            "reloc {:#x} {:#x} {}\n",
+            s.src.0, s.tgt.0, s.words
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let text = "\
+# a fixture
+bounds 0x10000 0x100000
+budget 4
+pre 0x20000 0x20100
+reloc 0x20000 0x30000 4
+reloc 0x30000 0x40000 2
+";
+        let plan = parse_plan(text).unwrap();
+        assert_eq!(plan.heap_capacity, 0x10_0000);
+        assert_eq!(plan.hard_hop_budget, Some(4));
+        assert_eq!(plan.pre.len(), 1);
+        assert_eq!(plan.steps.len(), 2);
+        assert_eq!(parse_plan(&render_plan(&plan)).unwrap(), plan);
+    }
+
+    #[test]
+    fn rejects_junk_with_line_numbers() {
+        assert!(parse_plan("frob 1 2").unwrap_err().contains("line 1"));
+        assert!(parse_plan("\nreloc 1 2").unwrap_err().contains("line 2"));
+        assert!(parse_plan("reloc 0xzz 2 1")
+            .unwrap_err()
+            .contains("bad number"));
+    }
+}

@@ -1,0 +1,373 @@
+//! The SMP happens-before race certifier.
+//!
+//! The SMP model's only synchronization primitive is the global
+//! [`SmpMachine::barrier`], so its happens-before relation is simple:
+//! program order within a core, plus every barrier ordering everything
+//! before it (on all cores) ahead of everything after it. The detector
+//! still runs full vector clocks over the event trace — the textbook
+//! algorithm — so it stays correct if finer-grained synchronization events
+//! are ever added to [`SmpEvent`].
+//!
+//! Two accesses **race** when they touch the same word from different
+//! cores, at least one is a store, and neither happens-before the other.
+//! A racy campaign is timing-dependent in a way the simulator's
+//! deterministic interleaving hides; the certifier surfaces it as an
+//! [`MF009`](crate::diag::Code::Mf009) diagnostic.
+
+use crate::diag::{Code, Diagnostic, Report};
+use memfwd::{SmpConfig, SmpEvent, SmpMachine};
+use memfwd_tagmem::{Addr, Pool};
+use std::collections::HashMap;
+
+/// One detected race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// The contended word.
+    pub word: Addr,
+    /// The earlier access (core, is_store) in trace order.
+    pub first: (usize, bool),
+    /// The conflicting access.
+    pub second: (usize, bool),
+}
+
+/// A vector clock over `n` cores.
+type Vc = Vec<u64>;
+
+fn dominates(a: &Vc, b: &Vc) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+#[derive(Default)]
+struct WordState {
+    /// The last store: (core, is_store flag is implicit, its clock).
+    last_write: Option<(usize, Vc)>,
+    /// Reads since the last store.
+    reads: Vec<(usize, Vc)>,
+}
+
+/// Runs the vector-clock race detection over an event trace.
+///
+/// Findings are deduplicated per (word, core pair) and capped at 32 — a
+/// racy loop would otherwise report every iteration.
+pub fn find_races(cores: usize, events: &[SmpEvent]) -> Vec<RaceFinding> {
+    let mut clocks: Vec<Vc> = (0..cores).map(|_| vec![0u64; cores]).collect();
+    let mut words: HashMap<u64, WordState> = HashMap::new();
+    let mut findings = Vec::new();
+    let mut reported: std::collections::HashSet<(u64, usize, usize)> =
+        std::collections::HashSet::new();
+    let mut report = |findings: &mut Vec<RaceFinding>,
+                      word: Addr,
+                      first: (usize, bool),
+                      second: (usize, bool)| {
+        let key = (word.0, first.0.min(second.0), first.0.max(second.0));
+        if reported.insert(key) && findings.len() < 32 {
+            findings.push(RaceFinding {
+                word,
+                first,
+                second,
+            });
+        }
+    };
+    for ev in events {
+        match *ev {
+            SmpEvent::Barrier => {
+                let mut join = vec![0u64; cores];
+                for vc in &clocks {
+                    for (j, v) in vc.iter().enumerate() {
+                        join[j] = join[j].max(*v);
+                    }
+                }
+                for (c, vc) in clocks.iter_mut().enumerate() {
+                    vc.clone_from(&join);
+                    vc[c] += 1;
+                }
+            }
+            SmpEvent::Access {
+                core,
+                word,
+                is_store,
+            } => {
+                clocks[core][core] += 1;
+                let me = &clocks[core];
+                let st = words.entry(word.0).or_default();
+                if let Some((wc, wvc)) = &st.last_write {
+                    if *wc != core && !dominates(wvc, me) {
+                        report(&mut findings, word, (*wc, true), (core, is_store));
+                    }
+                }
+                if is_store {
+                    for (rc, rvc) in &st.reads {
+                        if *rc != core && !dominates(rvc, me) {
+                            report(&mut findings, word, (*rc, false), (core, true));
+                        }
+                    }
+                    st.last_write = Some((core, me.clone()));
+                    st.reads.clear();
+                } else {
+                    st.reads.push((core, me.clone()));
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Converts race findings into a diagnostics [`Report`].
+pub fn race_report(target: &str, cores: usize, events: &[SmpEvent]) -> Report {
+    let diagnostics = find_races(cores, events)
+        .into_iter()
+        .map(|r| Diagnostic {
+            code: Code::Mf009,
+            step: None,
+            addr: Some(r.word),
+            message: format!(
+                "cores {} and {} access word {:#x} ({} then {}) with no barrier between them",
+                r.first.0,
+                r.second.0,
+                r.word.0,
+                if r.first.1 { "store" } else { "load" },
+                if r.second.1 { "store" } else { "load" },
+            ),
+        })
+        .collect();
+    Report {
+        target: target.to_string(),
+        steps: 0,
+        diagnostics,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stock campaigns: the barrier-disciplined SMP workloads the certifier
+// must pass clean, plus one deliberately racy workload it must flag.
+// ---------------------------------------------------------------------
+
+fn machine(cores: usize) -> SmpMachine {
+    let mut m = SmpMachine::new(
+        SmpConfig {
+            cores,
+            ..SmpConfig::default()
+        },
+        Default::default(),
+    );
+    m.enable_event_trace();
+    m
+}
+
+/// Producer/consumer rounds: one core publishes a block, a barrier, every
+/// other core reads it, a barrier, and the writer role rotates.
+fn campaign_producer_consumer(seed: u64) -> (usize, Vec<SmpEvent>) {
+    let cores = 4;
+    let mut m = machine(cores);
+    let buf = m.malloc(8 * 8);
+    for round in 0..6u64 {
+        let writer = ((round + seed) % cores as u64) as usize;
+        for w in 0..8 {
+            m.store(writer, buf.add_words(w), 8, round * 100 + w);
+        }
+        m.barrier();
+        for c in 0..cores {
+            if c != writer {
+                for w in 0..8 {
+                    assert_eq!(m.load(c, buf.add_words(w), 8), round * 100 + w);
+                }
+            }
+        }
+        m.barrier();
+    }
+    (
+        cores,
+        m.take_event_trace()
+            .expect("enable_event_trace was called when the campaign machine was built"),
+    )
+}
+
+/// The §2.2 false-sharing fix: per-core counters sharing one line are
+/// relocated (each by its owning core) onto private lines; stale pointers
+/// are then read cross-core after a barrier.
+fn campaign_false_sharing_fix(_seed: u64) -> (usize, Vec<SmpEvent>) {
+    let cores = 2;
+    let mut m = machine(cores);
+    let shared = m.malloc(16); // both counters in one coherence line
+    let line = m.line_bytes();
+    let mut pools = [Pool::new(4096), Pool::new(4096)];
+    let mut homes = [shared, shared + 8];
+    for (c, &home) in homes.iter().enumerate() {
+        m.store(c, home, 8, c as u64);
+    }
+    m.barrier();
+    for c in 0..cores {
+        let fixed = m.pool_alloc_aligned(&mut pools[c], 64, line);
+        m.relocate(c, homes[c], fixed, 1);
+        homes[c] = fixed;
+    }
+    m.barrier();
+    for _ in 0..10 {
+        for (c, &home) in homes.iter().enumerate() {
+            let v = m.load(c, home, 8);
+            m.store(c, home, 8, v + 1);
+        }
+    }
+    m.barrier();
+    // Cross-core reads through the STALE addresses: the forwarding walk
+    // touches chain words the other core wrote, but the barrier orders it.
+    assert_eq!(m.load(1, shared, 8), 10);
+    assert_eq!(m.load(0, shared + 8, 8), 11);
+    (
+        cores,
+        m.take_event_trace()
+            .expect("enable_event_trace was called when the campaign machine was built"),
+    )
+}
+
+/// Relocation as publication: core 0 builds and relocates a structure;
+/// after a barrier every core chases the original pointers through the
+/// forwarding chains.
+fn campaign_relocate_publish(seed: u64) -> (usize, Vec<SmpEvent>) {
+    let cores = 3;
+    let mut m = machine(cores);
+    let n = 6u64;
+    let old = m.malloc(8 * n);
+    let new = m.malloc(8 * n);
+    for w in 0..n {
+        m.store(0, old.add_words(w), 8, seed ^ w);
+    }
+    m.relocate(0, old, new, n);
+    m.barrier();
+    for c in 0..cores {
+        for w in 0..n {
+            assert_eq!(m.load(c, old.add_words(w), 8), seed ^ w, "stale path");
+        }
+    }
+    (
+        cores,
+        m.take_event_trace()
+            .expect("enable_event_trace was called when the campaign machine was built"),
+    )
+}
+
+/// The stock campaigns, as (name, cores, trace) tuples.
+pub fn stock_campaigns(seed: u64) -> Vec<(&'static str, usize, Vec<SmpEvent>)> {
+    let (c1, t1) = campaign_producer_consumer(seed);
+    let (c2, t2) = campaign_false_sharing_fix(seed);
+    let (c3, t3) = campaign_relocate_publish(seed);
+    vec![
+        ("smp:producer-consumer", c1, t1),
+        ("smp:false-sharing-fix", c2, t2),
+        ("smp:relocate-publish", c3, t3),
+    ]
+}
+
+/// A deliberately racy campaign: two cores increment the same word with no
+/// barrier. The certifier must flag it (it is the seeded MF009 defect).
+pub fn seeded_race_campaign() -> (&'static str, usize, Vec<SmpEvent>) {
+    let cores = 2;
+    let mut m = machine(cores);
+    let w = m.malloc(8);
+    for i in 0..4 {
+        let c = i % cores;
+        let v = m.load(c, w, 8);
+        m.store(c, w, 8, v + 1);
+    }
+    (
+        "smp:seeded-race",
+        cores,
+        m.take_event_trace()
+            .expect("enable_event_trace was called when the campaign machine was built"),
+    )
+}
+
+/// Certifies the stock campaigns: one [`Report`] each.
+pub fn certify_stock_campaigns(seed: u64) -> Vec<Report> {
+    stock_campaigns(seed)
+        .into_iter()
+        .map(|(name, cores, trace)| race_report(name, cores, &trace))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Verdict;
+
+    #[test]
+    fn stock_campaigns_are_race_free() {
+        for seed in [1u64, 7, 42] {
+            for r in certify_stock_campaigns(seed) {
+                assert_eq!(r.verdict(), Verdict::Safe, "{}: {r:?}", r.target);
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_race_is_flagged() {
+        let (name, cores, trace) = seeded_race_campaign();
+        let r = race_report(name, cores, &trace);
+        assert!(r.has(Code::Mf009), "{r:?}");
+        assert_eq!(r.verdict(), Verdict::Unsafe);
+    }
+
+    #[test]
+    fn barrier_orders_conflicts() {
+        use SmpEvent::*;
+        let a = Addr(0x100);
+        // store(0) ; barrier ; store(1): ordered.
+        let t = vec![
+            Access {
+                core: 0,
+                word: a,
+                is_store: true,
+            },
+            Barrier,
+            Access {
+                core: 1,
+                word: a,
+                is_store: true,
+            },
+        ];
+        assert!(find_races(2, &t).is_empty());
+        // Without the barrier: a write-write race.
+        let t = vec![t[0], t[2]];
+        assert_eq!(find_races(2, &t).len(), 1);
+    }
+
+    #[test]
+    fn read_read_sharing_is_not_a_race() {
+        use SmpEvent::*;
+        let a = Addr(0x100);
+        let t = vec![
+            Access {
+                core: 0,
+                word: a,
+                is_store: false,
+            },
+            Access {
+                core: 1,
+                word: a,
+                is_store: false,
+            },
+        ];
+        assert!(find_races(2, &t).is_empty());
+    }
+
+    #[test]
+    fn unsynchronized_read_of_a_write_races() {
+        use SmpEvent::*;
+        let a = Addr(0x100);
+        let t = vec![
+            Access {
+                core: 0,
+                word: a,
+                is_store: true,
+            },
+            Access {
+                core: 1,
+                word: a,
+                is_store: false,
+            },
+        ];
+        let races = find_races(2, &t);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].word, a);
+    }
+}

@@ -1,0 +1,233 @@
+//! The shadow sanitizer: runtime cross-validation of static verdicts.
+//!
+//! The verifier's soundness contract (see [`crate::verify`]) is a claim
+//! about real executions, so it is checked against real executions:
+//!
+//! 1. **Certified ⇒ fault-free.** A plan with no error diagnostics must
+//!    execute — steps, then demand probes of every involved word — without
+//!    raising a [`MachineFault`].
+//! 2. **Fault ⇒ flagged.** When execution does fault, at least one error
+//!    diagnostic must predict that fault's kind
+//!    ([`Code::predicted_fault_kinds`]).
+//!
+//! Either violation is a bug in the verifier (or the machine) and is
+//! reported as a [`ShadowMismatch`]. The module is feature-gated
+//! (`shadow`, on by default) so lint-only builds can drop the machinery.
+
+use crate::diag::{Report, Severity};
+use crate::verify::verify_plan;
+use memfwd::{try_relocate, Machine, MachineFault, RelocPlan, SimConfig};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// How a cross-validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShadowMismatch {
+    /// The verifier certified the plan, but execution faulted.
+    CertifiedButFaulted(MachineFault),
+    /// Execution faulted and no error diagnostic predicted the fault kind.
+    UnpredictedFault(MachineFault),
+}
+
+/// The outcome of one cross-validated plan.
+#[derive(Debug)]
+pub struct ShadowOutcome {
+    /// The static report.
+    pub report: Report,
+    /// The execution outcome.
+    pub fault: Option<MachineFault>,
+}
+
+/// Builds the machine a plan executes on: same heap, same hop budget.
+fn plan_machine(plan: &RelocPlan) -> Machine {
+    let cfg = SimConfig {
+        heap_base: plan.heap_base,
+        heap_capacity: plan.heap_capacity,
+        hard_hop_budget: plan.hard_hop_budget,
+        ..SimConfig::default()
+    };
+    Machine::new(cfg)
+}
+
+thread_local! {
+    /// True while [`run_plan`] is converting machine-fault panics into
+    /// typed errors; the wrapped panic hook stays silent for those (the
+    /// same idiom `memfwd_apps::run` uses).
+    static CAPTURING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn install_silent_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Executes `plan` on a real machine: applies `pre` edges, runs every step
+/// through [`try_relocate`], then demand-loads every word in every step's
+/// source and target range and every `pre` source — the probe set of the
+/// soundness contract. Returns the first fault, if any. (A step's inner
+/// demand store uses the machine's infallible API, so its faults arrive as
+/// record-and-panic; they are converted back to typed faults here.)
+///
+/// # Errors
+///
+/// The first [`MachineFault`] the execution raises.
+pub fn run_plan(plan: &RelocPlan) -> Result<(), MachineFault> {
+    install_silent_hook();
+    let _ = memfwd::take_last_fault();
+    CAPTURING.with(|c| c.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| -> Result<(), MachineFault> {
+        let mut m = plan_machine(plan);
+        for &(w, t) in &plan.pre {
+            m.unforwarded_write(w.word_base(), t.0, true);
+        }
+        for step in &plan.steps {
+            try_relocate(&mut m, step.src, step.tgt, step.words)?;
+        }
+        for step in &plan.steps {
+            for i in 0..step.words {
+                m.try_load_word(step.src.add_words(i))?;
+                m.try_load_word(step.tgt.add_words(i))?;
+            }
+        }
+        for &(w, _) in &plan.pre {
+            m.try_load_word(w.word_base())?;
+        }
+        Ok(())
+    }));
+    CAPTURING.with(|c| c.set(false));
+    match result {
+        Ok(r) => r,
+        Err(payload) => match memfwd::take_last_fault() {
+            Some(fault) => Err(fault),
+            None => resume_unwind(payload),
+        },
+    }
+}
+
+/// Statically verifies `plan`, executes it, and checks both directions of
+/// the soundness contract.
+///
+/// # Errors
+///
+/// The [`ShadowMismatch`] describing which direction failed.
+pub fn cross_validate_plan(
+    target: &str,
+    plan: &RelocPlan,
+) -> Result<ShadowOutcome, ShadowMismatch> {
+    let report = verify_plan(target, plan);
+    let fault = run_plan(plan).err();
+    check_consistency(&report, fault.as_ref(), plan.hard_hop_budget.is_some())?;
+    Ok(ShadowOutcome { report, fault })
+}
+
+/// The consistency rules shared by plan- and app-level cross-validation.
+pub fn check_consistency(
+    report: &Report,
+    fault: Option<&MachineFault>,
+    budgeted: bool,
+) -> Result<(), ShadowMismatch> {
+    let has_errors = report
+        .diagnostics
+        .iter()
+        .any(|d| d.severity() == Severity::Error);
+    match fault {
+        None => Ok(()),
+        Some(f) if !has_errors => Err(ShadowMismatch::CertifiedButFaulted(*f)),
+        Some(f) => {
+            let predicted = report
+                .errors()
+                .any(|d| d.code.predicted_fault_kinds(budgeted).contains(&f.kind()));
+            if predicted {
+                Ok(())
+            } else {
+                Err(ShadowMismatch::UnpredictedFault(*f))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Code, Verdict};
+    use memfwd::RelocStep;
+    use memfwd_tagmem::Addr;
+
+    fn plan(steps: &[(u64, u64, u64)]) -> RelocPlan {
+        let mut p = RelocPlan::new(Addr(0x10_000), 1 << 24);
+        p.steps = steps
+            .iter()
+            .map(|&(s, t, w)| RelocStep {
+                src: Addr(s),
+                tgt: Addr(t),
+                words: w,
+            })
+            .collect();
+        p
+    }
+
+    #[test]
+    fn clean_plan_cross_validates() {
+        let p = plan(&[(0x10_000, 0x20_000, 4), (0x20_000, 0x30_000, 4)]);
+        let out = cross_validate_plan("t", &p).unwrap();
+        assert_eq!(out.fault, None);
+        assert_eq!(out.report.verdict(), Verdict::Safe);
+    }
+
+    #[test]
+    fn cyclic_plan_faults_and_is_predicted() {
+        let p = plan(&[(0x10_000, 0x10_008, 1), (0x10_008, 0x10_000, 1)]);
+        let out = cross_validate_plan("t", &p).unwrap();
+        assert!(matches!(
+            out.fault,
+            Some(MachineFault::ForwardingCycle { .. })
+        ));
+        assert!(out.report.has(Code::Mf001));
+    }
+
+    #[test]
+    fn budget_overrun_faults_and_is_predicted() {
+        let mut p = plan(
+            &(0..6)
+                .map(|i| (0x10_000 + 8 * i, 0x10_008 + 8 * i, 1))
+                .collect::<Vec<_>>(),
+        );
+        p.hard_hop_budget = Some(2);
+        let out = cross_validate_plan("t", &p).unwrap();
+        assert!(matches!(
+            out.fault,
+            Some(MachineFault::HopLimitExceeded { .. })
+        ));
+        assert!(out.report.has(Code::Mf002));
+    }
+
+    #[test]
+    fn misaligned_plan_faults_and_is_predicted() {
+        let p = plan(&[(0x10_004, 0x20_000, 1)]);
+        let out = cross_validate_plan("t", &p).unwrap();
+        assert!(matches!(out.fault, Some(MachineFault::Misaligned { .. })));
+        assert!(out.report.has(Code::Mf008));
+    }
+
+    #[test]
+    fn mismatch_is_detected_not_masked() {
+        // A fabricated inconsistent pair: clean report, but a fault.
+        let report = Report {
+            target: "t".into(),
+            steps: 1,
+            diagnostics: vec![],
+        };
+        let fault = MachineFault::NullDeref { is_store: true };
+        assert_eq!(
+            check_consistency(&report, Some(&fault), false),
+            Err(ShadowMismatch::CertifiedButFaulted(fault))
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! App-level differential suite: capture the relocation schedule of every
+//! stock application, verify it statically, and cross-check the verdict
+//! against the run's actual outcome — 8 apps × 3 seeds. The optimized
+//! variants relocate aggressively; all of their captured plans must be
+//! certified safe and run fault-free, with zero false positives.
+
+#![cfg(feature = "shadow")]
+
+use memfwd_analyze::capture::{app_target, capture_app_plan};
+use memfwd_analyze::diag::Verdict;
+use memfwd_analyze::shadow::check_consistency;
+use memfwd_analyze::verify::verify_plan;
+use memfwd_apps::{App, RunConfig, Variant};
+
+const SEEDS: [u64; 3] = [7, 12345, 99];
+
+fn cfg(variant: Variant, seed: u64) -> RunConfig {
+    let mut cfg = RunConfig::new(variant).smoke();
+    cfg.seed = seed;
+    cfg
+}
+
+#[test]
+fn optimized_apps_capture_certified_safe_plans() {
+    for app in App::ALL {
+        for seed in SEEDS {
+            let cfg = cfg(Variant::Optimized, seed);
+            let captured = capture_app_plan(app, &cfg);
+            let target = app_target(app, &cfg);
+            let checksum = captured
+                .result
+                .unwrap_or_else(|f| panic!("{target} seed {seed} faulted: {f:?}"));
+            let report = verify_plan(&target, &captured.plan);
+            assert_eq!(
+                report.verdict(),
+                Verdict::Safe,
+                "{target} seed {seed}: captured plan must verify clean \
+                 (zero false positives), got {:?}",
+                report.diagnostics
+            );
+            // The run succeeded and the report carries no errors — the
+            // consistency contract is trivially satisfied, but assert it
+            // through the same gate the shadow sanitizer uses.
+            check_consistency(&report, None, captured.plan.hard_hop_budget.is_some())
+                .unwrap_or_else(|m| panic!("{target} seed {seed}: {m:?}"));
+            assert_ne!(checksum, 0, "{target} seed {seed}: degenerate checksum");
+        }
+    }
+}
+
+#[test]
+fn original_variants_relocate_nothing_and_verify_clean() {
+    for app in App::ALL {
+        let cfg = cfg(Variant::Original, SEEDS[0]);
+        let captured = capture_app_plan(app, &cfg);
+        let target = app_target(app, &cfg);
+        assert!(
+            captured.plan.steps.is_empty(),
+            "{target}: original variant should not relocate"
+        );
+        let report = verify_plan(&target, &captured.plan);
+        assert_eq!(report.verdict(), Verdict::Safe, "{target}");
+    }
+}
+
+/// Checksums must agree across variants at each seed — relocation is safe —
+/// and the certified plan is exactly the schedule that produced them.
+#[test]
+fn certified_runs_preserve_checksums_across_variants() {
+    for app in App::ALL {
+        for seed in SEEDS {
+            let orig = capture_app_plan(app, &cfg(Variant::Original, seed));
+            let opt = capture_app_plan(app, &cfg(Variant::Optimized, seed));
+            let co = orig.result.expect("original runs clean");
+            let cp = opt.result.expect("optimized runs clean");
+            assert_eq!(co, cp, "{}: checksum diverged at seed {seed}", app.name());
+        }
+    }
+}
+
+/// The SMP certifier: stock barrier-disciplined campaigns are race-free at
+/// several seeds; the seeded unsynchronized campaign is flagged.
+#[test]
+fn race_certifier_end_to_end() {
+    for seed in SEEDS {
+        for report in memfwd_analyze::certify_stock_campaigns(seed) {
+            assert_eq!(
+                report.verdict(),
+                Verdict::Safe,
+                "{} seed {seed}: {:?}",
+                report.target,
+                report.diagnostics
+            );
+        }
+    }
+    let (name, cores, events) = memfwd_analyze::race::seeded_race_campaign();
+    let report = memfwd_analyze::race_report(name, cores, &events);
+    assert_eq!(report.verdict(), Verdict::Unsafe);
+}

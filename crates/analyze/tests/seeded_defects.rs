@@ -1,0 +1,121 @@
+//! Seeded-defect fixtures: one plan file per diagnostic code, each of which
+//! must trip exactly the code it seeds — and nothing in `Code::ALL` may be
+//! left without a fixture-backed test (no silent MF0xx).
+
+use memfwd_analyze::diag::{Code, Severity, Verdict};
+use memfwd_analyze::planfile::parse_plan;
+use memfwd_analyze::verify::verify_plan;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn verify_fixture(name: &str) -> memfwd_analyze::diag::Report {
+    let plan = parse_plan(&fixture(name)).expect("fixture parses");
+    verify_plan(&format!("fixture:{name}"), &plan)
+}
+
+/// Which fixture seeds each code. MF009 is a race, not a plan defect, and
+/// is exercised by the race-campaign test below.
+fn fixture_for(code: Code) -> Option<&'static str> {
+    match code {
+        Code::Mf001 => Some("mf001_cycle.plan"),
+        Code::Mf002 => Some("mf002_budget.plan"),
+        Code::Mf003 => Some("mf003_overlap.plan"),
+        Code::Mf004 => Some("mf004_forwarded_target.plan"),
+        Code::Mf005 => Some("mf005_double_reloc.plan"),
+        Code::Mf006 => Some("mf006_oob.plan"),
+        Code::Mf007 => Some("mf007_null.plan"),
+        Code::Mf008 => Some("mf008_misaligned.plan"),
+        Code::Mf009 => None,
+    }
+}
+
+#[test]
+fn every_code_has_a_seeded_defect_that_fires_it() {
+    for code in Code::ALL {
+        let Some(name) = fixture_for(code) else {
+            // MF009: covered by `seeded_race_fires_mf009`.
+            continue;
+        };
+        let report = verify_fixture(name);
+        assert!(
+            report.has(code),
+            "{name} must fire {} but produced: {:?}",
+            code.as_str(),
+            report.diagnostics
+        );
+        match code.severity() {
+            Severity::Error => assert_eq!(report.verdict(), Verdict::Unsafe, "{name}"),
+            Severity::Warning => {
+                assert!(report.verdict() >= Verdict::SafeWithWarnings, "{name}")
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_race_fires_mf009() {
+    let (name, cores, events) = memfwd_analyze::race::seeded_race_campaign();
+    let report = memfwd_analyze::race_report(name, cores, &events);
+    assert!(report.has(Code::Mf009), "seeded race must fire MF009");
+    assert_eq!(report.verdict(), Verdict::Unsafe);
+}
+
+#[test]
+fn clean_fixture_is_certified_safe() {
+    let report = verify_fixture("clean.plan");
+    assert_eq!(
+        report.verdict(),
+        Verdict::Safe,
+        "clean.plan must carry zero diagnostics, got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn warning_fixtures_do_not_escalate_to_unsafe() {
+    for name in ["mf004_forwarded_target.plan", "mf005_double_reloc.plan"] {
+        let report = verify_fixture(name);
+        assert_eq!(report.verdict(), Verdict::SafeWithWarnings, "{name}");
+    }
+}
+
+/// The shadow sanitizer must agree with the verdict on every fixture:
+/// certified plans run fault-free, faulting plans were flagged with a code
+/// that predicts the observed fault kind.
+#[cfg(feature = "shadow")]
+#[test]
+fn shadow_cross_validates_every_fixture() {
+    let fixtures = [
+        "clean.plan",
+        "mf001_cycle.plan",
+        "mf002_budget.plan",
+        "mf003_overlap.plan",
+        "mf004_forwarded_target.plan",
+        "mf005_double_reloc.plan",
+        "mf006_oob.plan",
+        "mf007_null.plan",
+        "mf008_misaligned.plan",
+    ];
+    for name in fixtures {
+        let plan = parse_plan(&fixture(name)).expect("fixture parses");
+        let outcome =
+            memfwd_analyze::shadow::cross_validate_plan(&format!("fixture:{name}"), &plan)
+                .unwrap_or_else(|m| panic!("{name}: shadow mismatch {m:?}"));
+        // Fixtures whose defect manifests as a runtime fault must actually
+        // fault under the probe — otherwise the fixture is mislabeled.
+        match name {
+            "mf001_cycle.plan"
+            | "mf002_budget.plan"
+            | "mf007_null.plan"
+            | "mf008_misaligned.plan" => {
+                assert!(outcome.fault.is_some(), "{name} should fault at runtime")
+            }
+            "clean.plan" => assert!(outcome.fault.is_none(), "clean.plan must not fault"),
+            // MF003/MF006 corrupt silently; MF004/MF005 are legal.
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Differential property test for verifier soundness: on random plans, a
+//! report with no error diagnostics must imply a fault-free execution, and
+//! every fault an execution does raise must have been predicted by some
+//! flagged code — the two directions of the soundness contract, checked by
+//! the shadow sanitizer on hundreds of generated plans.
+
+#![cfg(feature = "shadow")]
+
+use memfwd::{Addr, RelocPlan, RelocStep};
+use memfwd_analyze::diag::Severity;
+use memfwd_analyze::shadow::{check_consistency, run_plan};
+use memfwd_analyze::verify::verify_plan;
+use proptest::prelude::*;
+
+const HEAP_BASE: u64 = 0x10_000;
+const HEAP_CAPACITY: u64 = 0x10_000;
+
+/// Maps a raw `(src_slot, tgt_slot, words)` triple into a step over a small
+/// word arena. Slot 0 for the target becomes a null pointer and odd raw
+/// sources are left misaligned, so the generator seeds MF007/MF008 defects
+/// alongside cycles, overlaps, and double relocations.
+fn step_from_raw(raw: (u64, u64, u64)) -> RelocStep {
+    let (src_slot, tgt_slot, words) = raw;
+    let src = if src_slot % 17 == 0 {
+        HEAP_BASE + src_slot * 8 + 4 // seeded misalignment (MF008)
+    } else {
+        HEAP_BASE + (src_slot % 48) * 8
+    };
+    let tgt = if tgt_slot == 0 {
+        0 // seeded null target (MF007)
+    } else {
+        HEAP_BASE + (tgt_slot % 48) * 8
+    };
+    RelocStep {
+        src: Addr(src),
+        tgt: Addr(tgt),
+        words,
+    }
+}
+
+fn plan_from_raw(raw_steps: Vec<(u64, u64, u64)>, budget_sel: u32) -> RelocPlan {
+    let mut plan = RelocPlan::new(Addr(HEAP_BASE), HEAP_CAPACITY);
+    plan.hard_hop_budget = match budget_sel {
+        0 => None,
+        b => Some(b),
+    };
+    plan.steps = raw_steps.into_iter().map(step_from_raw).collect();
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Both soundness directions on arbitrary small plans.
+    #[test]
+    fn no_errors_implies_fault_free_and_faults_are_predicted(
+        raw_steps in proptest::collection::vec((0u64..50, 0u64..50, 1u64..4), 1..10),
+        budget_sel in 0u32..6,
+    ) {
+        let plan = plan_from_raw(raw_steps, budget_sel);
+        let report = verify_plan("prop", &plan);
+        let fault = run_plan(&plan).err();
+
+        let has_errors = report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error);
+        prop_assert!(
+            fault.is_none() || has_errors,
+            "certified-safe plan faulted: {:?}\nplan: {:?}\nreport: {:?}",
+            fault,
+            plan,
+            report.diagnostics
+        );
+        let consistency =
+            check_consistency(&report, fault.as_ref(), plan.hard_hop_budget.is_some());
+        prop_assert!(
+            consistency.is_ok(),
+            "shadow mismatch {:?}\nplan: {:?}\nreport: {:?}",
+            consistency,
+            plan,
+            report.diagnostics
+        );
+    }
+
+    /// Dense plans over a tiny arena force chain collisions (cycles, deep
+    /// chains, re-relocations) far more often than the sparse generator —
+    /// the adversarial half of the sweep.
+    #[test]
+    fn consistency_holds_on_dense_chain_graphs(
+        raw_steps in proptest::collection::vec((1u64..8, 1u64..8, 1u64..2), 2..14),
+        budget_sel in 0u32..4,
+    ) {
+        let mut plan = RelocPlan::new(Addr(HEAP_BASE), HEAP_CAPACITY);
+        plan.hard_hop_budget = match budget_sel {
+            0 => None,
+            b => Some(b),
+        };
+        plan.steps = raw_steps
+            .into_iter()
+            .map(|(s, t, w)| RelocStep {
+                src: Addr(HEAP_BASE + s * 8),
+                tgt: Addr(HEAP_BASE + t * 8),
+                words: w,
+            })
+            .collect();
+        let report = verify_plan("prop-dense", &plan);
+        let fault = run_plan(&plan).err();
+        let consistency =
+            check_consistency(&report, fault.as_ref(), plan.hard_hop_budget.is_some());
+        prop_assert!(
+            consistency.is_ok(),
+            "shadow mismatch {:?}\nplan: {:?}\nreport: {:?}",
+            consistency,
+            plan,
+            report.diagnostics
+        );
+    }
+}

@@ -47,6 +47,11 @@ OPTIONS:
     --no-recover            leave injected corruption in place: the run ends
                             in a typed machine fault (nonzero exit) instead
                             of trap-based recovery
+    --lint                  pre-flight: capture the relocation schedule this
+                            configuration produces, verify it with the
+                            memfwd_lint engine, and refuse to run (exit 20)
+                            if any MF0xx error fires; runs the workload an
+                            extra time to capture the schedule
     --help                  print this text
 
 A run that aborts on a machine fault reports the typed fault on stderr
@@ -59,6 +64,7 @@ EXIT CODES:
     12  pool-exhausted               17  corrupt-snapshot
     13  misaligned                   18  no-progress (watchdog)
     14  null-deref                   19  walk-storm (watchdog)
+    20  lint pre-flight rejected the relocation schedule
 ";
 
 struct Cli {
@@ -66,6 +72,7 @@ struct Cli {
     cfg: RunConfig,
     checkpoint_dir: Option<PathBuf>,
     resume: Option<PathBuf>,
+    lint: bool,
 }
 
 fn parse() -> Result<Cli, String> {
@@ -73,6 +80,7 @@ fn parse() -> Result<Cli, String> {
     let mut cfg = RunConfig::new(Variant::Original);
     let mut checkpoint_dir: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
+    let mut lint = false;
     let mut inject = InjectConfig::default();
     let mut inject_requested = false;
     let mut args = std::env::args().skip(1);
@@ -187,6 +195,7 @@ fn parse() -> Result<Cli, String> {
                 inject.recover = false;
                 inject_requested = true;
             }
+            "--lint" => lint = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -202,7 +211,35 @@ fn parse() -> Result<Cli, String> {
         cfg,
         checkpoint_dir,
         resume,
+        lint,
     })
+}
+
+/// The `--lint` pre-flight: capture the relocation schedule this exact
+/// configuration produces and verify it. Error diagnostics refuse the run
+/// with exit 20; warnings are printed and the run proceeds.
+fn lint_preflight(app: App, cfg: &RunConfig) {
+    let captured = memfwd_analyze::capture_app_plan(app, cfg);
+    let target = memfwd_analyze::app_target(app, cfg);
+    let report = memfwd_analyze::verify_plan(&target, &captured.plan);
+    if report.diagnostics.is_empty() {
+        eprintln!(
+            "lint: {target}: certified safe ({} relocation steps)",
+            report.steps
+        );
+    } else {
+        eprint!("{}", memfwd_analyze::render_human(&report));
+    }
+    if report.errors().next().is_some() {
+        eprintln!("lint: relocation schedule rejected; not running");
+        std::process::exit(20);
+    }
+    if let Err(fault) = captured.result {
+        // The schedule verified clean but the capture run itself died —
+        // surface that as the machine fault it is rather than starting a
+        // second doomed run.
+        fault_exit(&fault);
+    }
 }
 
 fn fault_exit(fault: &MachineFault) -> ! {
@@ -220,6 +257,10 @@ fn main() {
         }
     };
     let (app, cfg) = (cli.app, cli.cfg);
+
+    if cli.lint {
+        lint_preflight(app, &cfg);
+    }
 
     let mut ck = match &cli.checkpoint_dir {
         Some(dir) => {

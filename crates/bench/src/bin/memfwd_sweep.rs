@@ -37,6 +37,10 @@ OPTIONS:
     --selftest              also time the fixed single-run probe cell
                             (health/optimized) and record its
                             refs-per-second in the report
+    --lint-preflight        before the grid, capture and verify the
+                            relocation schedule of every app x variant in
+                            the spec at smoke scale; any MF0xx error
+                            aborts the sweep with exit 20
     --validate <file>       validate an existing report's schema and exit
     --strip-host <file>     print a report with host-timing lines removed
                             (for determinism diffs) and exit
@@ -44,6 +48,7 @@ OPTIONS:
 
 EXIT CODES:
     0  success    1  validation failed    2  usage error
+    20 lint pre-flight rejected a relocation schedule
 ";
 
 struct Cli {
@@ -51,6 +56,7 @@ struct Cli {
     jobs: usize,
     out: std::path::PathBuf,
     selftest: bool,
+    lint_preflight: bool,
 }
 
 enum Mode {
@@ -77,6 +83,7 @@ fn parse() -> Result<Mode, String> {
     let mut jobs = 1usize;
     let mut out = std::path::PathBuf::from("BENCH_sweep.json");
     let mut want_selftest = false;
+    let mut lint_preflight = false;
     let mut args = std::env::args().skip(1);
     let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -128,6 +135,7 @@ fn parse() -> Result<Mode, String> {
             }
             "--out" => out = std::path::PathBuf::from(next_val(&mut args, "--out")?),
             "--selftest" => want_selftest = true,
+            "--lint-preflight" => lint_preflight = true,
             "--validate" => {
                 return Ok(Mode::Validate(std::path::PathBuf::from(next_val(
                     &mut args,
@@ -152,7 +160,33 @@ fn parse() -> Result<Mode, String> {
         jobs,
         out,
         selftest: want_selftest,
+        lint_preflight,
     }))
+}
+
+/// Verifies the relocation schedule of every app x variant in the spec at
+/// smoke scale (fast, layout-representative) before committing to the
+/// grid. Exits 20 on the first schedule with an error diagnostic.
+fn run_lint_preflight(spec: &SweepSpec) {
+    for &app in &spec.apps {
+        for &variant in &spec.variants {
+            let mut cfg = memfwd_apps::RunConfig::new(variant).smoke();
+            cfg.seed = spec.seeds.first().copied().unwrap_or(12345);
+            let captured = memfwd_analyze::capture_app_plan(app, &cfg);
+            let target = memfwd_analyze::app_target(app, &cfg);
+            let report = memfwd_analyze::verify_plan(&target, &captured.plan);
+            if report.errors().next().is_some() {
+                eprint!("{}", memfwd_analyze::render_human(&report));
+                eprintln!("lint-preflight: {target}: schedule rejected; sweep aborted");
+                std::process::exit(20);
+            }
+            eprintln!(
+                "lint-preflight: {target}: safe ({} steps, {} diagnostics)",
+                report.steps,
+                report.diagnostics.len()
+            );
+        }
+    }
 }
 
 fn read_or_die(path: &std::path::Path) -> String {
@@ -190,6 +224,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if cli.lint_preflight {
+        run_lint_preflight(&cli.spec);
+    }
 
     let selftest_rps = if cli.selftest {
         let r = selftest(cli.spec.scale);

@@ -38,6 +38,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports failures as typed `MachineFault`s (or records one
+// before panicking); bare `unwrap()` stays confined to `#[cfg(test)]`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod cluster;
 mod config;
@@ -48,6 +51,7 @@ mod linearize;
 mod machine;
 mod packing;
 mod paging;
+pub mod plan;
 mod ptrcmp;
 mod reloc;
 mod replay;
@@ -66,10 +70,11 @@ pub use linearize::{list_linearize, list_walk, LinearizeOutcome, ListDesc};
 pub use machine::Machine;
 pub use packing::{color_relocate, copy_region, merge_tables, MergedTables};
 pub use paging::PagingConfig;
+pub use plan::{begin_plan_capture, take_captured_steps, RelocPlan, RelocStep};
 pub use ptrcmp::{final_address, ptr_eq};
 pub use reloc::{relocate, relocate_adjacent, try_relocate};
 pub use replay::{replay_trace, try_replay_trace};
-pub use smp::{CoreStats, SmpConfig, SmpMachine};
+pub use smp::{CoreStats, SmpConfig, SmpEvent, SmpMachine};
 pub use snapshot::{
     read_snapshot_file, restore_machine, restore_smp, save_machine, save_smp, write_snapshot_file,
     SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,

@@ -1,0 +1,167 @@
+//! Relocation plans: a capturable record of every relocation a run
+//! performs, plus the machine parameters a static verifier needs to judge
+//! it.
+//!
+//! The paper's premise is that relocation safety cannot in general be
+//! proven statically — hardware forwarding guarantees it dynamically. A
+//! *schedule* of relocations, however, is a finite object the moment it is
+//! written down, and for a known schedule the forwarding-chain graph can be
+//! analyzed before a single cycle is simulated. This module provides the
+//! raw material: a [`RelocPlan`] value and a thread-local capture hook that
+//! [`crate::try_relocate`] feeds, so any run (including the eight stock
+//! applications) can dump the exact relocation schedule it executed. The
+//! verifier itself lives in the `memfwd-analyze` crate.
+//!
+//! Capture is strictly host-side bookkeeping: no simulated cycles, cache
+//! traffic or statistics change whether it is on or off, so a captured run
+//! is bit-identical to an uncaptured one.
+
+use memfwd_tagmem::Addr;
+use std::cell::RefCell;
+
+/// One `relocate(src, tgt, n_words)` call, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelocStep {
+    /// First source word (word-aligned in a well-formed step).
+    pub src: Addr,
+    /// First target word (word-aligned in a well-formed step).
+    pub tgt: Addr,
+    /// Number of words moved.
+    pub words: u64,
+}
+
+/// A relocation schedule together with the machine parameters that decide
+/// its safety.
+///
+/// `pre` lists forwarding edges assumed to exist *before* the first step
+/// runs (word → forwarding address, i.e. words whose forwarding bit is
+/// already set). Plans captured from application runs have an empty `pre`:
+/// every forwarding edge an application creates goes through
+/// [`crate::relocate`] and is therefore part of `steps`. Synthetic plans —
+/// fixtures, fuzzers — may declare arbitrary initial chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelocPlan {
+    /// The relocation steps, in execution order.
+    pub steps: Vec<RelocStep>,
+    /// Forwarding edges present before the first step (word, target).
+    pub pre: Vec<(Addr, Addr)>,
+    /// Base of the simulated heap (relocation targets must stay inside).
+    pub heap_base: Addr,
+    /// Capacity of the simulated heap in bytes.
+    pub heap_capacity: u64,
+    /// The run's hard forwarding-hop budget, if one is declared
+    /// ([`crate::SimConfig::hard_hop_budget`]): an access walking more than
+    /// this many hops faults even on an acyclic chain.
+    pub hard_hop_budget: Option<u32>,
+}
+
+impl RelocPlan {
+    /// An empty plan over the given heap, with no hop budget.
+    pub fn new(heap_base: Addr, heap_capacity: u64) -> RelocPlan {
+        RelocPlan {
+            steps: Vec::new(),
+            pre: Vec::new(),
+            heap_base,
+            heap_capacity,
+            hard_hop_budget: None,
+        }
+    }
+}
+
+thread_local! {
+    /// The capture slot: `Some` while this thread is recording relocation
+    /// steps. Thread-local so parallel sweep workers never interleave
+    /// their schedules.
+    static CAPTURE: RefCell<Option<Vec<RelocStep>>> = const { RefCell::new(None) };
+}
+
+/// Starts recording relocation steps on this thread, discarding any
+/// previously captured (and not yet taken) steps.
+pub fn begin_plan_capture() {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(Vec::new()));
+}
+
+/// Stops recording and returns the steps captured on this thread since
+/// [`begin_plan_capture`], or `None` if capture was never started.
+pub fn take_captured_steps() -> Option<Vec<RelocStep>> {
+    CAPTURE.with(|c| c.borrow_mut().take())
+}
+
+/// Records one relocation step if this thread is capturing. Called by
+/// [`crate::try_relocate`] after its alignment checks.
+pub(crate) fn note_reloc_step(src: Addr, tgt: Addr, words: u64) {
+    CAPTURE.with(|c| {
+        if let Some(steps) = c.borrow_mut().as_mut() {
+            steps.push(RelocStep { src, tgt, words });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::machine::Machine;
+    use crate::reloc::relocate;
+
+    #[test]
+    fn capture_records_steps_in_order() {
+        begin_plan_capture();
+        let mut m = Machine::new(SimConfig::default());
+        let a = m.malloc(16);
+        let b = m.malloc(16);
+        let c = m.malloc(8);
+        let d = m.malloc(8);
+        relocate(&mut m, a, b, 2);
+        relocate(&mut m, c, d, 1);
+        let steps = take_captured_steps().expect("capture was started");
+        assert_eq!(
+            steps,
+            vec![
+                RelocStep {
+                    src: a,
+                    tgt: b,
+                    words: 2
+                },
+                RelocStep {
+                    src: c,
+                    tgt: d,
+                    words: 1
+                },
+            ]
+        );
+        assert_eq!(take_captured_steps(), None, "taking clears the slot");
+    }
+
+    #[test]
+    fn capture_off_records_nothing() {
+        let _ = take_captured_steps();
+        let mut m = Machine::new(SimConfig::default());
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        relocate(&mut m, a, b, 1);
+        assert_eq!(take_captured_steps(), None);
+    }
+
+    #[test]
+    fn capture_does_not_perturb_the_simulation() {
+        let run = || {
+            let mut m = Machine::new(SimConfig::default());
+            let a = m.malloc(32);
+            let b = m.malloc(32);
+            for i in 0..4 {
+                m.store_word(a.add_words(i), i);
+            }
+            relocate(&mut m, a, b, 4);
+            for i in 0..4 {
+                assert_eq!(m.load_word(a.add_words(i)), i);
+            }
+            m.finish()
+        };
+        let plain = run();
+        begin_plan_capture();
+        let captured = run();
+        assert_eq!(take_captured_steps().map(|s| s.len()), Some(1));
+        assert_eq!(plain, captured, "capture must be bit-identical");
+    }
+}

@@ -29,6 +29,10 @@ pub fn try_relocate(
     tgt: Addr,
     n_words: u64,
 ) -> Result<(), MachineFault> {
+    // Record the step (capture is a thread-local no-op when off) before any
+    // validation, so a plan captured from a faulting run still contains the
+    // step that faulted — the shadow sanitizer matches faults to diagnostics.
+    crate::plan::note_reloc_step(src, tgt, n_words);
     if !src.is_aligned(8) {
         return Err(MachineFault::Misaligned { addr: src, size: 8 });
     }

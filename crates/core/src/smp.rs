@@ -53,6 +53,33 @@ impl Default for SmpConfig {
     }
 }
 
+/// One entry of the optional SMP event trace (see
+/// [`SmpMachine::enable_event_trace`]).
+///
+/// The trace records the logical shared-memory behaviour of a campaign —
+/// which core touched which word, and where the global barriers fell — in
+/// execution order. It is the input to the happens-before race detector in
+/// `memfwd-analyze`: with barriers as the only synchronization primitive,
+/// two accesses to the same word by different cores race unless a barrier
+/// separates them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmpEvent {
+    /// A coherent access by `core` to the word at `word` (a word-base
+    /// address). Forwarding-chain reads during a walk and the
+    /// forwarding-address installs done by [`SmpMachine::relocate`] appear
+    /// here too — chain words are shared data like any other.
+    Access {
+        /// The accessing core.
+        core: usize,
+        /// Word-base address of the touched word.
+        word: Addr,
+        /// True for a store (including a forwarding-address install).
+        is_store: bool,
+    },
+    /// A global [`SmpMachine::barrier`].
+    Barrier,
+}
+
 /// Per-core statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CoreStats {
@@ -116,6 +143,10 @@ pub struct SmpMachine {
     pub(crate) injector: Option<Injector>,
     pub(crate) injected_faults: u64,
     pub(crate) fault_repairs: u64,
+    /// Optional event trace for the happens-before race detector. Purely
+    /// observational — enabling it changes no timing or statistics — and
+    /// transient: snapshots neither save nor restore it.
+    pub(crate) events: Option<Vec<SmpEvent>>,
 }
 
 impl SmpMachine {
@@ -141,8 +172,30 @@ impl SmpMachine {
             injector: sim.fault_injection.map(Injector::new),
             injected_faults: 0,
             fault_repairs: 0,
+            events: None,
             cfg,
             sim,
+        }
+    }
+
+    /// Starts recording shared-memory events (accesses and barriers) for
+    /// the happens-before race detector, discarding any prior trace. The
+    /// trace is observational only: timing, coherence behaviour and
+    /// statistics are identical with it on or off.
+    pub fn enable_event_trace(&mut self) {
+        self.events = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the trace collected since
+    /// [`SmpMachine::enable_event_trace`], or `None` if tracing was never
+    /// enabled.
+    pub fn take_event_trace(&mut self) -> Option<Vec<SmpEvent>> {
+        self.events.take()
+    }
+
+    fn note_event(&mut self, ev: SmpEvent) {
+        if let Some(events) = self.events.as_mut() {
+            events.push(ev);
         }
     }
 
@@ -261,6 +314,7 @@ impl SmpMachine {
         for c in &mut self.cores {
             c.now = max;
         }
+        self.note_event(SmpEvent::Barrier);
     }
 
     /// Charges `n` ALU cycles to `core`.
@@ -357,6 +411,11 @@ impl SmpMachine {
 
     /// One coherent access by `core`. Returns the access latency.
     fn access(&mut self, core: usize, addr: Addr, size: u64, is_store: bool) -> u64 {
+        self.note_event(SmpEvent::Access {
+            core,
+            word: addr.word_base(),
+            is_store,
+        });
         let (line, mask) = self.word_mask(addr, size);
         let info = self.lines.entry(line).or_default();
         let had_copy = self.cores[core].l1.lookup(line);
@@ -575,6 +634,14 @@ impl SmpMachine {
                     self.cores[core].now += lat;
                     self.mem.write_data(tgt.add_words(i), 8, val);
                     self.mem.unforwarded_write(cur, tgt.add_words(i).0, true);
+                    // The forwarding-address install rewrites the (shared)
+                    // chain-terminal word; the race detector must see it as
+                    // a store even though it bypasses the timed access path.
+                    self.note_event(SmpEvent::Access {
+                        core,
+                        word: cur.word_base(),
+                        is_store: true,
+                    });
                     break;
                 }
                 cur = Addr(val);
@@ -730,6 +797,77 @@ mod tests {
             m.mem.unforwarded_write(w[0], w[1].0, true);
         }
         assert_eq!(m.try_load(0, blocks[0], 8), Ok(99), "long != cyclic");
+    }
+
+    #[test]
+    fn event_trace_records_accesses_and_barriers() {
+        let mut m = smp(2);
+        let a = m.malloc(16);
+        m.enable_event_trace();
+        m.store(0, a, 8, 1);
+        m.barrier();
+        assert_eq!(m.load(1, a, 8), 1);
+        let ev = m.take_event_trace().expect("trace was enabled");
+        assert_eq!(
+            ev,
+            vec![
+                SmpEvent::Access {
+                    core: 0,
+                    word: a,
+                    is_store: true
+                },
+                SmpEvent::Barrier,
+                SmpEvent::Access {
+                    core: 1,
+                    word: a,
+                    is_store: false
+                },
+            ]
+        );
+        assert_eq!(m.take_event_trace(), None, "taking clears the trace");
+    }
+
+    #[test]
+    fn event_trace_sees_relocation_installs_and_walks() {
+        let mut m = smp(2);
+        let a = m.malloc(8);
+        let b = m.malloc(8);
+        m.store(0, a, 8, 9);
+        m.enable_event_trace();
+        m.relocate(0, a, b, 1);
+        m.barrier();
+        assert_eq!(m.load(1, a, 8), 9, "stale pointer forwards");
+        let ev = m.take_event_trace().expect("trace was enabled");
+        // The relocation must surface a store to the old home (the
+        // forwarding-address install) and the stale load must surface a
+        // read of that chain word by the other core.
+        assert!(ev.contains(&SmpEvent::Access {
+            core: 0,
+            word: a,
+            is_store: true
+        }));
+        assert!(ev.contains(&SmpEvent::Access {
+            core: 1,
+            word: a,
+            is_store: false
+        }));
+    }
+
+    #[test]
+    fn event_trace_does_not_perturb_timing_or_stats() {
+        let run = |traced: bool| {
+            let mut m = smp(2);
+            let a = m.malloc(64);
+            if traced {
+                m.enable_event_trace();
+            }
+            for i in 0..10 {
+                m.store(i % 2, a, 8, i as u64);
+            }
+            m.barrier();
+            (m.cycles(), m.total_stats())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

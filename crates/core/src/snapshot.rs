@@ -571,6 +571,9 @@ pub fn restore_smp(
             injector,
             injected_faults,
             fault_repairs,
+            // Like the uniprocessor fault handler, the observational event
+            // trace is transient: a restored machine starts untraced.
+            events: None,
         },
         cursor,
     ))

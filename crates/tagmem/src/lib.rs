@@ -30,6 +30,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code reports failures as typed errors (or records a typed fault
+// before panicking); bare `unwrap()` stays confined to `#[cfg(test)]`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod alloc;
 mod chain;
