@@ -5,8 +5,8 @@
 //! stable `MF0xx` diagnostics in human or JSON form.
 
 use memfwd_analyze::{
-    app_target, capture_app_plan, certify_stock_campaigns, parse_plan, race_report, render_human,
-    render_json, verify_plan, DenySet, Report,
+    app_target, capture_app_plan, certify_stock_campaigns, diff_plans, parse_plan, race_report,
+    render_diff_human, render_diff_json, render_human, render_json, verify_plan, DenySet, Report,
 };
 use memfwd_apps::{App, RunConfig, Scale, Variant};
 use std::path::PathBuf;
@@ -26,6 +26,11 @@ TARGETS (at least one; may be repeated/combined):
                             happens-before race certifier
     --smp-seeded-race       run the deliberately racy campaign (expected
                             to flag MF009; for testing the certifier)
+    --diff <old> <new>      structurally diff two plan files instead of
+                            linting: report changed steps (common-prefix/
+                            suffix trim), bounds, budget, and pre-edges;
+                            honors --format; exit 0 if identical, 1 if
+                            they differ
 
 OPTIONS:
     --variant <v>           original|optimized|static (default: optimized)
@@ -37,7 +42,9 @@ OPTIONS:
     --help                  print this text
 
 EXIT CODES:
-    0  no denied diagnostics     1  lint gate failed    2  usage error
+    0  no denied diagnostics (--diff: plans identical)
+    1  lint gate failed (--diff: plans differ)
+    2  usage error
 ";
 
 struct Cli {
@@ -45,6 +52,7 @@ struct Cli {
     plans: Vec<PathBuf>,
     smp_certify: bool,
     smp_seeded_race: bool,
+    diff: Option<(PathBuf, PathBuf)>,
     variant: Variant,
     scale: Scale,
     seed: u64,
@@ -58,6 +66,7 @@ fn parse_args() -> Result<Cli, String> {
         plans: Vec::new(),
         smp_certify: false,
         smp_seeded_race: false,
+        diff: None,
         variant: Variant::Optimized,
         scale: Scale::Smoke,
         seed: 12345,
@@ -84,6 +93,11 @@ fn parse_args() -> Result<Cli, String> {
                 .push(PathBuf::from(next_val(&mut args, "--plan")?)),
             "--smp-certify" => cli.smp_certify = true,
             "--smp-seeded-race" => cli.smp_seeded_race = true,
+            "--diff" => {
+                let old = next_val(&mut args, "--diff")?;
+                let new = args.next().ok_or("--diff needs two plan files")?;
+                cli.diff = Some((PathBuf::from(old), PathBuf::from(new)));
+            }
             "--variant" => {
                 let v = next_val(&mut args, "--variant")?;
                 cli.variant =
@@ -116,9 +130,20 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
-    if cli.apps.is_empty() && cli.plans.is_empty() && !cli.smp_certify && !cli.smp_seeded_race {
+    if cli.diff.is_some()
+        && (!cli.apps.is_empty() || !cli.plans.is_empty() || cli.smp_certify || cli.smp_seeded_race)
+    {
+        return Err("--diff cannot be combined with lint targets".into());
+    }
+    if cli.diff.is_none()
+        && cli.apps.is_empty()
+        && cli.plans.is_empty()
+        && !cli.smp_certify
+        && !cli.smp_seeded_race
+    {
         return Err(
-            "nothing to lint: give --app, --plan, --smp-certify or --smp-seeded-race".into(),
+            "nothing to lint: give --app, --plan, --smp-certify, --smp-seeded-race or --diff"
+                .into(),
         );
     }
     Ok(cli)
@@ -132,6 +157,31 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some((old_path, new_path)) = &cli.diff {
+        let load = |path: &PathBuf| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            parse_plan(&text).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        };
+        let (old, new) = (load(old_path), load(new_path));
+        let d = diff_plans(&old, &new);
+        let (old_name, new_name) = (
+            old_path.display().to_string(),
+            new_path.display().to_string(),
+        );
+        if cli.json {
+            print!("{}", render_diff_json(&old_name, &new_name, &d));
+        } else {
+            print!("{}", render_diff_human(&old_name, &new_name, &d));
+        }
+        std::process::exit(i32::from(!d.is_identical()));
+    }
 
     let mut reports: Vec<Report> = Vec::new();
     for &app in &cli.apps {

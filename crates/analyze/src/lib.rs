@@ -19,6 +19,8 @@
 //!   and the `--deny` gate;
 //! - [`capture`] — plan capture from the eight stock applications;
 //! - [`planfile`] — a tiny text format for synthetic plans and fixtures;
+//! - [`plandiff`] — stable structural diffing of two plans, fronted by
+//!   `memfwd_lint --diff old.plan new.plan`;
 //! - [`race`] — vector-clock happens-before race detection over
 //!   [`memfwd::SmpEvent`] traces, with barrier-disciplined stock campaigns
 //!   and a seeded racy one;
@@ -36,6 +38,7 @@
 
 pub mod capture;
 pub mod diag;
+pub mod plandiff;
 pub mod planfile;
 pub mod race;
 #[cfg(feature = "shadow")]
@@ -44,6 +47,7 @@ pub mod verify;
 
 pub use capture::{app_target, capture_app_plan, CapturedRun};
 pub use diag::{render_human, render_json, Code, DenySet, Diagnostic, Report, Severity, Verdict};
+pub use plandiff::{diff_plans, render_diff_human, render_diff_json, PlanDiff};
 pub use planfile::{parse_plan, render_plan};
 pub use race::{certify_stock_campaigns, find_races, race_report, RaceFinding};
 pub use verify::verify_plan;

@@ -1,0 +1,363 @@
+//! Stable structural diffing of relocation plans.
+//!
+//! Layout optimizations are tuned by editing the relocation schedule; what
+//! a reviewer needs is not two thousand-line plan files but the *delta*:
+//! which steps changed, and did the safety-relevant envelope (heap bounds,
+//! hop budget, pre-existing forwarding edges) move. [`diff_plans`]
+//! computes that delta and `memfwd_lint --diff old.plan new.plan` renders
+//! it, human or JSON.
+//!
+//! The step diff is the common-prefix/common-suffix trim: relocation
+//! schedules are execution-ordered, so an edit is almost always a
+//! localized splice, and trimming the identical head and tail isolates it
+//! exactly. The result is *stable*: diffing the same two plans always
+//! produces the same output, byte for byte, and a plan diffs against
+//! itself as empty — both properties are pinned by tests, because CI
+//! gates on the rendered form.
+
+use memfwd::{RelocPlan, RelocStep};
+use memfwd_tagmem::Addr;
+
+/// The structural delta between two [`RelocPlan`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDiff {
+    /// Heap envelope change: `(old, new)` as `(base, capacity)` pairs.
+    pub bounds: Option<((Addr, u64), (Addr, u64))>,
+    /// Hard hop-budget change: `(old, new)`.
+    pub budget: Option<(Option<u32>, Option<u32>)>,
+    /// Pre-existing forwarding edges only the old plan declares, in the
+    /// old plan's order.
+    pub pre_removed: Vec<(Addr, Addr)>,
+    /// Pre-existing forwarding edges only the new plan declares, in the
+    /// new plan's order.
+    pub pre_added: Vec<(Addr, Addr)>,
+    /// Steps shared verbatim at the head of both schedules.
+    pub common_prefix: usize,
+    /// Steps shared verbatim at the tail of both schedules (disjoint from
+    /// the prefix).
+    pub common_suffix: usize,
+    /// The old plan's spliced-out middle, in execution order.
+    pub steps_removed: Vec<RelocStep>,
+    /// The new plan's spliced-in middle, in execution order.
+    pub steps_added: Vec<RelocStep>,
+    /// Total step count of the old plan.
+    pub old_steps: usize,
+    /// Total step count of the new plan.
+    pub new_steps: usize,
+}
+
+impl PlanDiff {
+    /// Whether the two plans are structurally identical.
+    pub fn is_identical(&self) -> bool {
+        self.bounds.is_none()
+            && self.budget.is_none()
+            && self.pre_removed.is_empty()
+            && self.pre_added.is_empty()
+            && self.steps_removed.is_empty()
+            && self.steps_added.is_empty()
+    }
+}
+
+/// Multiset difference preserving first-occurrence order: every element of
+/// `a` not matched one-for-one by an element of `b`.
+fn multiset_minus<T: PartialEq + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut pool: Vec<&T> = b.iter().collect();
+    a.iter()
+        .filter(|x| match pool.iter().position(|y| *y == *x) {
+            Some(i) => {
+                pool.swap_remove(i);
+                false
+            }
+            None => true,
+        })
+        .cloned()
+        .collect()
+}
+
+/// Computes the structural delta from `old` to `new`.
+pub fn diff_plans(old: &RelocPlan, new: &RelocPlan) -> PlanDiff {
+    let bounds = ((old.heap_base, old.heap_capacity) != (new.heap_base, new.heap_capacity))
+        .then_some((
+            (old.heap_base, old.heap_capacity),
+            (new.heap_base, new.heap_capacity),
+        ));
+    let budget = (old.hard_hop_budget != new.hard_hop_budget)
+        .then_some((old.hard_hop_budget, new.hard_hop_budget));
+
+    let prefix = old
+        .steps
+        .iter()
+        .zip(&new.steps)
+        .take_while(|(a, b)| a == b)
+        .count();
+    // The suffix must not reclaim steps already claimed by the prefix.
+    let max_suffix = old.steps.len().min(new.steps.len()) - prefix;
+    let suffix = old.steps[prefix..]
+        .iter()
+        .rev()
+        .zip(new.steps[prefix..].iter().rev())
+        .take(max_suffix)
+        .take_while(|(a, b)| a == b)
+        .count();
+
+    PlanDiff {
+        bounds,
+        budget,
+        pre_removed: multiset_minus(&old.pre, &new.pre),
+        pre_added: multiset_minus(&new.pre, &old.pre),
+        common_prefix: prefix,
+        common_suffix: suffix,
+        steps_removed: old.steps[prefix..old.steps.len() - suffix].to_vec(),
+        steps_added: new.steps[prefix..new.steps.len() - suffix].to_vec(),
+        old_steps: old.steps.len(),
+        new_steps: new.steps.len(),
+    }
+}
+
+fn step_line(prefix: char, index: usize, s: &RelocStep) -> String {
+    format!(
+        "  {prefix} [{index}] reloc {:#x} {:#x} {}\n",
+        s.src.0, s.tgt.0, s.words
+    )
+}
+
+/// Renders a diff for terminals, `diff -u` flavoured: `-` lines come from
+/// `old_name`, `+` lines from `new_name`. Identical plans render a single
+/// "identical" line.
+pub fn render_diff_human(old_name: &str, new_name: &str, d: &PlanDiff) -> String {
+    let mut out = format!("plan diff: {old_name} -> {new_name}\n");
+    if d.is_identical() {
+        out.push_str(&format!("  identical ({} steps)\n", d.old_steps));
+        return out;
+    }
+    if let Some(((ob, oc), (nb, nc))) = d.bounds {
+        out.push_str(&format!("  - bounds {:#x} {oc:#x}\n", ob.0));
+        out.push_str(&format!("  + bounds {:#x} {nc:#x}\n", nb.0));
+    }
+    if let Some((o, n)) = d.budget {
+        let fmt = |b: Option<u32>| match b {
+            Some(b) => format!("budget {b}"),
+            None => "no budget".to_string(),
+        };
+        out.push_str(&format!("  - {}\n", fmt(o)));
+        out.push_str(&format!("  + {}\n", fmt(n)));
+    }
+    for &(w, t) in &d.pre_removed {
+        out.push_str(&format!("  - pre {:#x} {:#x}\n", w.0, t.0));
+    }
+    for &(w, t) in &d.pre_added {
+        out.push_str(&format!("  + pre {:#x} {:#x}\n", w.0, t.0));
+    }
+    if !d.steps_removed.is_empty() || !d.steps_added.is_empty() {
+        out.push_str(&format!(
+            "  @@ steps {}..{} of {} -> {}..{} of {} ({} common head, {} common tail)\n",
+            d.common_prefix,
+            d.old_steps - d.common_suffix,
+            d.old_steps,
+            d.common_prefix,
+            d.new_steps - d.common_suffix,
+            d.new_steps,
+            d.common_prefix,
+            d.common_suffix,
+        ));
+        for (i, s) in d.steps_removed.iter().enumerate() {
+            out.push_str(&step_line('-', d.common_prefix + i, s));
+        }
+        for (i, s) in d.steps_added.iter().enumerate() {
+            out.push_str(&step_line('+', d.common_prefix + i, s));
+        }
+    }
+    out
+}
+
+fn json_steps(steps: &[RelocStep]) -> String {
+    let items: Vec<String> = steps
+        .iter()
+        .map(|s| {
+            format!(
+                "{{ \"src\": {}, \"tgt\": {}, \"words\": {} }}",
+                s.src.0, s.tgt.0, s.words
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn json_edges(edges: &[(Addr, Addr)]) -> String {
+    let items: Vec<String> = edges
+        .iter()
+        .map(|(w, t)| format!("{{ \"word\": {}, \"target\": {} }}", w.0, t.0))
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Renders a diff as a single stable JSON object (keys in fixed order,
+/// machine-consumable in CI).
+pub fn render_diff_json(old_name: &str, new_name: &str, d: &PlanDiff) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"old\": \"{old_name}\",\n  \"new\": \"{new_name}\",\n"
+    ));
+    out.push_str(&format!("  \"identical\": {},\n", d.is_identical()));
+    match d.bounds {
+        Some(((ob, oc), (nb, nc))) => out.push_str(&format!(
+            "  \"bounds\": {{ \"old\": [{}, {oc}], \"new\": [{}, {nc}] }},\n",
+            ob.0, nb.0
+        )),
+        None => out.push_str("  \"bounds\": null,\n"),
+    }
+    match d.budget {
+        Some((o, n)) => {
+            let j = |b: Option<u32>| b.map_or("null".to_string(), |b| b.to_string());
+            out.push_str(&format!(
+                "  \"budget\": {{ \"old\": {}, \"new\": {} }},\n",
+                j(o),
+                j(n)
+            ));
+        }
+        None => out.push_str("  \"budget\": null,\n"),
+    }
+    out.push_str(&format!(
+        "  \"pre_removed\": {},\n  \"pre_added\": {},\n",
+        json_edges(&d.pre_removed),
+        json_edges(&d.pre_added)
+    ));
+    out.push_str(&format!(
+        "  \"common_prefix\": {},\n  \"common_suffix\": {},\n",
+        d.common_prefix, d.common_suffix
+    ));
+    out.push_str(&format!(
+        "  \"steps_removed\": {},\n  \"steps_added\": {},\n",
+        json_steps(&d.steps_removed),
+        json_steps(&d.steps_added)
+    ));
+    out.push_str(&format!(
+        "  \"old_steps\": {},\n  \"new_steps\": {}\n}}\n",
+        d.old_steps, d.new_steps
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(src: u64, tgt: u64, words: u64) -> RelocStep {
+        RelocStep {
+            src: Addr(src),
+            tgt: Addr(tgt),
+            words,
+        }
+    }
+
+    fn base_plan() -> RelocPlan {
+        let mut p = RelocPlan::new(Addr(0x10_000), 1 << 20);
+        p.steps = vec![
+            step(0x100, 0x200, 4),
+            step(0x300, 0x400, 2),
+            step(0x500, 0x600, 1),
+            step(0x700, 0x800, 8),
+        ];
+        p
+    }
+
+    #[test]
+    fn identical_plans_diff_empty() {
+        let p = base_plan();
+        let d = diff_plans(&p, &p);
+        assert!(d.is_identical());
+        assert_eq!(d.common_prefix, 4);
+        assert_eq!(d.common_suffix, 0, "prefix claims everything first");
+        assert!(render_diff_human("a", "b", &d).contains("identical (4 steps)"));
+    }
+
+    #[test]
+    fn splice_is_isolated_by_prefix_suffix_trim() {
+        let old = base_plan();
+        let mut new = base_plan();
+        // Replace the middle two steps with one different step.
+        new.steps = vec![
+            step(0x100, 0x200, 4),
+            step(0x999, 0x1000, 3),
+            step(0x700, 0x800, 8),
+        ];
+        let d = diff_plans(&old, &new);
+        assert_eq!(d.common_prefix, 1);
+        assert_eq!(d.common_suffix, 1);
+        assert_eq!(
+            d.steps_removed,
+            vec![step(0x300, 0x400, 2), step(0x500, 0x600, 1)]
+        );
+        assert_eq!(d.steps_added, vec![step(0x999, 0x1000, 3)]);
+        let human = render_diff_human("old", "new", &d);
+        assert!(human.contains("- [1] reloc 0x300 0x400 2"));
+        assert!(human.contains("+ [1] reloc 0x999 0x1000 3"));
+    }
+
+    #[test]
+    fn repeated_steps_do_not_overlap_prefix_and_suffix() {
+        // old = [A, A], new = [A]: the single common step must be claimed
+        // once, not counted in both prefix and suffix.
+        let mut old = RelocPlan::new(Addr(0), 1 << 20);
+        old.steps = vec![step(8, 16, 1), step(8, 16, 1)];
+        let mut new = old.clone();
+        new.steps.pop();
+        let d = diff_plans(&old, &new);
+        assert_eq!(d.common_prefix + d.common_suffix, 1);
+        assert_eq!(d.steps_removed.len(), 1);
+        assert!(d.steps_added.is_empty());
+    }
+
+    #[test]
+    fn envelope_and_pre_changes_are_reported() {
+        let old = base_plan();
+        let mut new = base_plan();
+        new.heap_capacity = 1 << 21;
+        new.hard_hop_budget = Some(8);
+        new.pre.push((Addr(0x40), Addr(0x80)));
+        let d = diff_plans(&old, &new);
+        assert!(!d.is_identical());
+        assert_eq!(d.bounds.map(|(_, (_, nc))| nc), Some(1 << 21));
+        assert_eq!(d.budget, Some((None, Some(8))));
+        assert_eq!(d.pre_added, vec![(Addr(0x40), Addr(0x80))]);
+        assert!(d.pre_removed.is_empty());
+        assert!(d.steps_removed.is_empty() && d.steps_added.is_empty());
+    }
+
+    #[test]
+    fn rendering_is_stable() {
+        let old = base_plan();
+        let mut new = base_plan();
+        new.steps.remove(2);
+        let d1 = diff_plans(&old, &new);
+        let d2 = diff_plans(&old, &new);
+        assert_eq!(d1, d2);
+        assert_eq!(
+            render_diff_human("x", "y", &d1),
+            render_diff_human("x", "y", &d2)
+        );
+        assert_eq!(
+            render_diff_json("x", "y", &d1),
+            render_diff_json("x", "y", &d2)
+        );
+    }
+
+    #[test]
+    fn json_has_fixed_keys_and_reports_the_delta() {
+        let old = base_plan();
+        let mut new = base_plan();
+        new.steps[3] = step(0x700, 0x900, 8);
+        let j = render_diff_json("old.plan", "new.plan", &diff_plans(&old, &new));
+        for key in [
+            "\"identical\": false",
+            "\"bounds\": null",
+            "\"budget\": null",
+            "\"common_prefix\": 3",
+            "\"common_suffix\": 0",
+            "\"steps_removed\": [{ \"src\": 1792,",
+            "\"old_steps\": 4",
+        ] {
+            assert!(j.contains(key), "missing {key} in:\n{j}");
+        }
+    }
+}

@@ -5,10 +5,10 @@
 //!
 //! 1. **Certified ⇒ fault-free.** A plan with no error diagnostics must
 //!    execute — steps, then demand probes of every involved word — without
-//!    raising a [`MachineFault`].
+//!    raising a [`memfwd::MachineFault`].
 //! 2. **Fault ⇒ flagged.** When execution does fault, at least one error
 //!    diagnostic must predict that fault's kind
-//!    ([`Code::predicted_fault_kinds`]).
+//!    ([`crate::diag::Code::predicted_fault_kinds`]).
 //!
 //! Either violation is a bug in the verifier (or the machine) and is
 //! reported as a [`ShadowMismatch`]. The module is feature-gated

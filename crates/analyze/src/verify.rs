@@ -16,7 +16,7 @@
 //! match the plan, then demand-load every word that appears in any step's
 //! source or target range or as a `pre` edge source. **If the verifier
 //! reports no error-severity diagnostic, that execution raises no
-//! [`MachineFault`].** The converse is deliberately not claimed: the
+//! [`memfwd::MachineFault`].** The converse is deliberately not claimed: the
 //! verifier is conservative (e.g. an out-of-bounds target is flagged even
 //! though the sparse simulated memory happily absorbs the store). The
 //! shadow sanitizer (`shadow` feature) cross-validates both directions at

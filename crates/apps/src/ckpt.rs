@@ -4,7 +4,7 @@
 //! state (indices, accumulators, the workload RNG, handle tables, the
 //! relocation pool) lives outside simulated memory. A machine snapshot
 //! alone therefore cannot resume a run: the host loop must cooperate. It
-//! does so by calling [`Checkpointer::boundary`] at the top of each outer
+//! does so by calling `Checkpointer::boundary` at the top of each outer
 //! iteration with a closure that serializes the *complete* host state into
 //! an opaque cursor of `u64` words; the checkpointer decides — based on
 //! how many demand references the machine has issued since the last
@@ -61,6 +61,26 @@ pub struct Checkpointer {
     captured: Option<Vec<u8>>,
     refs_at_last: u64,
     boundaries: u64,
+    run_fp: u64,
+}
+
+/// Fingerprint of the run parameters that live *outside* `SimConfig`
+/// (variant, prefetching, scale, seed, threshold override). The snapshot
+/// container already fingerprints the complete `SimConfig`; this word,
+/// stored as the first cursor entry, extends the same guarantee to the
+/// workload parameters, so resuming under a different variant or seed is
+/// a typed `ConfigMismatch` instead of a silently hybrid run.
+fn run_fingerprint(cfg: &RunConfig) -> u64 {
+    let repr = format!(
+        "{:?}|{}|{}|{:?}|{}|{:?}",
+        cfg.variant, cfg.prefetch, cfg.prefetch_lines, cfg.scale, cfg.seed, cfg.linearize_threshold
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in repr.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl Checkpointer {
@@ -73,6 +93,7 @@ impl Checkpointer {
             captured: None,
             refs_at_last: 0,
             boundaries: 0,
+            run_fp: 0,
         }
     }
 
@@ -129,10 +150,20 @@ impl Checkpointer {
             .or(cfg.sim.checkpoint_every)
             .unwrap_or(DEFAULT_CHECKPOINT_EVERY)
             .max(1);
+        self.run_fp = run_fingerprint(cfg);
         match self.resume.take() {
             Some(image) => {
-                let (m, cursor) = memfwd::restore_machine(&image, cfg.sim)
+                let (m, mut cursor) = memfwd::restore_machine(&image, cfg.sim)
                     .map_err(|error| MachineFault::CorruptSnapshot { error })?;
+                // The first cursor word is the run-parameter fingerprint
+                // written at capture time; a snapshot from a different
+                // variant/seed/scale must not be continued.
+                if cursor.first() != Some(&self.run_fp) {
+                    return Err(MachineFault::CorruptSnapshot {
+                        error: SnapshotError::ConfigMismatch,
+                    });
+                }
+                cursor.remove(0);
                 self.refs_at_last = refs_of(&m);
                 Ok((m, cursor))
             }
@@ -163,18 +194,26 @@ impl Checkpointer {
         match &self.mode {
             Mode::StopAfter { k } => {
                 if self.boundaries >= *k {
-                    self.captured = Some(memfwd::save_machine(m, &cursor()));
+                    self.captured = Some(memfwd::save_machine(m, &self.stamped(cursor())));
                     return Ok(true);
                 }
             }
             Mode::File { path } => {
-                let image = memfwd::save_machine(m, &cursor());
+                let image = memfwd::save_machine(m, &self.stamped(cursor()));
                 memfwd::write_snapshot_file(path, &image)
                     .map_err(|error| MachineFault::CorruptSnapshot { error })?;
             }
             Mode::Disabled => {}
         }
         Ok(false)
+    }
+
+    /// Prepends the run-parameter fingerprint to an application cursor.
+    fn stamped(&self, cursor: Vec<u64>) -> Vec<u64> {
+        let mut words = Vec::with_capacity(cursor.len() + 1);
+        words.push(self.run_fp);
+        words.extend(cursor);
+        words
     }
 }
 

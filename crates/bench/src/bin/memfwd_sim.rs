@@ -273,10 +273,29 @@ fn main() {
         None => Checkpointer::disabled(),
     };
     if let Some(path) = &cli.resume {
-        match memfwd::read_snapshot_file(path) {
-            Ok(image) => ck = ck.resume_from(image),
+        let image = match memfwd::read_snapshot_file(path) {
+            Ok(image) => image,
             Err(e) => fault_exit(&MachineFault::from(e)),
+        };
+        // Validate the snapshot against *this* invocation's configuration
+        // before building anything: a config-skewed resume must fail fast
+        // with a clear message, not deep inside machine reconstruction.
+        if let Err(e) = memfwd::check_snapshot_config(&image, &cfg.sim) {
+            if matches!(e, memfwd::SnapshotError::ConfigMismatch) {
+                eprintln!(
+                    "error: snapshot {} does not match this configuration: {e}",
+                    path.display()
+                );
+                eprintln!(
+                    "hint: --resume requires the same --app/--variant/--line-bytes/... \
+                     flags as the run that wrote the snapshot"
+                );
+            } else {
+                eprintln!("error: snapshot {} is unusable: {e}", path.display());
+            }
+            fault_exit(&MachineFault::from(e));
         }
+        ck = ck.resume_from(image);
     }
 
     let wall = std::time::Instant::now();

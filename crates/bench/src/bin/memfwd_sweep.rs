@@ -1,4 +1,4 @@
-//! `memfwd_sweep` — parallel sweep driver.
+//! `memfwd_sweep` — parallel sweep driver and supervised campaign runner.
 //!
 //! Expands a declarative sweep spec (app × variant × line-bytes ×
 //! mem-latency × seed) into independent simulator runs, executes them on a
@@ -6,14 +6,29 @@
 //! report content is bit-identical at any `--jobs` value; only the
 //! `host_`-prefixed timing fields change between hosts and runs.
 //!
+//! With `--supervised` each cell runs in an out-of-process worker (a
+//! re-exec of this binary in its hidden `--worker-cell` mode) under the
+//! `memfwd-farm` supervisor: worker crashes are isolated to one cell,
+//! failed cells are retried with backoff then quarantined as typed holes,
+//! and every terminal outcome is durably journaled so a SIGKILLed
+//! campaign resumes with `--resume`, recomputing only unfinished cells.
+//!
 //! ```console
 //! $ cargo run --release -p memfwd-bench --bin memfwd_sweep -- \
 //!       --apps health,mst --variants original,optimized \
-//!       --line-bytes 32,64,128 --jobs 8 --scale bench
+//!       --line-bytes 32,64,128 --jobs 8 --scale bench \
+//!       --supervised --farm-dir target/farm
 //! ```
 
 use memfwd_apps::{App, Scale, Variant};
-use memfwd_bench::sweep::{run_sweep, selftest, strip_host_lines, validate_report, SweepSpec};
+use memfwd_bench::sweep::{
+    run_sweep, selftest, strip_host_lines, strip_volatile_lines, validate_report, CellSpec,
+    SweepSpec,
+};
+use memfwd_farm::{
+    campaign_fingerprint, cell_key, run_campaign, run_worker_cell, ChaosSpec, FarmOptions, Journal,
+    SubprocessRunner, WorkerArgs,
+};
 
 const USAGE: &str = "\
 memfwd-sweep: run an app/variant/line/latency/seed sweep in parallel
@@ -44,11 +59,44 @@ OPTIONS:
     --validate <file>       validate an existing report's schema and exit
     --strip-host <file>     print a report with host-timing lines removed
                             (for determinism diffs) and exit
+    --strip-volatile <file> like --strip-host but also drop campaign
+                            bookkeeping (outcome/attempts/error/summary),
+                            for diffing a recovered chaos campaign against
+                            a clean golden run
     --help                  print this text
+
+SUPERVISED CAMPAIGNS:
+    --supervised            run each cell in an out-of-process worker
+                            under the farm supervisor (crash isolation,
+                            retry/backoff, durable journal)
+    --farm-dir <dir>        journal + checkpoint directory
+                            (default: target/farm)
+    --resume                resume the campaign from the journal in
+                            --farm-dir, recomputing only unfinished cells
+    --retries <n>           retries per failed cell after the first
+                            attempt (default: 2)
+    --backoff-ms <n>        base retry backoff in milliseconds, doubling
+                            per retry with seeded jitter (default: 50)
+    --cell-timeout-ms <n>   kill a worker making no checkpoint progress
+                            for this long; the attempt counts as timed
+                            out (default: off)
+    --ckpt-every <n>        worker checkpoint cadence in demand
+                            references (default: application default)
+    --chaos <spec>          inject failures by cell index for testing:
+                            panic@I,abort@J,hang@K (panic/abort fire on
+                            attempt 0 only; hang fires every attempt)
+    --crash-after-appends <n>
+                            testing knob: stop the supervisor cold after
+                            the n-th journal append, exactly as if it had
+                            been SIGKILLed there (exits 137); resume with
+                            --resume
 
 EXIT CODES:
     0  success    1  validation failed    2  usage error
     20 lint pre-flight rejected a relocation schedule
+    21 campaign degraded: completed, but with poisoned/timed-out cells
+    22 campaign journal unusable (corrupt, version-skewed, or from a
+       different campaign)
 ";
 
 struct Cli {
@@ -57,12 +105,23 @@ struct Cli {
     out: std::path::PathBuf,
     selftest: bool,
     lint_preflight: bool,
+    supervised: bool,
+    farm_dir: std::path::PathBuf,
+    resume: bool,
+    retries: u32,
+    backoff_ms: u64,
+    cell_timeout_ms: Option<u64>,
+    ckpt_every: Option<u64>,
+    chaos: ChaosSpec,
+    crash_after_appends: Option<u64>,
 }
 
 enum Mode {
-    Sweep(Cli),
+    Sweep(Box<Cli>),
     Validate(std::path::PathBuf),
     StripHost(std::path::PathBuf),
+    StripVolatile(std::path::PathBuf),
+    Worker(Box<WorkerArgs>),
 }
 
 fn parse_list<T, E: std::fmt::Display>(
@@ -78,18 +137,129 @@ fn parse_list<T, E: std::fmt::Display>(
     Ok(items)
 }
 
+/// Parses the hidden worker mode's single-cell arguments (everything
+/// after `--worker-cell`). Flags reuse the sweep-mode names but take
+/// exactly one value each.
+fn parse_worker(mut args: std::env::Args) -> Result<WorkerArgs, String> {
+    let mut app = None;
+    let mut variant = None;
+    let mut line_bytes = 32u64;
+    let mut mem_latency = 75u64;
+    let mut seed = 12345u64;
+    let mut scale = Scale::Smoke;
+    let mut key = None;
+    let mut result_file = None;
+    let mut ckpt_file = None;
+    let mut ckpt_every = None;
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--app" => {
+                let v = next_val(&mut args, "--app")?;
+                app = Some(App::from_name(&v).ok_or_else(|| format!("unknown app '{v}'"))?);
+            }
+            "--variant" => {
+                let v = next_val(&mut args, "--variant")?;
+                variant =
+                    Some(Variant::from_name(&v).ok_or_else(|| format!("unknown variant '{v}'"))?);
+            }
+            "--line-bytes" => {
+                line_bytes = next_val(&mut args, "--line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--line-bytes: {e}"))?;
+            }
+            "--mem-latency" => {
+                mem_latency = next_val(&mut args, "--mem-latency")?
+                    .parse()
+                    .map_err(|e| format!("--mem-latency: {e}"))?;
+            }
+            "--seeds" => {
+                seed = next_val(&mut args, "--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--scale" => {
+                scale = match next_val(&mut args, "--scale")?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "bench" => Scale::Bench,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--cell-key" => {
+                key = Some(
+                    next_val(&mut args, "--cell-key")?
+                        .parse()
+                        .map_err(|e| format!("--cell-key: {e}"))?,
+                );
+            }
+            "--result-file" => {
+                result_file = Some(std::path::PathBuf::from(next_val(
+                    &mut args,
+                    "--result-file",
+                )?));
+            }
+            "--ckpt-file" => {
+                ckpt_file = Some(std::path::PathBuf::from(next_val(
+                    &mut args,
+                    "--ckpt-file",
+                )?));
+            }
+            "--ckpt-every" => {
+                ckpt_every = Some(
+                    next_val(&mut args, "--ckpt-every")?
+                        .parse()
+                        .map_err(|e| format!("--ckpt-every: {e}"))?,
+                );
+            }
+            other => return Err(format!("worker mode: unknown option '{other}'")),
+        }
+    }
+    let spec = CellSpec {
+        app: app.ok_or("worker mode: --app is required")?,
+        variant: variant.ok_or("worker mode: --variant is required")?,
+        line_bytes,
+        mem_latency,
+        seed,
+    };
+    let key = key.unwrap_or_else(|| cell_key(scale, &spec));
+    Ok(WorkerArgs {
+        spec,
+        scale,
+        key,
+        result_file: result_file.ok_or("worker mode: --result-file is required")?,
+        ckpt_file,
+        ckpt_every,
+    })
+}
+
 fn parse() -> Result<Mode, String> {
     let mut spec = SweepSpec::default();
     let mut jobs = 1usize;
     let mut out = std::path::PathBuf::from("BENCH_sweep.json");
     let mut want_selftest = false;
     let mut lint_preflight = false;
-    let mut args = std::env::args().skip(1);
+    let mut supervised = false;
+    let mut farm_dir = std::path::PathBuf::from("target/farm");
+    let mut resume = false;
+    let mut retries = 2u32;
+    let mut backoff_ms = 50u64;
+    let mut cell_timeout_ms = None;
+    let mut ckpt_every = None;
+    let mut chaos = ChaosSpec::default();
+    let mut crash_after_appends = None;
+    let mut args = std::env::args();
+    let _argv0 = args.next();
     let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--worker-cell" => {
+                // Hidden internal mode: the rest of argv describes one cell.
+                return Ok(Mode::Worker(Box::new(parse_worker(args)?)));
+            }
             "--apps" => {
                 let v = next_val(&mut args, "--apps")?;
                 spec.apps = if v == "all" {
@@ -136,6 +306,43 @@ fn parse() -> Result<Mode, String> {
             "--out" => out = std::path::PathBuf::from(next_val(&mut args, "--out")?),
             "--selftest" => want_selftest = true,
             "--lint-preflight" => lint_preflight = true,
+            "--supervised" => supervised = true,
+            "--farm-dir" => farm_dir = std::path::PathBuf::from(next_val(&mut args, "--farm-dir")?),
+            "--resume" => resume = true,
+            "--retries" => {
+                retries = next_val(&mut args, "--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--backoff-ms" => {
+                backoff_ms = next_val(&mut args, "--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-ms: {e}"))?;
+            }
+            "--cell-timeout-ms" => {
+                cell_timeout_ms = Some(
+                    next_val(&mut args, "--cell-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--cell-timeout-ms: {e}"))?,
+                );
+            }
+            "--ckpt-every" => {
+                ckpt_every = Some(
+                    next_val(&mut args, "--ckpt-every")?
+                        .parse()
+                        .map_err(|e| format!("--ckpt-every: {e}"))?,
+                );
+            }
+            "--chaos" => {
+                chaos = ChaosSpec::parse(&next_val(&mut args, "--chaos")?)?;
+            }
+            "--crash-after-appends" => {
+                crash_after_appends = Some(
+                    next_val(&mut args, "--crash-after-appends")?
+                        .parse()
+                        .map_err(|e| format!("--crash-after-appends: {e}"))?,
+                );
+            }
             "--validate" => {
                 return Ok(Mode::Validate(std::path::PathBuf::from(next_val(
                     &mut args,
@@ -148,6 +355,12 @@ fn parse() -> Result<Mode, String> {
                     "--strip-host",
                 )?)));
             }
+            "--strip-volatile" => {
+                return Ok(Mode::StripVolatile(std::path::PathBuf::from(next_val(
+                    &mut args,
+                    "--strip-volatile",
+                )?)));
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -155,13 +368,31 @@ fn parse() -> Result<Mode, String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
-    Ok(Mode::Sweep(Cli {
+    if resume && !supervised {
+        return Err("--resume requires --supervised".into());
+    }
+    if !chaos.is_empty() && !supervised {
+        return Err("--chaos requires --supervised".into());
+    }
+    if crash_after_appends.is_some() && !supervised {
+        return Err("--crash-after-appends requires --supervised".into());
+    }
+    Ok(Mode::Sweep(Box::new(Cli {
         spec,
         jobs,
         out,
         selftest: want_selftest,
         lint_preflight,
-    }))
+        supervised,
+        farm_dir,
+        resume,
+        retries,
+        backoff_ms,
+        cell_timeout_ms,
+        ckpt_every,
+        chaos,
+        crash_after_appends,
+    })))
 }
 
 /// Verifies the relocation schedule of every app x variant in the spec at
@@ -199,9 +430,99 @@ fn read_or_die(path: &std::path::Path) -> String {
     }
 }
 
+/// Opens (or resumes) the campaign journal, mapping every typed journal
+/// problem to exit 22 with a clear message.
+fn open_journal(cli: &Cli, fingerprint: u64) -> Journal {
+    let path = cli.farm_dir.join("journal.mfj");
+    if cli.resume {
+        match Journal::load(&path, fingerprint) {
+            Ok(j) => {
+                eprintln!(
+                    "supervisor: resuming campaign from {} ({} journaled cells)",
+                    path.display(),
+                    j.len()
+                );
+                j
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume from {}: {e}", path.display());
+                std::process::exit(22);
+            }
+        }
+    } else {
+        if path.exists() {
+            eprintln!(
+                "error: {} already exists; pass --resume to continue that campaign \
+                 or remove the farm dir to start over",
+                path.display()
+            );
+            std::process::exit(22);
+        }
+        match Journal::create(&path, fingerprint) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: creating journal {}: {e}", path.display());
+                std::process::exit(22);
+            }
+        }
+    }
+}
+
+fn run_supervised(cli: &Cli) -> memfwd_bench::sweep::SweepReport {
+    if let Err(e) = std::fs::create_dir_all(&cli.farm_dir) {
+        eprintln!("error: creating farm dir {}: {e}", cli.farm_dir.display());
+        std::process::exit(2);
+    }
+    let fingerprint = campaign_fingerprint(&cli.spec);
+    let mut journal = open_journal(cli, fingerprint);
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("error: locating own binary for worker re-exec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let runner = SubprocessRunner {
+        exe,
+        farm_dir: cli.farm_dir.clone(),
+        cell_timeout: cli.cell_timeout_ms.map(std::time::Duration::from_millis),
+        ckpt_every: cli.ckpt_every,
+        chaos: cli.chaos.clone(),
+    };
+    let opts = FarmOptions {
+        jobs: cli.jobs,
+        retries: cli.retries,
+        backoff_ms: cli.backoff_ms,
+        cell_timeout: runner.cell_timeout,
+        crash_after_appends: cli.crash_after_appends,
+        ..FarmOptions::default()
+    };
+    let run = match run_campaign(&cli.spec, &opts, &runner, &mut journal) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: campaign journal failure: {e}");
+            std::process::exit(22);
+        }
+    };
+    eprintln!(
+        "supervisor: {} cells from journal (zero recompute), {} executed",
+        run.from_journal, run.executed
+    );
+    match run.report {
+        Some(report) => report,
+        None => {
+            // Only reachable via --crash-after-appends; a real SIGKILL
+            // never gets here. Mirror SIGKILL's conventional exit status.
+            eprintln!("supervisor: campaign crashed at injected crash point (simulating SIGKILL)");
+            std::process::exit(137);
+        }
+    }
+}
+
 fn main() {
     let cli = match parse() {
         Ok(Mode::Sweep(cli)) => cli,
+        Ok(Mode::Worker(args)) => std::process::exit(run_worker_cell(&args)),
         Ok(Mode::Validate(path)) => {
             let text = read_or_die(&path);
             match validate_report(&text) {
@@ -217,6 +538,10 @@ fn main() {
         }
         Ok(Mode::StripHost(path)) => {
             println!("{}", strip_host_lines(&read_or_die(&path)));
+            std::process::exit(0);
+        }
+        Ok(Mode::StripVolatile(path)) => {
+            println!("{}", strip_volatile_lines(&read_or_die(&path)));
             std::process::exit(0);
         }
         Err(e) => {
@@ -247,32 +572,69 @@ fn main() {
 
     let n_cells = cli.spec.expand().len();
     eprintln!(
-        "sweep: {} cells on {} worker(s), scale {:?}",
-        n_cells, cli.jobs, cli.spec.scale
+        "sweep: {} cells on {} worker(s), scale {:?}{}",
+        n_cells,
+        cli.jobs,
+        cli.spec.scale,
+        if cli.supervised { " [supervised]" } else { "" }
     );
-    let mut report = run_sweep(&cli.spec, cli.jobs);
+    let mut report = if cli.supervised {
+        run_supervised(&cli)
+    } else {
+        run_sweep(&cli.spec, cli.jobs)
+    };
     report.selftest_refs_per_second = selftest_rps;
 
     for c in &report.cells {
-        println!(
-            "{:>10} {:>9} line {:>3} lat {:>3} seed {:>6}  {:#018x}  {:>12} cycles  {:>8.2?}",
-            c.spec.app.name(),
-            c.spec.variant.name(),
-            c.spec.line_bytes,
-            c.spec.mem_latency,
-            c.spec.seed,
-            c.checksum,
-            c.stats.cycles(),
-            std::time::Duration::from_nanos(c.host_nanos),
-        );
+        match c.sim() {
+            Some(r) => println!(
+                "{:>10} {:>9} line {:>3} lat {:>3} seed {:>6}  {:#018x}  {:>12} cycles  {:>8.2?}  [{}{}]",
+                c.spec.app.name(),
+                c.spec.variant.name(),
+                c.spec.line_bytes,
+                c.spec.mem_latency,
+                c.spec.seed,
+                r.checksum,
+                r.stats.cycles(),
+                std::time::Duration::from_nanos(r.host_nanos),
+                c.outcome.name(),
+                if c.attempts > 1 {
+                    format!(", {} attempts", c.attempts)
+                } else {
+                    String::new()
+                },
+            ),
+            None => println!(
+                "{:>10} {:>9} line {:>3} lat {:>3} seed {:>6}  {:<18}  [{}: {}]",
+                c.spec.app.name(),
+                c.spec.variant.name(),
+                c.spec.line_bytes,
+                c.spec.mem_latency,
+                c.spec.seed,
+                "----------------",
+                c.outcome.name(),
+                c.error.as_deref().unwrap_or("no error recorded"),
+            ),
+        }
     }
-    let total_refs: u64 = report.cells.iter().map(|c| c.refs).sum();
+    let summary = report.summary();
+    let total_refs: u64 = report
+        .cells
+        .iter()
+        .filter_map(|c| c.sim())
+        .map(|r| r.refs)
+        .sum();
     let wall = std::time::Duration::from_nanos(report.host_wall_nanos);
     println!(
-        "sweep wall time {:.2?} for {} refs ({:.0} refs/s aggregate)",
+        "sweep wall time {:.2?} for {} refs ({:.0} refs/s aggregate); \
+         {} ok, {} retried, {} poisoned, {} timed out",
         wall,
         total_refs,
-        total_refs as f64 * 1e9 / report.host_wall_nanos.max(1) as f64
+        total_refs as f64 * 1e9 / report.host_wall_nanos.max(1) as f64,
+        summary.ok,
+        summary.retried,
+        summary.poisoned,
+        summary.timed_out,
     );
 
     let json = report.to_json();
@@ -282,4 +644,11 @@ fn main() {
         std::process::exit(2);
     }
     println!("report written to {}", cli.out.display());
+    if !summary.is_clean() {
+        eprintln!(
+            "campaign degraded: {} poisoned, {} timed out (typed holes in the report)",
+            summary.poisoned, summary.timed_out
+        );
+        std::process::exit(21);
+    }
 }

@@ -14,7 +14,10 @@
 
 use memfwd_apps::{run_ok as run, App, AppOutput, RunConfig, Scale, Variant};
 
-pub mod sweep;
+// The sweep engine moved to `memfwd-farm` when it grew campaign
+// supervision; this re-export keeps `memfwd_bench::sweep::*` paths (CI
+// scripts, tests, EXPERIMENTS.md) working unchanged.
+pub use memfwd_farm::sweep;
 
 /// The line sizes swept by Fig. 5/6 of the paper.
 pub const LINE_SIZES: [u64; 3] = [32, 64, 128];

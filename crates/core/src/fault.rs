@@ -8,7 +8,7 @@
 //! simulated machine can encounter is a [`MachineFault`], produced by the
 //! fallible `try_*` operations on [`crate::Machine`] (and
 //! [`crate::SmpMachine`]), deliverable to a registered supervisor handler
-//! (see [`crate::trap`]), and reportable by the CLI with a distinct exit
+//! (see `Machine::set_fault_handler`), and reportable by the CLI with a distinct exit
 //! code.
 //!
 //! The original infallible API (`load`, `store`, `malloc`, ...) remains and

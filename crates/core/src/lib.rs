@@ -76,8 +76,8 @@ pub use reloc::{relocate, relocate_adjacent, try_relocate};
 pub use replay::{replay_trace, try_replay_trace};
 pub use smp::{CoreStats, SmpConfig, SmpEvent, SmpMachine};
 pub use snapshot::{
-    read_snapshot_file, restore_machine, restore_smp, save_machine, save_smp, write_snapshot_file,
-    SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    check_snapshot_config, read_snapshot_file, restore_machine, restore_smp, save_machine,
+    save_smp, write_snapshot_file, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use stats::{FwdStats, RunStats, HOPS_BUCKETS};
 pub use trace::{forwarding_sources, hot_miss_lines, TraceKind, TraceRecord};

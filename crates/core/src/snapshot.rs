@@ -38,7 +38,7 @@ use crate::inject::Injector;
 use crate::machine::Machine;
 use crate::paging::PageCache;
 use crate::smp::{Core, SmpConfig, SmpMachine};
-use crate::stats::{FwdStats, HOPS_BUCKETS};
+use crate::stats::FwdStats;
 use crate::trace::Trace;
 use crate::trap::TrapInfo;
 use memfwd_cache::{CacheLevel, Hierarchy};
@@ -176,80 +176,10 @@ fn open(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
 }
 
 // ---------------------------------------------------------------------
-// Component codecs living in this crate.
+// Component codecs living in this crate. The statistics codecs live on
+// the stats types themselves ([`FwdStats::snapshot_encode`]) so the farm
+// crate can reuse them for its worker protocol and campaign journal.
 // ---------------------------------------------------------------------
-
-fn encode_fwd_stats(enc: &mut SnapEncoder, s: &FwdStats) {
-    enc.u64(s.loads);
-    enc.u64(s.stores);
-    enc.u64(s.prefetches);
-    enc.u64(s.computes);
-    enc.u64(s.fbit_reads);
-    enc.u64(s.unforwarded_ops);
-    enc.u64(s.forwarded_loads);
-    enc.u64(s.forwarded_stores);
-    for h in &s.load_hops {
-        enc.u64(*h);
-    }
-    for h in &s.store_hops {
-        enc.u64(*h);
-    }
-    enc.u64(s.load_cycles);
-    enc.u64(s.load_fwd_cycles);
-    enc.u64(s.store_cycles);
-    enc.u64(s.store_fwd_cycles);
-    enc.u64(s.misspeculations);
-    enc.u64(s.mallocs);
-    enc.u64(s.frees);
-    enc.u64(s.chain_frees);
-    enc.u64(s.relocations);
-    enc.u64(s.relocated_words);
-    enc.u64(s.ptr_compares);
-    enc.u64(s.traps_taken);
-    enc.u64(s.relocation_space_bytes);
-    enc.u64(s.page_faults);
-    enc.u64(s.injected_faults);
-    enc.u64(s.fault_repairs);
-    enc.u64(s.faults_delivered);
-}
-
-fn decode_fwd_stats(dec: &mut SnapDecoder<'_>) -> Result<FwdStats, SnapCodecError> {
-    let mut s = FwdStats {
-        loads: dec.u64()?,
-        stores: dec.u64()?,
-        prefetches: dec.u64()?,
-        computes: dec.u64()?,
-        fbit_reads: dec.u64()?,
-        unforwarded_ops: dec.u64()?,
-        forwarded_loads: dec.u64()?,
-        forwarded_stores: dec.u64()?,
-        ..FwdStats::default()
-    };
-    for i in 0..HOPS_BUCKETS {
-        s.load_hops[i] = dec.u64()?;
-    }
-    for i in 0..HOPS_BUCKETS {
-        s.store_hops[i] = dec.u64()?;
-    }
-    s.load_cycles = dec.u64()?;
-    s.load_fwd_cycles = dec.u64()?;
-    s.store_cycles = dec.u64()?;
-    s.store_fwd_cycles = dec.u64()?;
-    s.misspeculations = dec.u64()?;
-    s.mallocs = dec.u64()?;
-    s.frees = dec.u64()?;
-    s.chain_frees = dec.u64()?;
-    s.relocations = dec.u64()?;
-    s.relocated_words = dec.u64()?;
-    s.ptr_compares = dec.u64()?;
-    s.traps_taken = dec.u64()?;
-    s.relocation_space_bytes = dec.u64()?;
-    s.page_faults = dec.u64()?;
-    s.injected_faults = dec.u64()?;
-    s.fault_repairs = dec.u64()?;
-    s.faults_delivered = dec.u64()?;
-    Ok(s)
-}
 
 fn encode_machine(enc: &mut SnapEncoder, m: &Machine) {
     m.mem.snapshot_encode(enc);
@@ -257,7 +187,7 @@ fn encode_machine(enc: &mut SnapEncoder, m: &Machine) {
     m.hier.snapshot_encode(enc);
     m.pipe.snapshot_encode(enc);
     m.spec.snapshot_encode(enc);
-    encode_fwd_stats(enc, &m.stats);
+    m.stats.snapshot_encode(enc);
     enc.bool(m.traps_enabled);
     enc.seq(m.trap_log.iter(), |e, t| {
         e.addr(t.initial);
@@ -288,7 +218,7 @@ fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, 
     let hier = Hierarchy::snapshot_decode(dec, cfg.hierarchy)?;
     let pipe = Pipeline::snapshot_decode(dec, cfg.pipeline)?;
     let spec = SpecQueue::snapshot_decode(dec)?;
-    let stats = decode_fwd_stats(dec)?;
+    let stats = FwdStats::snapshot_decode(dec)?;
     let traps_enabled = dec.bool()?;
     let n_traps = dec.seq_len(21)?;
     let mut trap_log = Vec::with_capacity(n_traps);
@@ -403,6 +333,33 @@ pub fn restore_machine(bytes: &[u8], cfg: SimConfig) -> Result<(Machine, Vec<u64
         return Err(SnapshotError::BadValue);
     }
     Ok((m, cursor))
+}
+
+/// Validates a uniprocessor snapshot's container and configuration
+/// fingerprint *without* decoding the machine payload.
+///
+/// This is the cheap up-front check a resuming driver runs before
+/// committing to a restore: a config-skewed or corrupt image is rejected
+/// in microseconds instead of being discovered deep inside the run.
+/// Passing this check does not guarantee the payload decodes — it
+/// guarantees the image is a well-formed, checksummed snapshot written
+/// under exactly this configuration.
+///
+/// # Errors
+///
+/// Any container-level [`SnapshotError`], [`SnapshotError::ConfigMismatch`]
+/// if the fingerprint differs, or [`SnapshotError::BadValue`] if the image
+/// is not a uniprocessor snapshot.
+pub fn check_snapshot_config(bytes: &[u8], cfg: &SimConfig) -> Result<(), SnapshotError> {
+    let payload = open(bytes)?;
+    let mut dec = SnapDecoder::new(payload);
+    if dec.u64()? != fingerprint(&format!("{cfg:?}")) {
+        return Err(SnapshotError::ConfigMismatch);
+    }
+    if dec.u8()? != 0 {
+        return Err(SnapshotError::BadValue);
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -719,6 +676,30 @@ mod tests {
         assert_eq!(
             restore_machine(&img, other).err(),
             Some(SnapshotError::ConfigMismatch)
+        );
+    }
+
+    #[test]
+    fn check_snapshot_config_agrees_with_restore() {
+        let img = save_machine(&busy_machine(), &[]);
+        check_snapshot_config(&img, &SimConfig::default()).expect("matching config passes");
+        let other = SimConfig::default().with_line_bytes(128);
+        assert_eq!(
+            check_snapshot_config(&img, &other),
+            Err(SnapshotError::ConfigMismatch)
+        );
+        assert_eq!(
+            check_snapshot_config(&img[..10], &SimConfig::default()),
+            Err(SnapshotError::Truncated)
+        );
+        // An SMP image is well-formed but not a uniprocessor snapshot.
+        let smp = save_smp(
+            &SmpMachine::new(SmpConfig::default(), SimConfig::default()),
+            &[],
+        );
+        assert_eq!(
+            check_snapshot_config(&smp, &SimConfig::default()),
+            Err(SnapshotError::ConfigMismatch),
         );
     }
 

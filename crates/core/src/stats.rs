@@ -1,8 +1,8 @@
 //! Run statistics: everything the paper's figures are built from.
 
-use memfwd_cache::CacheStats;
+use memfwd_cache::{CacheStats, ClassCounts};
 use memfwd_cpu::{PipelineStats, SlotCounts};
-use memfwd_tagmem::{HeapStats, MemStats};
+use memfwd_tagmem::{HeapStats, MemStats, SnapCodecError, SnapDecoder, SnapEncoder};
 
 /// Histogram of forwarding hops per reference. Index = hop count, the last
 /// bucket collects everything at or beyond its index.
@@ -106,6 +106,189 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+impl FwdStats {
+    /// Serializes every counter, in declaration order. Shared by machine
+    /// snapshots ([`crate::snapshot`]) and the farm's campaign journal.
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        enc.u64(self.loads);
+        enc.u64(self.stores);
+        enc.u64(self.prefetches);
+        enc.u64(self.computes);
+        enc.u64(self.fbit_reads);
+        enc.u64(self.unforwarded_ops);
+        enc.u64(self.forwarded_loads);
+        enc.u64(self.forwarded_stores);
+        for h in &self.load_hops {
+            enc.u64(*h);
+        }
+        for h in &self.store_hops {
+            enc.u64(*h);
+        }
+        enc.u64(self.load_cycles);
+        enc.u64(self.load_fwd_cycles);
+        enc.u64(self.store_cycles);
+        enc.u64(self.store_fwd_cycles);
+        enc.u64(self.misspeculations);
+        enc.u64(self.mallocs);
+        enc.u64(self.frees);
+        enc.u64(self.chain_frees);
+        enc.u64(self.relocations);
+        enc.u64(self.relocated_words);
+        enc.u64(self.ptr_compares);
+        enc.u64(self.traps_taken);
+        enc.u64(self.relocation_space_bytes);
+        enc.u64(self.page_faults);
+        enc.u64(self.injected_faults);
+        enc.u64(self.fault_repairs);
+        enc.u64(self.faults_delivered);
+    }
+
+    /// Total decoder matching [`FwdStats::snapshot_encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapCodecError::Truncated`] if the input ends early.
+    pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<FwdStats, SnapCodecError> {
+        let mut s = FwdStats {
+            loads: dec.u64()?,
+            stores: dec.u64()?,
+            prefetches: dec.u64()?,
+            computes: dec.u64()?,
+            fbit_reads: dec.u64()?,
+            unforwarded_ops: dec.u64()?,
+            forwarded_loads: dec.u64()?,
+            forwarded_stores: dec.u64()?,
+            ..FwdStats::default()
+        };
+        for i in 0..HOPS_BUCKETS {
+            s.load_hops[i] = dec.u64()?;
+        }
+        for i in 0..HOPS_BUCKETS {
+            s.store_hops[i] = dec.u64()?;
+        }
+        s.load_cycles = dec.u64()?;
+        s.load_fwd_cycles = dec.u64()?;
+        s.store_cycles = dec.u64()?;
+        s.store_fwd_cycles = dec.u64()?;
+        s.misspeculations = dec.u64()?;
+        s.mallocs = dec.u64()?;
+        s.frees = dec.u64()?;
+        s.chain_frees = dec.u64()?;
+        s.relocations = dec.u64()?;
+        s.relocated_words = dec.u64()?;
+        s.ptr_compares = dec.u64()?;
+        s.traps_taken = dec.u64()?;
+        s.relocation_space_bytes = dec.u64()?;
+        s.page_faults = dec.u64()?;
+        s.injected_faults = dec.u64()?;
+        s.fault_repairs = dec.u64()?;
+        s.faults_delivered = dec.u64()?;
+        Ok(s)
+    }
+}
+
+fn encode_class(enc: &mut SnapEncoder, c: &ClassCounts) {
+    enc.u64(c.l1_hits);
+    enc.u64(c.partial_misses);
+    enc.u64(c.full_misses);
+}
+
+fn decode_class(dec: &mut SnapDecoder<'_>) -> Result<ClassCounts, SnapCodecError> {
+    Ok(ClassCounts {
+        l1_hits: dec.u64()?,
+        partial_misses: dec.u64()?,
+        full_misses: dec.u64()?,
+    })
+}
+
+impl RunStats {
+    /// Serializes the complete statistics block — every counter of every
+    /// component — so a finished run's `RunStats` can cross a process
+    /// boundary (the sweep farm's worker protocol and campaign journal)
+    /// and come back bit-identical.
+    pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
+        enc.u64(self.pipeline.cycles);
+        enc.u64(self.pipeline.slots.busy);
+        enc.u64(self.pipeline.slots.load_stall);
+        enc.u64(self.pipeline.slots.store_stall);
+        enc.u64(self.pipeline.slots.inst_stall);
+        enc.u64(self.pipeline.dispatched);
+        enc.u64(self.pipeline.replays);
+        encode_class(enc, &self.cache.loads);
+        encode_class(enc, &self.cache.stores);
+        enc.u64(self.cache.l2_hits);
+        enc.u64(self.cache.l2_misses);
+        enc.u64(self.cache.prefetches_issued);
+        enc.u64(self.cache.prefetches_dropped);
+        enc.u64(self.cache.prefetches_redundant);
+        enc.u64(self.cache.l1_writebacks);
+        enc.u64(self.cache.l2_writebacks);
+        enc.u64(self.bytes_l1_l2);
+        enc.u64(self.bytes_l2_mem);
+        self.fwd.snapshot_encode(enc);
+        enc.u64(self.mem.pages);
+        enc.u64(self.mem.fbits_set);
+        enc.u64(self.heap.live_bytes);
+        enc.u64(self.heap.peak_bytes);
+        enc.u64(self.heap.total_allocated);
+        enc.u64(self.heap.allocations);
+        enc.u64(self.heap.frees);
+    }
+
+    /// Total decoder matching [`RunStats::snapshot_encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapCodecError::Truncated`] if the input ends early.
+    pub fn snapshot_decode(dec: &mut SnapDecoder<'_>) -> Result<RunStats, SnapCodecError> {
+        let pipeline = PipelineStats {
+            cycles: dec.u64()?,
+            slots: SlotCounts {
+                busy: dec.u64()?,
+                load_stall: dec.u64()?,
+                store_stall: dec.u64()?,
+                inst_stall: dec.u64()?,
+            },
+            dispatched: dec.u64()?,
+            replays: dec.u64()?,
+        };
+        let cache = CacheStats {
+            loads: decode_class(dec)?,
+            stores: decode_class(dec)?,
+            l2_hits: dec.u64()?,
+            l2_misses: dec.u64()?,
+            prefetches_issued: dec.u64()?,
+            prefetches_dropped: dec.u64()?,
+            prefetches_redundant: dec.u64()?,
+            l1_writebacks: dec.u64()?,
+            l2_writebacks: dec.u64()?,
+        };
+        let bytes_l1_l2 = dec.u64()?;
+        let bytes_l2_mem = dec.u64()?;
+        let fwd = FwdStats::snapshot_decode(dec)?;
+        let mem = MemStats {
+            pages: dec.u64()?,
+            fbits_set: dec.u64()?,
+        };
+        let heap = HeapStats {
+            live_bytes: dec.u64()?,
+            peak_bytes: dec.u64()?,
+            total_allocated: dec.u64()?,
+            allocations: dec.u64()?,
+            frees: dec.u64()?,
+        };
+        Ok(RunStats {
+            pipeline,
+            cache,
+            bytes_l1_l2,
+            bytes_l2_mem,
+            fwd,
+            mem,
+            heap,
+        })
+    }
+}
+
 /// Complete statistics of one finished run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunStats {
@@ -179,5 +362,103 @@ mod tests {
         let mut opt = RunStats::default();
         opt.pipeline.cycles = 100;
         assert!((opt.speedup_over(&base) - 2.0).abs() < 1e-12);
+    }
+
+    /// A `RunStats` with a distinct non-zero value in every field, so a
+    /// codec that drops, duplicates, or reorders any field fails the
+    /// round-trip below.
+    fn distinct_run_stats() -> RunStats {
+        let mut s = RunStats::default();
+        let mut next = 1u64;
+        let mut n = || {
+            next += 1;
+            next
+        };
+        s.pipeline.cycles = n();
+        s.pipeline.slots.busy = n();
+        s.pipeline.slots.load_stall = n();
+        s.pipeline.slots.store_stall = n();
+        s.pipeline.slots.inst_stall = n();
+        s.pipeline.dispatched = n();
+        s.pipeline.replays = n();
+        for c in [&mut s.cache.loads, &mut s.cache.stores] {
+            c.l1_hits = n();
+            c.partial_misses = n();
+            c.full_misses = n();
+        }
+        s.cache.l2_hits = n();
+        s.cache.l2_misses = n();
+        s.cache.prefetches_issued = n();
+        s.cache.prefetches_dropped = n();
+        s.cache.prefetches_redundant = n();
+        s.cache.l1_writebacks = n();
+        s.cache.l2_writebacks = n();
+        s.bytes_l1_l2 = n();
+        s.bytes_l2_mem = n();
+        s.fwd.loads = n();
+        s.fwd.stores = n();
+        s.fwd.prefetches = n();
+        s.fwd.computes = n();
+        s.fwd.fbit_reads = n();
+        s.fwd.unforwarded_ops = n();
+        s.fwd.forwarded_loads = n();
+        s.fwd.forwarded_stores = n();
+        for i in 0..HOPS_BUCKETS {
+            s.fwd.load_hops[i] = n();
+            s.fwd.store_hops[i] = n();
+        }
+        s.fwd.load_cycles = n();
+        s.fwd.load_fwd_cycles = n();
+        s.fwd.store_cycles = n();
+        s.fwd.store_fwd_cycles = n();
+        s.fwd.misspeculations = n();
+        s.fwd.mallocs = n();
+        s.fwd.frees = n();
+        s.fwd.chain_frees = n();
+        s.fwd.relocations = n();
+        s.fwd.relocated_words = n();
+        s.fwd.ptr_compares = n();
+        s.fwd.traps_taken = n();
+        s.fwd.relocation_space_bytes = n();
+        s.fwd.page_faults = n();
+        s.fwd.injected_faults = n();
+        s.fwd.fault_repairs = n();
+        s.fwd.faults_delivered = n();
+        s.mem.pages = n();
+        s.mem.fbits_set = n();
+        s.heap.live_bytes = n();
+        s.heap.peak_bytes = n();
+        s.heap.total_allocated = n();
+        s.heap.allocations = n();
+        s.heap.frees = n();
+        s
+    }
+
+    #[test]
+    fn run_stats_codec_roundtrips_every_field() {
+        let s = distinct_run_stats();
+        let mut enc = SnapEncoder::new();
+        s.snapshot_encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = SnapDecoder::new(&bytes);
+        let back = RunStats::snapshot_decode(&mut dec).expect("decode");
+        assert!(dec.is_exhausted(), "decoder consumed every byte");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn run_stats_codec_rejects_truncation_at_every_length() {
+        let s = distinct_run_stats();
+        let mut enc = SnapEncoder::new();
+        s.snapshot_encode(&mut enc);
+        let bytes = enc.into_bytes();
+        for len in (0..bytes.len()).step_by(64).chain([bytes.len() - 1]) {
+            let mut dec = SnapDecoder::new(&bytes[..len]);
+            assert_eq!(
+                RunStats::snapshot_decode(&mut dec),
+                Err(SnapCodecError::Truncated),
+                "len {len}"
+            );
+        }
     }
 }

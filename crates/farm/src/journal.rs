@@ -1,0 +1,597 @@
+//! The durable campaign journal: a checksummed, atomically rewritten
+//! record of every terminal cell outcome.
+//!
+//! # Why whole-file rewrite, not append
+//!
+//! A raw append-only log can be torn by a crash mid-append, forcing the
+//! reader to guess where the valid prefix ends. The journal instead
+//! rewrites the *entire* sealed file through a sibling `.tmp` and an
+//! atomic rename on every append — exactly the PR-2 snapshot discipline.
+//! The file under the final name is therefore always a complete, sealed
+//! image of some prefix of the appends: a SIGKILL at any instant loses at
+//! most the in-flight append, never the journal. Campaign journals are
+//! small (one record per grid cell, kilobytes even for large sweeps), so
+//! the rewrite cost is irrelevant next to a cell's simulation time.
+//!
+//! # Container format
+//!
+//! ```text
+//! [ 0..  8)  magic  b"MFWDJRNL"
+//! [ 8.. 12)  format version, u32 little-endian
+//! [12.. 20)  payload length, u64 little-endian
+//! [20.. 28)  FNV-1a-64 checksum of the payload
+//! [28..   )  payload: campaign fingerprint u64, record count, records
+//! ```
+//!
+//! The payload opens with the campaign fingerprint — a content hash of the
+//! full sweep spec — so a journal can never be silently resumed against a
+//! different grid. Records are keyed by [`cell_key`], a content hash of
+//! the individual cell's configuration, so resume matches cells by what
+//! they *compute*, not by their position in the grid.
+//!
+//! Every decoding path is total: truncated, bit-flipped, version-skewed,
+//! or fingerprint-mismatched journals are rejected with a typed
+//! [`JournalError`] — never a panic and never silently dropped cells.
+
+use crate::sweep::{CellOutcome, CellReport, CellSpec, SweepSpec};
+use memfwd::RunStats;
+use memfwd_apps::Scale;
+use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Leading magic of every campaign journal.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"MFWDJRNL";
+
+/// Current journal format version. Bumped on any layout change; old
+/// versions are rejected with [`JournalError::BadVersion`], never
+/// misinterpreted.
+pub const JOURNAL_VERSION: u32 = 1;
+
+const HEADER_BYTES: usize = 28;
+
+/// Why a journal was rejected or an operation on it failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JournalError {
+    /// The file ends before the header or the declared payload does.
+    Truncated,
+    /// The file does not start with [`JOURNAL_MAGIC`].
+    BadMagic,
+    /// The file was written by a different format version.
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The payload checksum does not match the header (bit rot or a torn
+    /// write that somehow survived the atomic rename).
+    BadChecksum,
+    /// The payload is internally inconsistent (an invalid tag, length,
+    /// duplicate key, or value).
+    BadValue,
+    /// The journal was written for a different campaign (sweep spec).
+    CampaignMismatch,
+    /// A filesystem operation failed while reading or writing the file.
+    Io(std::io::ErrorKind),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            JournalError::Truncated => write!(f, "journal truncated"),
+            JournalError::BadMagic => write!(f, "not a memfwd campaign journal (bad magic)"),
+            JournalError::BadVersion { found } => write!(
+                f,
+                "journal format version {found} (this build reads {JOURNAL_VERSION})"
+            ),
+            JournalError::BadChecksum => write!(f, "journal checksum mismatch"),
+            JournalError::BadValue => write!(f, "journal payload is inconsistent"),
+            JournalError::CampaignMismatch => {
+                write!(f, "journal belongs to a different campaign (sweep spec)")
+            }
+            JournalError::Io(kind) => write!(f, "journal I/O error: {kind}"),
+        }
+    }
+}
+
+impl Error for JournalError {}
+
+impl From<SnapCodecError> for JournalError {
+    fn from(e: SnapCodecError) -> Self {
+        match e {
+            SnapCodecError::Truncated => JournalError::Truncated,
+            SnapCodecError::BadValue => JournalError::BadValue,
+        }
+    }
+}
+
+/// FNV-1a 64-bit, the same torn-write/bit-rot detector the snapshot
+/// container uses (crash safety, not adversarial integrity).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of one cell's configuration: the journal key. Covers the
+/// full cell spec *and* the scale — any knob that changes what the cell
+/// computes changes the key and voids the journaled result.
+pub fn cell_key(scale: Scale, spec: &CellSpec) -> u64 {
+    fnv1a64(format!("{scale:?}|{spec:?}").as_bytes())
+}
+
+/// Content hash of the whole campaign: the sweep spec's full `Debug`
+/// rendering (axes, order, scale). A journal opens only under the exact
+/// campaign it was created for.
+pub fn campaign_fingerprint(spec: &SweepSpec) -> u64 {
+    fnv1a64(format!("{spec:?}").as_bytes())
+}
+
+/// One terminal cell outcome, as stored in the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// The cell's [`cell_key`].
+    pub key: u64,
+    /// How the cell ended.
+    pub outcome: CellOutcome,
+    /// Total attempts made.
+    pub attempts: u32,
+    /// The last failure's description, if any attempt failed.
+    pub error: Option<String>,
+    /// The simulated result, present iff `outcome.is_completed()`:
+    /// `(checksum, refs, host_nanos, stats)`.
+    pub sim: Option<(u64, u64, u64, RunStats)>,
+}
+
+impl JournalRecord {
+    /// Builds the journal record for a terminal [`CellReport`].
+    pub fn from_report(scale: Scale, report: &CellReport) -> JournalRecord {
+        JournalRecord {
+            key: cell_key(scale, &report.spec),
+            outcome: report.outcome,
+            attempts: report.attempts,
+            error: report.error.clone(),
+            sim: report
+                .sim
+                .as_ref()
+                .map(|r| (r.checksum, r.refs, r.host_nanos, r.stats)),
+        }
+    }
+
+    /// Reconstitutes the [`CellReport`] for `spec` from this record.
+    pub fn to_report(&self, spec: CellSpec) -> CellReport {
+        CellReport {
+            spec,
+            outcome: self.outcome,
+            attempts: self.attempts,
+            error: self.error.clone(),
+            sim: self.sim.map(
+                |(checksum, refs, host_nanos, stats)| crate::sweep::CellResult {
+                    spec,
+                    checksum,
+                    refs,
+                    host_nanos,
+                    stats,
+                },
+            ),
+        }
+    }
+
+    fn encode(&self, enc: &mut SnapEncoder) {
+        enc.u64(self.key);
+        let (tag, n) = match self.outcome {
+            CellOutcome::Ok => (0u8, 0u32),
+            CellOutcome::Retried(n) => (1, n),
+            CellOutcome::Poisoned => (2, 0),
+            CellOutcome::TimedOut => (3, 0),
+        };
+        enc.u8(tag);
+        enc.u32(n);
+        enc.u32(self.attempts);
+        match &self.error {
+            Some(e) => {
+                enc.bool(true);
+                enc.usize(e.len());
+                enc.raw(e.as_bytes());
+            }
+            None => enc.bool(false),
+        }
+        match &self.sim {
+            Some((checksum, refs, host_nanos, stats)) => {
+                enc.bool(true);
+                enc.u64(*checksum);
+                enc.u64(*refs);
+                enc.u64(*host_nanos);
+                stats.snapshot_encode(enc);
+            }
+            None => enc.bool(false),
+        }
+    }
+
+    fn decode(dec: &mut SnapDecoder<'_>) -> Result<JournalRecord, JournalError> {
+        let key = dec.u64()?;
+        let tag = dec.u8()?;
+        let n = dec.u32()?;
+        let outcome = match tag {
+            0 => CellOutcome::Ok,
+            1 => CellOutcome::Retried(n),
+            2 => CellOutcome::Poisoned,
+            3 => CellOutcome::TimedOut,
+            _ => return Err(JournalError::BadValue),
+        };
+        if tag != 1 && n != 0 {
+            return Err(JournalError::BadValue);
+        }
+        let attempts = dec.u32()?;
+        if attempts == 0 {
+            return Err(JournalError::BadValue);
+        }
+        let error = if dec.bool()? {
+            let len = dec.usize()?;
+            let bytes = dec.raw(len)?;
+            Some(String::from_utf8(bytes.to_vec()).map_err(|_| JournalError::BadValue)?)
+        } else {
+            None
+        };
+        let sim = if dec.bool()? {
+            let checksum = dec.u64()?;
+            let refs = dec.u64()?;
+            let host_nanos = dec.u64()?;
+            let stats = RunStats::snapshot_decode(dec)?;
+            Some((checksum, refs, host_nanos, stats))
+        } else {
+            None
+        };
+        if outcome.is_completed() != sim.is_some() {
+            return Err(JournalError::BadValue);
+        }
+        Ok(JournalRecord {
+            key,
+            outcome,
+            attempts,
+            error,
+            sim,
+        })
+    }
+}
+
+/// The in-memory view of a campaign journal, bound to its on-disk file.
+/// Every [`Journal::append`] durably rewrites the file before returning.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    fingerprint: u64,
+    records: Vec<JournalRecord>,
+    index: HashMap<u64, usize>,
+}
+
+impl Journal {
+    /// Creates a new, empty journal for the campaign identified by
+    /// `fingerprint` and durably writes the empty image to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the write fails.
+    pub fn create(path: &Path, fingerprint: u64) -> Result<Journal, JournalError> {
+        let j = Journal {
+            path: path.to_path_buf(),
+            fingerprint,
+            records: Vec::new(),
+            index: HashMap::new(),
+        };
+        j.write_file()?;
+        Ok(j)
+    }
+
+    /// Loads an existing journal, verifying the container and that it
+    /// belongs to the campaign identified by `fingerprint`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`JournalError`]: a corrupt, skewed, or foreign journal is
+    /// rejected wholesale — partial records are never surfaced.
+    pub fn load(path: &Path, fingerprint: u64) -> Result<Journal, JournalError> {
+        let bytes = std::fs::read(path).map_err(|e| JournalError::Io(e.kind()))?;
+        let records = decode_journal(&bytes, fingerprint)?;
+        let mut index = HashMap::with_capacity(records.len());
+        for (i, r) in records.iter().enumerate() {
+            if index.insert(r.key, i).is_some() {
+                return Err(JournalError::BadValue);
+            }
+        }
+        Ok(Journal {
+            path: path.to_path_buf(),
+            fingerprint,
+            records,
+            index,
+        })
+    }
+
+    /// The journaled record for `key`, if that cell already reached a
+    /// terminal outcome in a previous (or the current) supervisor run.
+    pub fn get(&self, key: u64) -> Option<&JournalRecord> {
+        self.index.get(&key).map(|&i| &self.records[i])
+    }
+
+    /// Number of journaled cells.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in append order.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Appends a terminal cell outcome and durably rewrites the file
+    /// (tmp + atomic rename) before returning: once `append` returns,
+    /// the record survives any crash.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BadValue`] if `record.key` is already journaled
+    /// (a supervisor bug — cells reach exactly one terminal outcome), or
+    /// [`JournalError::Io`] if the rewrite fails. On error the in-memory
+    /// and on-disk state both still hold the pre-append records.
+    pub fn append(&mut self, record: JournalRecord) -> Result<(), JournalError> {
+        if self.index.contains_key(&record.key) {
+            return Err(JournalError::BadValue);
+        }
+        self.records.push(record);
+        match self.write_file() {
+            Ok(()) => {
+                let i = self.records.len() - 1;
+                self.index.insert(self.records[i].key, i);
+                Ok(())
+            }
+            Err(e) => {
+                self.records.pop();
+                Err(e)
+            }
+        }
+    }
+
+    /// Serializes the current records into a sealed journal image.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = SnapEncoder::new();
+        enc.u64(self.fingerprint);
+        enc.usize(self.records.len());
+        for r in &self.records {
+            r.encode(&mut enc);
+        }
+        let payload = enc.into_bytes();
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        out.extend_from_slice(&JOURNAL_MAGIC);
+        out.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn write_file(&self) -> Result<(), JournalError> {
+        let bytes = self.encode();
+        let mut tmp = self.path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes).map_err(|e| JournalError::Io(e.kind()))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| JournalError::Io(e.kind()))
+    }
+}
+
+/// Validates a sealed journal image and decodes its records. Check order
+/// mirrors the snapshot container: length, magic, version (before the
+/// checksum, so skew is reported as such), declared payload length,
+/// checksum, campaign fingerprint, records.
+///
+/// # Errors
+///
+/// Any [`JournalError`]; the image is rejected wholesale.
+pub fn decode_journal(bytes: &[u8], fingerprint: u64) -> Result<Vec<JournalRecord>, JournalError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(JournalError::Truncated);
+    }
+    if bytes[0..8] != JOURNAL_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != JOURNAL_VERSION {
+        return Err(JournalError::BadVersion { found: version });
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_BYTES..];
+    if (payload.len() as u64) < len {
+        return Err(JournalError::Truncated);
+    }
+    if (payload.len() as u64) > len {
+        // Trailing garbage is as suspect as missing bytes.
+        return Err(JournalError::BadValue);
+    }
+    let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+    if fnv1a64(payload) != checksum {
+        return Err(JournalError::BadChecksum);
+    }
+    let mut dec = SnapDecoder::new(payload);
+    if dec.u64()? != fingerprint {
+        return Err(JournalError::CampaignMismatch);
+    }
+    let n = dec.usize()?;
+    // Each record is at least key + tag + retries + attempts + 2 bools.
+    if n > payload.len() / 19 {
+        return Err(JournalError::BadValue);
+    }
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        records.push(JournalRecord::decode(&mut dec)?);
+    }
+    if !dec.is_exhausted() {
+        return Err(JournalError::BadValue);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{CellResult, SweepSpec};
+    use memfwd_apps::{App, Variant};
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("memfwd-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    fn sample_cell() -> CellSpec {
+        CellSpec {
+            app: App::Mst,
+            variant: Variant::Optimized,
+            line_bytes: 32,
+            mem_latency: 75,
+            seed: 12345,
+        }
+    }
+
+    fn sample_records(scale: Scale) -> Vec<JournalRecord> {
+        let spec = sample_cell();
+        let mut stats = RunStats::default();
+        stats.pipeline.cycles = 777;
+        stats.fwd.loads = 41;
+        stats.fwd.stores = 1;
+        let ok = CellReport::completed(CellResult {
+            spec,
+            checksum: 0xABCD,
+            stats,
+            refs: 42,
+            host_nanos: 5,
+        });
+        let poisoned = CellReport {
+            spec: CellSpec {
+                app: App::Vis,
+                ..spec
+            },
+            outcome: CellOutcome::Poisoned,
+            attempts: 3,
+            sim: None,
+            error: Some("panic: injected".to_string()),
+        };
+        vec![
+            JournalRecord::from_report(scale, &ok),
+            JournalRecord::from_report(scale, &poisoned),
+        ]
+    }
+
+    #[test]
+    fn create_append_load_roundtrip() {
+        let path = tmp_path("roundtrip.mfj");
+        let fp = campaign_fingerprint(&SweepSpec::default());
+        let mut j = Journal::create(&path, fp).expect("create");
+        for r in sample_records(Scale::Smoke) {
+            j.append(r).expect("append");
+        }
+        let loaded = Journal::load(&path, fp).expect("load");
+        assert_eq!(loaded.records(), j.records());
+        let key = cell_key(Scale::Smoke, &sample_cell());
+        let rec = loaded.get(key).expect("journaled cell found");
+        assert_eq!(rec.outcome, CellOutcome::Ok);
+        let report = rec.to_report(sample_cell());
+        assert_eq!(report.sim.expect("completed").checksum, 0xABCD);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicate_key_append_is_rejected() {
+        let path = tmp_path("dup.mfj");
+        let mut j = Journal::create(&path, 1).expect("create");
+        let recs = sample_records(Scale::Smoke);
+        j.append(recs[0].clone()).expect("first append");
+        assert_eq!(j.append(recs[0].clone()), Err(JournalError::BadValue));
+        assert_eq!(j.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn campaign_mismatch_is_typed() {
+        let path = tmp_path("mismatch.mfj");
+        Journal::create(&path, 1).expect("create");
+        assert!(matches!(
+            Journal::load(&path, 2),
+            Err(JournalError::CampaignMismatch)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cell_key_covers_scale_and_every_axis() {
+        let spec = sample_cell();
+        let base = cell_key(Scale::Smoke, &spec);
+        assert_ne!(base, cell_key(Scale::Bench, &spec));
+        assert_ne!(
+            base,
+            cell_key(
+                Scale::Smoke,
+                &CellSpec {
+                    seed: spec.seed + 1,
+                    ..spec
+                }
+            )
+        );
+        assert_ne!(
+            base,
+            cell_key(
+                Scale::Smoke,
+                &CellSpec {
+                    line_bytes: 64,
+                    ..spec
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let mut enc_j = Journal {
+            path: tmp_path("unused.mfj"),
+            fingerprint: 7,
+            records: sample_records(Scale::Smoke),
+            index: HashMap::new(),
+        };
+        enc_j.index.clear();
+        let img = enc_j.encode();
+        for len in [0, 7, 11, 19, 27, HEADER_BYTES, img.len() / 2, img.len() - 1] {
+            let r = decode_journal(&img[..len], 7);
+            assert!(
+                matches!(r, Err(JournalError::Truncated)),
+                "len {len}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_and_bad_magic_are_typed() {
+        let j = Journal {
+            path: tmp_path("unused2.mfj"),
+            fingerprint: 7,
+            records: Vec::new(),
+            index: HashMap::new(),
+        };
+        let mut img = j.encode();
+        img[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            decode_journal(&img, 7),
+            Err(JournalError::BadVersion { found: 99 })
+        );
+        let mut img = j.encode();
+        img[0] = b'X';
+        assert_eq!(decode_journal(&img, 7), Err(JournalError::BadMagic));
+    }
+}

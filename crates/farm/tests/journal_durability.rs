@@ -1,0 +1,134 @@
+//! Property tests of journal durability: no mangling of the on-disk
+//! image — truncation at any point, any single bit-flip, or trailing
+//! garbage — may ever surface as a silently shortened or altered record
+//! set. Corruption is a typed [`JournalError`], wholesale.
+
+use memfwd_apps::{App, Scale, Variant};
+use memfwd_farm::journal::decode_journal;
+use memfwd_farm::sweep::{CellOutcome, CellReport, CellResult, CellSpec};
+use memfwd_farm::{cell_key, Journal, JournalError, JournalRecord};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const FINGERPRINT: u64 = 0xCA_FE_F0_0D;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("memfwd-jdur-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+/// Builds a journal image holding one completed and one poisoned record
+/// per app in `apps`, through the real create/append path.
+fn journal_image(name: &str, apps: &[App]) -> Vec<u8> {
+    let path = tmp_path(name);
+    std::fs::remove_file(&path).ok();
+    let mut j = Journal::create(&path, FINGERPRINT).expect("create");
+    for (i, &app) in apps.iter().enumerate() {
+        let spec = CellSpec {
+            app,
+            variant: Variant::Optimized,
+            line_bytes: 32,
+            mem_latency: 75,
+            seed: 12345 + i as u64,
+        };
+        let mut stats = memfwd::RunStats::default();
+        stats.pipeline.cycles = 1000 + i as u64;
+        stats.fwd.loads = 10 * i as u64;
+        let report = CellReport::completed(CellResult {
+            spec,
+            checksum: 0x1111 * (i as u64 + 1),
+            stats,
+            refs: 10 * i as u64,
+            host_nanos: 1,
+        });
+        j.append(JournalRecord::from_report(Scale::Smoke, &report))
+            .expect("append ok");
+        let failed = CellReport {
+            spec: CellSpec {
+                seed: 90_000 + i as u64,
+                ..spec
+            },
+            outcome: CellOutcome::Poisoned,
+            attempts: 3,
+            sim: None,
+            error: Some(format!("injected failure #{i}")),
+        };
+        j.append(JournalRecord::from_report(Scale::Smoke, &failed))
+            .expect("append failed-cell record");
+    }
+    let bytes = std::fs::read(&path).expect("read image");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A journal cut anywhere short of its full length never decodes: a
+    /// torn write can lose the in-flight append, never manufacture a
+    /// shorter-but-valid history.
+    #[test]
+    fn truncation_never_yields_records(cut in 0usize..1000) {
+        let img = journal_image("trunc.mfj", &[App::Mst, App::Health, App::Vis]);
+        let cut = cut % img.len(); // every prefix length < full
+        let r = decode_journal(&img[..cut], FINGERPRINT);
+        prop_assert!(r.is_err(), "prefix of {cut}/{} bytes decoded: {r:?}", img.len());
+    }
+
+    /// Any single bit-flip anywhere in the image — header or payload — is
+    /// rejected with a typed error, never read back as different records.
+    #[test]
+    fn bit_flips_are_rejected(pos in 0usize..4096, bit in 0u8..8) {
+        let img = journal_image("flip.mfj", &[App::Mst, App::Health]);
+        let mut bad = img.clone();
+        let pos = pos % bad.len();
+        bad[pos] ^= 1 << bit;
+        let r = decode_journal(&bad, FINGERPRINT);
+        prop_assert!(r.is_err(), "flip at byte {pos} bit {bit} decoded: {r:?}");
+    }
+
+    /// Appending junk after the sealed image is as corrupt as removing
+    /// bytes from it.
+    #[test]
+    fn trailing_garbage_is_rejected(garbage in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut img = journal_image("tail.mfj", &[App::Mst]);
+        img.extend_from_slice(&garbage);
+        let r = decode_journal(&img, FINGERPRINT);
+        prop_assert!(matches!(r, Err(JournalError::BadValue)), "{r:?}");
+    }
+}
+
+/// The intact image, for contrast, decodes every record bit-for-bit.
+#[test]
+fn intact_image_roundtrips() {
+    let apps = [App::Mst, App::Health, App::Vis, App::Smv];
+    let img = journal_image("intact.mfj", &apps);
+    let records = decode_journal(&img, FINGERPRINT).expect("intact journal decodes");
+    assert_eq!(records.len(), 2 * apps.len());
+    // Completed and poisoned records alternate, keys resolvable.
+    for pair in records.chunks(2) {
+        assert_eq!(pair[0].outcome, CellOutcome::Ok);
+        assert!(pair[0].sim.is_some());
+        assert_eq!(pair[1].outcome, CellOutcome::Poisoned);
+        assert!(pair[1].sim.is_none());
+        assert!(pair[1]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("injected")));
+    }
+    // And the fingerprint binds the image to its campaign.
+    assert!(matches!(
+        decode_journal(&img, FINGERPRINT ^ 1),
+        Err(JournalError::CampaignMismatch)
+    ));
+    // Sanity: keys are the content hashes the supervisor would compute.
+    let spec = CellSpec {
+        app: App::Mst,
+        variant: Variant::Optimized,
+        line_bytes: 32,
+        mem_latency: 75,
+        seed: 12345,
+    };
+    assert_eq!(records[0].key, cell_key(Scale::Smoke, &spec));
+}

@@ -209,6 +209,27 @@ fn cross_application_resume_is_rejected_typed() {
 }
 
 #[test]
+fn cross_run_parameter_resume_is_rejected_typed() {
+    // Variant/seed/scale live outside SimConfig, so the container's
+    // config fingerprint alone cannot catch them — the cursor's
+    // run-parameter stamp must. Without it, a snapshot taken before the
+    // variants diverge would silently continue as a hybrid run.
+    let cfg = cfg_for(7, Variant::Optimized);
+    let image = captured_image(App::Health, &cfg);
+    for other in [
+        cfg_for(7, Variant::Original),
+        cfg_for(8, Variant::Optimized),
+    ] {
+        assert_eq!(
+            resume_err(App::Health, &other, image.clone()),
+            MachineFault::CorruptSnapshot {
+                error: SnapshotError::ConfigMismatch
+            }
+        );
+    }
+}
+
+#[test]
 fn snapshot_byte_stream_round_trips_through_the_core_api() {
     // The captured image is a plain `save_machine` container: the core
     // restore returns the identical cursor and a machine whose re-save is

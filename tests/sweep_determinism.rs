@@ -9,7 +9,7 @@
 //! "optimization" that changes simulated behaviour fails loudly.
 
 use memfwd_apps::{run_ok, App, RunConfig, Scale, Variant};
-use memfwd_bench::sweep::{run_sweep, strip_host_lines, validate_report, SweepSpec};
+use memfwd_bench::sweep::{run_sweep, strip_host_lines, validate_report, CellOutcome, SweepSpec};
 
 fn full_smoke_spec() -> SweepSpec {
     SweepSpec {
@@ -46,9 +46,11 @@ fn parallel_sweep_is_byte_identical_to_serial() {
     assert_eq!(serial.cells.len(), parallel.cells.len());
     for (a, b) in serial.cells.iter().zip(&parallel.cells) {
         assert_eq!(a.spec, b.spec);
-        assert_eq!(a.checksum, b.checksum, "{:?} checksum diverged", a.spec);
-        assert_eq!(a.stats, b.stats, "{:?} RunStats diverged", a.spec);
-        assert_eq!(a.refs, b.refs, "{:?} ref count diverged", a.spec);
+        assert_eq!(a.outcome, CellOutcome::Ok, "{:?} failed", a.spec);
+        let (ra, rb) = (a.sim().expect("completed"), b.sim().expect("completed"));
+        assert_eq!(ra.checksum, rb.checksum, "{:?} checksum diverged", a.spec);
+        assert_eq!(ra.stats, rb.stats, "{:?} RunStats diverged", a.spec);
+        assert_eq!(ra.refs, rb.refs, "{:?} ref count diverged", a.spec);
     }
 
     // And so do the serialized reports, modulo host-timing lines.
@@ -64,14 +66,16 @@ fn parallel_sweep_is_byte_identical_to_serial() {
 fn sweep_cells_match_golden_checksums_and_direct_runs() {
     let spec = full_smoke_spec();
     let report = run_sweep(&spec, 4);
+    assert!(report.summary().is_clean(), "no chaos here: every cell ok");
 
     for cell in &report.cells {
+        let r = cell.sim().expect("clean sweep completes every cell");
         let (_, golden) = GOLDEN_CHECKSUMS
             .iter()
             .find(|(app, _)| *app == cell.spec.app)
             .expect("every app has a golden checksum");
         assert_eq!(
-            cell.checksum,
+            r.checksum,
             *golden,
             "{} ({}) checksum drifted from golden",
             cell.spec.app,
@@ -86,8 +90,8 @@ fn sweep_cells_match_golden_checksums_and_direct_runs() {
         cfg.sim = cfg.sim.with_line_bytes(cell.spec.line_bytes);
         cfg.sim.hierarchy.mem_latency = cell.spec.mem_latency;
         let direct = run_ok(cell.spec.app, &cfg);
-        assert_eq!(cell.checksum, direct.checksum);
-        assert_eq!(cell.stats, direct.stats, "{:?}", cell.spec);
-        assert_eq!(cell.refs, direct.stats.fwd.loads + direct.stats.fwd.stores);
+        assert_eq!(r.checksum, direct.checksum);
+        assert_eq!(r.stats, direct.stats, "{:?}", cell.spec);
+        assert_eq!(r.refs, direct.stats.fwd.loads + direct.stats.fwd.stores);
     }
 }

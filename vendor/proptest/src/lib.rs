@@ -10,7 +10,7 @@
 //! * strategies: integer ranges, [`any`](arbitrary::any),
 //!   [`Just`](strategy::Just), tuples, [`prop_map`](strategy::Strategy::prop_map),
 //!   weighted/unweighted [`prop_oneof!`], and
-//!   [`collection::vec`](collection::vec),
+//!   [`collection::vec`],
 //! * [`ProptestConfig::with_cases`](test_runner::ProptestConfig::with_cases).
 //!
 //! Differences from real proptest, by design:
@@ -320,7 +320,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Strategy for `Vec`s with lengths drawn from a range — see [`vec`].
+    /// Strategy for `Vec`s with lengths drawn from a range — see [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
