@@ -5,8 +5,9 @@
 //! stable `MF0xx` diagnostics in human or JSON form.
 
 use memfwd_analyze::{
-    app_target, capture_app_plan, certify_stock_campaigns, diff_plans, parse_plan, race_report,
-    render_diff_human, render_diff_json, render_human, render_json, verify_plan, DenySet, Report,
+    app_target, capture_app_plan, certify_stock_campaigns, diff_plans, infer_hop_budget,
+    parse_plan, race_report, render_diff_human, render_diff_json, render_human, render_json,
+    verify_plan, DenySet, Report,
 };
 use memfwd_apps::{App, RunConfig, Scale, Variant};
 use std::path::PathBuf;
@@ -32,6 +33,13 @@ TARGETS (at least one; may be repeated/combined):
                             honors --format; exit 0 if identical, 1 if
                             they differ
 
+    --infer-hop-budget      instead of linting, report the minimum safe
+                            hard_hop_budget for each --app/--plan target
+                            (the deepest chain walk the machine would
+                            budget-check); exit 1 if a target's
+                            configured budget is below the minimum, or if
+                            a forwarding cycle makes every budget unsafe
+
 OPTIONS:
     --variant <v>           original|optimized|static (default: optimized)
     --scale <s>             smoke|bench (default: smoke)
@@ -42,8 +50,10 @@ OPTIONS:
     --help                  print this text
 
 EXIT CODES:
-    0  no denied diagnostics (--diff: plans identical)
-    1  lint gate failed (--diff: plans differ)
+    0  no denied diagnostics (--diff: plans identical; --infer-hop-budget:
+       every configured budget is sufficient)
+    1  lint gate failed (--diff: plans differ; --infer-hop-budget: a
+       configured budget is below the minimum, or no finite budget is safe)
     2  usage error
 ";
 
@@ -53,6 +63,7 @@ struct Cli {
     smp_certify: bool,
     smp_seeded_race: bool,
     diff: Option<(PathBuf, PathBuf)>,
+    infer_hop_budget: bool,
     variant: Variant,
     scale: Scale,
     seed: u64,
@@ -67,6 +78,7 @@ fn parse_args() -> Result<Cli, String> {
         smp_certify: false,
         smp_seeded_race: false,
         diff: None,
+        infer_hop_budget: false,
         variant: Variant::Optimized,
         scale: Scale::Smoke,
         seed: 12345,
@@ -91,6 +103,7 @@ fn parse_args() -> Result<Cli, String> {
             "--plan" => cli
                 .plans
                 .push(PathBuf::from(next_val(&mut args, "--plan")?)),
+            "--infer-hop-budget" => cli.infer_hop_budget = true,
             "--smp-certify" => cli.smp_certify = true,
             "--smp-seeded-race" => cli.smp_seeded_race = true,
             "--diff" => {
@@ -135,6 +148,14 @@ fn parse_args() -> Result<Cli, String> {
     {
         return Err("--diff cannot be combined with lint targets".into());
     }
+    if cli.infer_hop_budget {
+        if cli.smp_certify || cli.smp_seeded_race || cli.diff.is_some() {
+            return Err("--infer-hop-budget only combines with --app/--plan targets".into());
+        }
+        if cli.apps.is_empty() && cli.plans.is_empty() {
+            return Err("--infer-hop-budget needs at least one --app or --plan target".into());
+        }
+    }
     if cli.diff.is_none()
         && cli.apps.is_empty()
         && cli.plans.is_empty()
@@ -147,6 +168,108 @@ fn parse_args() -> Result<Cli, String> {
         );
     }
     Ok(cli)
+}
+
+/// `--infer-hop-budget`: for each target, report the minimum safe
+/// `hard_hop_budget` and gate on the configured one. A budget of `none`
+/// disables the machine's hop check entirely, so it always passes; a
+/// cyclic plan fails under every finite budget.
+fn run_infer(cli: &Cli) -> ! {
+    struct Row {
+        target: String,
+        required: Option<u32>,
+        configured: Option<u32>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &app in &cli.apps {
+        let mut cfg = RunConfig::new(cli.variant);
+        cfg.scale = cli.scale;
+        cfg.seed = cli.seed;
+        let cap = capture_app_plan(app, &cfg);
+        let target = app_target(app, &cfg);
+        let (_, required) = infer_hop_budget(&target, &cap.plan);
+        rows.push(Row {
+            target,
+            required,
+            configured: cap.plan.hard_hop_budget,
+        });
+    }
+    for path in &cli.plans {
+        let load = |r: Result<String, std::io::Error>| {
+            r.unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", path.display());
+                std::process::exit(2);
+            })
+        };
+        let text = load(std::fs::read_to_string(path));
+        let plan = parse_plan(&text).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let target = format!("plan:{}", path.display());
+        let (_, required) = infer_hop_budget(&target, &plan);
+        rows.push(Row {
+            target,
+            required,
+            configured: plan.hard_hop_budget,
+        });
+    }
+
+    let row_ok = |r: &Row| match (r.required, r.configured) {
+        (None, _) => false,      // cyclic: no finite budget is safe
+        (Some(_), None) => true, // hop check disabled: nothing to overrun
+        (Some(req), Some(cfg)) => cfg >= req,
+    };
+    let mut failed = 0usize;
+    if cli.json {
+        let mut out = String::from("[\n");
+        for (i, r) in rows.iter().enumerate() {
+            let esc: String = r
+                .target
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c => vec![c],
+                })
+                .collect();
+            let fmt_opt = |v: Option<u32>| v.map_or("null".to_string(), |n| n.to_string());
+            out.push_str(&format!(
+                "  {{\"target\": \"{esc}\", \"min_safe_hop_budget\": {}, \"configured\": {}, \"cyclic\": {}, \"ok\": {}}}{}\n",
+                fmt_opt(r.required),
+                fmt_opt(r.configured),
+                r.required.is_none(),
+                row_ok(r),
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        print!("{out}");
+        failed = rows.iter().filter(|r| !row_ok(r)).count();
+    } else {
+        for r in &rows {
+            let ok = row_ok(r);
+            if !ok {
+                failed += 1;
+            }
+            match r.required {
+                None => println!(
+                    "{}: no finite hard_hop_budget is safe (forwarding cycle, MF001)  [FAIL]",
+                    r.target
+                ),
+                Some(req) => println!(
+                    "{}: minimum safe hard_hop_budget = {req} (configured: {})  [{}]",
+                    r.target,
+                    r.configured.map_or("none".to_string(), |c| c.to_string()),
+                    if ok { "ok" } else { "FAIL" },
+                ),
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("memfwd_lint: {failed} target(s) with an unsafe hop budget");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 fn main() {
@@ -181,6 +304,10 @@ fn main() {
             print!("{}", render_diff_human(&old_name, &new_name, &d));
         }
         std::process::exit(i32::from(!d.is_identical()));
+    }
+
+    if cli.infer_hop_budget {
+        run_infer(&cli);
     }
 
     let mut reports: Vec<Report> = Vec::new();

@@ -50,4 +50,4 @@ pub use diag::{render_human, render_json, Code, DenySet, Diagnostic, Report, Sev
 pub use plandiff::{diff_plans, render_diff_human, render_diff_json, PlanDiff};
 pub use planfile::{parse_plan, render_plan};
 pub use race::{certify_stock_campaigns, find_races, race_report, RaceFinding};
-pub use verify::verify_plan;
+pub use verify::{infer_hop_budget, verify_plan, verify_plan_with_hops, HopProfile};

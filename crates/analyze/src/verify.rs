@@ -40,6 +40,9 @@ struct Ctx {
     /// (code, anchor-word) pairs already reported, for deduplication.
     seen: HashSet<(Code, u64)>,
     budget: Option<u32>,
+    /// Deepest budget-checked walk seen (demand stores and the probe
+    /// pass) — the basis of [`HopProfile::max_hops`].
+    max_hops: u32,
 }
 
 impl Ctx {
@@ -120,14 +123,60 @@ fn ranges_overlap(a: Addr, b: Addr, words: u64) -> bool {
     a0 < b1 && b0 < a1
 }
 
+/// The hop-depth profile of a verified plan: how deep the chains the
+/// machine would actually walk get.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopProfile {
+    /// The deepest budget-checked walk (demand stores during execution
+    /// plus the post-plan probe pass). Any `hard_hop_budget >= max_hops`
+    /// admits every one of those walks; anything smaller faults. When the
+    /// plan declares a budget and a walk overruns it, the plan aborts at
+    /// that step, so the profile only covers walks up to the abort —
+    /// infer on a budget-free copy of the plan for the full picture.
+    pub max_hops: u32,
+    /// A forwarding cycle exists (MF001): some walk never terminates, so
+    /// *no* finite budget makes the plan safe.
+    pub cyclic: bool,
+}
+
+impl HopProfile {
+    /// The minimum `hard_hop_budget` under which every checked walk
+    /// stays in budget, or `None` when a cycle makes every budget unsafe.
+    pub fn min_safe_budget(&self) -> Option<u32> {
+        if self.cyclic {
+            None
+        } else {
+            Some(self.max_hops)
+        }
+    }
+}
+
 /// Verifies `plan`, producing a [`Report`] labelled `target`.
 pub fn verify_plan(target: &str, plan: &RelocPlan) -> Report {
+    verify_plan_with_hops(target, plan).0
+}
+
+/// Infers the minimum safe `hard_hop_budget` for `plan` by verifying a
+/// budget-free copy (so no budget overrun can abort the measurement) and
+/// profiling every walk the machine would budget-check. Returns the
+/// budget-free report and the minimum safe budget (`None` if cyclic).
+pub fn infer_hop_budget(target: &str, plan: &RelocPlan) -> (Report, Option<u32>) {
+    let mut unbounded = plan.clone();
+    unbounded.hard_hop_budget = None;
+    let (report, profile) = verify_plan_with_hops(target, &unbounded);
+    let min = profile.min_safe_budget();
+    (report, min)
+}
+
+/// Verifies `plan` and additionally returns its [`HopProfile`].
+pub fn verify_plan_with_hops(target: &str, plan: &RelocPlan) -> (Report, HopProfile) {
     let mut ctx = Ctx {
         fwd: HashMap::new(),
         diagnostics: Vec::new(),
         per_code: HashMap::new(),
         seen: HashSet::new(),
         budget: plan.hard_hop_budget,
+        max_hops: 0,
     };
     // Words whose post-plan chains the soundness contract probes.
     let mut probes: BTreeSet<u64> = BTreeSet::new();
@@ -147,6 +196,7 @@ pub fn verify_plan(target: &str, plan: &RelocPlan) -> Report {
     for &w in &probes {
         match ctx.walk(Addr(w)) {
             Ok((terminal, hops)) => {
+                ctx.max_hops = ctx.max_hops.max(hops);
                 if let Some(budget) = ctx.budget {
                     if hops > budget && reported_deep.insert(terminal.0) {
                         ctx.emit(
@@ -165,11 +215,16 @@ pub fn verify_plan(target: &str, plan: &RelocPlan) -> Report {
         }
     }
 
-    Report {
+    let report = Report {
         target: target.to_string(),
         steps: plan.steps.len(),
         diagnostics: ctx.diagnostics,
-    }
+    };
+    let profile = HopProfile {
+        max_hops: ctx.max_hops,
+        cyclic: report.has(Code::Mf001),
+    };
+    (report, profile)
 }
 
 fn apply_step(
@@ -292,6 +347,7 @@ fn apply_step(
         // The data copy is a demand store through the target's chain.
         match ctx.walk(t) {
             Ok((_, hops)) => {
+                ctx.max_hops = ctx.max_hops.max(hops);
                 if let Some(budget) = ctx.budget {
                     if hops > budget {
                         ctx.emit(
@@ -436,6 +492,44 @@ mod tests {
         assert!(verify_plan("t", &p).has(Code::Mf007));
         p = plan(&[(0x10_004, 0x20_000, 1)]);
         assert!(verify_plan("t", &p).has(Code::Mf008));
+    }
+
+    #[test]
+    fn inferred_budget_is_the_tight_bound() {
+        // The deep-chain plan from above: w0 -> ... -> w5, deepest probe
+        // walk is 5 hops.
+        let steps: Vec<(u64, u64, u64)> = (0..5)
+            .map(|i| (0x10_000 + 8 * i, 0x10_008 + 8 * i, 1))
+            .collect();
+        let p = plan(&steps);
+        let (_, required) = infer_hop_budget("t", &p);
+        let required = required.expect("acyclic");
+        // Tightness both ways: the inferred budget passes, one less fails.
+        let mut q = p.clone();
+        q.hard_hop_budget = Some(required);
+        assert_eq!(verify_plan("t", &q).verdict(), Verdict::Safe);
+        assert!(required > 0);
+        q.hard_hop_budget = Some(required - 1);
+        assert!(verify_plan("t", &q).has(Code::Mf002));
+    }
+
+    #[test]
+    fn inference_ignores_a_declared_budget_and_flags_cycles() {
+        let steps: Vec<(u64, u64, u64)> = (0..5)
+            .map(|i| (0x10_000 + 8 * i, 0x10_008 + 8 * i, 1))
+            .collect();
+        let mut p = plan(&steps);
+        // A declared too-small budget must not truncate the measurement.
+        p.hard_hop_budget = Some(1);
+        let (report, required) = infer_hop_budget("t", &p);
+        assert!(!report.has(Code::Mf002), "{report:?}");
+        assert!(required.expect("acyclic") > 1);
+
+        // A cyclic plan has no finite safe budget.
+        let cyc = plan(&[(0x10_000, 0x10_008, 1), (0x10_008, 0x10_000, 1)]);
+        let (report, required) = infer_hop_budget("t", &cyc);
+        assert!(report.has(Code::Mf001));
+        assert_eq!(required, None);
     }
 
     #[test]

@@ -22,12 +22,11 @@
 
 use memfwd_apps::{App, Scale, Variant};
 use memfwd_bench::sweep::{
-    run_sweep, selftest, strip_host_lines, strip_volatile_lines, validate_report, CellSpec,
-    SweepSpec,
+    run_sweep, selftest, strip_host_lines, strip_volatile_lines, validate_report, SweepSpec,
 };
 use memfwd_farm::{
-    campaign_fingerprint, cell_key, run_campaign, run_worker_cell, ChaosSpec, FarmOptions, Journal,
-    SubprocessRunner, WorkerArgs,
+    campaign_fingerprint, parse_worker_args, run_campaign, run_worker_cell, ChaosSpec, FarmOptions,
+    Journal, SubprocessRunner, WorkerArgs,
 };
 
 const USAGE: &str = "\
@@ -91,12 +90,26 @@ SUPERVISED CAMPAIGNS:
                             been SIGKILLed there (exits 137); resume with
                             --resume
 
+SERVICE CLIENT:
+    --submit <socket>       submit the grid to a running memfwd_served
+                            instance instead of executing locally, wait
+                            for completion, and write the report it
+                            returns verbatim to --out (byte-identical to
+                            a local run after --strip-volatile)
+    --job-timeout-ms <n>    whole-job deadline enforced by the service
+                            (default: none)
+    (--retries / --backoff-ms / --cell-timeout-ms are forwarded as the
+    job's supervision options; --supervised, --resume, --chaos,
+    --selftest, and --lint-preflight do not combine with --submit)
+
 EXIT CODES:
     0  success    1  validation failed    2  usage error
     20 lint pre-flight rejected a relocation schedule
     21 campaign degraded: completed, but with poisoned/timed-out cells
     22 campaign journal unusable (corrupt, version-skewed, or from a
        different campaign)
+    23 service shed the submission (typed backpressure) or is draining
+    24 service unreachable, protocol error, or job failed service-side
 ";
 
 struct Cli {
@@ -114,6 +127,8 @@ struct Cli {
     ckpt_every: Option<u64>,
     chaos: ChaosSpec,
     crash_after_appends: Option<u64>,
+    submit: Option<std::path::PathBuf>,
+    job_timeout_ms: Option<u64>,
 }
 
 enum Mode {
@@ -137,103 +152,6 @@ fn parse_list<T, E: std::fmt::Display>(
     Ok(items)
 }
 
-/// Parses the hidden worker mode's single-cell arguments (everything
-/// after `--worker-cell`). Flags reuse the sweep-mode names but take
-/// exactly one value each.
-fn parse_worker(mut args: std::env::Args) -> Result<WorkerArgs, String> {
-    let mut app = None;
-    let mut variant = None;
-    let mut line_bytes = 32u64;
-    let mut mem_latency = 75u64;
-    let mut seed = 12345u64;
-    let mut scale = Scale::Smoke;
-    let mut key = None;
-    let mut result_file = None;
-    let mut ckpt_file = None;
-    let mut ckpt_every = None;
-    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
-        args.next().ok_or_else(|| format!("{flag} needs a value"))
-    };
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--app" => {
-                let v = next_val(&mut args, "--app")?;
-                app = Some(App::from_name(&v).ok_or_else(|| format!("unknown app '{v}'"))?);
-            }
-            "--variant" => {
-                let v = next_val(&mut args, "--variant")?;
-                variant =
-                    Some(Variant::from_name(&v).ok_or_else(|| format!("unknown variant '{v}'"))?);
-            }
-            "--line-bytes" => {
-                line_bytes = next_val(&mut args, "--line-bytes")?
-                    .parse()
-                    .map_err(|e| format!("--line-bytes: {e}"))?;
-            }
-            "--mem-latency" => {
-                mem_latency = next_val(&mut args, "--mem-latency")?
-                    .parse()
-                    .map_err(|e| format!("--mem-latency: {e}"))?;
-            }
-            "--seeds" => {
-                seed = next_val(&mut args, "--seeds")?
-                    .parse()
-                    .map_err(|e| format!("--seeds: {e}"))?;
-            }
-            "--scale" => {
-                scale = match next_val(&mut args, "--scale")?.as_str() {
-                    "smoke" => Scale::Smoke,
-                    "bench" => Scale::Bench,
-                    other => return Err(format!("unknown scale '{other}'")),
-                };
-            }
-            "--cell-key" => {
-                key = Some(
-                    next_val(&mut args, "--cell-key")?
-                        .parse()
-                        .map_err(|e| format!("--cell-key: {e}"))?,
-                );
-            }
-            "--result-file" => {
-                result_file = Some(std::path::PathBuf::from(next_val(
-                    &mut args,
-                    "--result-file",
-                )?));
-            }
-            "--ckpt-file" => {
-                ckpt_file = Some(std::path::PathBuf::from(next_val(
-                    &mut args,
-                    "--ckpt-file",
-                )?));
-            }
-            "--ckpt-every" => {
-                ckpt_every = Some(
-                    next_val(&mut args, "--ckpt-every")?
-                        .parse()
-                        .map_err(|e| format!("--ckpt-every: {e}"))?,
-                );
-            }
-            other => return Err(format!("worker mode: unknown option '{other}'")),
-        }
-    }
-    let spec = CellSpec {
-        app: app.ok_or("worker mode: --app is required")?,
-        variant: variant.ok_or("worker mode: --variant is required")?,
-        line_bytes,
-        mem_latency,
-        seed,
-    };
-    let key = key.unwrap_or_else(|| cell_key(scale, &spec));
-    Ok(WorkerArgs {
-        spec,
-        scale,
-        key,
-        result_file: result_file.ok_or("worker mode: --result-file is required")?,
-        ckpt_file,
-        ckpt_every,
-    })
-}
-
 fn parse() -> Result<Mode, String> {
     let mut spec = SweepSpec::default();
     let mut jobs = 1usize;
@@ -249,6 +167,8 @@ fn parse() -> Result<Mode, String> {
     let mut ckpt_every = None;
     let mut chaos = ChaosSpec::default();
     let mut crash_after_appends = None;
+    let mut submit = None;
+    let mut job_timeout_ms = None;
     let mut args = std::env::args();
     let _argv0 = args.next();
     let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -258,7 +178,7 @@ fn parse() -> Result<Mode, String> {
         match arg.as_str() {
             "--worker-cell" => {
                 // Hidden internal mode: the rest of argv describes one cell.
-                return Ok(Mode::Worker(Box::new(parse_worker(args)?)));
+                return Ok(Mode::Worker(Box::new(parse_worker_args(args)?)));
             }
             "--apps" => {
                 let v = next_val(&mut args, "--apps")?;
@@ -343,6 +263,16 @@ fn parse() -> Result<Mode, String> {
                         .map_err(|e| format!("--crash-after-appends: {e}"))?,
                 );
             }
+            "--submit" => {
+                submit = Some(std::path::PathBuf::from(next_val(&mut args, "--submit")?));
+            }
+            "--job-timeout-ms" => {
+                job_timeout_ms = Some(
+                    next_val(&mut args, "--job-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--job-timeout-ms: {e}"))?,
+                );
+            }
             "--validate" => {
                 return Ok(Mode::Validate(std::path::PathBuf::from(next_val(
                     &mut args,
@@ -377,6 +307,22 @@ fn parse() -> Result<Mode, String> {
     if crash_after_appends.is_some() && !supervised {
         return Err("--crash-after-appends requires --supervised".into());
     }
+    if submit.is_some() {
+        if supervised || resume {
+            return Err("--submit executes on the service; drop --supervised/--resume".into());
+        }
+        if !chaos.is_empty() || crash_after_appends.is_some() {
+            return Err("--chaos/--crash-after-appends do not combine with --submit".into());
+        }
+        if want_selftest || lint_preflight {
+            return Err(
+                "--selftest/--lint-preflight are local-only; drop them for --submit".into(),
+            );
+        }
+    }
+    if job_timeout_ms.is_some() && submit.is_none() {
+        return Err("--job-timeout-ms requires --submit".into());
+    }
     Ok(Mode::Sweep(Box::new(Cli {
         spec,
         jobs,
@@ -392,6 +338,8 @@ fn parse() -> Result<Mode, String> {
         ckpt_every,
         chaos,
         crash_after_appends,
+        submit,
+        job_timeout_ms,
     })))
 }
 
@@ -519,6 +467,135 @@ fn run_supervised(cli: &Cli) -> memfwd_bench::sweep::SweepReport {
     }
 }
 
+fn die_submit(msg: &str) -> ! {
+    eprintln!("submit: {msg}");
+    std::process::exit(24);
+}
+
+/// Client mode: submits the grid to a running `memfwd_served`, waits for
+/// the job to finish, and writes the report the service returns verbatim
+/// to `--out`. The report is the same `BENCH_sweep.json` a local run of
+/// the grid would produce — byte-identical after `--strip-volatile` —
+/// whether the service computed, cached, or crash-resumed the cells.
+#[cfg(unix)]
+fn run_submit(cli: &Cli, socket: &std::path::Path) -> ! {
+    use memfwd_farm::minijson::{parse_json, Json};
+    use memfwd_served::proto;
+    use std::io::{BufRead, BufReader, Write};
+
+    let stream = match std::os::unix::net::UnixStream::connect(socket) {
+        Ok(s) => s,
+        Err(e) => die_submit(&format!("connecting to {}: {e}", socket.display())),
+    };
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => die_submit(&format!("socket: {e}")),
+    });
+    let mut writer = stream;
+    let mut rpc = move |line: String| -> Json {
+        let sent = writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        if let Err(e) = sent {
+            die_submit(&format!("sending request: {e}"));
+        }
+        let mut resp = String::new();
+        match reader.read_line(&mut resp) {
+            Ok(0) => die_submit("service closed the connection"),
+            Ok(_) => {}
+            Err(e) => die_submit(&format!("reading response: {e}")),
+        }
+        match parse_json(&resp) {
+            Ok(v) => v,
+            Err(e) => die_submit(&format!("unparseable response: {e}")),
+        }
+    };
+    fn rtype(v: &Json) -> &str {
+        v.get("type").and_then(Json::as_str).unwrap_or("?")
+    }
+    fn detail(v: &Json) -> &str {
+        v.get("error").and_then(Json::as_str).unwrap_or("no detail")
+    }
+
+    let options = memfwd_served::JobOptions {
+        retries: cli.retries,
+        backoff_ms: cli.backoff_ms,
+        cell_timeout_ms: cli.cell_timeout_ms,
+        job_timeout_ms: cli.job_timeout_ms,
+    };
+    let v = rpc(format!(
+        "{{\"op\":\"submit\",\"spec\":{},\"options\":{}}}",
+        proto::spec_to_json(&cli.spec),
+        proto::options_to_json(&options),
+    ));
+    let job = match rtype(&v) {
+        "accepted" => match v.get("job").and_then(Json::as_str) {
+            Some(j) => j.to_string(),
+            None => die_submit("accepted response missing the job id"),
+        },
+        "shed" => {
+            eprintln!(
+                "submit: shed by the service ({}; depth {} of {}); retry later",
+                v.get("reason").and_then(Json::as_str).unwrap_or("?"),
+                v.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),
+                v.get("limit").and_then(Json::as_u64).unwrap_or(0),
+            );
+            std::process::exit(23);
+        }
+        "draining" => {
+            eprintln!("submit: service is draining and admits no new work; retry later");
+            std::process::exit(23);
+        }
+        other => die_submit(&format!("submit refused ({other}): {}", detail(&v))),
+    };
+    eprintln!("submit: accepted as {job}");
+
+    loop {
+        let v = rpc(format!("{{\"op\":\"status\",\"job\":\"{job}\"}}"));
+        match v.get("state").and_then(Json::as_str) {
+            Some("done") => break,
+            Some("queued") | Some("running") => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Some(other) => {
+                // "failed" (or a state this client predates): the report
+                // op carries the reason as a typed error.
+                let r = rpc(format!("{{\"op\":\"report\",\"job\":\"{job}\"}}"));
+                die_submit(&format!("job {job} ended {other}: {}", detail(&r)));
+            }
+            None => die_submit(&format!("malformed status response: {}", detail(&v))),
+        }
+    }
+
+    let v = rpc(format!("{{\"op\":\"report\",\"job\":\"{job}\"}}"));
+    if rtype(&v) != "report" {
+        die_submit(&format!("fetching report: {}", detail(&v)));
+    }
+    let Some(report) = v.get("report").and_then(Json::as_str) else {
+        die_submit("report response missing the report body");
+    };
+    let degraded = v.get("degraded").and_then(Json::as_bool).unwrap_or(false);
+    if let Err(e) = std::fs::write(&cli.out, report.as_bytes()) {
+        eprintln!("error: writing {}: {e}", cli.out.display());
+        std::process::exit(2);
+    }
+    println!(
+        "report written to {} (computed by the service as {job})",
+        cli.out.display()
+    );
+    if degraded {
+        eprintln!("campaign degraded: the service reported poisoned/timed-out cells");
+        std::process::exit(21);
+    }
+    std::process::exit(0);
+}
+
+#[cfg(not(unix))]
+fn run_submit(_cli: &Cli, _socket: &std::path::Path) -> ! {
+    die_submit("--submit requires Unix domain sockets")
+}
+
 fn main() {
     let cli = match parse() {
         Ok(Mode::Sweep(cli)) => cli,
@@ -549,6 +626,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(socket) = &cli.submit {
+        run_submit(&cli, socket);
+    }
 
     if cli.lint_preflight {
         run_lint_preflight(&cli.spec);

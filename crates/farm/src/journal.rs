@@ -1,37 +1,57 @@
-//! The durable campaign journal: a checksummed, atomically rewritten
-//! record of every terminal cell outcome.
+//! The durable campaign journal: a checksummed base image plus
+//! individually sealed append frames, compacted geometrically.
 //!
-//! # Why whole-file rewrite, not append
+//! # Why sealed frames, not whole-file rewrite
 //!
-//! A raw append-only log can be torn by a crash mid-append, forcing the
-//! reader to guess where the valid prefix ends. The journal instead
-//! rewrites the *entire* sealed file through a sibling `.tmp` and an
-//! atomic rename on every append — exactly the PR-2 snapshot discipline.
-//! The file under the final name is therefore always a complete, sealed
-//! image of some prefix of the appends: a SIGKILL at any instant loses at
-//! most the in-flight append, never the journal. Campaign journals are
-//! small (one record per grid cell, kilobytes even for large sweeps), so
-//! the rewrite cost is irrelevant next to a cell's simulation time.
+//! Version 1 of this format rewrote the *entire* file through a sibling
+//! `.tmp` and an atomic rename on every append. That makes every on-disk
+//! state a sealed image, but an n-cell campaign pays O(n²) journal I/O —
+//! noticeable once campaigns reach thousands of cells and appends arrive
+//! from many workers. Version 2 keeps the same guarantee at O(n) amortized
+//! I/O by splitting the file in two regions:
 //!
-//! # Container format
+//! - A **base image**: the v1 sealed container (magic, version, declared
+//!   payload length, checksum, payload). A kill can never tear it because
+//!   it is only ever replaced via tmp + atomic rename.
+//! - A **tail of frames**: each append writes one self-sealing frame
+//!   (`magic, length, checksum, one record`) after the base. A kill
+//!   mid-append tears at most the last frame; the reader detects the torn
+//!   tail by its declared length and drops exactly the in-flight append —
+//!   the *sealed-prefix guarantee*: at any kill point the file decodes to
+//!   precisely the appends that had returned.
+//! - **Compaction**: once the tail holds as many records as the base
+//!   (never fewer than a small floor), the whole file is rewritten as a
+//!   fresh base via tmp + rename. Geometric growth of the compaction
+//!   threshold keeps total rewrite I/O linear in the number of appends.
+//!
+//! # Container format (version 2)
 //!
 //! ```text
 //! [ 0..  8)  magic  b"MFWDJRNL"
 //! [ 8.. 12)  format version, u32 little-endian
-//! [12.. 20)  payload length, u64 little-endian
-//! [20.. 28)  FNV-1a-64 checksum of the payload
-//! [28..   )  payload: campaign fingerprint u64, record count, records
+//! [12.. 20)  base payload length, u64 little-endian
+//! [20.. 28)  FNV-1a-64 checksum of the base payload
+//! [28.. 28+len)  base payload: campaign fingerprint u64, record count,
+//!                records
+//! then zero or more frames:
+//! [ 0..  4)  frame magic b"MFJF"
+//! [ 4..  8)  frame payload length, u32 little-endian
+//! [ 8.. 16)  FNV-1a-64 checksum of the frame payload
+//! [16..   )  frame payload: exactly one record
 //! ```
 //!
-//! The payload opens with the campaign fingerprint — a content hash of the
-//! full sweep spec — so a journal can never be silently resumed against a
-//! different grid. Records are keyed by [`cell_key`], a content hash of
-//! the individual cell's configuration, so resume matches cells by what
-//! they *compute*, not by their position in the grid.
+//! The base payload opens with the campaign fingerprint — a content hash
+//! of the full sweep spec — so a journal can never be silently resumed
+//! against a different grid. Records are keyed by [`cell_key`], a content
+//! hash of the individual cell's configuration, so resume matches cells by
+//! what they *compute*, not by their position in the grid.
 //!
-//! Every decoding path is total: truncated, bit-flipped, version-skewed,
-//! or fingerprint-mismatched journals are rejected with a typed
-//! [`JournalError`] — never a panic and never silently dropped cells.
+//! Every decoding path is total. A corrupt base, a complete-but-corrupt
+//! frame, version skew, or a fingerprint mismatch is rejected with a typed
+//! [`JournalError`] — never a panic and never a fabricated or altered
+//! record. Only an *incomplete trailing frame* (the signature a kill
+//! leaves) is dropped silently, because it is indistinguishable from — and
+//! semantically identical to — an append that never returned.
 
 use crate::sweep::{CellOutcome, CellReport, CellSpec, SweepSpec};
 use memfwd::RunStats;
@@ -47,10 +67,19 @@ pub const JOURNAL_MAGIC: [u8; 8] = *b"MFWDJRNL";
 
 /// Current journal format version. Bumped on any layout change; old
 /// versions are rejected with [`JournalError::BadVersion`], never
-/// misinterpreted.
-pub const JOURNAL_VERSION: u32 = 1;
+/// misinterpreted. Version 2 added the incremental frame tail.
+pub const JOURNAL_VERSION: u32 = 2;
+
+/// Leading magic of every append frame in the tail.
+pub const FRAME_MAGIC: [u8; 4] = *b"MFJF";
 
 const HEADER_BYTES: usize = 28;
+const FRAME_HEADER_BYTES: usize = 16;
+
+/// Compaction floor: the tail is never compacted before it holds this
+/// many records, so small journals don't churn and the threshold test
+/// `tail >= max(floor, base)` grows geometrically for large ones.
+pub const COMPACT_MIN_TAIL: usize = 64;
 
 /// Why a journal was rejected or an operation on it failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -260,13 +289,23 @@ impl JournalRecord {
 }
 
 /// The in-memory view of a campaign journal, bound to its on-disk file.
-/// Every [`Journal::append`] durably rewrites the file before returning.
+/// Every [`Journal::append`] durably seals the record on disk before
+/// returning — as one incremental frame, or as part of a compacted base.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
     fingerprint: u64,
     records: Vec<JournalRecord>,
     index: HashMap<u64, usize>,
+    /// How many leading `records` live in the sealed base image (the rest
+    /// are tail frames).
+    base_records: usize,
+    /// Length of the valid (base + intact frames) region of the file. A
+    /// torn tail found at load time sits beyond this and is truncated away
+    /// by the next append.
+    file_len: u64,
+    /// Tail-size floor below which compaction never runs.
+    compact_min_tail: usize,
 }
 
 impl Journal {
@@ -277,13 +316,16 @@ impl Journal {
     ///
     /// [`JournalError::Io`] if the write fails.
     pub fn create(path: &Path, fingerprint: u64) -> Result<Journal, JournalError> {
-        let j = Journal {
+        let mut j = Journal {
             path: path.to_path_buf(),
             fingerprint,
             records: Vec::new(),
             index: HashMap::new(),
+            base_records: 0,
+            file_len: 0,
+            compact_min_tail: COMPACT_MIN_TAIL,
         };
-        j.write_file()?;
+        j.compact()?;
         Ok(j)
     }
 
@@ -292,13 +334,15 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// Any [`JournalError`]: a corrupt, skewed, or foreign journal is
-    /// rejected wholesale — partial records are never surfaced.
+    /// Any [`JournalError`]: a corrupt base, a complete-but-corrupt frame,
+    /// or a foreign journal is rejected — partial records are never
+    /// surfaced. An incomplete trailing frame (a torn append) is dropped,
+    /// exactly as if the kill had landed a moment earlier.
     pub fn load(path: &Path, fingerprint: u64) -> Result<Journal, JournalError> {
         let bytes = std::fs::read(path).map_err(|e| JournalError::Io(e.kind()))?;
-        let records = decode_journal(&bytes, fingerprint)?;
-        let mut index = HashMap::with_capacity(records.len());
-        for (i, r) in records.iter().enumerate() {
+        let decoded = decode_journal_ex(&bytes, fingerprint)?;
+        let mut index = HashMap::with_capacity(decoded.records.len());
+        for (i, r) in decoded.records.iter().enumerate() {
             if index.insert(r.key, i).is_some() {
                 return Err(JournalError::BadValue);
             }
@@ -306,9 +350,20 @@ impl Journal {
         Ok(Journal {
             path: path.to_path_buf(),
             fingerprint,
-            records,
+            records: decoded.records,
             index,
+            base_records: decoded.base_records,
+            file_len: decoded.valid_len,
+            compact_min_tail: COMPACT_MIN_TAIL,
         })
+    }
+
+    /// Overrides the compaction floor (default [`COMPACT_MIN_TAIL`]).
+    /// `usize::MAX` disables compaction entirely; small values force it —
+    /// both are test knobs, the default is right for campaigns.
+    pub fn with_compact_min_tail(mut self, floor: usize) -> Journal {
+        self.compact_min_tail = floor;
+        self
     }
 
     /// The journaled record for `key`, if that cell already reached a
@@ -332,71 +387,119 @@ impl Journal {
         &self.records
     }
 
-    /// Appends a terminal cell outcome and durably rewrites the file
-    /// (tmp + atomic rename) before returning: once `append` returns,
-    /// the record survives any crash.
+    /// Appends a terminal cell outcome and durably seals it on disk
+    /// before returning: once `append` returns, the record survives any
+    /// crash. The common path writes one [`FRAME_MAGIC`] frame after the
+    /// base; once the tail reaches `max(compact_min_tail, base_records)`
+    /// the file is compacted into a fresh base via tmp + atomic rename.
     ///
     /// # Errors
     ///
     /// [`JournalError::BadValue`] if `record.key` is already journaled
     /// (a supervisor bug — cells reach exactly one terminal outcome), or
-    /// [`JournalError::Io`] if the rewrite fails. On error the in-memory
-    /// and on-disk state both still hold the pre-append records.
+    /// [`JournalError::Io`] if the frame write fails. On error the
+    /// in-memory and on-disk state both still hold the pre-append
+    /// records. A failed *compaction* is not an error: the record is
+    /// already sealed as a frame, and compaction simply retries on a
+    /// later append.
     pub fn append(&mut self, record: JournalRecord) -> Result<(), JournalError> {
         if self.index.contains_key(&record.key) {
             return Err(JournalError::BadValue);
         }
+        self.append_frame(&record)?;
         self.records.push(record);
-        match self.write_file() {
-            Ok(()) => {
-                let i = self.records.len() - 1;
-                self.index.insert(self.records[i].key, i);
-                Ok(())
-            }
-            Err(e) => {
-                self.records.pop();
-                Err(e)
-            }
+        let i = self.records.len() - 1;
+        self.index.insert(self.records[i].key, i);
+        let tail = self.records.len() - self.base_records;
+        if tail >= self.compact_min_tail.max(self.base_records) {
+            // Best-effort: the frame already made the record durable.
+            let _ = self.compact();
         }
+        Ok(())
     }
 
-    /// Serializes the current records into a sealed journal image.
+    /// Serializes the current records into a fully compacted sealed
+    /// journal image (a base with an empty frame tail).
     pub fn encode(&self) -> Vec<u8> {
-        let mut enc = SnapEncoder::new();
-        enc.u64(self.fingerprint);
-        enc.usize(self.records.len());
-        for r in &self.records {
-            r.encode(&mut enc);
-        }
-        let payload = enc.into_bytes();
-        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
-        out.extend_from_slice(&JOURNAL_MAGIC);
-        out.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        encode_base(self.fingerprint, &self.records)
     }
 
-    fn write_file(&self) -> Result<(), JournalError> {
+    /// Writes one sealed frame at `file_len`, truncating any torn tail a
+    /// previous kill left beyond it, and extends `file_len` on success.
+    fn append_frame(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let mut enc = SnapEncoder::new();
+        record.encode(&mut enc);
+        let payload = enc.into_bytes();
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&FRAME_MAGIC);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        use std::io::{Seek, SeekFrom, Write};
+        let io = |e: std::io::Error| JournalError::Io(e.kind());
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&self.path)
+            .map_err(io)?;
+        f.set_len(self.file_len).map_err(io)?;
+        f.seek(SeekFrom::Start(self.file_len)).map_err(io)?;
+        f.write_all(&frame).map_err(io)?;
+        self.file_len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites the whole file as a sealed base image via tmp + atomic
+    /// rename (the PR-2 snapshot discipline): a kill during compaction
+    /// leaves either the old file or the new one, both valid.
+    fn compact(&mut self) -> Result<(), JournalError> {
         let bytes = self.encode();
         let mut tmp = self.path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
         std::fs::write(&tmp, &bytes).map_err(|e| JournalError::Io(e.kind()))?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| JournalError::Io(e.kind()))
+        std::fs::rename(&tmp, &self.path).map_err(|e| JournalError::Io(e.kind()))?;
+        self.base_records = self.records.len();
+        self.file_len = bytes.len() as u64;
+        Ok(())
     }
 }
 
-/// Validates a sealed journal image and decodes its records. Check order
-/// mirrors the snapshot container: length, magic, version (before the
-/// checksum, so skew is reported as such), declared payload length,
-/// checksum, campaign fingerprint, records.
-///
-/// # Errors
-///
-/// Any [`JournalError`]; the image is rejected wholesale.
-pub fn decode_journal(bytes: &[u8], fingerprint: u64) -> Result<Vec<JournalRecord>, JournalError> {
+fn encode_base(fingerprint: u64, records: &[JournalRecord]) -> Vec<u8> {
+    let mut enc = SnapEncoder::new();
+    enc.u64(fingerprint);
+    enc.usize(records.len());
+    for r in records {
+        r.encode(&mut enc);
+    }
+    let payload = enc.into_bytes();
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(&JOURNAL_MAGIC);
+    out.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+pub(crate) struct DecodedJournal {
+    pub records: Vec<JournalRecord>,
+    /// How many of `records` came from the base image.
+    pub base_records: usize,
+    /// Byte length of the valid region (base + intact frames); anything
+    /// beyond is a dropped torn tail.
+    pub valid_len: u64,
+}
+
+/// Validates a journal image and decodes its records. See
+/// [`decode_journal`] for the contract.
+pub(crate) fn decode_journal_ex(
+    bytes: &[u8],
+    fingerprint: u64,
+) -> Result<DecodedJournal, JournalError> {
+    // Base image. Check order mirrors the snapshot container: length,
+    // magic, version (before the checksum, so skew is reported as such),
+    // declared payload length, checksum, fingerprint, records.
     if bytes.len() < HEADER_BYTES {
         return Err(JournalError::Truncated);
     }
@@ -408,14 +511,11 @@ pub fn decode_journal(bytes: &[u8], fingerprint: u64) -> Result<Vec<JournalRecor
         return Err(JournalError::BadVersion { found: version });
     }
     let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
-    let payload = &bytes[HEADER_BYTES..];
-    if (payload.len() as u64) < len {
+    if ((bytes.len() - HEADER_BYTES) as u64) < len {
         return Err(JournalError::Truncated);
     }
-    if (payload.len() as u64) > len {
-        // Trailing garbage is as suspect as missing bytes.
-        return Err(JournalError::BadValue);
-    }
+    let base_end = HEADER_BYTES + len as usize;
+    let payload = &bytes[HEADER_BYTES..base_end];
     let checksum = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
     if fnv1a64(payload) != checksum {
         return Err(JournalError::BadChecksum);
@@ -436,7 +536,61 @@ pub fn decode_journal(bytes: &[u8], fingerprint: u64) -> Result<Vec<JournalRecor
     if !dec.is_exhausted() {
         return Err(JournalError::BadValue);
     }
-    Ok(records)
+    let base_records = records.len();
+
+    // Frame tail. A frame that is *present in full but corrupt* (bad
+    // magic over ≥4 bytes, bad checksum, bad record) is a typed error; a
+    // frame that simply *ends early* is the torn in-flight append a kill
+    // leaves and is dropped at the last sealed boundary.
+    let mut off = base_end;
+    loop {
+        let rem = &bytes[off..];
+        if rem.is_empty() {
+            break;
+        }
+        if rem.len() >= 4 && rem[0..4] != FRAME_MAGIC {
+            return Err(JournalError::BadValue);
+        }
+        if rem.len() < FRAME_HEADER_BYTES {
+            break; // torn frame header
+        }
+        let flen = u32::from_le_bytes(rem[4..8].try_into().expect("4 bytes")) as usize;
+        if rem.len() < FRAME_HEADER_BYTES + flen {
+            break; // torn frame payload
+        }
+        let fpayload = &rem[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + flen];
+        let fsum = u64::from_le_bytes(rem[8..16].try_into().expect("8 bytes"));
+        if fnv1a64(fpayload) != fsum {
+            return Err(JournalError::BadChecksum);
+        }
+        let mut fdec = SnapDecoder::new(fpayload);
+        let record = JournalRecord::decode(&mut fdec)?;
+        if !fdec.is_exhausted() {
+            return Err(JournalError::BadValue);
+        }
+        records.push(record);
+        off += FRAME_HEADER_BYTES + flen;
+    }
+
+    Ok(DecodedJournal {
+        records,
+        base_records,
+        valid_len: off as u64,
+    })
+}
+
+/// Validates a journal image and decodes its records: the sealed base,
+/// then every intact tail frame.
+///
+/// # Errors
+///
+/// Any [`JournalError`]. A corrupt base rejects the image wholesale; a
+/// complete-but-corrupt frame rejects it from that frame on with a typed
+/// error. Only an incomplete trailing frame — the torn in-flight append a
+/// kill leaves — is dropped silently, yielding exactly the records whose
+/// appends had returned.
+pub fn decode_journal(bytes: &[u8], fingerprint: u64) -> Result<Vec<JournalRecord>, JournalError> {
+    decode_journal_ex(bytes, fingerprint).map(|d| d.records)
 }
 
 #[cfg(test)]
@@ -558,15 +712,8 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_typed_at_every_length() {
-        let mut enc_j = Journal {
-            path: tmp_path("unused.mfj"),
-            fingerprint: 7,
-            records: sample_records(Scale::Smoke),
-            index: HashMap::new(),
-        };
-        enc_j.index.clear();
-        let img = enc_j.encode();
+    fn base_truncation_is_typed_at_every_length() {
+        let img = encode_base(7, &sample_records(Scale::Smoke));
         for len in [0, 7, 11, 19, 27, HEADER_BYTES, img.len() / 2, img.len() - 1] {
             let r = decode_journal(&img[..len], 7);
             assert!(
@@ -578,20 +725,114 @@ mod tests {
 
     #[test]
     fn version_skew_and_bad_magic_are_typed() {
-        let j = Journal {
-            path: tmp_path("unused2.mfj"),
-            fingerprint: 7,
-            records: Vec::new(),
-            index: HashMap::new(),
-        };
-        let mut img = j.encode();
+        let mut img = encode_base(7, &[]);
         img[8..12].copy_from_slice(&99u32.to_le_bytes());
         assert_eq!(
             decode_journal(&img, 7),
             Err(JournalError::BadVersion { found: 99 })
         );
-        let mut img = j.encode();
+        let mut img = encode_base(7, &[]);
         img[0] = b'X';
         assert_eq!(decode_journal(&img, 7), Err(JournalError::BadMagic));
+    }
+
+    /// The incremental path: appends past the base are frames, a torn
+    /// trailing frame decodes to exactly the sealed prefix, and a
+    /// complete-but-corrupt frame is a typed rejection.
+    #[test]
+    fn frame_tail_torn_and_corrupt_semantics() {
+        let path = tmp_path("frames.mfj");
+        let mut j = Journal::create(&path, 7)
+            .expect("create")
+            .with_compact_min_tail(usize::MAX);
+        let recs = sample_records(Scale::Smoke);
+        let base_len = std::fs::metadata(&path).expect("meta").len() as usize;
+        j.append(recs[0].clone()).expect("append 0");
+        let after_one = std::fs::read(&path).expect("read");
+        j.append(recs[1].clone()).expect("append 1");
+        let img = std::fs::read(&path).expect("read");
+        assert!(img.len() > after_one.len() && after_one.len() > base_len);
+        assert_eq!(&img[..after_one.len()], &after_one[..], "append-only tail");
+
+        // Full image: both records.
+        assert_eq!(decode_journal(&img, 7).expect("full"), recs);
+        // Any cut inside the second frame: exactly the first record.
+        for cut in after_one.len()..img.len() {
+            let got = decode_journal(&img[..cut], 7).expect("torn tail is sealed prefix");
+            assert_eq!(got, recs[..1], "cut {cut}");
+        }
+        // A bit flip inside a *complete* frame payload is typed, not a
+        // silent drop.
+        let mut flipped = img.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(decode_journal(&flipped, 7), Err(JournalError::BadChecksum));
+        // Garbage that cannot be a frame prefix is typed.
+        let mut garbage = img.clone();
+        garbage.extend_from_slice(b"XXXXXXXX");
+        assert_eq!(decode_journal(&garbage, 7), Err(JournalError::BadValue));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Compaction folds the tail back into the base without changing the
+    /// decoded records, and keeps the file near one base image in size.
+    #[test]
+    fn compaction_preserves_records_and_bounds_file() {
+        let path = tmp_path("compact.mfj");
+        let mut j = Journal::create(&path, 7)
+            .expect("create")
+            .with_compact_min_tail(2);
+        let mut expect = Vec::new();
+        for i in 0..32u64 {
+            let mut r = sample_records(Scale::Smoke)[0].clone();
+            r.key = i;
+            expect.push(r.clone());
+            j.append(r).expect("append");
+        }
+        // tail >= max(2, base) compacts: after 32 appends at floor 2 the
+        // file must have been rewritten at least once (pure frames would
+        // be much longer than a compacted base + small tail).
+        let on_disk = std::fs::read(&path).expect("read");
+        let pure_base = encode_base(7, &expect);
+        assert!(
+            on_disk.len() < pure_base.len() + pure_base.len() / 2,
+            "file {} not compacted vs base {}",
+            on_disk.len(),
+            pure_base.len()
+        );
+        assert_eq!(decode_journal(&on_disk, 7).expect("decode"), expect);
+        let loaded = Journal::load(&path, 7).expect("load");
+        assert_eq!(loaded.records(), &expect[..]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A torn tail found at load time is truncated by the next append,
+    /// never resurrected.
+    #[test]
+    fn append_over_torn_tail_truncates_it() {
+        let path = tmp_path("torn-append.mfj");
+        let recs = sample_records(Scale::Smoke);
+        {
+            let mut j = Journal::create(&path, 7)
+                .expect("create")
+                .with_compact_min_tail(usize::MAX);
+            j.append(recs[0].clone()).expect("append");
+        }
+        // Simulate a kill mid-append: half a frame of the second record.
+        let sealed = std::fs::read(&path).expect("read");
+        let mut torn = sealed.clone();
+        torn.extend_from_slice(&FRAME_MAGIC);
+        torn.extend_from_slice(&(u32::MAX).to_le_bytes());
+        std::fs::write(&path, &torn).expect("write torn");
+
+        let mut j = Journal::load(&path, 7)
+            .expect("load over torn tail")
+            .with_compact_min_tail(usize::MAX);
+        assert_eq!(j.records(), &recs[..1]);
+        j.append(recs[1].clone()).expect("append over torn tail");
+        let img = std::fs::read(&path).expect("read");
+        assert_eq!(&img[..sealed.len()], &sealed[..]);
+        assert_eq!(decode_journal(&img, 7).expect("decode"), recs);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -34,14 +34,15 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod journal;
+pub mod minijson;
 pub mod supervisor;
 pub mod sweep;
 pub mod worker;
 
 pub use journal::{campaign_fingerprint, cell_key, Journal, JournalError, JournalRecord};
 pub use supervisor::{
-    run_campaign, Attempt, CampaignRun, CellCtx, CellRunner, ChaosSpec, FarmOptions,
-    InProcessRunner, SubprocessRunner,
+    run_campaign, supervise_cell, Attempt, CampaignRun, CellCtx, CellRunner, ChaosSpec,
+    FarmOptions, InProcessRunner, RetryPolicy, SubprocessRunner,
 };
 pub use sweep::{run_sweep, CellOutcome, CellReport, CellResult, CellSpec, SweepReport, SweepSpec};
-pub use worker::{run_worker_cell, WorkerArgs};
+pub use worker::{parse_worker_args, run_worker_cell, WorkerArgs};

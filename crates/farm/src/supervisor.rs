@@ -61,6 +61,12 @@ pub struct FarmOptions {
     /// Testing knob: stop the campaign cold after this many journal
     /// appends, as if the supervisor had been SIGKILLed there.
     pub crash_after_appends: Option<u64>,
+    /// Cooperative stop flag (graceful drain). When it turns true,
+    /// workers stop *claiming* new cells; cells already in flight run to
+    /// their terminal outcome and are journaled before the campaign
+    /// returns. Unlike a crash, nothing in flight is abandoned. `None`
+    /// never stops.
+    pub stop: Option<std::sync::Arc<AtomicBool>>,
 }
 
 impl Default for FarmOptions {
@@ -72,6 +78,7 @@ impl Default for FarmOptions {
             backoff_seed: 0x00C0_FFEE,
             cell_timeout: None,
             crash_after_appends: None,
+            stop: None,
         }
     }
 }
@@ -352,6 +359,102 @@ pub fn backoff_delay(seed: u64, key: u64, attempt: u32, base_ms: u64) -> Duratio
     Duration::from_millis(exp / 2 + jitter)
 }
 
+/// The per-cell slice of [`FarmOptions`]: how many times to retry a
+/// failing cell and how to pace the retries.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum retries after the first attempt.
+    pub retries: u32,
+    /// Base backoff in milliseconds (0 disables the sleeps).
+    pub backoff_ms: u64,
+    /// Seed of the deterministic backoff jitter.
+    pub backoff_seed: u64,
+}
+
+impl From<&FarmOptions> for RetryPolicy {
+    fn from(o: &FarmOptions) -> RetryPolicy {
+        RetryPolicy {
+            retries: o.retries,
+            backoff_ms: o.backoff_ms,
+            backoff_seed: o.backoff_seed,
+        }
+    }
+}
+
+/// Drives one cell to a terminal [`CellOutcome`]: attempts through
+/// `runner` (each attempt `catch_unwind`-guarded, so a runner bug is a
+/// failed attempt, never an unwinding supervisor), retries with
+/// seeded-deterministic exponential backoff up to the policy's budget,
+/// then quarantines as [`CellOutcome::Poisoned`] or
+/// [`CellOutcome::TimedOut`].
+///
+/// `abort` is polled between attempts; when it turns true the cell is
+/// abandoned un-journaled (as a real SIGKILL would leave it) and `None`
+/// is returned. This is the shared engine of [`run_campaign`] and the
+/// `memfwd_served` job scheduler.
+pub fn supervise_cell(
+    mut ctx: CellCtx,
+    policy: &RetryPolicy,
+    runner: &dyn CellRunner,
+    abort: &(dyn Fn() -> bool + Sync),
+) -> Option<CellReport> {
+    let mut attempts = 0u32;
+    // The last failed attempt's description and whether it was a timeout
+    // (decides Poisoned vs TimedOut).
+    let mut last_failure: Option<(String, bool)> = None;
+    loop {
+        ctx.attempt = attempts;
+        let attempt_result = match catch_unwind(AssertUnwindSafe(|| runner.run_cell(&ctx))) {
+            Ok(a) => a,
+            Err(payload) => Attempt::Failed(describe_panic(payload)),
+        };
+        attempts += 1;
+        match attempt_result {
+            Attempt::Completed(result) => {
+                let outcome = if attempts == 1 {
+                    CellOutcome::Ok
+                } else {
+                    CellOutcome::Retried(attempts - 1)
+                };
+                return Some(CellReport {
+                    spec: ctx.spec,
+                    outcome,
+                    attempts,
+                    sim: Some(*result),
+                    error: last_failure.map(|(e, _)| e),
+                });
+            }
+            Attempt::Failed(e) => last_failure = Some((e, false)),
+            Attempt::TimedOut(e) => last_failure = Some((e, true)),
+        }
+        if attempts > policy.retries {
+            let (error, was_timeout) =
+                last_failure.expect("attempt loop always records its failure");
+            let outcome = if was_timeout {
+                CellOutcome::TimedOut
+            } else {
+                CellOutcome::Poisoned
+            };
+            return Some(CellReport {
+                spec: ctx.spec,
+                outcome,
+                attempts,
+                sim: None,
+                error: Some(error),
+            });
+        }
+        if abort() {
+            return None;
+        }
+        std::thread::sleep(backoff_delay(
+            policy.backoff_seed,
+            ctx.key,
+            attempts - 1,
+            policy.backoff_ms,
+        ));
+    }
+}
+
 /// The outcome of one supervisor run over a campaign.
 #[derive(Debug)]
 pub struct CampaignRun {
@@ -364,6 +467,10 @@ pub struct CampaignRun {
     pub executed: usize,
     /// Whether the run stopped at the deterministic crash point.
     pub crashed: bool,
+    /// Whether the run ended early because [`FarmOptions::stop`] turned
+    /// true (graceful drain): in-flight cells were journaled, unclaimed
+    /// cells were left for a later resume.
+    pub stopped: bool,
 }
 
 /// Runs (or resumes) a campaign: every cell of `spec` reaches a terminal
@@ -409,6 +516,9 @@ pub fn run_campaign(
                 if crashed.load(Ordering::SeqCst) {
                     break;
                 }
+                if opts.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst)) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= cells.len() {
                     break;
@@ -431,69 +541,21 @@ pub fn run_campaign(
                 }
 
                 executed.fetch_add(1, Ordering::Relaxed);
-                let mut attempts = 0u32;
-                // The last failed attempt's description and whether it
-                // was a timeout (decides Poisoned vs TimedOut).
-                let mut last_failure: Option<(String, bool)> = None;
-                let report = loop {
-                    let ctx = CellCtx {
-                        spec: spec_i,
-                        scale: spec.scale,
-                        index: i,
-                        attempt: attempts,
-                        key,
-                    };
-                    let attempt_result =
-                        match catch_unwind(AssertUnwindSafe(|| runner.run_cell(&ctx))) {
-                            Ok(a) => a,
-                            Err(payload) => Attempt::Failed(describe_panic(payload)),
-                        };
-                    attempts += 1;
-                    match attempt_result {
-                        Attempt::Completed(result) => {
-                            let outcome = if attempts == 1 {
-                                CellOutcome::Ok
-                            } else {
-                                CellOutcome::Retried(attempts - 1)
-                            };
-                            break CellReport {
-                                spec: spec_i,
-                                outcome,
-                                attempts,
-                                sim: Some(*result),
-                                error: last_failure.map(|(e, _)| e),
-                            };
-                        }
-                        Attempt::Failed(e) => last_failure = Some((e, false)),
-                        Attempt::TimedOut(e) => last_failure = Some((e, true)),
-                    }
-                    if attempts > opts.retries {
-                        let (error, was_timeout) =
-                            last_failure.expect("attempt loop always records its failure");
-                        let outcome = if was_timeout {
-                            CellOutcome::TimedOut
-                        } else {
-                            CellOutcome::Poisoned
-                        };
-                        break CellReport {
-                            spec: spec_i,
-                            outcome,
-                            attempts,
-                            sim: None,
-                            error: Some(error),
-                        };
-                    }
-                    if crashed.load(Ordering::SeqCst) {
-                        // The campaign is "dead"; abandon the cell
-                        // un-journaled, as a real SIGKILL would.
-                        return;
-                    }
-                    std::thread::sleep(backoff_delay(
-                        opts.backoff_seed,
-                        key,
-                        attempts - 1,
-                        opts.backoff_ms,
-                    ));
+                let ctx = CellCtx {
+                    spec: spec_i,
+                    scale: spec.scale,
+                    index: i,
+                    attempt: 0,
+                    key,
+                };
+                // When the abort flag turns true the campaign is "dead";
+                // the cell is abandoned un-journaled, as a real SIGKILL
+                // would leave it.
+                let report = match supervise_cell(ctx, &RetryPolicy::from(opts), runner, &|| {
+                    crashed.load(Ordering::SeqCst)
+                }) {
+                    Some(report) => report,
+                    None => return,
                 };
 
                 // Durably journal the terminal outcome before reporting
@@ -533,6 +595,7 @@ pub fn run_campaign(
         return Err(e);
     }
     let did_crash = crashed.load(Ordering::SeqCst);
+    let did_stop = opts.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst));
     let report = if did_crash || slots.iter().any(|s| s.is_none()) {
         None
     } else {
@@ -552,6 +615,7 @@ pub fn run_campaign(
         from_journal: from_journal.load(Ordering::Relaxed),
         executed: executed.load(Ordering::Relaxed),
         crashed: did_crash,
+        stopped: did_stop,
     })
 }
 

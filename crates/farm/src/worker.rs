@@ -59,6 +59,103 @@ pub struct WorkerArgs {
     pub ckpt_every: Option<u64>,
 }
 
+/// Parses a worker process's single-cell arguments (everything after the
+/// hidden `--worker-cell` flag). Shared by every binary that re-execs
+/// itself as a farm worker (`memfwd_sweep`, `memfwd_served`); flags reuse
+/// the sweep-mode names but take exactly one value each.
+///
+/// # Errors
+///
+/// A description of the first malformed or missing argument.
+pub fn parse_worker_args(mut args: impl Iterator<Item = String>) -> Result<WorkerArgs, String> {
+    use memfwd_apps::{App, Variant};
+    let mut app = None;
+    let mut variant = None;
+    let mut line_bytes = 32u64;
+    let mut mem_latency = 75u64;
+    let mut seed = 12345u64;
+    let mut scale = Scale::Smoke;
+    let mut key = None;
+    let mut result_file = None;
+    let mut ckpt_file = None;
+    let mut ckpt_every = None;
+    let next_val = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--app" => {
+                let v = next_val(&mut args, "--app")?;
+                app = Some(App::from_name(&v).ok_or_else(|| format!("unknown app '{v}'"))?);
+            }
+            "--variant" => {
+                let v = next_val(&mut args, "--variant")?;
+                variant =
+                    Some(Variant::from_name(&v).ok_or_else(|| format!("unknown variant '{v}'"))?);
+            }
+            "--line-bytes" => {
+                line_bytes = next_val(&mut args, "--line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--line-bytes: {e}"))?;
+            }
+            "--mem-latency" => {
+                mem_latency = next_val(&mut args, "--mem-latency")?
+                    .parse()
+                    .map_err(|e| format!("--mem-latency: {e}"))?;
+            }
+            "--seeds" => {
+                seed = next_val(&mut args, "--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--scale" => {
+                scale = match next_val(&mut args, "--scale")?.as_str() {
+                    "smoke" => Scale::Smoke,
+                    "bench" => Scale::Bench,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--cell-key" => {
+                key = Some(
+                    next_val(&mut args, "--cell-key")?
+                        .parse()
+                        .map_err(|e| format!("--cell-key: {e}"))?,
+                );
+            }
+            "--result-file" => {
+                result_file = Some(PathBuf::from(next_val(&mut args, "--result-file")?));
+            }
+            "--ckpt-file" => {
+                ckpt_file = Some(PathBuf::from(next_val(&mut args, "--ckpt-file")?));
+            }
+            "--ckpt-every" => {
+                ckpt_every = Some(
+                    next_val(&mut args, "--ckpt-every")?
+                        .parse()
+                        .map_err(|e| format!("--ckpt-every: {e}"))?,
+                );
+            }
+            other => return Err(format!("worker mode: unknown option '{other}'")),
+        }
+    }
+    let spec = CellSpec {
+        app: app.ok_or("worker mode: --app is required")?,
+        variant: variant.ok_or("worker mode: --variant is required")?,
+        line_bytes,
+        mem_latency,
+        seed,
+    };
+    let key = key.unwrap_or_else(|| crate::journal::cell_key(scale, &spec));
+    Ok(WorkerArgs {
+        spec,
+        scale,
+        key,
+        result_file: result_file.ok_or("worker mode: --result-file is required")?,
+        ckpt_file,
+        ckpt_every,
+    })
+}
+
 /// The payload of a sealed result file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellResultFile {

@@ -1,7 +1,14 @@
-//! Property tests of journal durability: no mangling of the on-disk
-//! image — truncation at any point, any single bit-flip, or trailing
-//! garbage — may ever surface as a silently shortened or altered record
-//! set. Corruption is a typed [`JournalError`], wholesale.
+//! Property tests of journal durability under the v2 base + frame-tail
+//! format. Two guarantees are pinned:
+//!
+//! - **Sealed prefix at any kill point**: truncating the on-disk image at
+//!   *any* byte boundary decodes to exactly the appends that had returned
+//!   by that point — never fewer (once the append returned, it is sealed)
+//!   and never a fabricated record.
+//! - **No mangling**: a bit-flip or trailing garbage may surface only as
+//!   a typed [`JournalError`] or as a strict, unaltered prefix of the
+//!   true record sequence (when it mimics the torn tail a kill leaves).
+//!   Records are never silently altered.
 
 use memfwd_apps::{App, Scale, Variant};
 use memfwd_farm::journal::decode_journal;
@@ -18,12 +25,8 @@ fn tmp_path(name: &str) -> PathBuf {
     dir.join(name)
 }
 
-/// Builds a journal image holding one completed and one poisoned record
-/// per app in `apps`, through the real create/append path.
-fn journal_image(name: &str, apps: &[App]) -> Vec<u8> {
-    let path = tmp_path(name);
-    std::fs::remove_file(&path).ok();
-    let mut j = Journal::create(&path, FINGERPRINT).expect("create");
+fn records_for(apps: &[App]) -> Vec<JournalRecord> {
+    let mut out = Vec::new();
     for (i, &app) in apps.iter().enumerate() {
         let spec = CellSpec {
             app,
@@ -42,8 +45,7 @@ fn journal_image(name: &str, apps: &[App]) -> Vec<u8> {
             refs: 10 * i as u64,
             host_nanos: 1,
         });
-        j.append(JournalRecord::from_report(Scale::Smoke, &report))
-            .expect("append ok");
+        out.push(JournalRecord::from_report(Scale::Smoke, &report));
         let failed = CellReport {
             spec: CellSpec {
                 seed: 90_000 + i as u64,
@@ -54,48 +56,118 @@ fn journal_image(name: &str, apps: &[App]) -> Vec<u8> {
             sim: None,
             error: Some(format!("injected failure #{i}")),
         };
-        j.append(JournalRecord::from_report(Scale::Smoke, &failed))
-            .expect("append failed-cell record");
+        out.push(JournalRecord::from_report(Scale::Smoke, &failed));
+    }
+    out
+}
+
+/// Builds a journal through the real create/append path with compaction
+/// disabled (so every append is a frame), returning the final image, the
+/// on-disk length observed after create and after each append, and the
+/// appended records.
+fn journal_history(name: &str, apps: &[App]) -> (Vec<u8>, Vec<usize>, Vec<JournalRecord>) {
+    let path = tmp_path(name);
+    std::fs::remove_file(&path).ok();
+    let mut j = Journal::create(&path, FINGERPRINT)
+        .expect("create")
+        .with_compact_min_tail(usize::MAX);
+    let file_len = || std::fs::metadata(&path).expect("meta").len() as usize;
+    let mut len_after = vec![file_len()];
+    let records = records_for(apps);
+    for r in &records {
+        j.append(r.clone()).expect("append");
+        len_after.push(file_len());
     }
     let bytes = std::fs::read(&path).expect("read image");
     std::fs::remove_file(&path).ok();
-    bytes
+    (bytes, len_after, records)
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// A journal cut anywhere short of its full length never decodes: a
-    /// torn write can lose the in-flight append, never manufacture a
-    /// shorter-but-valid history.
+    /// The sealed-prefix guarantee, byte by byte: a journal cut at any
+    /// point decodes to exactly the appends that had returned when the
+    /// file was that long. Cuts inside the base image (a state tmp +
+    /// rename never exposes) are a typed rejection.
     #[test]
-    fn truncation_never_yields_records(cut in 0usize..1000) {
-        let img = journal_image("trunc.mfj", &[App::Mst, App::Health, App::Vis]);
-        let cut = cut % img.len(); // every prefix length < full
+    fn any_kill_point_decodes_to_the_sealed_prefix(cut in 0usize..8192) {
+        let (img, len_after, records) =
+            journal_history("kill.mfj", &[App::Mst, App::Health, App::Vis]);
+        let cut = cut % (img.len() + 1);
         let r = decode_journal(&img[..cut], FINGERPRINT);
-        prop_assert!(r.is_err(), "prefix of {cut}/{} bytes decoded: {r:?}", img.len());
+        if cut < len_after[0] {
+            prop_assert!(r.is_err(), "mid-create cut {cut} decoded: {r:?}");
+        } else {
+            let k = len_after.iter().filter(|&&l| l <= cut).count() - 1;
+            let got = match r {
+                Ok(got) => got,
+                Err(e) => return Err(TestCaseError::fail(format!("cut {cut}: {e:?}"))),
+            };
+            prop_assert_eq!(got, records[..k].to_vec(), "cut {}", cut);
+        }
     }
 
-    /// Any single bit-flip anywhere in the image — header or payload — is
-    /// rejected with a typed error, never read back as different records.
+    /// Any single bit-flip anywhere in the image either fails with a
+    /// typed error or — when it mimics a torn tail (e.g. a frame length
+    /// inflated past end-of-file) — yields a strict, unaltered prefix.
+    /// Records are never fabricated or altered.
     #[test]
-    fn bit_flips_are_rejected(pos in 0usize..4096, bit in 0u8..8) {
-        let img = journal_image("flip.mfj", &[App::Mst, App::Health]);
+    fn bit_flips_never_alter_records(pos in 0usize..8192, bit in 0u8..8) {
+        let (img, _, records) = journal_history("flip.mfj", &[App::Mst, App::Health]);
         let mut bad = img.clone();
         let pos = pos % bad.len();
         bad[pos] ^= 1 << bit;
-        let r = decode_journal(&bad, FINGERPRINT);
-        prop_assert!(r.is_err(), "flip at byte {pos} bit {bit} decoded: {r:?}");
+        match decode_journal(&bad, FINGERPRINT) {
+            Err(_) => {}
+            Ok(got) => {
+                prop_assert!(
+                    got.len() < records.len(),
+                    "flip at byte {} bit {} decoded all {} records",
+                    pos, bit, records.len()
+                );
+                let prefix = records[..got.len()].to_vec();
+                prop_assert_eq!(got, prefix, "flip at byte {} bit {}", pos, bit);
+            }
+        }
     }
 
-    /// Appending junk after the sealed image is as corrupt as removing
-    /// bytes from it.
+    /// Trailing garbage is either a typed rejection (it cannot be a frame)
+    /// or — when shorter than a frame header's magic — indistinguishable
+    /// from a torn append and dropped. It never alters the records.
     #[test]
-    fn trailing_garbage_is_rejected(garbage in proptest::collection::vec(any::<u8>(), 1..64)) {
-        let mut img = journal_image("tail.mfj", &[App::Mst]);
-        img.extend_from_slice(&garbage);
-        let r = decode_journal(&img, FINGERPRINT);
-        prop_assert!(matches!(r, Err(JournalError::BadValue)), "{r:?}");
+    fn trailing_garbage_never_alters_records(
+        garbage in proptest::collection::vec(any::<u8>(), 1..64)
+    ) {
+        let (img, _, records) = journal_history("tail.mfj", &[App::Mst]);
+        let mut bad = img.clone();
+        bad.extend_from_slice(&garbage);
+        match decode_journal(&bad, FINGERPRINT) {
+            Err(e) => prop_assert!(matches!(e, JournalError::BadValue | JournalError::BadChecksum), "{e:?}"),
+            Ok(got) => prop_assert_eq!(got, records),
+        }
+    }
+
+    /// Compaction at any floor is invisible to readers: n appends load
+    /// back as the same n records regardless of how often the tail was
+    /// folded into the base.
+    #[test]
+    fn compaction_is_invisible_to_readers(n in 1usize..24, floor in 1usize..6) {
+        let path = tmp_path("compact-prop.mfj");
+        std::fs::remove_file(&path).ok();
+        let mut j = Journal::create(&path, FINGERPRINT)
+            .expect("create")
+            .with_compact_min_tail(floor);
+        let mut expect = Vec::new();
+        for i in 0..n {
+            let mut r = records_for(&[App::Mst])[0].clone();
+            r.key = i as u64;
+            expect.push(r.clone());
+            j.append(r).expect("append");
+        }
+        let loaded = Journal::load(&path, FINGERPRINT).expect("load");
+        prop_assert_eq!(loaded.records(), &expect[..]);
+        std::fs::remove_file(&path).ok();
     }
 }
 
@@ -103,7 +175,7 @@ proptest! {
 #[test]
 fn intact_image_roundtrips() {
     let apps = [App::Mst, App::Health, App::Vis, App::Smv];
-    let img = journal_image("intact.mfj", &apps);
+    let (img, _, _) = journal_history("intact.mfj", &apps);
     let records = decode_journal(&img, FINGERPRINT).expect("intact journal decodes");
     assert_eq!(records.len(), 2 * apps.len());
     // Completed and poisoned records alternate, keys resolvable.

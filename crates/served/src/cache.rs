@@ -1,0 +1,210 @@
+//! The persistent, corruption-quarantining result cache.
+//!
+//! Completed cells are stored as sealed `MFWDCELL` containers (the same
+//! magic + version + length + FNV-1a-64 checksum discipline workers use
+//! to hand results to the supervisor), one file per cell content hash:
+//! `cache/cell-<key>.mfwdcell`. Because the key is a content hash of the
+//! full cell configuration — app, variant, line size, latency, seed,
+//! scale — a hit is definitionally the result the cell would compute, so
+//! a warm resubmission of a grid is served without simulation and still
+//! bit-identical.
+//!
+//! The failure model is storage rot between server lives: truncation,
+//! bit flips, torn writes, or a foreign file dropped into the directory.
+//! Every lookup revalidates the container; anything unsound is *moved*
+//! to the `quarantine/` sidecar (preserved for forensics, impossible to
+//! serve) and reported as [`CacheLookup::Quarantined`] so the caller
+//! recomputes and the `stats` endpoint counts it. A corrupt entry is
+//! never returned as a hit — the cache degrades to slow, never to wrong.
+
+use memfwd_farm::worker::{read_result_file, write_result_file, CellResultFile};
+use memfwd_farm::JournalError;
+use std::path::{Path, PathBuf};
+
+/// A content-hash-keyed store of sealed cell results under a state
+/// directory, with a quarantine sidecar for entries that fail
+/// revalidation.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    quarantine: PathBuf,
+}
+
+/// What a cache lookup found.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// A sealed, key-matching entry (boxed: it carries the full
+    /// `RunStats` block).
+    Hit(Box<CellResultFile>),
+    /// No entry for this key.
+    Miss,
+    /// An entry existed but failed revalidation (the typed reason); it
+    /// was moved to quarantine and the cell must be recomputed.
+    Quarantined(JournalError),
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `state_dir`: entries in
+    /// `state_dir/cache/`, quarantined files in `state_dir/quarantine/`.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if either directory cannot be created.
+    pub fn open(state_dir: &Path) -> Result<ResultCache, JournalError> {
+        let dir = state_dir.join("cache");
+        let quarantine = state_dir.join("quarantine");
+        std::fs::create_dir_all(&dir).map_err(|e| JournalError::Io(e.kind()))?;
+        std::fs::create_dir_all(&quarantine).map_err(|e| JournalError::Io(e.kind()))?;
+        Ok(ResultCache { dir, quarantine })
+    }
+
+    /// The on-disk path of the entry for `key`.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("cell-{key:016x}.mfwdcell"))
+    }
+
+    /// Looks up `key`, revalidating the sealed container. A corrupt or
+    /// foreign-keyed entry is quarantined as a side effect.
+    pub fn lookup(&self, key: u64) -> CacheLookup {
+        let path = self.entry_path(key);
+        match read_result_file(&path) {
+            Ok(r) if r.key == key => CacheLookup::Hit(Box::new(r)),
+            // The container is intact but seals a different cell's
+            // result under this file name — misfiled, never servable.
+            Ok(_) => {
+                self.quarantine_entry(&path, key);
+                CacheLookup::Quarantined(JournalError::BadValue)
+            }
+            Err(JournalError::Io(std::io::ErrorKind::NotFound)) => CacheLookup::Miss,
+            Err(e) => {
+                self.quarantine_entry(&path, key);
+                CacheLookup::Quarantined(e)
+            }
+        }
+    }
+
+    /// Stores a completed cell's sealed result (atomic tmp + rename, so
+    /// a kill mid-store leaves no torn entry under the final name).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] if the write fails; the caller treats the
+    /// store as best-effort (the result is still journaled).
+    pub fn store(&self, r: &CellResultFile) -> Result<(), JournalError> {
+        write_result_file(&self.entry_path(r.key), r)
+    }
+
+    /// Moves a bad entry into the quarantine sidecar under a unique
+    /// name. Falls back to deletion if the move fails — a poisoned entry
+    /// must never stay where a lookup could read it again.
+    fn quarantine_entry(&self, path: &Path, key: u64) {
+        for n in 0u32.. {
+            let dst = self
+                .quarantine
+                .join(format!("cell-{key:016x}.{n}.mfwdcell"));
+            if dst.exists() {
+                continue;
+            }
+            if std::fs::rename(path, &dst).is_ok() {
+                return;
+            }
+            break;
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Number of valid-named entries currently in the cache directory.
+    pub fn entries(&self) -> usize {
+        count_files(&self.dir)
+    }
+
+    /// Number of files in the quarantine sidecar.
+    pub fn quarantined(&self) -> usize {
+        count_files(&self.quarantine)
+    }
+}
+
+fn count_files(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.file_type().is_ok_and(|t| t.is_file()))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfwd::RunStats;
+
+    fn tmp_state(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("memfwd-cache-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir
+    }
+
+    fn sample(key: u64) -> CellResultFile {
+        let mut stats = RunStats::default();
+        stats.pipeline.cycles = 4242;
+        CellResultFile {
+            key,
+            checksum: 0xDEAD_BEEF,
+            refs: 77,
+            host_nanos: 9,
+            stats,
+        }
+    }
+
+    #[test]
+    fn store_hit_roundtrip() {
+        let state = tmp_state("roundtrip");
+        let cache = ResultCache::open(&state).expect("open");
+        assert!(matches!(cache.lookup(1), CacheLookup::Miss));
+        cache.store(&sample(1)).expect("store");
+        match cache.lookup(1) {
+            CacheLookup::Hit(r) => assert_eq!(*r, sample(1)),
+            other => panic!("expected hit: {other:?}"),
+        }
+        assert_eq!(cache.entries(), 1);
+        assert_eq!(cache.quarantined(), 0);
+        std::fs::remove_dir_all(&state).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_served() {
+        let state = tmp_state("corrupt");
+        let cache = ResultCache::open(&state).expect("open");
+        cache.store(&sample(2)).expect("store");
+        let path = cache.entry_path(2);
+        let mut bytes = std::fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        assert!(matches!(cache.lookup(2), CacheLookup::Quarantined(_)));
+        // The entry left the cache dir entirely; next lookup is a miss.
+        assert!(!path.exists());
+        assert!(matches!(cache.lookup(2), CacheLookup::Miss));
+        assert_eq!(cache.quarantined(), 1);
+        // Recompute-and-store restores service.
+        cache.store(&sample(2)).expect("restore");
+        assert!(matches!(cache.lookup(2), CacheLookup::Hit(_)));
+        std::fs::remove_dir_all(&state).ok();
+    }
+
+    #[test]
+    fn foreign_key_entry_is_quarantined() {
+        let state = tmp_state("foreign");
+        let cache = ResultCache::open(&state).expect("open");
+        // A valid container sealed for key 7, misfiled under key 8's name.
+        write_result_file(&cache.entry_path(8), &sample(7)).expect("misfile");
+        assert!(matches!(
+            cache.lookup(8),
+            CacheLookup::Quarantined(JournalError::BadValue)
+        ));
+        assert_eq!(cache.quarantined(), 1);
+        std::fs::remove_dir_all(&state).ok();
+    }
+}

@@ -1,0 +1,48 @@
+//! Always-on sweep-farm service: the long-running job server behind the
+//! `memfwd_served` binary.
+//!
+//! The farm crate made one campaign survive any single-cell failure; this
+//! crate makes a *process that accepts campaigns forever* survive the
+//! failure modes of long-running services, holding the daemon to the same
+//! standard the paper holds relocated data to — every failure mode is
+//! intercepted and repaired, never silently absorbed:
+//!
+//! - **Admission control & backpressure** ([`server`]): a bounded queue
+//!   of pending jobs and queued cells. An overloaded server answers
+//!   `submit` with a *typed shed response* (reason, current depth, limit)
+//!   instead of growing without bound, and keeps answering `health` and
+//!   `stats` while doing so.
+//! - **Result cache with corruption quarantine** ([`cache`]): completed
+//!   cells are persisted as sealed `MFWDCELL` entries keyed by the cell's
+//!   content hash. A warm resubmission of the same grid is served from
+//!   the cache without recomputation — but a truncated, bit-flipped, or
+//!   foreign-keyed entry is detected by the container checks, moved to a
+//!   quarantine sidecar directory, counted in `stats`, and recomputed.
+//!   A corrupt entry is *never* served.
+//! - **Graceful drain vs. crash resume** ([`signal`], [`server`]):
+//!   SIGTERM stops admission, lets in-flight cells reach journaled
+//!   terminal outcomes, and exits 0; SIGKILL loses nothing durable — on
+//!   restart with `--resume`, unfinished jobs re-enqueue from their
+//!   `job.spec`, finished cells replay from the campaign journal, and
+//!   half-finished cells restart from their worker checkpoints.
+//! - **Determinism** ([`proto`]): the report a client fetches is the
+//!   exact `BENCH_sweep.json` a local `memfwd_sweep` run of the same grid
+//!   would produce — byte-identical after `--strip-volatile` whether the
+//!   cells were computed, cached, or replayed across a kill.
+//!
+//! The wire protocol is newline-delimited JSON over a local Unix socket;
+//! see [`proto`] for the operation set.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod proto;
+#[cfg(unix)]
+pub mod server;
+pub mod signal;
+
+pub use cache::{CacheLookup, ResultCache};
+pub use proto::{JobOptions, Request};
+#[cfg(unix)]
+pub use server::{serve, ServerOptions};

@@ -1,0 +1,146 @@
+//! Property tests of the result cache's corruption quarantine: no matter
+//! how a persisted `MFWDCELL` entry rots on disk — truncation, a bit
+//! flip, or wholesale replacement with garbage — a lookup must *never*
+//! serve it. The entry is quarantined (moved to the sidecar, counted),
+//! the next lookup is a miss (forcing a recompute), and re-storing the
+//! recomputed result restores hit service. The cache degrades to slow,
+//! never to wrong.
+
+use memfwd::RunStats;
+use memfwd_farm::worker::CellResultFile;
+use memfwd_served::{CacheLookup, ResultCache};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_state(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("memfwd-cacheprop-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn sample(key: u64, checksum: u64, refs: u64, cycles: u64) -> CellResultFile {
+    let mut stats = RunStats::default();
+    stats.pipeline.cycles = cycles;
+    CellResultFile {
+        key,
+        checksum,
+        refs,
+        host_nanos: 77,
+        stats,
+    }
+}
+
+/// One way an entry can rot between server lives.
+#[derive(Debug, Clone)]
+enum Rot {
+    /// Keep only the first `keep_mod % len` bytes.
+    Truncate { keep_mod: usize },
+    /// Flip bit `bit` of byte `pos_mod % len`.
+    BitFlip { pos_mod: usize, bit: u8 },
+    /// Replace the file with arbitrary bytes.
+    Garbage { bytes: Vec<u8> },
+}
+
+fn rot_strategy() -> impl Strategy<Value = Rot> {
+    prop_oneof![
+        (0usize..10_000).prop_map(|keep_mod| Rot::Truncate { keep_mod }),
+        ((0usize..10_000), (0u8..8)).prop_map(|(pos_mod, bit)| Rot::BitFlip { pos_mod, bit }),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|bytes| Rot::Garbage { bytes }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The pinned property: a rotted entry is quarantined — never served,
+    /// and never silently deleted without surfacing in the quarantine
+    /// count — and recompute + store restores correct hit service.
+    #[test]
+    fn rotted_entries_quarantine_then_recompute(
+        key in 1u64..u64::MAX,
+        checksum in any::<u64>(),
+        refs in any::<u64>(),
+        cycles in any::<u64>(),
+        rot in rot_strategy(),
+    ) {
+        let state = tmp_state("rot");
+        let cache = ResultCache::open(&state).expect("open");
+        let original = sample(key, checksum, refs, cycles);
+        cache.store(&original).expect("store");
+        let path = cache.entry_path(key);
+        let sealed = std::fs::read(&path).expect("read sealed");
+
+        let mutated = match &rot {
+            Rot::Truncate { keep_mod } => sealed[..keep_mod % sealed.len()].to_vec(),
+            Rot::BitFlip { pos_mod, bit } => {
+                let mut b = sealed.clone();
+                let pos = pos_mod % b.len();
+                b[pos] ^= 1 << bit;
+                b
+            }
+            Rot::Garbage { bytes } => bytes.clone(),
+        };
+        if mutated == sealed {
+            // A garbage body can in principle coincide with the sealed
+            // image; an identical file is not rot, so nothing to check.
+            return Ok(());
+        }
+        std::fs::write(&path, &mutated).expect("rot");
+
+        // Never served: every mutation fails a container check and is
+        // quarantined with a typed reason.
+        let quarantined_before = cache.quarantined();
+        match cache.lookup(key) {
+            CacheLookup::Quarantined(_) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "rotted entry must quarantine, got {other:?} for {rot:?}"
+                )));
+            }
+        }
+        // The entry left the cache dir (forcing recompute) and landed in
+        // the sidecar (surfacing in counts, preserved for forensics).
+        prop_assert!(!path.exists(), "{rot:?} left the entry in place");
+        prop_assert!(matches!(cache.lookup(key), CacheLookup::Miss));
+        prop_assert_eq!(cache.quarantined(), quarantined_before + 1, "{:?}", rot);
+
+        // Recompute-and-store restores exact hit service.
+        cache.store(&original).expect("restore");
+        match cache.lookup(key) {
+            CacheLookup::Hit(r) => prop_assert_eq!(*r, original),
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "restored entry must hit, got {other:?}"
+                )));
+            }
+        }
+        std::fs::remove_dir_all(&state).ok();
+    }
+
+    /// Control: an untouched entry keeps hitting with identical contents
+    /// across arbitrarily many lookups (lookups are non-destructive).
+    #[test]
+    fn intact_entries_hit_identically(
+        key in 1u64..u64::MAX,
+        checksum in any::<u64>(),
+        refs in any::<u64>(),
+        cycles in any::<u64>(),
+        lookups in 1usize..4,
+    ) {
+        let state = tmp_state("intact");
+        let cache = ResultCache::open(&state).expect("open");
+        let original = sample(key, checksum, refs, cycles);
+        cache.store(&original).expect("store");
+        for _ in 0..lookups {
+            match cache.lookup(key) {
+                CacheLookup::Hit(r) => prop_assert_eq!(*r, original.clone()),
+                other => {
+                    return Err(TestCaseError::fail(format!("expected hit, got {other:?}")));
+                }
+            }
+        }
+        prop_assert_eq!(cache.quarantined(), 0);
+        std::fs::remove_dir_all(&state).ok();
+    }
+}
