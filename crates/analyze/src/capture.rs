@@ -8,7 +8,7 @@
 //! very schedule it is about to execute.
 
 use memfwd::{begin_plan_capture, take_captured_steps, MachineFault, RelocPlan};
-use memfwd_apps::{run, App, RunConfig};
+use memfwd_apps::{run, App, AppOutput, RunConfig};
 
 /// A captured application run: the plan it executed and how it ended.
 #[derive(Debug)]
@@ -16,16 +16,19 @@ pub struct CapturedRun {
     /// The relocation schedule the run performed (possibly truncated at
     /// the step that faulted, which is included).
     pub plan: RelocPlan,
-    /// The run's outcome: the layout-independent checksum, or the typed
-    /// fault that aborted it.
-    pub result: Result<u64, MachineFault>,
+    /// The run's full output — checksum *and* statistics — or the typed
+    /// fault that aborted it. Capture is host-side only, so this is
+    /// bit-identical to an uncaptured run's output: a pre-flight caller
+    /// that wants to execute the same configuration can reuse it instead
+    /// of running the workload a second time.
+    pub result: Result<AppOutput, MachineFault>,
 }
 
 /// Runs `app` under `cfg` with plan capture armed and returns the captured
 /// plan together with the run's outcome.
 pub fn capture_app_plan(app: App, cfg: &RunConfig) -> CapturedRun {
     begin_plan_capture();
-    let result = run(app, cfg).map(|out| out.checksum);
+    let result = run(app, cfg);
     let steps = take_captured_steps().unwrap_or_default();
     let mut plan = RelocPlan::new(cfg.sim.heap_base, cfg.sim.heap_capacity);
     plan.steps = steps;

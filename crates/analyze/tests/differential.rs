@@ -29,7 +29,8 @@ fn optimized_apps_capture_certified_safe_plans() {
             let target = app_target(app, &cfg);
             let checksum = captured
                 .result
-                .unwrap_or_else(|f| panic!("{target} seed {seed} faulted: {f:?}"));
+                .unwrap_or_else(|f| panic!("{target} seed {seed} faulted: {f:?}"))
+                .checksum;
             let report = verify_plan(&target, &captured.plan);
             assert_eq!(
                 report.verdict(),
@@ -71,8 +72,8 @@ fn certified_runs_preserve_checksums_across_variants() {
         for seed in SEEDS {
             let orig = capture_app_plan(app, &cfg(Variant::Original, seed));
             let opt = capture_app_plan(app, &cfg(Variant::Optimized, seed));
-            let co = orig.result.expect("original runs clean");
-            let cp = opt.result.expect("optimized runs clean");
+            let co = orig.result.expect("original runs clean").checksum;
+            let cp = opt.result.expect("optimized runs clean").checksum;
             assert_eq!(co, cp, "{}: checksum diverged at seed {seed}", app.name());
         }
     }

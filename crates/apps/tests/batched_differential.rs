@@ -1,0 +1,108 @@
+//! Differential property suite for the batched hot path.
+//!
+//! The batched/fast demand path must be **bit-identical** to the fully
+//! general scalar path (`SimConfig::scalar_path`, the `--scalar` escape
+//! hatch): not just equal checksums, but equal statistics down to every
+//! counter — cycles, cache hits, graduation slots, forwarding stats. These
+//! properties drive a random app × variant × seed grid through whole
+//! application runs both ways and compare the complete `RunStats` debug
+//! rendering (the statdump's source of truth), plus checkpoint/resume
+//! splits at random cadences to prove the identity holds across snapshot
+//! boundaries too.
+
+use memfwd_apps::{run_ck, run_ok, App, Checkpointer, CkOutcome, RunConfig, Variant};
+use proptest::prelude::*;
+
+fn config(variant: Variant, seed: u64, scalar: bool) -> RunConfig {
+    let mut cfg = RunConfig::new(variant).smoke();
+    cfg.seed = seed;
+    cfg.sim.scalar_path = scalar;
+    cfg
+}
+
+/// Runs to completion and renders the full statistics block — every
+/// counter the statdump prints derives from this.
+fn full_run(app: App, cfg: &RunConfig) -> (u64, String) {
+    let out = run_ok(app, cfg);
+    (out.checksum, format!("{:?}", out.stats))
+}
+
+/// Runs with a `stop_after(1)` checkpointer at `cadence` refs, then
+/// resumes the captured snapshot to completion. Falls back to the
+/// uninterrupted result when the run finishes before the first boundary
+/// fires (short app × large cadence — still a valid differential case).
+fn split_run(app: App, cfg: &RunConfig, cadence: u64) -> (u64, String) {
+    let mut ck = Checkpointer::stop_after(1).with_every(cadence);
+    match run_ck(app, cfg, &mut ck).expect("split run faulted") {
+        CkOutcome::Done(out) => (out.checksum, format!("{:?}", out.stats)),
+        CkOutcome::Stopped => {
+            let image = ck.take_captured().expect("stopped run captured a snapshot");
+            let mut resumed = Checkpointer::disabled().resume_from(image);
+            match run_ck(app, cfg, &mut resumed).expect("resumed run faulted") {
+                CkOutcome::Done(out) => (out.checksum, format!("{:?}", out.stats)),
+                CkOutcome::Stopped => unreachable!("disabled checkpointer never stops"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whole-run statdump bit-identity: batched vs scalar across a random
+    /// app/variant/seed grid.
+    #[test]
+    fn batched_and_scalar_statdumps_are_bit_identical(
+        app_idx in 0usize..8,
+        variant in prop_oneof![
+            Just(Variant::Original),
+            Just(Variant::Optimized),
+            Just(Variant::Static),
+        ],
+        seed in 1u64..100_000,
+    ) {
+        let app = App::ALL[app_idx];
+        let batched = full_run(app, &config(variant, seed, false));
+        let scalar = full_run(app, &config(variant, seed, true));
+        prop_assert_eq!(
+            &batched.0, &scalar.0,
+            "{} {:?} seed {}: checksum diverged", app.name(), variant, seed
+        );
+        prop_assert_eq!(
+            &batched.1, &scalar.1,
+            "{} {:?} seed {}: statistics diverged", app.name(), variant, seed
+        );
+    }
+
+    /// Checkpoint/resume differential: a run split at a random reference
+    /// cadence must finish with the same checksum and statistics as the
+    /// uninterrupted run, on both paths — and the two paths must agree
+    /// with each other.
+    #[test]
+    fn resumed_runs_agree_across_paths(
+        app_idx in 0usize..8,
+        seed in 1u64..100_000,
+        cadence in 2_000u64..60_000,
+    ) {
+        let app = App::ALL[app_idx];
+        let variant = Variant::Optimized;
+        for scalar in [false, true] {
+            let cfg = config(variant, seed, scalar);
+            let whole = full_run(app, &cfg);
+            let split = split_run(app, &cfg, cadence);
+            prop_assert_eq!(
+                &whole, &split,
+                "{} seed {} cadence {} scalar={}: split run diverged",
+                app.name(), seed, cadence, scalar
+            );
+        }
+        // Cross-path: the batched split must equal the scalar split.
+        let b = split_run(app, &config(variant, seed, false), cadence);
+        let s = split_run(app, &config(variant, seed, true), cadence);
+        prop_assert_eq!(
+            &b, &s,
+            "{} seed {} cadence {}: batched/scalar resumed runs diverged",
+            app.name(), seed, cadence
+        );
+    }
+}

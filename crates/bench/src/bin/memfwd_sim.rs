@@ -10,7 +10,7 @@
 //! ```
 
 use memfwd::{InjectConfig, MachineFault};
-use memfwd_apps::{run_ck, App, Checkpointer, CkOutcome, RunConfig, Scale, Variant};
+use memfwd_apps::{run_ck, App, AppOutput, Checkpointer, CkOutcome, RunConfig, Scale, Variant};
 use std::path::PathBuf;
 
 const USAGE: &str = "\
@@ -25,6 +25,10 @@ OPTIONS:
     --variant <v>           original|optimized|static (default: original)
     --perfect-forwarding    model the Fig. 10 `Perf` bound
     --no-speculation        disable data-dependence speculation
+    --scalar                force the fully general scalar demand path
+                            (disables the batched/fast path; statistics are
+                            bit-identical either way — this flag exists to
+                            prove it)
     --line-bytes <n>        cache line size, power of two >= 16 (default: 32)
     --mem-latency <n>       main-memory latency in cycles (default: 75)
     --prefetch <blocks>     enable software prefetching with this block size
@@ -50,8 +54,11 @@ OPTIONS:
     --lint                  pre-flight: capture the relocation schedule this
                             configuration produces, verify it with the
                             memfwd_lint engine, and refuse to run (exit 20)
-                            if any MF0xx error fires; runs the workload an
-                            extra time to capture the schedule
+                            if any MF0xx error fires; the capture run's
+                            output is reused as the run itself (capture is
+                            host-side only, so it is bit-identical), except
+                            with --checkpoint-dir/--resume where the
+                            workload runs again under the checkpointer
     --help                  print this text
 
 A run that aborts on a machine fault reports the typed fault on stderr
@@ -114,6 +121,7 @@ fn parse() -> Result<Cli, String> {
             }
             "--perfect-forwarding" => cfg.sim.perfect_forwarding = true,
             "--no-speculation" => cfg.sim.dependence_speculation = false,
+            "--scalar" => cfg.sim.scalar_path = true,
             "--line-bytes" => {
                 let v: u64 = next_val(&mut args, "--line-bytes")?
                     .parse()
@@ -218,7 +226,12 @@ fn parse() -> Result<Cli, String> {
 /// The `--lint` pre-flight: capture the relocation schedule this exact
 /// configuration produces and verify it. Error diagnostics refuse the run
 /// with exit 20; warnings are printed and the run proceeds.
-fn lint_preflight(app: App, cfg: &RunConfig) {
+///
+/// Returns the capture run's full output. Capture is host-side only, so
+/// the output is bit-identical to a fresh run of the same configuration —
+/// a caller with no checkpointing in play reuses it directly, halving the
+/// cost of a linted run from two workload executions to one.
+fn lint_preflight(app: App, cfg: &RunConfig) -> AppOutput {
     let captured = memfwd_analyze::capture_app_plan(app, cfg);
     let target = memfwd_analyze::app_target(app, cfg);
     let report = memfwd_analyze::verify_plan(&target, &captured.plan);
@@ -234,11 +247,12 @@ fn lint_preflight(app: App, cfg: &RunConfig) {
         eprintln!("lint: relocation schedule rejected; not running");
         std::process::exit(20);
     }
-    if let Err(fault) = captured.result {
+    match captured.result {
+        Ok(out) => out,
         // The schedule verified clean but the capture run itself died —
         // surface that as the machine fault it is rather than starting a
         // second doomed run.
-        fault_exit(&fault);
+        Err(fault) => fault_exit(&fault),
     }
 }
 
@@ -258,8 +272,16 @@ fn main() {
     };
     let (app, cfg) = (cli.app, cli.cfg);
 
+    // With no checkpointing in play the lint capture run IS the run: its
+    // output is bit-identical, so it is printed instead of re-executing.
+    // Checkpointed (or resumed) runs must still go through the
+    // checkpointer, so there the capture output is only a certificate.
+    let mut preflight_out: Option<AppOutput> = None;
     if cli.lint {
-        lint_preflight(app, &cfg);
+        let out = lint_preflight(app, &cfg);
+        if cli.checkpoint_dir.is_none() && cli.resume.is_none() {
+            preflight_out = Some(out);
+        }
     }
 
     let mut ck = match &cli.checkpoint_dir {
@@ -299,10 +321,13 @@ fn main() {
     }
 
     let wall = std::time::Instant::now();
-    let out = match run_ck(app, &cfg, &mut ck) {
-        Ok(CkOutcome::Done(out)) => out,
-        Ok(CkOutcome::Stopped) => unreachable!("the CLI never uses a stop_after checkpointer"),
-        Err(fault) => fault_exit(&fault),
+    let out = match preflight_out {
+        Some(out) => out,
+        None => match run_ck(app, &cfg, &mut ck) {
+            Ok(CkOutcome::Done(out)) => out,
+            Ok(CkOutcome::Stopped) => unreachable!("the CLI never uses a stop_after checkpointer"),
+            Err(fault) => fault_exit(&fault),
+        },
     };
     let s = &out.stats;
     let slots = s.slots();

@@ -3,14 +3,6 @@
 
 use memfwd_tagmem::{SnapCodecError, SnapDecoder, SnapEncoder};
 
-/// An entry for one outstanding line fill.
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    line: u64,
-    fill_done: u64,
-    dirty_on_fill: bool,
-}
-
 /// A file of miss-status holding registers.
 ///
 /// A miss that finds its line already in flight *combines* with the existing
@@ -18,15 +10,21 @@ struct Entry {
 /// that fill completes, rather than paying the full latency again.
 ///
 /// The file holds a handful of registers (hardware MSHR files are 4–16
-/// entries), so it is a flat array scanned linearly: the per-access prune
-/// and probe touch one or two cache lines instead of sweeping hash-map
-/// buckets. Every query is order-insensitive, so results are identical to
-/// the map-based representation.
+/// entries), stored as parallel flat arrays — one `u64` lane per field — so
+/// the per-access probe and prune are chunked word scans over dense memory
+/// rather than walks over an array of structs. Every query is
+/// order-insensitive in its results, so outcomes are identical to the
+/// map-based representation.
 #[derive(Debug)]
 pub struct MshrFile {
     capacity: usize,
-    entries: Vec<Entry>,
+    lines: Vec<u64>,
+    fill_done: Vec<u64>,
+    dirty: Vec<bool>,
 }
+
+/// Lanes per probe chunk: four `u64`s, matching the tagmem scan kernels.
+const LANES: usize = 4;
 
 impl MshrFile {
     /// Creates a file with `capacity` registers.
@@ -38,59 +36,110 @@ impl MshrFile {
         assert!(capacity > 0, "need at least one MSHR");
         MshrFile {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            fill_done: Vec::with_capacity(capacity),
+            dirty: Vec::with_capacity(capacity),
         }
+    }
+
+    /// True when any outstanding fill completes at or before `now` — the
+    /// chunked pre-check that lets [`MshrFile::prune`] skip compaction in
+    /// the common nothing-expired case.
+    #[inline]
+    fn any_expired(&self, now: u64) -> bool {
+        let mut chunks = self.fill_done.chunks_exact(LANES);
+        for c in &mut chunks {
+            if c[0] <= now || c[1] <= now || c[2] <= now || c[3] <= now {
+                return true;
+            }
+        }
+        chunks.remainder().iter().any(|&d| d <= now)
     }
 
     /// Discards entries whose fills completed at or before `now`.
     #[inline]
     pub fn prune(&mut self, now: u64) {
-        self.entries.retain(|e| e.fill_done > now);
+        if !self.any_expired(now) {
+            return;
+        }
+        // In-place compaction preserving order across all three lanes
+        // (order is not observable, but keeping it makes the state identical
+        // to the historical retain-based representation).
+        let mut w = 0;
+        for r in 0..self.fill_done.len() {
+            if self.fill_done[r] > now {
+                self.lines[w] = self.lines[r];
+                self.fill_done[w] = self.fill_done[r];
+                self.dirty[w] = self.dirty[r];
+                w += 1;
+            }
+        }
+        self.lines.truncate(w);
+        self.fill_done.truncate(w);
+        self.dirty.truncate(w);
     }
 
     /// True when no fills are outstanding — the hierarchy's fast path skips
     /// the prune + in-flight probe entirely in that case.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lines.is_empty()
+    }
+
+    /// Index of `line` in the file, probing the dense line lane in
+    /// [`LANES`]-wide chunks.
+    #[inline]
+    fn probe(&self, line: u64) -> Option<usize> {
+        let mut chunks = self.lines.chunks_exact(LANES);
+        let mut base = 0;
+        for c in &mut chunks {
+            // Branch once per chunk; resolve the lane only on a hit.
+            if c[0] == line || c[1] == line || c[2] == line || c[3] == line {
+                for (i, &l) in c.iter().enumerate() {
+                    if l == line {
+                        return Some(base + i);
+                    }
+                }
+            }
+            base += LANES;
+        }
+        for (i, &l) in chunks.remainder().iter().enumerate() {
+            if l == line {
+                return Some(base + i);
+            }
+        }
+        None
     }
 
     /// If `line` is in flight, returns the cycle its fill completes.
     #[inline]
     pub fn in_flight(&self, line: u64) -> Option<u64> {
-        self.entries
-            .iter()
-            .find(|e| e.line == line)
-            .map(|e| e.fill_done)
+        self.probe(line).map(|i| self.fill_done[i])
     }
 
     /// Records a store combining with an in-flight fill so the line is
     /// filled dirty.
     pub fn mark_dirty_on_fill(&mut self, line: u64) {
-        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
-            e.dirty_on_fill = true;
+        if let Some(i) = self.probe(line) {
+            self.dirty[i] = true;
         }
     }
 
     /// Whether the filled line must be inserted dirty.
     pub fn dirty_on_fill(&self, line: u64) -> bool {
-        self.entries
-            .iter()
-            .find(|e| e.line == line)
-            .map(|e| e.dirty_on_fill)
-            .unwrap_or(false)
+        self.probe(line).map(|i| self.dirty[i]).unwrap_or(false)
     }
 
     /// True when every register is occupied (after pruning at `now`).
     pub fn full(&mut self, now: u64) -> bool {
         self.prune(now);
-        self.entries.len() >= self.capacity
+        self.lines.len() >= self.capacity
     }
 
     /// Earliest completion among outstanding fills, if any — the time a new
     /// miss must wait for when the file is full.
     pub fn earliest_completion(&self) -> Option<u64> {
-        self.entries.iter().map(|e| e.fill_done).min()
+        self.fill_done.iter().copied().min()
     }
 
     /// Allocates a register for `line` completing at `fill_done`.
@@ -100,31 +149,29 @@ impl MshrFile {
     /// Panics if the file is full or the line is already in flight; callers
     /// must check [`MshrFile::full`] / [`MshrFile::in_flight`] first.
     pub fn allocate(&mut self, line: u64, fill_done: u64, dirty_on_fill: bool) {
-        assert!(self.entries.len() < self.capacity, "MSHR file full");
+        assert!(self.lines.len() < self.capacity, "MSHR file full");
         assert!(self.in_flight(line).is_none(), "line already in flight");
-        self.entries.push(Entry {
-            line,
-            fill_done,
-            dirty_on_fill,
-        });
+        self.lines.push(line);
+        self.fill_done.push(fill_done);
+        self.dirty.push(dirty_on_fill);
     }
 
     /// Number of outstanding fills.
     pub fn outstanding(&self) -> usize {
-        self.entries.len()
+        self.lines.len()
     }
 
     /// Serializes the file (capacity + outstanding fills, sorted by line so
     /// the encoding is byte-stable).
     pub fn snapshot_encode(&self, enc: &mut SnapEncoder) {
         enc.usize(self.capacity);
-        let mut sorted: Vec<&Entry> = self.entries.iter().collect();
-        sorted.sort_unstable_by_key(|e| e.line);
-        enc.usize(sorted.len());
-        for e in sorted {
-            enc.u64(e.line);
-            enc.u64(e.fill_done);
-            enc.bool(e.dirty_on_fill);
+        let mut order: Vec<usize> = (0..self.lines.len()).collect();
+        order.sort_unstable_by_key(|&i| self.lines[i]);
+        enc.usize(order.len());
+        for i in order {
+            enc.u64(self.lines[i]);
+            enc.u64(self.fill_done[i]);
+            enc.bool(self.dirty[i]);
         }
     }
 
@@ -146,11 +193,9 @@ impl MshrFile {
             if file.in_flight(line).is_some() {
                 return Err(SnapCodecError::BadValue);
             }
-            file.entries.push(Entry {
-                line,
-                fill_done,
-                dirty_on_fill,
-            });
+            file.lines.push(line);
+            file.fill_done.push(fill_done);
+            file.dirty.push(dirty_on_fill);
         }
         Ok(file)
     }
@@ -201,5 +246,26 @@ mod tests {
         let mut m = MshrFile::new(2);
         m.allocate(1, 10, false);
         m.allocate(1, 20, false);
+    }
+
+    #[test]
+    fn chunked_probe_finds_every_slot() {
+        // More entries than one probe chunk, so the chunked scan and its
+        // scalar tail are both exercised.
+        let mut m = MshrFile::new(11);
+        for i in 0..11u64 {
+            m.allocate(100 + i, 1000 + i, i % 3 == 0);
+        }
+        for i in 0..11u64 {
+            assert_eq!(m.in_flight(100 + i), Some(1000 + i), "slot {i}");
+            assert_eq!(m.dirty_on_fill(100 + i), i % 3 == 0);
+        }
+        assert_eq!(m.in_flight(99), None);
+        assert_eq!(m.earliest_completion(), Some(1000));
+        // Selective prune drops exactly the expired prefix entries.
+        m.prune(1004);
+        assert_eq!(m.outstanding(), 6);
+        assert_eq!(m.in_flight(104), None);
+        assert_eq!(m.in_flight(105), Some(1005));
     }
 }

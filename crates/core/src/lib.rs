@@ -42,6 +42,7 @@
 // before panicking); bare `unwrap()` stays confined to `#[cfg(test)]`.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod batch;
 mod cluster;
 mod config;
 pub mod fault;
@@ -61,6 +62,7 @@ mod stats;
 mod trace;
 mod trap;
 
+pub use batch::{BatchDep, BatchOp, BatchOut, RefBatch, BATCH_CAPACITY};
 pub use cluster::{subtree_cluster, TreeDesc};
 pub use config::{SimConfig, WatchdogConfig};
 pub use fault::{record_last_fault, take_last_fault, MachineFault};

@@ -43,23 +43,30 @@ pub fn try_relocate(
     for i in 0..n_words {
         let mut cur = src.add_words(i);
         let t = tgt.add_words(i);
-        let mut dep = Token::ready();
+        // First probe outside the chain loop: the overwhelmingly common
+        // source word is unforwarded (fresh allocations, first relocation),
+        // and that case must not pay for cycle tracking — the old
+        // HashSet-per-word bookkeeping was a top host cost of
+        // linearization-heavy runs.
+        let (val, fbit, tok) = m.unforwarded_read_dep(cur, Token::ready());
+        m.compute(1); // branch on the forwarding bit
+        if !fbit {
+            // Copy the word to its new home, then atomically install the
+            // forwarding address and bit in the old home.
+            m.store_dep(t, 8, val, tok);
+            m.unforwarded_write(cur, t.0, true);
+            continue;
+        }
+        // Forwarded source: append at the end of the existing chain, with
+        // full cycle tracking (state-identical to running the tracked loop
+        // from the start — the first insert can never report a cycle).
         let mut seen = HashSet::new();
         seen.insert(cur.word_base());
+        let mut dep = tok;
+        let mut val = val;
         let mut hops = 0u32;
-        // Append at the end of the forwarding chain (if any).
         loop {
-            let (val, fbit, tok) = m.unforwarded_read_dep(cur, dep);
-            m.compute(1); // branch on the forwarding bit
-            if !fbit {
-                // Copy the word to its new home, then atomically install the
-                // forwarding address and bit in the old home.
-                m.store_dep(t, 8, val, tok);
-                m.unforwarded_write(cur, t.0, true);
-                break;
-            }
             cur = Addr(val);
-            dep = tok;
             hops += 1;
             if !seen.insert(cur.word_base()) {
                 return Err(MachineFault::ForwardingCycle {
@@ -67,6 +74,15 @@ pub fn try_relocate(
                     hops,
                 });
             }
+            let (v, fbit, tok) = m.unforwarded_read_dep(cur, dep);
+            m.compute(1);
+            if !fbit {
+                m.store_dep(t, 8, v, tok);
+                m.unforwarded_write(cur, t.0, true);
+                break;
+            }
+            val = v;
+            dep = tok;
         }
     }
     m.note_relocation(n_words);

@@ -267,7 +267,7 @@ fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, 
             .ok_or(SnapCodecError::BadValue)?;
         walk_hops_window.push_back(h);
     }
-    Ok(Machine {
+    let mut m = Machine {
         cfg,
         mem,
         heap,
@@ -286,7 +286,11 @@ fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, 
         walk_hops_window,
         walk_hops_sum,
         walk_scratch: Vec::new(),
-    })
+        fast_ok: false,
+        ref_cursor: memfwd_tagmem::PageCursor::empty(),
+    };
+    m.recompute_fast_ok();
+    Ok(m)
 }
 
 // ---------------------------------------------------------------------

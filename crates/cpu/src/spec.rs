@@ -70,9 +70,16 @@ pub struct SpecQueue {
 }
 
 impl SpecQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with its store window and prune log
+    /// pre-reserved, so the demand hot loop never grows either in steady
+    /// state.
     pub fn new() -> SpecQueue {
-        SpecQueue::default()
+        SpecQueue {
+            stores: VecDeque::with_capacity(130),
+            max_resolved: 0,
+            prune_log: Vec::with_capacity(PRUNE_LOG_CAP + 1),
+            fwd_count: 0,
+        }
     }
 
     /// Records a store: `init_word`/`final_word` are word addresses before

@@ -348,6 +348,10 @@ pub struct StatsSnapshot {
     pub cells_from_journal: u64,
     /// Cache entries found corrupt, quarantined, and recomputed.
     pub cache_entries_quarantined: u64,
+    /// Cache lookups served by the in-memory hot tier (no disk I/O).
+    pub cache_hot_hits: u64,
+    /// Cache lookups that fell through the hot tier to disk.
+    pub cache_hot_misses: u64,
     /// Cells that ended poisoned or timed out across all jobs.
     pub cells_quarantined: u64,
     /// Unfinished cells across queued and running jobs, right now.
@@ -372,7 +376,7 @@ impl StatsSnapshot {
 /// The `stats` response.
 pub fn resp_stats(s: &StatsSnapshot) -> String {
     format!(
-        "{{\"ok\":true,\"type\":\"stats\",\"jobs_accepted\":{},\"jobs_completed\":{},\"jobs_shed\":{},\"cells_executed\":{},\"cells_from_cache\":{},\"cells_from_journal\":{},\"cache_entries_quarantined\":{},\"cells_quarantined\":{},\"queue_depth\":{},\"jobs_pending\":{},\"cache_hit_rate\":{:.4}}}",
+        "{{\"ok\":true,\"type\":\"stats\",\"jobs_accepted\":{},\"jobs_completed\":{},\"jobs_shed\":{},\"cells_executed\":{},\"cells_from_cache\":{},\"cells_from_journal\":{},\"cache_entries_quarantined\":{},\"cache_hot_hits\":{},\"cache_hot_misses\":{},\"cells_quarantined\":{},\"queue_depth\":{},\"jobs_pending\":{},\"cache_hit_rate\":{:.4}}}",
         s.jobs_accepted,
         s.jobs_completed,
         s.jobs_shed,
@@ -380,6 +384,8 @@ pub fn resp_stats(s: &StatsSnapshot) -> String {
         s.cells_from_cache,
         s.cells_from_journal,
         s.cache_entries_quarantined,
+        s.cache_hot_hits,
+        s.cache_hot_misses,
         s.cells_quarantined,
         s.queue_depth,
         s.jobs_pending,

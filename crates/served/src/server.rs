@@ -554,6 +554,8 @@ fn handle_request(state: &ServerState, line: &str) -> String {
                 cells_from_cache: s.cells_from_cache.load(Ordering::Relaxed),
                 cells_from_journal: s.cells_from_journal.load(Ordering::Relaxed),
                 cache_entries_quarantined: s.cache_entries_quarantined.load(Ordering::Relaxed),
+                cache_hot_hits: state.cache.hot_hits(),
+                cache_hot_misses: state.cache.hot_misses(),
                 cells_quarantined: s.cells_quarantined.load(Ordering::Relaxed),
                 queue_depth: depth as u64,
                 jobs_pending: pending as u64,

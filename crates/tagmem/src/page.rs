@@ -7,7 +7,7 @@ pub const PAGE_BYTES: usize = 4096;
 pub const PAGE_WORDS: usize = PAGE_BYTES / 8;
 
 /// Number of `u64` limbs needed for one forwarding bit per word.
-const FBIT_LIMBS: usize = PAGE_WORDS / 64;
+pub(crate) const FBIT_LIMBS: usize = PAGE_WORDS / 64;
 
 /// One 4 KiB page: raw data plus the forwarding-bit bitmap.
 ///
@@ -15,15 +15,20 @@ const FBIT_LIMBS: usize = PAGE_WORDS / 64;
 /// which models the paper's requirement (§3.3) that the operating system
 /// perform `Unforwarded_Write(0, 0)` on every word of a region before
 /// handing it to an application.
+///
+/// The data array lives inline (not behind a `Box`) so the memory's page
+/// vector is one contiguous slab: materializing a page is a bump of the
+/// vector, not a 4 KiB calloc — page-fault-heavy phases (fresh heap growth,
+/// pool slabs) showed the per-page allocation as a top-3 host cost.
 pub(crate) struct Page {
-    data: Box<[u8; PAGE_BYTES]>,
+    data: [u8; PAGE_BYTES],
     fbits: [u64; FBIT_LIMBS],
 }
 
 impl Page {
     pub(crate) fn new() -> Page {
         Page {
-            data: Box::new([0u8; PAGE_BYTES]),
+            data: [0u8; PAGE_BYTES],
             fbits: [0u64; FBIT_LIMBS],
         }
     }
@@ -75,6 +80,14 @@ impl Page {
     /// Number of forwarding bits currently set in this page.
     pub(crate) fn fbits_set(&self) -> u32 {
         self.fbits.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// True when none of the `n_words` words starting at word index `w0`
+    /// have their forwarding bit set. Scans whole 64-word limbs with masked
+    /// ends — the u64-lane kernel behind the batch path's walk-free check.
+    #[inline]
+    pub(crate) fn fbits_none_in(&self, w0: usize, n_words: usize) -> bool {
+        crate::scan::bits_none_in(&self.fbits, w0, n_words)
     }
 
     /// Raw views of the page contents for snapshot encoding.
