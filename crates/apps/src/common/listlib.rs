@@ -5,7 +5,9 @@
 
 use crate::common::rng::Rng;
 use crate::common::with_batch;
-use memfwd::{list_linearize, list_walk, BatchDep, ListDesc, Machine, Token, BATCH_CAPACITY};
+use memfwd::{
+    list_linearize, list_walk, BatchDep, Demand, ListDesc, Machine, Token, BATCH_CAPACITY,
+};
 use memfwd_tagmem::{Addr, Pool};
 
 /// Head-record layout (4 words): `[first, count, mutations, reserved]`.
@@ -87,7 +89,7 @@ impl ListLib {
         let first = m.load_ptr(head + FIRST);
         // The node-initializer stores are a basic-block window over a
         // freshly allocated contiguous record: emit them as one batch.
-        if payload.len() + 1 <= BATCH_CAPACITY {
+        if payload.len() < BATCH_CAPACITY {
             with_batch(|b, out| {
                 b.set_span(node, 1 + payload.len() as u64);
                 b.push_store(node, 8, first.0, BatchDep::Ready);
@@ -161,12 +163,15 @@ impl ListLib {
 
     /// Traverses the list, calling `visit(machine, node, token)` per node,
     /// with the requested prefetching policy. Returns the node count.
-    pub fn traverse(
+    ///
+    /// Generic over [`Demand`]: the same traversal runs on a [`Machine`]
+    /// directly or inside an epoch-parallel task.
+    pub fn traverse<M: Demand + ?Sized>(
         &self,
-        m: &mut Machine,
+        m: &mut M,
         head: Addr,
         mode: PrefetchMode,
-        mut visit: impl FnMut(&mut Machine, Addr, Token) -> Token,
+        mut visit: impl FnMut(&mut M, Addr, Token) -> Token,
     ) -> u64 {
         let node_bytes = self.desc.node_words * 8;
         list_walk(m, head + FIRST, 0, |m, node, tok| {
@@ -195,9 +200,9 @@ impl ListLib {
     }
 
     /// Traverses summing `payload_word` of every node (a common kernel).
-    pub fn sum_payloads(
+    pub fn sum_payloads<M: Demand + ?Sized>(
         &self,
-        m: &mut Machine,
+        m: &mut M,
         head: Addr,
         payload_word: u64,
         mode: PrefetchMode,

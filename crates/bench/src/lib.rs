@@ -22,6 +22,27 @@ pub use memfwd_farm::sweep;
 /// The line sizes swept by Fig. 5/6 of the paper.
 pub const LINE_SIZES: [u64; 3] = [32, 64, 128];
 
+/// The host's available parallelism, used as the default worker count for
+/// `--jobs` and `--threads` (1 when the host cannot report it).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a worker-count CLI value: a number (0 allowed where it means
+/// "disabled"), or `auto` for [`host_parallelism`].
+///
+/// # Errors
+///
+/// A usage message when the value is neither `auto` nor a number.
+pub fn parse_thread_count(v: &str) -> Result<usize, String> {
+    if v == "auto" {
+        return Ok(host_parallelism());
+    }
+    v.parse::<usize>().map_err(|e| e.to_string())
+}
+
 /// Reads the workload scale from `MEMFWD_SCALE` (`smoke` or `bench`).
 pub fn scale_from_env() -> Scale {
     match std::env::var("MEMFWD_SCALE").as_deref() {

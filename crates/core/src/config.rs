@@ -82,6 +82,13 @@ pub struct SimConfig {
     /// differential tests (and a suspicious user) can prove it on any run
     /// via `--scalar`.
     pub scalar_path: bool,
+    /// Worker threads for the epoch-parallel execution engine
+    /// (the `epoch` module). `0` (the default) disables speculation entirely:
+    /// task groups handed to [`crate::Machine::run_tasks`] execute directly
+    /// on the calling thread. Any value ≥ 1 runs that many speculation
+    /// workers plus the committer on the calling thread; results are
+    /// bit-identical at every setting.
+    pub epoch_threads: usize,
 }
 
 /// Bounded-progress watchdog: converts silent livelock into typed faults.
@@ -144,6 +151,7 @@ impl Default for SimConfig {
             checkpoint_every: None,
             watchdog: WatchdogConfig::default(),
             scalar_path: false,
+            epoch_threads: 0,
         }
     }
 }
@@ -185,6 +193,13 @@ impl SimConfig {
         self.scalar_path = true;
         self
     }
+
+    /// Returns a copy with `threads` epoch-engine speculation workers
+    /// (`0` disables the engine; see [`SimConfig::epoch_threads`]).
+    pub fn with_epoch_threads(mut self, threads: usize) -> Self {
+        self.epoch_threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +216,7 @@ mod tests {
         assert_eq!(c.hop_limit, DEFAULT_HOP_LIMIT);
         assert!(c.hard_hop_budget.is_none());
         assert!(c.fault_injection.is_none());
+        assert_eq!(c.epoch_threads, 0, "speculation is opt-in");
     }
 
     #[test]

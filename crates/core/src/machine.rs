@@ -5,7 +5,7 @@ use crate::config::SimConfig;
 use crate::fault::{record_last_fault, MachineFault};
 use crate::inject::{Corruption, InjectKind, Injector};
 use crate::paging::PageCache;
-use crate::stats::{FwdStats, RunStats, HOPS_BUCKETS};
+use crate::stats::{EpochStats, FwdStats, RunStats, HOPS_BUCKETS};
 use crate::trace::{Trace, TraceKind, TraceRecord};
 use crate::trap::{FaultHandler, TrapInfo, TrapOutcome, MAX_FAULT_RETRIES};
 use memfwd_cache::{AccessKind, Hierarchy};
@@ -64,6 +64,8 @@ pub struct Machine {
     /// Page-run translation cache for the fast path: consecutive references
     /// to one page pay a single page-table lookup.
     pub(crate) ref_cursor: PageCursor,
+    /// Accounting for the epoch-parallel engine ([`crate::epoch`]).
+    pub(crate) epoch_stats: EpochStats,
 }
 
 /// Outcome of a timed forwarding-chain walk.
@@ -104,6 +106,7 @@ impl Machine {
             walk_scratch: Vec::new(),
             fast_ok: false,
             ref_cursor: PageCursor::empty(),
+            epoch_stats: EpochStats::default(),
             cfg,
         };
         m.recompute_fast_ok();
@@ -536,7 +539,8 @@ impl Machine {
             self.stats.stores += 1;
             self.stats.store_cycles += complete - start;
             self.stats.store_hops[0] += 1;
-            self.pipe.complete(OpClass::Store, d, complete, acc.l1_miss());
+            self.pipe
+                .complete(OpClass::Store, d, complete, acc.l1_miss());
             out = 0;
         } else {
             out = if size == WORD_BYTES {
@@ -555,7 +559,8 @@ impl Machine {
             self.stats.loads += 1;
             self.stats.load_cycles += complete - start;
             self.stats.load_hops[0] += 1;
-            self.pipe.complete(OpClass::Load, d, complete, acc.l1_miss());
+            self.pipe
+                .complete(OpClass::Load, d, complete, acc.l1_miss());
         }
         Some((out, Token::at(complete)))
     }
@@ -1294,6 +1299,7 @@ impl Machine {
             fwd: self.stats,
             mem: self.mem.stats(),
             heap: self.heap.stats(),
+            epoch: self.epoch_stats,
         }
     }
 }

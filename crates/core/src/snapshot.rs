@@ -54,8 +54,9 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MFWDSNAP";
 
 /// Current snapshot format version. Bumped on any layout change; old
 /// versions are rejected with [`SnapshotError::BadVersion`], never
-/// misinterpreted.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// misinterpreted. Version 2 added the epoch-engine counters
+/// ([`crate::EpochStats`]) to the machine payload.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 const HEADER_BYTES: usize = 28;
 
@@ -134,6 +135,16 @@ fn fingerprint(rendered: &str) -> u64 {
     fnv1a64(rendered.as_bytes())
 }
 
+/// Configuration fingerprint for uniprocessor snapshots. `epoch_threads`
+/// is a *host* knob — results are bit-identical at every setting — so it is
+/// normalized out: a checkpoint written at `--threads 4` resumes cleanly at
+/// `--threads 1` (or vice versa).
+fn config_fingerprint(cfg: &SimConfig) -> u64 {
+    let mut norm = *cfg;
+    norm.epoch_threads = 0;
+    fingerprint(&format!("{norm:?}"))
+}
+
 /// Wraps a payload in the versioned, checksummed container.
 fn seal(payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
@@ -210,6 +221,7 @@ fn encode_machine(enc: &mut SnapEncoder, m: &Machine) {
         inj.snapshot_encode(enc);
     }
     enc.seq(m.walk_hops_window.iter(), |e, &h| e.u64(h));
+    m.epoch_stats.snapshot_encode(enc);
 }
 
 fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, SnapshotError> {
@@ -267,6 +279,7 @@ fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, 
             .ok_or(SnapCodecError::BadValue)?;
         walk_hops_window.push_back(h);
     }
+    let epoch_stats = crate::stats::EpochStats::snapshot_decode(dec)?;
     let mut m = Machine {
         cfg,
         mem,
@@ -288,6 +301,7 @@ fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, 
         walk_scratch: Vec::new(),
         fast_ok: false,
         ref_cursor: memfwd_tagmem::PageCursor::empty(),
+        epoch_stats,
     };
     m.recompute_fast_ok();
     Ok(m)
@@ -302,7 +316,7 @@ fn decode_machine(dec: &mut SnapDecoder<'_>, cfg: SimConfig) -> Result<Machine, 
 /// (see the module documentation).
 pub fn save_machine(m: &Machine, cursor: &[u64]) -> Vec<u8> {
     let mut enc = SnapEncoder::new();
-    enc.u64(fingerprint(&format!("{:?}", m.cfg)));
+    enc.u64(config_fingerprint(&m.cfg));
     enc.u8(0); // flavor: uniprocessor
     encode_machine(&mut enc, m);
     enc.seq(cursor.iter(), |e, &w| e.u64(w));
@@ -321,7 +335,7 @@ pub fn save_machine(m: &Machine, cursor: &[u64]) -> Vec<u8> {
 pub fn restore_machine(bytes: &[u8], cfg: SimConfig) -> Result<(Machine, Vec<u64>), SnapshotError> {
     let payload = open(bytes)?;
     let mut dec = SnapDecoder::new(payload);
-    if dec.u64()? != fingerprint(&format!("{cfg:?}")) {
+    if dec.u64()? != config_fingerprint(&cfg) {
         return Err(SnapshotError::ConfigMismatch);
     }
     if dec.u8()? != 0 {
@@ -357,7 +371,7 @@ pub fn restore_machine(bytes: &[u8], cfg: SimConfig) -> Result<(Machine, Vec<u64
 pub fn check_snapshot_config(bytes: &[u8], cfg: &SimConfig) -> Result<(), SnapshotError> {
     let payload = open(bytes)?;
     let mut dec = SnapDecoder::new(payload);
-    if dec.u64()? != fingerprint(&format!("{cfg:?}")) {
+    if dec.u64()? != config_fingerprint(cfg) {
         return Err(SnapshotError::ConfigMismatch);
     }
     if dec.u8()? != 0 {
@@ -371,6 +385,9 @@ pub fn check_snapshot_config(bytes: &[u8], cfg: &SimConfig) -> Result<(), Snapsh
 // ---------------------------------------------------------------------
 
 fn smp_fingerprint(cfg: &SmpConfig, sim: &SimConfig) -> u64 {
+    // `epoch_threads` is normalized out exactly as for uniprocessor images.
+    let mut sim = *sim;
+    sim.epoch_threads = 0;
     fingerprint(&format!("{cfg:?}|{sim:?}"))
 }
 
@@ -671,6 +688,20 @@ mod tests {
             restore_machine(&img, SimConfig::default()).err(),
             Some(SnapshotError::BadMagic)
         );
+    }
+
+    #[test]
+    fn epoch_threads_is_fingerprint_neutral() {
+        // A checkpoint is a host artifact: the worker count at write time
+        // must not pin the worker count at resume time.
+        let img = save_machine(&busy_machine(), &[5]);
+        for threads in [0, 1, 4] {
+            let cfg = SimConfig::default().with_epoch_threads(threads);
+            check_snapshot_config(&img, &cfg).expect("threads-skewed resume passes");
+            let (m2, cursor) = restore_machine(&img, cfg).expect("restore");
+            assert_eq!(cursor, vec![5]);
+            assert_eq!(m2.config().epoch_threads, threads);
+        }
     }
 
     #[test]

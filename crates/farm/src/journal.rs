@@ -67,8 +67,9 @@ pub const JOURNAL_MAGIC: [u8; 8] = *b"MFWDJRNL";
 
 /// Current journal format version. Bumped on any layout change; old
 /// versions are rejected with [`JournalError::BadVersion`], never
-/// misinterpreted. Version 2 added the incremental frame tail.
-pub const JOURNAL_VERSION: u32 = 2;
+/// misinterpreted. Version 2 added the incremental frame tail; version 3
+/// extended the embedded `RunStats` codec with the epoch-execution block.
+pub const JOURNAL_VERSION: u32 = 3;
 
 /// Leading magic of every append frame in the tail.
 pub const FRAME_MAGIC: [u8; 4] = *b"MFJF";

@@ -226,6 +226,10 @@ impl CampaignSummary {
 pub struct SweepReport {
     /// Worker count the sweep ran with.
     pub jobs: usize,
+    /// Per-cell epoch worker count (`SimConfig::epoch_threads`) the cells
+    /// ran with. Host-tuning only — simulated results are bit-identical at
+    /// any value — so it serializes as a `host_`-prefixed field.
+    pub threads: usize,
     /// Scale every cell ran at.
     pub scale: Scale,
     /// Per-cell results, in [`SweepSpec::expand`] order.
@@ -281,6 +285,24 @@ pub fn set_scalar_path(on: bool) {
     SCALAR_PATH.store(on, Ordering::Relaxed);
 }
 
+/// Epoch worker count (`SimConfig::epoch_threads`) for subsequent cells;
+/// the `--threads` flag of `memfwd_sweep`/`memfwd_sim`. 0 (the default)
+/// runs epochs serially in the calling thread. Process-wide, like
+/// [`set_scalar_path`].
+static EPOCH_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the epoch worker count for subsequent cells. Simulated results are
+/// bit-identical at every count ≥ 1 (and differ from 0 only in the
+/// `RunStats::epoch` bookkeeping block); only host speed changes.
+pub fn set_epoch_threads(threads: usize) {
+    EPOCH_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The epoch worker count subsequent cells will run with.
+pub fn epoch_threads() -> usize {
+    EPOCH_THREADS.load(Ordering::Relaxed)
+}
+
 /// Runs one cell in-process, mapping a machine fault to a typed error
 /// string instead of panicking. Panics from simulator bugs still unwind;
 /// the worker pool catches those at its boundary.
@@ -291,6 +313,7 @@ pub fn run_cell(scale: Scale, c: CellSpec) -> Result<CellResult, String> {
     cfg.sim = cfg.sim.with_line_bytes(c.line_bytes);
     cfg.sim.hierarchy.mem_latency = c.mem_latency;
     cfg.sim.scalar_path = SCALAR_PATH.load(Ordering::Relaxed);
+    cfg.sim.epoch_threads = EPOCH_THREADS.load(Ordering::Relaxed);
     let t = Instant::now();
     let out = run(c.app, &cfg).map_err(|fault| format!("machine fault: {fault}"))?;
     let host_nanos = t.elapsed().as_nanos() as u64;
@@ -371,6 +394,7 @@ pub fn run_sweep_with(
     }
     SweepReport {
         jobs,
+        threads: epoch_threads(),
         scale: spec.scale,
         cells: slots
             .into_iter()
@@ -428,6 +452,7 @@ impl SweepReport {
         out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(self.scale)));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.threads));
         out.push_str(&format!(
             "  \"host_wall_nanos\": {},\n",
             self.host_wall_nanos
@@ -463,9 +488,18 @@ impl SweepReport {
                 tail.push(format!("      \"checksum\": \"{:#018x}\"", r.checksum));
                 tail.push(format!("      \"refs\": {}", r.refs));
                 tail.push(format!("      \"cycles\": {}", r.stats.cycles()));
+                // The epoch block records how the host *executed* the cell
+                // (speculation bookkeeping), not what it computed — like
+                // `jobs`, it may differ between an engine-off worker and an
+                // engine-on CLI run, so it rides on a stripped `host_` line
+                // while the deterministic stats stay engine-agnostic.
                 tail.push(format!(
                     "      \"stats\": \"{}\"",
-                    json_escape(&format!("{:?}", r.stats))
+                    json_escape(&format!("{:?}", r.stats.sans_epoch()))
+                ));
+                tail.push(format!(
+                    "      \"host_epoch\": \"{}\"",
+                    json_escape(&format!("{:?}", r.stats.epoch))
                 ));
                 tail.push(format!(
                     "      \"host_refs_per_second\": {:.1}",

@@ -36,8 +36,9 @@ pub const CHAOS_ENV: &str = "MEMFWD_FARM_CHAOS";
 /// Leading magic of a worker result file.
 pub const RESULT_MAGIC: [u8; 8] = *b"MFWDCELL";
 
-/// Result-file format version.
-pub const RESULT_VERSION: u32 = 1;
+/// Result-file format version. Version 2 extended the embedded `RunStats`
+/// codec with the epoch-execution block.
+pub const RESULT_VERSION: u32 = 2;
 
 const HEADER_BYTES: usize = 28;
 

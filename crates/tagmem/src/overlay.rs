@@ -1,0 +1,473 @@
+//! Copy-on-write speculation views over a [`TaggedMemory`].
+//!
+//! The epoch-parallel execution engine (the `memfwd` core crate) runs
+//! application tasks *speculatively* on worker threads against a frozen
+//! snapshot of memory, while the committer retires tasks strictly in
+//! order. This module provides the two memory-side pieces:
+//!
+//! - [`SpecBase`]: a cheap, `Sync` view of a memory's materialized pages.
+//!   [`TaggedMemory`] itself is not `Sync` (its micro-TLB is a `Cell`), so
+//!   workers share this TLB-free projection instead.
+//! - [`SpecView`]: a per-task copy-on-touch overlay. Reads fall through to
+//!   the base (untouched pages read as zero, exactly like the real
+//!   memory); the first write to a page clones it into the overlay. Every
+//!   touched *word* is recorded in per-page read/write bitmaps
+//!   ([`PageMask`]: one bit per 64-bit word, 8 limbs per 4 KiB page).
+//!
+//! Conflict detection and merge are **word-granular**. The committer asks
+//! whether any word this task *read* was written by an earlier task in the
+//! group ([`SpecDelta::disjoint_from`]); if not, the task's writes are
+//! merged by patching exactly the written words onto the live page
+//! ([`TaggedMemory::install_words`]). Word granularity is what lets tasks
+//! that share 4 KiB pages — separate list nodes carved from one pool slab,
+//! say — commit in parallel: write/write overlap on *different words* of a
+//! page needs no serialization at all (in-order masked installs reproduce
+//! the serial last-writer-wins state), and only a genuine read of an
+//! earlier task's written word forces a replay.
+//!
+//! Forwarding bits never enter the merge: the speculative task surface has
+//! no relocation or unforwarded-write operations, so a task can read fbits
+//! (each probe marks the word read) but never change them.
+
+use crate::fxhash::FxHashMap;
+use crate::memory::TaggedMemory;
+use crate::page::{Page, PAGE_BYTES, PAGE_WORDS};
+use crate::word::{Addr, WORD_BYTES};
+
+/// One dirty/touched bit per 64-bit word of a 4 KiB page.
+pub type PageMask = [u64; PAGE_WORDS / 64];
+
+/// The all-clear word mask.
+pub const EMPTY_MASK: PageMask = [0u64; PAGE_WORDS / 64];
+
+/// Sentinel page number that cannot correspond to any reachable address.
+const NO_PAGE: u64 = u64::MAX;
+
+/// `(limb index, bit)` of the word containing byte offset `off`.
+#[inline]
+pub(crate) fn word_mask_bit(off: usize) -> (usize, u64) {
+    let w = off / WORD_BYTES as usize;
+    (w / 64, 1u64 << (w % 64))
+}
+
+#[inline]
+fn masks_overlap(a: &PageMask, b: &PageMask) -> bool {
+    a.iter().zip(b.iter()).any(|(x, y)| x & y != 0)
+}
+
+/// ORs `mask` into the accumulator entry for page `pno` — the helper the
+/// committer uses to grow its "words written by earlier tasks" map.
+#[inline]
+pub fn merge_mask(acc: &mut FxHashMap<u64, PageMask>, pno: u64, mask: &PageMask) {
+    let e = acc.entry(pno).or_insert(EMPTY_MASK);
+    for (d, s) in e.iter_mut().zip(mask.iter()) {
+        *d |= s;
+    }
+}
+
+/// A `Sync` read-only projection of a [`TaggedMemory`]'s pages, shared by
+/// speculation workers. Created by [`TaggedMemory::spec_base`].
+#[derive(Clone, Copy)]
+pub struct SpecBase<'a> {
+    pages: &'a [Page],
+    index: &'a FxHashMap<u64, u32>,
+}
+
+impl<'a> SpecBase<'a> {
+    pub(crate) fn new(pages: &'a [Page], index: &'a FxHashMap<u64, u32>) -> SpecBase<'a> {
+        SpecBase { pages, index }
+    }
+
+    #[inline]
+    fn page(&self, pno: u64) -> Option<&'a Page> {
+        self.index.get(&pno).map(|&i| &self.pages[i as usize])
+    }
+}
+
+/// Word-granular footprint of one speculative task, extracted from its
+/// [`SpecView`] when execution finishes.
+pub struct SpecDelta {
+    /// Pages the task wrote: full private copies plus the bitmap of the
+    /// words actually written, sorted by page number. Only the masked
+    /// words are valid to merge — the rest of each copy is a stale
+    /// snapshot of the epoch-start page.
+    pub pages: Vec<(u64, Box<Page>, PageMask)>,
+    /// Per-page bitmaps of the words whose *values* the task's execution
+    /// depended on, sorted by page number: loaded words, plus the words
+    /// subword stores byte-merge into. Full-word store probes and
+    /// forwarding-chain hops are deliberately absent — their outcomes
+    /// depend only on forwarding bits and fbit-set words, both of which
+    /// are immutable within an epoch (tasks write only fbit-clear words
+    /// and never touch fbits), so they cannot conflict with anything.
+    pub reads: Vec<(u64, PageMask)>,
+}
+
+impl SpecDelta {
+    /// True when no word this task read was written by an earlier task —
+    /// the speculation saw exactly the state serial execution would have
+    /// shown it, so its masked writes can merge cleanly. Write/write
+    /// overlap needs no check: in-order masked installs reproduce the
+    /// serial last-writer-wins state for every word.
+    pub fn disjoint_from(&self, earlier_writes: &FxHashMap<u64, PageMask>) -> bool {
+        self.reads
+            .iter()
+            .all(|(pno, m)| earlier_writes.get(pno).is_none_or(|w| !masks_overlap(m, w)))
+    }
+
+    /// True when a word the task *only read* (never wrote) was written by
+    /// an earlier task — a pure read-after-write value dependence. An
+    /// overlap confined to words the task also wrote is a read-modify-
+    /// write collision instead: the task both misread and rewrote the
+    /// word (e.g. a shared counter increment).
+    pub fn pure_reads_overlap(&self, earlier_writes: &FxHashMap<u64, PageMask>) -> bool {
+        self.reads.iter().any(|(pno, m)| {
+            let Some(w) = earlier_writes.get(pno) else {
+                return false;
+            };
+            let own = self
+                .pages
+                .binary_search_by_key(pno, |&(p, _, _)| p)
+                .ok()
+                .map(|i| &self.pages[i].2);
+            m.iter().enumerate().any(|(l, &read)| {
+                let pure = read & !own.map_or(0, |o| o[l]);
+                pure & w[l] != 0
+            })
+        })
+    }
+
+    /// ORs every written word of this delta into `acc`.
+    pub fn record_writes(&self, acc: &mut FxHashMap<u64, PageMask>) {
+        for (pno, _, mask) in &self.pages {
+            merge_mask(acc, *pno, mask);
+        }
+    }
+}
+
+/// A per-task copy-on-touch overlay over a [`SpecBase`].
+///
+/// Functional semantics match [`TaggedMemory`] exactly: untouched memory
+/// reads as zero with forwarding bits clear, and pages materialize (here:
+/// clone into the overlay) on first write. The view records every word it
+/// touches in per-page bitmaps.
+///
+/// The hot read path is tuned for same-page runs (the overwhelmingly
+/// common case): a one-entry cursor holds the current page's number, its
+/// accumulated read mask, whether the page has an overlay copy, and the
+/// resolved base page, so a run of same-page reads costs two compares and
+/// a bit-OR on top of the word fetch.
+pub struct SpecView<'a> {
+    base: SpecBase<'a>,
+    overlay: FxHashMap<u64, (Box<Page>, PageMask)>,
+    reads: FxHashMap<u64, PageMask>,
+    /// One-entry read cursor: page number, accumulated mask (flushed to
+    /// `reads` on page change), whether `overlay` holds this page, and
+    /// the base page resolution.
+    cur_pno: u64,
+    cur_mask: PageMask,
+    cur_in_overlay: bool,
+    cur_base: Option<&'a Page>,
+}
+
+impl<'a> SpecView<'a> {
+    /// An empty overlay over `base`.
+    pub fn new(base: SpecBase<'a>) -> SpecView<'a> {
+        SpecView {
+            base,
+            overlay: FxHashMap::default(),
+            reads: FxHashMap::default(),
+            cur_pno: NO_PAGE,
+            cur_mask: EMPTY_MASK,
+            cur_in_overlay: false,
+            cur_base: None,
+        }
+    }
+
+    /// Flushes the read cursor's accumulated mask into the read map and
+    /// re-aims the cursor at `pno`.
+    #[cold]
+    fn switch_page(&mut self, pno: u64) {
+        if self.cur_pno != NO_PAGE && self.cur_mask != EMPTY_MASK {
+            merge_mask(&mut self.reads, self.cur_pno, &self.cur_mask);
+        }
+        self.cur_pno = pno;
+        self.cur_mask = EMPTY_MASK;
+        self.cur_in_overlay = self.overlay.contains_key(&pno);
+        self.cur_base = self.base.page(pno);
+    }
+
+    /// Reads the whole word containing `addr` together with its forwarding
+    /// bit, through the overlay, **without** recording a read dependence.
+    /// Functionally mirrors [`TaggedMemory::read_word_tagged`].
+    ///
+    /// This is the right accessor for reads whose outcome cannot depend on
+    /// any other task in the epoch: a store's forwarding-bit probe of the
+    /// word it overwrites, and forwarding-chain hops (tasks write only
+    /// fbit-clear words and never touch fbits, so a hop word's data and
+    /// every fbit are epoch-immutable). Reads whose *value* feeds the task
+    /// must go through [`SpecView::read_word_tagged`] or be followed by
+    /// [`SpecView::mark_read`].
+    #[inline]
+    pub fn peek_word_tagged(&mut self, addr: Addr) -> (u64, bool) {
+        let base = addr.word_base();
+        let pno = base.0 / PAGE_BYTES as u64;
+        let off = (base.0 % PAGE_BYTES as u64) as usize;
+        if self.cur_pno != pno {
+            self.switch_page(pno);
+        }
+        if self.cur_in_overlay {
+            let (p, _) = &self.overlay[&pno];
+            return (p.word(off), p.fbit(off));
+        }
+        match self.cur_base {
+            Some(p) => (p.word(off), p.fbit(off)),
+            None => (0, false),
+        }
+    }
+
+    /// Records a value-read dependence on the word containing `addr`.
+    #[inline]
+    pub fn mark_read(&mut self, addr: Addr) {
+        let base = addr.word_base();
+        let pno = base.0 / PAGE_BYTES as u64;
+        let off = (base.0 % PAGE_BYTES as u64) as usize;
+        if self.cur_pno != pno {
+            self.switch_page(pno);
+        }
+        let (l, b) = word_mask_bit(off);
+        self.cur_mask[l] |= b;
+    }
+
+    /// Reads the whole word containing `addr` together with its forwarding
+    /// bit, through the overlay, recording the value-read dependence.
+    /// Mirrors [`TaggedMemory::read_word_tagged`].
+    #[inline]
+    pub fn read_word_tagged(&mut self, addr: Addr) -> (u64, bool) {
+        let out = self.peek_word_tagged(addr);
+        let (l, b) = word_mask_bit((addr.word_base().0 % PAGE_BYTES as u64) as usize);
+        self.cur_mask[l] |= b;
+        out
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr` (already validated
+    /// by the caller), cloning the page into the overlay on first touch
+    /// and marking the containing word dirty. Mirrors
+    /// [`TaggedMemory::write_data`].
+    pub fn write_data(&mut self, addr: Addr, size: u64, value: u64) {
+        let pno = addr.0 / PAGE_BYTES as u64;
+        let off = (addr.0 % PAGE_BYTES as u64) as usize;
+        if pno == self.cur_pno {
+            self.cur_in_overlay = true;
+        }
+        let base = self.base;
+        let (p, mask) = self
+            .overlay
+            .entry(pno)
+            .or_insert_with(|| match base.page(pno) {
+                Some(p) => (Box::new(p.clone()), EMPTY_MASK),
+                None => (Box::new(Page::new()), EMPTY_MASK),
+            });
+        let (l, b) = word_mask_bit(off);
+        mask[l] |= b;
+        if size == WORD_BYTES {
+            p.set_word(off, value);
+            return;
+        }
+        p.bytes_mut(off, size as usize)
+            .copy_from_slice(&value.to_le_bytes()[..size as usize]);
+    }
+
+    /// Finishes the task: extracts the written page copies and the sorted
+    /// per-page read/write bitmaps.
+    pub fn into_delta(mut self) -> SpecDelta {
+        if self.cur_pno != NO_PAGE && self.cur_mask != EMPTY_MASK {
+            merge_mask(&mut self.reads, self.cur_pno, &self.cur_mask);
+        }
+        let mut pages: Vec<(u64, Box<Page>, PageMask)> = self
+            .overlay
+            .into_iter()
+            .map(|(pno, (p, m))| (pno, p, m))
+            .collect();
+        pages.sort_unstable_by_key(|&(pno, _, _)| pno);
+        let mut reads: Vec<(u64, PageMask)> = self.reads.into_iter().collect();
+        reads.sort_unstable_by_key(|&(pno, _)| pno);
+        SpecDelta { pages, reads }
+    }
+}
+
+impl TaggedMemory {
+    /// A `Sync` projection of this memory's pages for speculation workers.
+    ///
+    /// The projection borrows the memory immutably; the micro-TLB is not
+    /// consulted or touched, which is what makes the projection shareable
+    /// across threads.
+    pub fn spec_base(&self) -> SpecBase<'_> {
+        self.spec_base_parts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_pnos(d: &SpecDelta) -> Vec<u64> {
+        d.reads.iter().map(|&(p, _)| p).collect()
+    }
+
+    fn mask_of(words: &[usize]) -> PageMask {
+        let mut m = EMPTY_MASK;
+        for &w in words {
+            m[w / 64] |= 1 << (w % 64);
+        }
+        m
+    }
+
+    #[test]
+    fn reads_fall_through_and_record_words() {
+        let mut mem = TaggedMemory::new();
+        mem.write_data(Addr(0x1000), 8, 77);
+        mem.set_fbit(Addr(0x1000), true);
+        let base = mem.spec_base();
+        let mut v = SpecView::new(base);
+        assert_eq!(v.read_word_tagged(Addr(0x1000)), (77, true));
+        assert_eq!(v.read_word_tagged(Addr(0x1010)), (0, false));
+        assert_eq!(v.read_word_tagged(Addr(0x9000)), (0, false), "cold page");
+        let d = v.into_delta();
+        assert_eq!(read_pnos(&d), vec![1, 9]);
+        assert_eq!(d.reads[0].1, mask_of(&[0, 2]));
+        assert_eq!(d.reads[1].1, mask_of(&[0]));
+        assert!(d.pages.is_empty());
+    }
+
+    #[test]
+    fn writes_copy_on_touch_and_shadow_base() {
+        let mut mem = TaggedMemory::new();
+        mem.write_data(Addr(0x1000), 8, 1);
+        mem.write_data(Addr(0x1008), 8, 2);
+        let base = mem.spec_base();
+        let mut v = SpecView::new(base);
+        v.write_data(Addr(0x1000), 8, 100);
+        // Own write visible; neighbour word from the base copy.
+        assert_eq!(v.read_word_tagged(Addr(0x1000)).0, 100);
+        assert_eq!(v.read_word_tagged(Addr(0x1008)).0, 2);
+        // Fresh page: zero-filled, not from base.
+        v.write_data(Addr(0x5004), 4, 9);
+        assert_eq!(v.read_word_tagged(Addr(0x5000)).0, 9 << 32);
+        let d = v.into_delta();
+        assert_eq!(d.pages.len(), 2);
+        assert_eq!(d.pages[0].0, 1);
+        assert_eq!(d.pages[0].2, mask_of(&[0]));
+        assert_eq!(d.pages[1].0, 5);
+        assert_eq!(d.pages[1].2, mask_of(&[0]));
+        // Base memory untouched.
+        assert_eq!(mem.read_data(Addr(0x1000), 8), 1);
+        assert_eq!(mem.read_data(Addr(0x5004), 4), 0);
+    }
+
+    #[test]
+    fn conflicts_are_word_granular() {
+        let mem = TaggedMemory::new();
+        let base = mem.spec_base();
+        let mut v = SpecView::new(base);
+        v.read_word_tagged(Addr(0x1000)); // page 1 word 0
+        v.write_data(Addr(0x2008), 8, 1); // page 2 word 1
+        let d = v.into_delta();
+
+        let mut earlier = FxHashMap::default();
+        assert!(d.disjoint_from(&earlier));
+        // Earlier write to a *different word* of a read page: no conflict.
+        merge_mask(&mut earlier, 1, &mask_of(&[3]));
+        assert!(d.disjoint_from(&earlier));
+        // Same word: conflict, and it is a pure read (value dependence).
+        merge_mask(&mut earlier, 1, &mask_of(&[0]));
+        assert!(!d.disjoint_from(&earlier));
+        assert!(d.pure_reads_overlap(&earlier));
+        // Write/write only (no read overlap): never a conflict.
+        let mut ww = FxHashMap::default();
+        merge_mask(&mut ww, 2, &mask_of(&[1]));
+        assert!(d.disjoint_from(&ww));
+        assert!(!d.pure_reads_overlap(&ww));
+    }
+
+    #[test]
+    fn rmw_collision_classifies_as_ww_not_rw() {
+        // A read-modify-write of a word an earlier task wrote conflicts,
+        // but classifies as a write/write collision (the task rewrote the
+        // word it misread), not a pure-read dependence.
+        let mem = TaggedMemory::new();
+        let base = mem.spec_base();
+        let mut v = SpecView::new(base);
+        v.read_word_tagged(Addr(0x3000)); // the value read...
+        v.write_data(Addr(0x3000), 8, 9); // ...then the rewrite
+        let d = v.into_delta();
+        let mut earlier = FxHashMap::default();
+        merge_mask(&mut earlier, 3, &mask_of(&[0]));
+        assert!(!d.disjoint_from(&earlier));
+        assert!(
+            !d.pure_reads_overlap(&earlier),
+            "own-written word: ww, not rw"
+        );
+    }
+
+    #[test]
+    fn peek_records_no_dependence() {
+        let mut mem = TaggedMemory::new();
+        mem.write_data(Addr(0x1000), 8, 7);
+        let base = mem.spec_base();
+        let mut v = SpecView::new(base);
+        assert_eq!(v.peek_word_tagged(Addr(0x1000)), (7, false));
+        let d = v.into_delta();
+        assert!(d.reads.is_empty(), "peek must not mark a read");
+    }
+
+    #[test]
+    fn masked_install_merges_disjoint_words() {
+        // Two views write different words of the same page; both merge.
+        let mut mem = TaggedMemory::new();
+        mem.write_data(Addr(0x3000), 8, 5);
+        mem.set_fbit(Addr(0x3008), true);
+        let d1 = {
+            let mut v = SpecView::new(mem.spec_base());
+            v.write_data(Addr(0x3010), 8, 42);
+            v.into_delta()
+        };
+        let d2 = {
+            let mut v = SpecView::new(mem.spec_base());
+            v.write_data(Addr(0x3018), 8, 43);
+            v.write_data(Addr(0x7000), 8, 44);
+            v.into_delta()
+        };
+        for d in [d1, d2] {
+            for (pno, pg, mask) in &d.pages {
+                mem.install_words(*pno, pg, mask);
+            }
+        }
+        assert_eq!(mem.read_data(Addr(0x3000), 8), 5, "untouched word survives");
+        assert_eq!(mem.read_data(Addr(0x3010), 8), 42);
+        assert_eq!(mem.read_data(Addr(0x3018), 8), 43);
+        assert_eq!(mem.read_data(Addr(0x7000), 8), 44);
+        assert!(mem.fbit(Addr(0x3008)), "fbits survive the merge");
+        assert_eq!(mem.stats().pages, 2);
+    }
+
+    #[test]
+    fn in_order_installs_are_last_writer_wins() {
+        let mut mem = TaggedMemory::new();
+        let d1 = {
+            let mut v = SpecView::new(mem.spec_base());
+            v.write_data(Addr(0x4000), 8, 1);
+            v.into_delta()
+        };
+        let d2 = {
+            let mut v = SpecView::new(mem.spec_base());
+            v.write_data(Addr(0x4000), 8, 2);
+            v.into_delta()
+        };
+        for d in [d1, d2] {
+            for (pno, pg, mask) in &d.pages {
+                mem.install_words(*pno, pg, mask);
+            }
+        }
+        assert_eq!(mem.read_data(Addr(0x4000), 8), 2);
+    }
+}
