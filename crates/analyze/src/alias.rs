@@ -1,0 +1,262 @@
+//! Aliasing statistics for relocation plans (`--alias-summary`).
+//!
+//! Relocation safety hinges on which words a plan's steps touch more
+//! than once: a word that is both a source and a later target aliases
+//! through the forwarding graph, and overlapping step ranges are where
+//! MF003/MF004/MF005 findings come from. This module reduces a plan to
+//! the aliasing shape a layout optimizer cares about — how many words
+//! are shared between steps, how hot the hottest word is, and how many
+//! step pairs overlap at all — without re-running the verifier.
+
+use memfwd::RelocPlan;
+use std::collections::{BTreeMap, HashSet};
+
+/// Aliasing statistics for one plan. All word counts are in 8-byte
+/// word-base units; a step contributes both its source range and its
+/// target range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliasSummary {
+    /// Label of the summarized plan (app target or plan file).
+    pub target: String,
+    /// Number of relocation steps.
+    pub steps: usize,
+    /// Total words across all source+target ranges, counted with
+    /// multiplicity.
+    pub words_touched: u64,
+    /// Distinct words across all source+target ranges.
+    pub distinct_words: usize,
+    /// Distinct words touched by more than one step.
+    pub shared_words: usize,
+    /// Unordered step pairs that touch at least one common word.
+    pub overlapping_pairs: usize,
+    /// Steps whose own source and target ranges overlap (MF003 shape).
+    pub self_overlapping_steps: usize,
+    /// Steps whose source word doubles as another step's target word —
+    /// the handoff pattern that builds multi-hop chains.
+    pub src_tgt_aliased_steps: usize,
+    /// Most steps touching any single word, with that word.
+    pub hottest: Option<(u64, usize)>,
+    /// Pre-existing forwarding edges declared by the plan.
+    pub pre_edges: usize,
+}
+
+fn ranges_overlap(a0: u64, aw: u64, b0: u64, bw: u64) -> bool {
+    a0 < b0 + 8 * bw && b0 < a0 + 8 * aw
+}
+
+/// Computes the [`AliasSummary`] of `plan`.
+pub fn alias_summary(target: &str, plan: &RelocPlan) -> AliasSummary {
+    // word base -> distinct steps touching it
+    let mut by_word: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut words_touched = 0u64;
+    let mut self_overlapping_steps = 0usize;
+    let mut tgt_words: HashSet<u64> = HashSet::new();
+
+    for (k, s) in plan.steps.iter().enumerate() {
+        words_touched += 2 * s.words;
+        if s.words > 0 && ranges_overlap(s.src.0, s.words, s.tgt.0, s.words) {
+            self_overlapping_steps += 1;
+        }
+        for i in 0..s.words {
+            for w in [
+                s.src.add_words(i).word_base().0,
+                s.tgt.add_words(i).word_base().0,
+            ] {
+                let steps = by_word.entry(w).or_default();
+                if steps.last() != Some(&k) {
+                    steps.push(k);
+                }
+            }
+            tgt_words.insert(s.tgt.add_words(i).word_base().0);
+        }
+    }
+
+    let shared_words = by_word.values().filter(|v| v.len() > 1).count();
+    let hottest = by_word
+        .iter()
+        .max_by_key(|(_, v)| v.len())
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(&w, v)| (w, v.len()));
+
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for steps in by_word.values() {
+        for (i, &a) in steps.iter().enumerate() {
+            for &b in &steps[i + 1..] {
+                pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+
+    let src_tgt_aliased_steps = plan
+        .steps
+        .iter()
+        .filter(|s| (0..s.words).any(|i| tgt_words.contains(&s.src.add_words(i).word_base().0)))
+        .count();
+
+    AliasSummary {
+        target: target.to_string(),
+        steps: plan.steps.len(),
+        words_touched,
+        distinct_words: by_word.len(),
+        shared_words,
+        overlapping_pairs: pairs.len(),
+        self_overlapping_steps,
+        src_tgt_aliased_steps,
+        hottest,
+        pre_edges: plan.pre.len(),
+    }
+}
+
+/// Renders summaries for humans, one block per plan.
+pub fn render_alias_human(summaries: &[AliasSummary]) -> String {
+    let mut out = String::new();
+    for s in summaries {
+        out.push_str(&format!(
+            "{}: {} steps, {} pre-edges\n",
+            s.target, s.steps, s.pre_edges
+        ));
+        out.push_str(&format!(
+            "  words: {} touched ({} distinct, {} shared by >1 step)\n",
+            s.words_touched, s.distinct_words, s.shared_words
+        ));
+        out.push_str(&format!(
+            "  overlap: {} step pair(s) share words, {} step(s) self-overlap, \
+             {} step(s) read another step's target\n",
+            s.overlapping_pairs, s.self_overlapping_steps, s.src_tgt_aliased_steps
+        ));
+        match s.hottest {
+            Some((w, n)) => out.push_str(&format!("  hottest word: {w:#x} ({n} steps)\n")),
+            None => out.push_str("  hottest word: none (empty plan)\n"),
+        }
+    }
+    out
+}
+
+/// Renders summaries as a JSON array (no external dependencies; targets
+/// are escaped for quotes and backslashes).
+pub fn render_alias_json(summaries: &[AliasSummary]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in summaries.iter().enumerate() {
+        let esc: String = s
+            .target
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        let hottest = match s.hottest {
+            Some((w, n)) => format!("{{\"word\": {w}, \"steps\": {n}}}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"target\": \"{esc}\", \"steps\": {}, \"pre_edges\": {}, \
+             \"words_touched\": {}, \"distinct_words\": {}, \"shared_words\": {}, \
+             \"overlapping_pairs\": {}, \"self_overlapping_steps\": {}, \
+             \"src_tgt_aliased_steps\": {}, \"hottest\": {hottest}}}{}\n",
+            s.steps,
+            s.pre_edges,
+            s.words_touched,
+            s.distinct_words,
+            s.shared_words,
+            s.overlapping_pairs,
+            s.self_overlapping_steps,
+            s.src_tgt_aliased_steps,
+            if i + 1 < summaries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memfwd::RelocStep;
+    use memfwd_tagmem::Addr;
+
+    fn plan(steps: &[(u64, u64, u64)]) -> RelocPlan {
+        let mut p = RelocPlan::new(Addr(0x10_000), 1 << 20);
+        p.steps = steps
+            .iter()
+            .map(|&(s, t, w)| RelocStep {
+                src: Addr(s),
+                tgt: Addr(t),
+                words: w,
+            })
+            .collect();
+        p
+    }
+
+    #[test]
+    fn disjoint_steps_share_nothing() {
+        let s = alias_summary(
+            "t",
+            &plan(&[(0x10_000, 0x20_000, 2), (0x30_000, 0x40_000, 2)]),
+        );
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.words_touched, 8);
+        assert_eq!(s.distinct_words, 8);
+        assert_eq!(s.shared_words, 0);
+        assert_eq!(s.overlapping_pairs, 0);
+        assert_eq!(s.self_overlapping_steps, 0);
+        assert_eq!(s.src_tgt_aliased_steps, 0);
+        assert_eq!(s.hottest.map(|(_, n)| n), Some(1));
+    }
+
+    #[test]
+    fn handoff_chains_and_hot_words_are_counted() {
+        // a -> b, b -> c, a -> d: word a is touched by steps 0 and 2,
+        // word b by steps 0 and 1; step 1 reads step 0's target and
+        // step 0 reads step 2's... no — src a is also step 2's src.
+        let s = alias_summary(
+            "t",
+            &plan(&[
+                (0x10_000, 0x10_008, 1),
+                (0x10_008, 0x10_010, 1),
+                (0x10_000, 0x10_018, 1),
+            ]),
+        );
+        assert_eq!(s.shared_words, 2); // a (steps 0,2) and b (steps 0,1)
+        assert_eq!(s.overlapping_pairs, 2); // (0,1) via b and (0,2) via a
+        assert_eq!(s.src_tgt_aliased_steps, 1); // step 1: src b is step 0's tgt
+        let (w, n) = s.hottest.unwrap();
+        assert_eq!(n, 2);
+        assert!(w == 0x10_000 || w == 0x10_008);
+    }
+
+    #[test]
+    fn self_overlap_is_flagged() {
+        let s = alias_summary("t", &plan(&[(0x10_000, 0x10_008, 2)]));
+        assert_eq!(s.self_overlapping_steps, 1);
+        // The middle word is src[1] and tgt[0] of the SAME step, so it is
+        // not "shared between steps" — but it is a src/tgt alias.
+        assert_eq!(s.shared_words, 0);
+        assert_eq!(s.src_tgt_aliased_steps, 1);
+    }
+
+    #[test]
+    fn a_step_touching_a_word_twice_is_one_toucher() {
+        // src and tgt word sets of different steps are deduplicated per
+        // step: a single self-overlapping step never inflates shared
+        // counts into pair counts.
+        let s = alias_summary("t", &plan(&[(0x10_000, 0x10_008, 2)]));
+        assert_eq!(s.overlapping_pairs, 0);
+        assert_eq!(s.hottest.map(|(_, n)| n), Some(1));
+    }
+
+    #[test]
+    fn renders_are_stable() {
+        let plans = [
+            alias_summary("empty", &plan(&[])),
+            alias_summary("one \"quoted\"", &plan(&[(0x10_000, 0x20_000, 1)])),
+        ];
+        let human = render_alias_human(&plans);
+        assert!(human.contains("empty: 0 steps"));
+        assert!(human.contains("hottest word: none"));
+        let json = render_alias_json(&plans);
+        assert!(json.contains("\"target\": \"one \\\"quoted\\\"\""));
+        assert!(json.contains("\"hottest\": null"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}

@@ -4,10 +4,13 @@
 //! from plan files) and certifies SMP campaigns race-free, reporting
 //! stable `MF0xx` diagnostics in human or JSON form.
 
+use memfwd::MemoryModel;
 use memfwd_analyze::{
-    app_target, capture_app_plan, certify_stock_campaigns, diff_plans, infer_hop_budget,
-    parse_plan, race_report, render_diff_human, render_diff_json, render_human, render_json,
-    verify_plan, DenySet, Report,
+    alias_summary, app_target, capture_app_plan, certify_stock_campaigns_model, check_litmus,
+    diff_plans, infer_hop_budget, parse_litmus, parse_plan, race_report, render_alias_human,
+    render_alias_json, render_diff_human, render_diff_json, render_edits, render_human,
+    render_json, render_litmus_human, render_litmus_json, render_plan, repair_plan, verify_plan,
+    AliasSummary, DenySet, RepairOutcome, Report,
 };
 use memfwd_apps::{App, RunConfig, Scale, Variant};
 use std::path::PathBuf;
@@ -27,11 +30,33 @@ TARGETS (at least one; may be repeated/combined):
                             happens-before race certifier
     --smp-seeded-race       run the deliberately racy campaign (expected
                             to flag MF009; for testing the certifier)
+    --smp-seeded-fbit       run the seeded forwarding-bit publication
+                            campaigns under TSO: the unfenced variant is
+                            expected to flag MF010, the release-fenced
+                            variant to certify clean
+    --litmus <path>         model-check a .litmus file (or every .litmus
+                            file in a directory) under SC and TSO:
+                            enumerate all schedules, compare outcome sets
+                            against the declared allowed/forbidden lines,
+                            certify the canonical schedule, and
+                            cross-validate certifier soundness; honors
+                            --format; exit 1 on any violation
     --diff <old> <new>      structurally diff two plan files instead of
                             linting: report changed steps (common-prefix/
                             suffix trim), bounds, budget, and pre-edges;
                             honors --format; exit 0 if identical, 1 if
                             they differ
+
+    --repair <out>          instead of linting, repair the single --plan
+                            target by terminal-rewriting step targets
+                            (MF002/MF004 class findings), re-verify the
+                            edited plan, and write it to <out> only if it
+                            certifies free of error-severity findings;
+                            exit 1 if the plan is unrepairable
+    --alias-summary         instead of linting, report per-target aliasing
+                            statistics (shared words, overlapping step
+                            pairs, hottest word) for each --app/--plan
+                            target; honors --format
 
     --infer-hop-budget      instead of linting, report the minimum safe
                             hard_hop_budget for each --app/--plan target
@@ -41,6 +66,10 @@ TARGETS (at least one; may be repeated/combined):
                             a forwarding cycle makes every budget unsafe
 
 OPTIONS:
+    --memory-model <m>      sc|tso (default: sc): the memory model the
+                            SMP campaigns of --smp-certify run under;
+                            TSO traces carry store-buffer events and can
+                            additionally flag MF010/MF011/MF012
     --variant <v>           original|optimized|static (default: optimized)
     --scale <s>             smoke|bench (default: smoke)
     --seed <n>              workload seed (default: 12345)
@@ -62,8 +91,13 @@ struct Cli {
     plans: Vec<PathBuf>,
     smp_certify: bool,
     smp_seeded_race: bool,
+    smp_seeded_fbit: bool,
+    litmus: Option<PathBuf>,
     diff: Option<(PathBuf, PathBuf)>,
     infer_hop_budget: bool,
+    repair: Option<PathBuf>,
+    alias: bool,
+    memory_model: MemoryModel,
     variant: Variant,
     scale: Scale,
     seed: u64,
@@ -77,8 +111,13 @@ fn parse_args() -> Result<Cli, String> {
         plans: Vec::new(),
         smp_certify: false,
         smp_seeded_race: false,
+        smp_seeded_fbit: false,
+        litmus: None,
         diff: None,
         infer_hop_budget: false,
+        repair: None,
+        alias: false,
+        memory_model: MemoryModel::Sc,
         variant: Variant::Optimized,
         scale: Scale::Smoke,
         seed: 12345,
@@ -104,8 +143,17 @@ fn parse_args() -> Result<Cli, String> {
                 .plans
                 .push(PathBuf::from(next_val(&mut args, "--plan")?)),
             "--infer-hop-budget" => cli.infer_hop_budget = true,
+            "--repair" => cli.repair = Some(PathBuf::from(next_val(&mut args, "--repair")?)),
+            "--alias-summary" => cli.alias = true,
             "--smp-certify" => cli.smp_certify = true,
             "--smp-seeded-race" => cli.smp_seeded_race = true,
+            "--smp-seeded-fbit" => cli.smp_seeded_fbit = true,
+            "--litmus" => cli.litmus = Some(PathBuf::from(next_val(&mut args, "--litmus")?)),
+            "--memory-model" => {
+                let v = next_val(&mut args, "--memory-model")?;
+                cli.memory_model = MemoryModel::from_name(&v)
+                    .ok_or_else(|| format!("unknown memory model '{v}'"))?;
+            }
             "--diff" => {
                 let old = next_val(&mut args, "--diff")?;
                 let new = args.next().ok_or("--diff needs two plan files")?;
@@ -143,27 +191,41 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
-    if cli.diff.is_some()
-        && (!cli.apps.is_empty() || !cli.plans.is_empty() || cli.smp_certify || cli.smp_seeded_race)
-    {
+    let smp = cli.smp_certify || cli.smp_seeded_race || cli.smp_seeded_fbit;
+    if cli.diff.is_some() && (!cli.apps.is_empty() || !cli.plans.is_empty() || smp) {
         return Err("--diff cannot be combined with lint targets".into());
     }
+    if cli.litmus.is_some() && (!cli.apps.is_empty() || !cli.plans.is_empty() || smp) {
+        return Err("--litmus cannot be combined with lint targets".into());
+    }
     if cli.infer_hop_budget {
-        if cli.smp_certify || cli.smp_seeded_race || cli.diff.is_some() {
+        if smp || cli.diff.is_some() {
             return Err("--infer-hop-budget only combines with --app/--plan targets".into());
         }
         if cli.apps.is_empty() && cli.plans.is_empty() {
             return Err("--infer-hop-budget needs at least one --app or --plan target".into());
         }
     }
+    if cli.alias {
+        if smp || cli.diff.is_some() || cli.litmus.is_some() {
+            return Err("--alias-summary only combines with --app/--plan targets".into());
+        }
+        if cli.apps.is_empty() && cli.plans.is_empty() {
+            return Err("--alias-summary needs at least one --app or --plan target".into());
+        }
+    }
+    if cli.repair.is_some() && (cli.plans.len() != 1 || !cli.apps.is_empty() || smp) {
+        return Err("--repair takes exactly one --plan target".into());
+    }
     if cli.diff.is_none()
+        && cli.litmus.is_none()
         && cli.apps.is_empty()
         && cli.plans.is_empty()
-        && !cli.smp_certify
-        && !cli.smp_seeded_race
+        && !smp
     {
         return Err(
-            "nothing to lint: give --app, --plan, --smp-certify, --smp-seeded-race or --diff"
+            "nothing to lint: give --app, --plan, --smp-certify, --smp-seeded-race, \
+             --smp-seeded-fbit, --litmus or --diff"
                 .into(),
         );
     }
@@ -272,6 +334,139 @@ fn run_infer(cli: &Cli) -> ! {
     std::process::exit(0);
 }
 
+/// Reads and parses a plan file, exiting 2 on I/O or syntax errors.
+fn load_plan(path: &PathBuf) -> memfwd::RelocPlan {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    parse_plan(&text).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", path.display());
+        std::process::exit(2);
+    })
+}
+
+/// `--litmus`: model-check one `.litmus` file, or every one in a
+/// directory, under both memory models.
+fn run_litmus(cli: &Cli, path: &PathBuf) -> ! {
+    let mut files: Vec<PathBuf> = if path.is_dir() {
+        let entries = std::fs::read_dir(path).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "litmus"))
+            .collect()
+    } else {
+        vec![path.clone()]
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("error: {}: no .litmus files", path.display());
+        std::process::exit(2);
+    }
+    let mut results = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", file.display());
+            std::process::exit(2);
+        });
+        let stem = file
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "litmus".to_string());
+        let test = parse_litmus(&text, &stem).unwrap_or_else(|e| {
+            eprintln!("error: {}: {e}", file.display());
+            std::process::exit(2);
+        });
+        match check_litmus(&test) {
+            Ok(result) => results.push(result),
+            Err(e) => {
+                eprintln!("error: {}: {e}", file.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if cli.json {
+        print!("{}", render_litmus_json(&results));
+    } else {
+        print!("{}", render_litmus_human(&results));
+    }
+    let failed = results.iter().filter(|r| !r.passed()).count();
+    if failed > 0 {
+        eprintln!("memfwd_lint: {failed} litmus test(s) failed");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `--alias-summary`: aliasing statistics for each target.
+fn run_alias(cli: &Cli) -> ! {
+    let mut summaries: Vec<AliasSummary> = Vec::new();
+    for &app in &cli.apps {
+        let mut cfg = RunConfig::new(cli.variant);
+        cfg.scale = cli.scale;
+        cfg.seed = cli.seed;
+        let cap = capture_app_plan(app, &cfg);
+        summaries.push(alias_summary(&app_target(app, &cfg), &cap.plan));
+    }
+    for path in &cli.plans {
+        let plan = load_plan(path);
+        summaries.push(alias_summary(&format!("plan:{}", path.display()), &plan));
+    }
+    if cli.json {
+        print!("{}", render_alias_json(&summaries));
+    } else {
+        print!("{}", render_alias_human(&summaries));
+    }
+    std::process::exit(0);
+}
+
+/// `--repair`: terminal-rewrite the single `--plan` target and write the
+/// re-verified result to `out`. The output file is written only when
+/// the repaired plan certifies free of error-severity findings.
+fn run_repair(cli: &Cli, out: &PathBuf) -> ! {
+    let path = &cli.plans[0];
+    let plan = load_plan(path);
+    let target = format!("plan:{}", path.display());
+    match repair_plan(&target, &plan) {
+        RepairOutcome::AlreadyClean { report } => {
+            std::fs::write(out, render_plan(&plan)).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", out.display());
+                std::process::exit(2);
+            });
+            println!(
+                "{target}: already clean ({:?}); copied unchanged",
+                report.verdict()
+            );
+            std::process::exit(0);
+        }
+        RepairOutcome::Repaired {
+            plan: repaired,
+            edits,
+            report,
+        } => {
+            std::fs::write(out, render_plan(&repaired)).unwrap_or_else(|e| {
+                eprintln!("error: {}: {e}", out.display());
+                std::process::exit(2);
+            });
+            println!(
+                "{target}: repaired with {} edit(s), re-verified {:?}",
+                edits.len(),
+                report.verdict()
+            );
+            print!("{}", render_edits(&edits));
+            std::process::exit(0);
+        }
+        RepairOutcome::Unrepairable { reason, report } => {
+            print!("{}", render_human(&report));
+            eprintln!("memfwd_lint: {target} is unrepairable: {reason}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let cli = match parse_args() {
         Ok(cli) => cli,
@@ -306,8 +501,20 @@ fn main() {
         std::process::exit(i32::from(!d.is_identical()));
     }
 
+    if let Some(path) = &cli.litmus {
+        run_litmus(&cli, path);
+    }
+
     if cli.infer_hop_budget {
         run_infer(&cli);
+    }
+
+    if cli.alias {
+        run_alias(&cli);
+    }
+
+    if let Some(out) = &cli.repair {
+        run_repair(&cli, out);
     }
 
     let mut reports: Vec<Report> = Vec::new();
@@ -342,11 +549,17 @@ fn main() {
         reports.push(verify_plan(&format!("plan:{}", path.display()), &plan));
     }
     if cli.smp_certify {
-        reports.extend(certify_stock_campaigns(cli.seed));
+        reports.extend(certify_stock_campaigns_model(cli.seed, cli.memory_model));
     }
     if cli.smp_seeded_race {
         let (name, cores, trace) = memfwd_analyze::race::seeded_race_campaign();
         reports.push(race_report(name, cores, &trace));
+    }
+    if cli.smp_seeded_fbit {
+        for fenced in [false, true] {
+            let (name, cores, trace) = memfwd_analyze::race::seeded_fbit_campaign(fenced);
+            reports.push(race_report(name, cores, &trace));
+        }
     }
 
     if cli.json {

@@ -42,6 +42,18 @@ pub enum Code {
     /// SMP data race: two cores access the same word, at least one a store,
     /// with no barrier ordering them.
     Mf009,
+    /// Unfenced fbit publication: under TSO a forwarding-bit install races
+    /// a remote access to the same word through the installer's store
+    /// buffer — the remote core can read the stale, un-forwarded word.
+    Mf010,
+    /// Buffered-store read skew: a remote core loads a word while another
+    /// core still holds an undrained buffered store to it, observing the
+    /// pre-store value after the storing core already sees the new one.
+    Mf011,
+    /// Missing release before relocation handoff: a relocated object is
+    /// accessed by another core with no release/unlock/barrier by the
+    /// relocating core between the install and the first remote access.
+    Mf012,
 }
 
 /// Diagnostic severity.
@@ -55,7 +67,7 @@ pub enum Severity {
 
 impl Code {
     /// Every defined code, in numeric order.
-    pub const ALL: [Code; 9] = [
+    pub const ALL: [Code; 12] = [
         Code::Mf001,
         Code::Mf002,
         Code::Mf003,
@@ -65,6 +77,9 @@ impl Code {
         Code::Mf007,
         Code::Mf008,
         Code::Mf009,
+        Code::Mf010,
+        Code::Mf011,
+        Code::Mf012,
     ];
 
     /// The stable code string, e.g. `"MF001"`.
@@ -79,6 +94,9 @@ impl Code {
             Code::Mf007 => "MF007",
             Code::Mf008 => "MF008",
             Code::Mf009 => "MF009",
+            Code::Mf010 => "MF010",
+            Code::Mf011 => "MF011",
+            Code::Mf012 => "MF012",
         }
     }
 
@@ -101,13 +119,16 @@ impl Code {
             Code::Mf007 => "null source or target",
             Code::Mf008 => "misaligned source or target",
             Code::Mf009 => "SMP data race",
+            Code::Mf010 => "unfenced fbit publication",
+            Code::Mf011 => "buffered-store read skew",
+            Code::Mf012 => "missing release before relocation handoff",
         }
     }
 
     /// The fixed severity of this code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::Mf004 | Code::Mf005 => Severity::Warning,
+            Code::Mf004 | Code::Mf005 | Code::Mf011 | Code::Mf012 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -123,7 +144,7 @@ impl Code {
             (Code::Mf007, _) => &["null-deref"],
             (Code::Mf008, _) => &["misaligned"],
             // MF003/MF006 are silent at runtime; MF004/MF005 are warnings;
-            // MF009 concerns the SMP model, not a uniprocessor fault.
+            // MF009-MF012 concern the SMP model, not a uniprocessor fault.
             _ => &[],
         }
     }

@@ -36,18 +36,31 @@
 // Same discipline as the core crates: bare `unwrap()` is test-only.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod alias;
 pub mod capture;
 pub mod diag;
+pub mod litmus;
 pub mod plandiff;
 pub mod planfile;
 pub mod race;
+pub mod repair;
 #[cfg(feature = "shadow")]
 pub mod shadow;
 pub mod verify;
 
+pub use alias::{alias_summary, render_alias_human, render_alias_json, AliasSummary};
 pub use capture::{app_target, capture_app_plan, CapturedRun};
 pub use diag::{render_human, render_json, Code, DenySet, Diagnostic, Report, Severity, Verdict};
+pub use litmus::{
+    certify_litmus, check_litmus, parse_litmus, render_litmus_human, render_litmus_json,
+    LitmusResult, LitmusTest,
+};
 pub use plandiff::{diff_plans, render_diff_human, render_diff_json, PlanDiff};
 pub use planfile::{parse_plan, render_plan};
-pub use race::{certify_stock_campaigns, find_races, race_report, RaceFinding};
+pub use race::{
+    analyze_trace, certify_stock_campaigns, certify_stock_campaigns_model, find_races, race_report,
+    seeded_fbit_campaign, seeded_race_campaign, stock_campaigns_model, HandoffFinding, RaceFinding,
+    SkewFinding, TraceAnalysis,
+};
+pub use repair::{render_edits, repair_plan, RepairEdit, RepairOutcome};
 pub use verify::{infer_hop_budget, verify_plan, verify_plan_with_hops, HopProfile};

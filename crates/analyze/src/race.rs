@@ -1,23 +1,49 @@
-//! The SMP happens-before race certifier.
+//! The SMP happens-before race certifier, parameterized by memory model.
 //!
-//! The SMP model's only synchronization primitive is the global
+//! Under SC the machine's only synchronization primitive is the global
 //! [`SmpMachine::barrier`], so its happens-before relation is simple:
 //! program order within a core, plus every barrier ordering everything
-//! before it (on all cores) ahead of everything after it. The detector
-//! still runs full vector clocks over the event trace — the textbook
-//! algorithm — so it stays correct if finer-grained synchronization events
-//! are ever added to [`SmpEvent`].
+//! before it (on all cores) ahead of everything after it. Under TSO
+//! ([`memfwd::MemoryModel::Tso`]) the trace additionally carries store
+//! buffer lifecycle events and fine-grained synchronization, and the
+//! happens-before relation gains the corresponding sync edges:
+//!
+//! | trace events                | edge                                    |
+//! |-----------------------------|-----------------------------------------|
+//! | `Barrier`                   | global join: everything before → after  |
+//! | `Release w` → `Acquire w`   | releaser's prefix → acquirer's suffix   |
+//! | `Unlock w` → `Lock w`       | critical section → next critical section|
+//! | `Fence`                     | **no** cross-core edge (drain only)     |
+//!
+//! The analysis is deliberately model-agnostic: it is keyed on trace
+//! *content*, so an SC trace (which carries no buffer events) yields
+//! exactly the PR-4 behavior, while a TSO trace additionally surfaces:
+//!
+//! - [`MF010`](crate::diag::Code::Mf010) — a data race on a word that a
+//!   forwarding-bit install targeted: the §5 publication race, where a
+//!   remote core can read the stale un-forwarded word while the install
+//!   sits in the store buffer;
+//! - [`MF011`](crate::diag::Code::Mf011) — a remote load of a word
+//!   another core still holds an undrained buffered store to (read skew);
+//! - [`MF012`](crate::diag::Code::Mf012) — a relocation whose installed
+//!   words are touched by another core before the installing core
+//!   performs any release-class operation (release, unlock, or barrier —
+//!   a fence does *not* qualify, as it publishes without ordering).
 //!
 //! Two accesses **race** when they touch the same word from different
 //! cores, at least one is a store, and neither happens-before the other.
 //! A racy campaign is timing-dependent in a way the simulator's
 //! deterministic interleaving hides; the certifier surfaces it as an
-//! [`MF009`](crate::diag::Code::Mf009) diagnostic.
+//! [`MF009`](crate::diag::Code::Mf009) (or MF010) diagnostic.
 
 use crate::diag::{Code, Diagnostic, Report};
-use memfwd::{SmpConfig, SmpEvent, SmpMachine};
+use memfwd::{MemoryModel, SimConfig, SmpConfig, SmpEvent, SmpMachine};
 use memfwd_tagmem::{Addr, Pool};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Findings are deduplicated per (word, core pair) and capped — a racy
+/// loop would otherwise report every iteration.
+const MAX_FINDINGS: usize = 32;
 
 /// One detected race.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +56,43 @@ pub struct RaceFinding {
     pub second: (usize, bool),
 }
 
+/// One MF011 finding: a load observed another core's undrained store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewFinding {
+    /// The word with the pending buffered store.
+    pub word: Addr,
+    /// The core that loaded the stale memory copy.
+    pub loader: usize,
+    /// The core whose store buffer still holds the new value.
+    pub storer: usize,
+}
+
+/// One MF012 finding: a relocation handed off without a release edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandoffFinding {
+    /// The old home of the relocated word (the install target).
+    pub old: Addr,
+    /// The new home the forwarding word points at.
+    pub new_home: Addr,
+    /// The core that performed the relocation.
+    pub installer: usize,
+    /// The core that touched the object before any release.
+    pub accessor: usize,
+}
+
+/// Everything the certifier extracted from one event trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceAnalysis {
+    /// Happens-before violations (MF009, or MF010 on install words).
+    pub races: Vec<RaceFinding>,
+    /// Buffered-store read skews (MF011).
+    pub skews: Vec<SkewFinding>,
+    /// Missing-release relocation handoffs (MF012).
+    pub handoffs: Vec<HandoffFinding>,
+    /// Every word some core installed a forwarding bit on.
+    pub install_words: HashSet<u64>,
+}
+
 /// A vector clock over `n` cores.
 type Vc = Vec<u64>;
 
@@ -37,99 +100,271 @@ fn dominates(a: &Vc, b: &Vc) -> bool {
     a.iter().zip(b).all(|(x, y)| x <= y)
 }
 
+fn join_into(dst: &mut Vc, src: &Vc) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
 #[derive(Default)]
 struct WordState {
-    /// The last store: (core, is_store flag is implicit, its clock).
+    /// The last store: (core, its clock).
     last_write: Option<(usize, Vc)>,
     /// Reads since the last store.
     reads: Vec<(usize, Vc)>,
 }
 
-/// Runs the vector-clock race detection over an event trace.
-///
-/// Findings are deduplicated per (word, core pair) and capped at 32 — a
-/// racy loop would otherwise report every iteration.
-pub fn find_races(cores: usize, events: &[SmpEvent]) -> Vec<RaceFinding> {
-    let mut clocks: Vec<Vc> = (0..cores).map(|_| vec![0u64; cores]).collect();
-    let mut words: HashMap<u64, WordState> = HashMap::new();
-    let mut findings = Vec::new();
-    let mut reported: std::collections::HashSet<(u64, usize, usize)> =
-        std::collections::HashSet::new();
-    let mut report = |findings: &mut Vec<RaceFinding>,
-                      word: Addr,
-                      first: (usize, bool),
-                      second: (usize, bool)| {
+/// The per-access vector-clock step shared by plain and buffered stores.
+#[allow(clippy::too_many_arguments)]
+fn vc_access(
+    clocks: &mut [Vc],
+    words: &mut HashMap<u64, WordState>,
+    races: &mut Vec<RaceFinding>,
+    reported: &mut HashSet<(u64, usize, usize)>,
+    core: usize,
+    word: Addr,
+    is_store: bool,
+) {
+    let mut report = |races: &mut Vec<RaceFinding>, first: (usize, bool), second: (usize, bool)| {
         let key = (word.0, first.0.min(second.0), first.0.max(second.0));
-        if reported.insert(key) && findings.len() < 32 {
-            findings.push(RaceFinding {
+        if reported.insert(key) && races.len() < MAX_FINDINGS {
+            races.push(RaceFinding {
                 word,
                 first,
                 second,
             });
         }
     };
+    clocks[core][core] += 1;
+    let me = &clocks[core];
+    let st = words.entry(word.0).or_default();
+    if let Some((wc, wvc)) = &st.last_write {
+        if *wc != core && !dominates(wvc, me) {
+            report(races, (*wc, true), (core, is_store));
+        }
+    }
+    if is_store {
+        for (rc, rvc) in &st.reads {
+            if *rc != core && !dominates(rvc, me) {
+                report(races, (*rc, false), (core, true));
+            }
+        }
+        st.last_write = Some((core, me.clone()));
+        st.reads.clear();
+    } else {
+        st.reads.push((core, me.clone()));
+    }
+}
+
+/// Runs the full happens-before analysis over an event trace: vector-clock
+/// race detection with barrier/release-acquire/lock sync edges, pending
+/// store-buffer tracking for read skews, and the relocation-handoff
+/// protocol check.
+pub fn analyze_trace(cores: usize, events: &[SmpEvent]) -> TraceAnalysis {
+    let mut clocks: Vec<Vc> = (0..cores).map(|_| vec![0u64; cores]).collect();
+    let mut words: HashMap<u64, WordState> = HashMap::new();
+    let mut release_clock: HashMap<u64, Vc> = HashMap::new();
+    // Per-core FIFO of words with an issued, not-yet-drained buffered
+    // store. `StoreBuffered`/`FbitInstall` push, the n-th `Drain` pops the
+    // n-th entry (drains complete in issue order under TSO's FIFO buffer).
+    let mut pending: Vec<VecDeque<u64>> = vec![VecDeque::new(); cores];
+    let mut out = TraceAnalysis::default();
+    let mut reported: HashSet<(u64, usize, usize)> = HashSet::new();
+    let mut skew_reported: HashSet<(u64, usize, usize)> = HashSet::new();
     for ev in events {
         match *ev {
             SmpEvent::Barrier => {
                 let mut join = vec![0u64; cores];
                 for vc in &clocks {
-                    for (j, v) in vc.iter().enumerate() {
-                        join[j] = join[j].max(*v);
-                    }
+                    join_into(&mut join, vc);
                 }
                 for (c, vc) in clocks.iter_mut().enumerate() {
                     vc.clone_from(&join);
                     vc[c] += 1;
                 }
             }
+            // A fence drains (the machine emits the drains explicitly) but
+            // creates no cross-core edge.
+            SmpEvent::Fence { .. } => {}
+            SmpEvent::Acquire { core, word } | SmpEvent::Lock { core, word } => {
+                if let Some(rvc) = release_clock.get(&word.word_base().0) {
+                    let rvc = rvc.clone();
+                    join_into(&mut clocks[core], &rvc);
+                }
+            }
+            SmpEvent::Release { core, word } | SmpEvent::Unlock { core, word } => {
+                release_clock.insert(word.word_base().0, clocks[core].clone());
+            }
+            SmpEvent::StoreBuffered { core, word } => {
+                pending[core].push_back(word.word_base().0);
+                vc_access(
+                    &mut clocks,
+                    &mut words,
+                    &mut out.races,
+                    &mut reported,
+                    core,
+                    word,
+                    true,
+                );
+            }
+            SmpEvent::FbitInstall { core, word, .. } => {
+                out.install_words.insert(word.word_base().0);
+                pending[core].push_back(word.word_base().0);
+                vc_access(
+                    &mut clocks,
+                    &mut words,
+                    &mut out.races,
+                    &mut reported,
+                    core,
+                    word,
+                    true,
+                );
+            }
+            SmpEvent::Drain { core, .. } => {
+                pending[core].pop_front();
+            }
             SmpEvent::Access {
                 core,
                 word,
                 is_store,
             } => {
-                clocks[core][core] += 1;
-                let me = &clocks[core];
-                let st = words.entry(word.0).or_default();
-                if let Some((wc, wvc)) = &st.last_write {
-                    if *wc != core && !dominates(wvc, me) {
-                        report(&mut findings, word, (*wc, true), (core, is_store));
-                    }
-                }
-                if is_store {
-                    for (rc, rvc) in &st.reads {
-                        if *rc != core && !dominates(rvc, me) {
-                            report(&mut findings, word, (*rc, false), (core, true));
+                if !is_store {
+                    for (storer, fifo) in pending.iter().enumerate() {
+                        if storer != core && fifo.contains(&word.word_base().0) {
+                            let key = (word.word_base().0, core, storer);
+                            if skew_reported.insert(key) && out.skews.len() < MAX_FINDINGS {
+                                out.skews.push(SkewFinding {
+                                    word: word.word_base(),
+                                    loader: core,
+                                    storer,
+                                });
+                            }
                         }
                     }
-                    st.last_write = Some((core, me.clone()));
-                    st.reads.clear();
-                } else {
-                    st.reads.push((core, me.clone()));
                 }
+                vc_access(
+                    &mut clocks,
+                    &mut words,
+                    &mut out.races,
+                    &mut reported,
+                    core,
+                    word,
+                    is_store,
+                );
             }
         }
     }
-    findings
+    out.handoffs = find_handoffs(events);
+    out
 }
 
-/// Converts race findings into a diagnostics [`Report`].
+/// The MF012 protocol check, in trace order: for each forwarding-bit
+/// install, the first access by another core to the old word or the new
+/// home must be preceded by *some* release-class operation (release,
+/// unlock, or barrier) performed by the installing core after the install.
+/// This is a discipline check, not a happens-before proof — it stays a
+/// warning, and deliberately ignores fences, which drain without ordering.
+fn find_handoffs(events: &[SmpEvent]) -> Vec<HandoffFinding> {
+    let mut out: Vec<HandoffFinding> = Vec::new();
+    let mut reported: HashSet<(u64, usize, usize)> = HashSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let SmpEvent::FbitInstall {
+            core: installer,
+            word,
+            to,
+        } = *ev
+        else {
+            continue;
+        };
+        let old = word.word_base();
+        let new_home = to.word_base();
+        let mut released = false;
+        for later in &events[i + 1..] {
+            match *later {
+                SmpEvent::Barrier => released = true,
+                SmpEvent::Release { core, .. } | SmpEvent::Unlock { core, .. }
+                    if core == installer =>
+                {
+                    released = true
+                }
+                SmpEvent::Access { core, word: w, .. }
+                | SmpEvent::StoreBuffered { core, word: w }
+                    if core != installer && (w.word_base() == old || w.word_base() == new_home) =>
+                {
+                    if !released {
+                        let key = (old.0, installer, core);
+                        if reported.insert(key) && out.len() < MAX_FINDINGS {
+                            out.push(HandoffFinding {
+                                old,
+                                new_home,
+                                installer,
+                                accessor: core,
+                            });
+                        }
+                    }
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Runs the vector-clock race detection over an event trace, returning
+/// only the plain race findings (see [`analyze_trace`] for the rest).
+pub fn find_races(cores: usize, events: &[SmpEvent]) -> Vec<RaceFinding> {
+    analyze_trace(cores, events).races
+}
+
+/// Converts the full trace analysis into a diagnostics [`Report`]: races
+/// become MF009 — or MF010 when the contended word carries a forwarding-bit
+/// install — skews become MF011, and missing-release handoffs MF012.
 pub fn race_report(target: &str, cores: usize, events: &[SmpEvent]) -> Report {
-    let diagnostics = find_races(cores, events)
-        .into_iter()
-        .map(|r| Diagnostic {
-            code: Code::Mf009,
+    let analysis = analyze_trace(cores, events);
+    let mut diagnostics = Vec::new();
+    for r in &analysis.races {
+        let (code, what) = if analysis.install_words.contains(&r.word.0) {
+            (Code::Mf010, "forwarding-bit install on")
+        } else {
+            (Code::Mf009, "access to")
+        };
+        diagnostics.push(Diagnostic {
+            code,
             step: None,
             addr: Some(r.word),
             message: format!(
-                "cores {} and {} access word {:#x} ({} then {}) with no barrier between them",
+                "cores {} and {} race: {what} word {:#x} ({} then {}) with no ordering edge between them",
                 r.first.0,
                 r.second.0,
                 r.word.0,
                 if r.first.1 { "store" } else { "load" },
                 if r.second.1 { "store" } else { "load" },
             ),
-        })
-        .collect();
+        });
+    }
+    for s in &analysis.skews {
+        diagnostics.push(Diagnostic {
+            code: Code::Mf011,
+            step: None,
+            addr: Some(s.word),
+            message: format!(
+                "core {} loads word {:#x} while core {}'s store buffer still holds an undrained store to it",
+                s.loader, s.word.0, s.storer
+            ),
+        });
+    }
+    for h in &analysis.handoffs {
+        diagnostics.push(Diagnostic {
+            code: Code::Mf012,
+            step: None,
+            addr: Some(h.old),
+            message: format!(
+                "core {} relocated word {:#x} -> {:#x} but core {} touched it before any release/unlock/barrier by the installer",
+                h.installer, h.old.0, h.new_home.0, h.accessor
+            ),
+        });
+    }
     Report {
         target: target.to_string(),
         steps: 0,
@@ -138,27 +373,30 @@ pub fn race_report(target: &str, cores: usize, events: &[SmpEvent]) -> Report {
 }
 
 // ---------------------------------------------------------------------
-// Stock campaigns: the barrier-disciplined SMP workloads the certifier
-// must pass clean, plus one deliberately racy workload it must flag.
+// Stock campaigns: the synchronization-disciplined SMP workloads the
+// certifier must pass clean, plus deliberately defective ones it must
+// flag (the seeded MF009 race and the seeded MF010 fbit publication).
 // ---------------------------------------------------------------------
 
-fn machine(cores: usize) -> SmpMachine {
+fn machine_model(cores: usize, model: MemoryModel) -> SmpMachine {
     let mut m = SmpMachine::new(
         SmpConfig {
             cores,
             ..SmpConfig::default()
         },
-        Default::default(),
+        SimConfig::default().with_memory_model(model),
     );
     m.enable_event_trace();
     m
 }
 
+const TRACE_ON: &str = "enable_event_trace was called when the campaign machine was built";
+
 /// Producer/consumer rounds: one core publishes a block, a barrier, every
 /// other core reads it, a barrier, and the writer role rotates.
-fn campaign_producer_consumer(seed: u64) -> (usize, Vec<SmpEvent>) {
+fn campaign_producer_consumer(seed: u64, model: MemoryModel) -> (usize, Vec<SmpEvent>) {
     let cores = 4;
-    let mut m = machine(cores);
+    let mut m = machine_model(cores, model);
     let buf = m.malloc(8 * 8);
     for round in 0..6u64 {
         let writer = ((round + seed) % cores as u64) as usize;
@@ -175,19 +413,15 @@ fn campaign_producer_consumer(seed: u64) -> (usize, Vec<SmpEvent>) {
         }
         m.barrier();
     }
-    (
-        cores,
-        m.take_event_trace()
-            .expect("enable_event_trace was called when the campaign machine was built"),
-    )
+    (cores, m.take_event_trace().expect(TRACE_ON))
 }
 
 /// The §2.2 false-sharing fix: per-core counters sharing one line are
 /// relocated (each by its owning core) onto private lines; stale pointers
 /// are then read cross-core after a barrier.
-fn campaign_false_sharing_fix(_seed: u64) -> (usize, Vec<SmpEvent>) {
+fn campaign_false_sharing_fix(_seed: u64, model: MemoryModel) -> (usize, Vec<SmpEvent>) {
     let cores = 2;
-    let mut m = machine(cores);
+    let mut m = machine_model(cores, model);
     let shared = m.malloc(16); // both counters in one coherence line
     let line = m.line_bytes();
     let mut pools = [Pool::new(4096), Pool::new(4096)];
@@ -213,19 +447,15 @@ fn campaign_false_sharing_fix(_seed: u64) -> (usize, Vec<SmpEvent>) {
     // touches chain words the other core wrote, but the barrier orders it.
     assert_eq!(m.load(1, shared, 8), 10);
     assert_eq!(m.load(0, shared + 8, 8), 11);
-    (
-        cores,
-        m.take_event_trace()
-            .expect("enable_event_trace was called when the campaign machine was built"),
-    )
+    (cores, m.take_event_trace().expect(TRACE_ON))
 }
 
 /// Relocation as publication: core 0 builds and relocates a structure;
 /// after a barrier every core chases the original pointers through the
 /// forwarding chains.
-fn campaign_relocate_publish(seed: u64) -> (usize, Vec<SmpEvent>) {
+fn campaign_relocate_publish(seed: u64, model: MemoryModel) -> (usize, Vec<SmpEvent>) {
     let cores = 3;
-    let mut m = machine(cores);
+    let mut m = machine_model(cores, model);
     let n = 6u64;
     let old = m.malloc(8 * n);
     let new = m.malloc(8 * n);
@@ -239,30 +469,86 @@ fn campaign_relocate_publish(seed: u64) -> (usize, Vec<SmpEvent>) {
             assert_eq!(m.load(c, old.add_words(w), 8), seed ^ w, "stale path");
         }
     }
-    (
-        cores,
-        m.take_event_trace()
-            .expect("enable_event_trace was called when the campaign machine was built"),
-    )
+    (cores, m.take_event_trace().expect(TRACE_ON))
 }
 
-/// The stock campaigns, as (name, cores, trace) tuples.
-pub fn stock_campaigns(seed: u64) -> Vec<(&'static str, usize, Vec<SmpEvent>)> {
-    let (c1, t1) = campaign_producer_consumer(seed);
-    let (c2, t2) = campaign_false_sharing_fix(seed);
-    let (c3, t3) = campaign_relocate_publish(seed);
-    vec![
+/// The message-passing idiom under TSO: core 0 builds and relocates a
+/// block, then hands it off with a `store_release`; core 1 `load_acquire`s
+/// the flag and chases the stale pointers. No barrier anywhere — the
+/// release→acquire edge alone must satisfy the certifier.
+fn campaign_release_handoff(seed: u64) -> (usize, Vec<SmpEvent>) {
+    let cores = 2;
+    let mut m = machine_model(cores, MemoryModel::Tso);
+    let n = 4u64;
+    let old = m.malloc(8 * n);
+    let new = m.malloc(8 * n);
+    let flag = m.malloc(8);
+    for w in 0..n {
+        m.store(0, old.add_words(w), 8, seed ^ w);
+    }
+    m.relocate(0, old, new, n);
+    m.store_release(0, flag, 8, 1);
+    assert_eq!(m.load_acquire(1, flag, 8), 1);
+    for w in 0..n {
+        assert_eq!(m.load(1, old.add_words(w), 8), seed ^ w, "handoff path");
+    }
+    (cores, m.take_event_trace().expect(TRACE_ON))
+}
+
+/// A lock-disciplined shared counter under TSO: the unlock→lock edge (not
+/// a barrier) orders the criticial sections.
+fn campaign_locked_counter(_seed: u64) -> (usize, Vec<SmpEvent>) {
+    let cores = 2;
+    let mut m = machine_model(cores, MemoryModel::Tso);
+    let l = m.malloc(8);
+    let d = m.malloc(8);
+    for i in 0..6 {
+        let c = i % cores;
+        m.lock(c, l);
+        let v = m.load(c, d, 8);
+        m.store(c, d, 8, v + 1);
+        m.unlock(c, l);
+    }
+    m.lock(0, l);
+    assert_eq!(m.load(0, d, 8), 6);
+    m.unlock(0, l);
+    (cores, m.take_event_trace().expect(TRACE_ON))
+}
+
+/// The stock campaigns for `model`, as (name, cores, trace) tuples. Under
+/// TSO the barrier-disciplined trio runs on the buffered machine and two
+/// additional campaigns exercise the release/acquire and lock edges.
+pub fn stock_campaigns_model(
+    seed: u64,
+    model: MemoryModel,
+) -> Vec<(&'static str, usize, Vec<SmpEvent>)> {
+    let (c1, t1) = campaign_producer_consumer(seed, model);
+    let (c2, t2) = campaign_false_sharing_fix(seed, model);
+    let (c3, t3) = campaign_relocate_publish(seed, model);
+    let mut out = vec![
         ("smp:producer-consumer", c1, t1),
         ("smp:false-sharing-fix", c2, t2),
         ("smp:relocate-publish", c3, t3),
-    ]
+    ];
+    if model == MemoryModel::Tso {
+        let (c4, t4) = campaign_release_handoff(seed);
+        let (c5, t5) = campaign_locked_counter(seed);
+        out.push(("smp:release-handoff", c4, t4));
+        out.push(("smp:locked-counter", c5, t5));
+    }
+    out
+}
+
+/// The SC stock campaigns (the pre-weak-memory behavior).
+pub fn stock_campaigns(seed: u64) -> Vec<(&'static str, usize, Vec<SmpEvent>)> {
+    stock_campaigns_model(seed, MemoryModel::Sc)
 }
 
 /// A deliberately racy campaign: two cores increment the same word with no
 /// barrier. The certifier must flag it (it is the seeded MF009 defect).
 pub fn seeded_race_campaign() -> (&'static str, usize, Vec<SmpEvent>) {
     let cores = 2;
-    let mut m = machine(cores);
+    let mut m = machine_model(cores, MemoryModel::Sc);
     let w = m.malloc(8);
     for i in 0..4 {
         let c = i % cores;
@@ -272,17 +558,61 @@ pub fn seeded_race_campaign() -> (&'static str, usize, Vec<SmpEvent>) {
     (
         "smp:seeded-race",
         cores,
-        m.take_event_trace()
-            .expect("enable_event_trace was called when the campaign machine was built"),
+        m.take_event_trace().expect(TRACE_ON),
     )
 }
 
-/// Certifies the stock campaigns: one [`Report`] each.
-pub fn certify_stock_campaigns(seed: u64) -> Vec<Report> {
-    stock_campaigns(seed)
+/// The seeded fbit-publication campaign, on the TSO machine: core 0
+/// builds and relocates a block, core 1 chases the stale pointers.
+///
+/// With `fenced == false` nothing orders the handoff: core 1 reads the
+/// stale pre-install words while the install sits in core 0's store
+/// buffer — the certifier must flag MF010 (and the MF011/MF012
+/// discipline warnings). With `fenced == true` the relocation is
+/// published through a `store_release`/`load_acquire` pair and the exact
+/// same access pattern certifies clean.
+pub fn seeded_fbit_campaign(fenced: bool) -> (&'static str, usize, Vec<SmpEvent>) {
+    let cores = 2;
+    let mut m = machine_model(cores, MemoryModel::Tso);
+    let n = 2u64;
+    let old = m.malloc(8 * n);
+    let new = m.malloc(8 * n);
+    let flag = m.malloc(8);
+    for w in 0..n {
+        m.store(0, old.add_words(w), 8, 0x40 + w);
+    }
+    m.relocate(0, old, new, n);
+    if fenced {
+        m.store_release(0, flag, 8, 1);
+        assert_eq!(m.load_acquire(1, flag, 8), 1);
+    }
+    for w in 0..n {
+        let v = m.load(1, old.add_words(w), 8);
+        if fenced {
+            assert_eq!(v, 0x40 + w, "released handoff sees relocated data");
+        }
+        // Unfenced: core 1 reads whatever drained — the publication skew
+        // the certifier reports.
+    }
+    let name = if fenced {
+        "smp:fbit-publish-released"
+    } else {
+        "smp:fbit-publish-unfenced"
+    };
+    (name, cores, m.take_event_trace().expect(TRACE_ON))
+}
+
+/// Certifies the stock campaigns for `model`: one [`Report`] each.
+pub fn certify_stock_campaigns_model(seed: u64, model: MemoryModel) -> Vec<Report> {
+    stock_campaigns_model(seed, model)
         .into_iter()
         .map(|(name, cores, trace)| race_report(name, cores, &trace))
         .collect()
+}
+
+/// Certifies the SC stock campaigns: one [`Report`] each.
+pub fn certify_stock_campaigns(seed: u64) -> Vec<Report> {
+    certify_stock_campaigns_model(seed, MemoryModel::Sc)
 }
 
 #[cfg(test)]
@@ -293,8 +623,10 @@ mod tests {
     #[test]
     fn stock_campaigns_are_race_free() {
         for seed in [1u64, 7, 42] {
-            for r in certify_stock_campaigns(seed) {
-                assert_eq!(r.verdict(), Verdict::Safe, "{}: {r:?}", r.target);
+            for model in [MemoryModel::Sc, MemoryModel::Tso] {
+                for r in certify_stock_campaigns_model(seed, model) {
+                    assert_eq!(r.verdict(), Verdict::Safe, "{model}/{}: {r:?}", r.target);
+                }
             }
         }
     }
@@ -305,6 +637,19 @@ mod tests {
         let r = race_report(name, cores, &trace);
         assert!(r.has(Code::Mf009), "{r:?}");
         assert_eq!(r.verdict(), Verdict::Unsafe);
+    }
+
+    #[test]
+    fn seeded_fbit_campaign_is_mf010_unfenced_and_clean_released() {
+        let (name, cores, trace) = seeded_fbit_campaign(false);
+        let r = race_report(name, cores, &trace);
+        assert!(r.has(Code::Mf010), "{r:?}");
+        assert!(r.has(Code::Mf012), "missing release must be flagged: {r:?}");
+        assert_eq!(r.verdict(), Verdict::Unsafe);
+
+        let (name, cores, trace) = seeded_fbit_campaign(true);
+        let r = race_report(name, cores, &trace);
+        assert_eq!(r.verdict(), Verdict::Safe, "released variant: {r:?}");
     }
 
     #[test]
@@ -329,6 +674,60 @@ mod tests {
         // Without the barrier: a write-write race.
         let t = vec![t[0], t[2]];
         assert_eq!(find_races(2, &t).len(), 1);
+    }
+
+    #[test]
+    fn release_acquire_orders_but_fence_does_not() {
+        use SmpEvent::*;
+        let a = Addr(0x100);
+        let f = Addr(0x200);
+        let store = Access {
+            core: 0,
+            word: a,
+            is_store: true,
+        };
+        let load = Access {
+            core: 1,
+            word: a,
+            is_store: false,
+        };
+        let rel = vec![
+            store,
+            Release { core: 0, word: f },
+            Acquire { core: 1, word: f },
+            load,
+        ];
+        assert!(find_races(2, &rel).is_empty(), "release->acquire edge");
+        // An acquire with no matching release synchronizes nothing.
+        let no_rel = vec![store, Acquire { core: 1, word: f }, load];
+        assert_eq!(find_races(2, &no_rel).len(), 1);
+        // A fence drains but does not order across cores.
+        let fenced = vec![store, Fence { core: 0 }, load];
+        assert_eq!(find_races(2, &fenced).len(), 1, "fence is not a sync edge");
+    }
+
+    #[test]
+    fn unlock_lock_orders_critical_sections() {
+        use SmpEvent::*;
+        let a = Addr(0x100);
+        let l = Addr(0x200);
+        let t = vec![
+            Lock { core: 0, word: l },
+            Access {
+                core: 0,
+                word: a,
+                is_store: true,
+            },
+            Unlock { core: 0, word: l },
+            Lock { core: 1, word: l },
+            Access {
+                core: 1,
+                word: a,
+                is_store: true,
+            },
+            Unlock { core: 1, word: l },
+        ];
+        assert!(find_races(2, &t).is_empty());
     }
 
     #[test]
@@ -369,5 +768,110 @@ mod tests {
         let races = find_races(2, &t);
         assert_eq!(races.len(), 1);
         assert_eq!(races[0].word, a);
+    }
+
+    #[test]
+    fn pending_buffered_store_skews_remote_loads() {
+        use SmpEvent::*;
+        let a = Addr(0x100);
+        let buffered = StoreBuffered { core: 0, word: a };
+        let remote_load = Access {
+            core: 1,
+            word: a,
+            is_store: false,
+        };
+        let t = vec![buffered, remote_load];
+        let an = analyze_trace(2, &t);
+        assert_eq!(an.skews.len(), 1, "{an:?}");
+        assert_eq!((an.skews[0].loader, an.skews[0].storer), (1, 0));
+        // Once the store drains, the load reads coherent memory: no skew
+        // (the race itself is still reported through the vector clocks).
+        let t = vec![buffered, Drain { core: 0, word: a }, remote_load];
+        assert!(analyze_trace(2, &t).skews.is_empty());
+        // The storing core's own load is forwarding, not skew.
+        let own = Access {
+            core: 0,
+            word: a,
+            is_store: false,
+        };
+        assert!(analyze_trace(2, &[buffered, own]).skews.is_empty());
+    }
+
+    #[test]
+    fn install_races_classify_as_mf010() {
+        use SmpEvent::*;
+        let old = Addr(0x100);
+        let new = Addr(0x300);
+        let t = vec![
+            FbitInstall {
+                core: 0,
+                word: old,
+                to: new,
+            },
+            Access {
+                core: 1,
+                word: old,
+                is_store: false,
+            },
+        ];
+        let r = race_report("t", 2, &t);
+        assert!(r.has(Code::Mf010), "{r:?}");
+        assert!(!r.has(Code::Mf009), "install race is MF010, not MF009");
+        assert!(r.has(Code::Mf012), "no release before the remote access");
+    }
+
+    #[test]
+    fn handoff_with_release_is_not_mf012() {
+        use SmpEvent::*;
+        let old = Addr(0x100);
+        let new = Addr(0x300);
+        let f = Addr(0x200);
+        let t = vec![
+            FbitInstall {
+                core: 0,
+                word: old,
+                to: new,
+            },
+            Drain { core: 0, word: old },
+            Release { core: 0, word: f },
+            Acquire { core: 1, word: f },
+            Access {
+                core: 1,
+                word: old,
+                is_store: false,
+            },
+        ];
+        let an = analyze_trace(2, &t);
+        assert!(an.handoffs.is_empty(), "{an:?}");
+        // A fence in place of the release does not qualify.
+        let t = vec![
+            FbitInstall {
+                core: 0,
+                word: old,
+                to: new,
+            },
+            Drain { core: 0, word: old },
+            Fence { core: 0 },
+            Access {
+                core: 1,
+                word: old,
+                is_store: false,
+            },
+        ];
+        assert_eq!(analyze_trace(2, &t).handoffs.len(), 1);
+    }
+
+    #[test]
+    fn sc_traces_never_fire_weak_memory_codes() {
+        for seed in [1u64, 7] {
+            for (name, cores, trace) in stock_campaigns_model(seed, MemoryModel::Sc) {
+                let an = analyze_trace(cores, &trace);
+                assert!(an.install_words.is_empty(), "{name}");
+                assert!(an.skews.is_empty() && an.handoffs.is_empty(), "{name}");
+            }
+        }
+        let (name, cores, trace) = seeded_race_campaign();
+        let r = race_report(name, cores, &trace);
+        assert!(!r.has(Code::Mf010) && !r.has(Code::Mf011) && !r.has(Code::Mf012));
     }
 }

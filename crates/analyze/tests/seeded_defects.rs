@@ -16,8 +16,9 @@ fn verify_fixture(name: &str) -> memfwd_analyze::diag::Report {
     verify_plan(&format!("fixture:{name}"), &plan)
 }
 
-/// Which fixture seeds each code. MF009 is a race, not a plan defect, and
-/// is exercised by the race-campaign test below.
+/// Which plan fixture seeds each code. MF009 is a race, not a plan
+/// defect, and is exercised by the race-campaign test below; MF010-MF012
+/// are weak-memory findings seeded by litmus fixtures (next table).
 fn fixture_for(code: Code) -> Option<&'static str> {
     match code {
         Code::Mf001 => Some("mf001_cycle.plan"),
@@ -28,7 +29,18 @@ fn fixture_for(code: Code) -> Option<&'static str> {
         Code::Mf006 => Some("mf006_oob.plan"),
         Code::Mf007 => Some("mf007_null.plan"),
         Code::Mf008 => Some("mf008_misaligned.plan"),
-        Code::Mf009 => None,
+        Code::Mf009 | Code::Mf010 | Code::Mf011 | Code::Mf012 => None,
+    }
+}
+
+/// Which litmus fixture seeds each weak-memory code (certified under TSO
+/// on the canonical schedule).
+fn litmus_fixture_for(code: Code) -> Option<&'static str> {
+    match code {
+        Code::Mf010 => Some("mf010_unfenced_install.litmus"),
+        Code::Mf011 => Some("mf011_buffered_skew.litmus"),
+        Code::Mf012 => Some("mf012_missing_release.litmus"),
+        _ => None,
     }
 }
 
@@ -36,7 +48,12 @@ fn fixture_for(code: Code) -> Option<&'static str> {
 fn every_code_has_a_seeded_defect_that_fires_it() {
     for code in Code::ALL {
         let Some(name) = fixture_for(code) else {
-            // MF009: covered by `seeded_race_fires_mf009`.
+            // MF009: covered by `seeded_race_fires_mf009`. MF010-MF012:
+            // covered by `every_weak_memory_code_has_a_litmus_fixture`.
+            assert!(
+                code == Code::Mf009 || litmus_fixture_for(code).is_some(),
+                "{code} has neither a plan nor a litmus fixture"
+            );
             continue;
         };
         let report = verify_fixture(name);
@@ -52,6 +69,34 @@ fn every_code_has_a_seeded_defect_that_fires_it() {
                 assert!(report.verdict() >= Verdict::SafeWithWarnings, "{name}")
             }
         }
+    }
+}
+
+#[test]
+fn every_weak_memory_code_has_a_litmus_fixture() {
+    use memfwd::MemoryModel;
+    for code in [Code::Mf010, Code::Mf011, Code::Mf012] {
+        let name = litmus_fixture_for(code).expect("weak-memory code has a litmus fixture");
+        let test = memfwd_analyze::parse_litmus(&fixture(name), name)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = memfwd_analyze::certify_litmus(&test, MemoryModel::Tso)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            report.has(code),
+            "{name} must fire {} under TSO but produced: {:?}",
+            code.as_str(),
+            report.diagnostics
+        );
+        // Under SC the same program carries no buffer events, so the
+        // weak-memory code cannot fire (the race itself may remain).
+        let sc = memfwd_analyze::certify_litmus(&test, MemoryModel::Sc)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for weak in [Code::Mf010, Code::Mf011, Code::Mf012] {
+            assert!(!sc.has(weak), "{name}: {weak} fired under SC: {sc:?}");
+        }
+        // And the fixture's own declared expectations must hold.
+        let result = memfwd_analyze::check_litmus(&test).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(result.passed(), "{name}: {:?}", result.violations);
     }
 }
 

@@ -11,6 +11,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Same discipline as the core crates: bare `unwrap()` is test-only.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use memfwd_apps::{run_ok as run, App, AppOutput, RunConfig, Scale, Variant};
 

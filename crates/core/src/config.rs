@@ -89,6 +89,59 @@ pub struct SimConfig {
     /// workers plus the committer on the calling thread; results are
     /// bit-identical at every setting.
     pub epoch_threads: usize,
+    /// Shared-memory consistency model of the SMP machine (see
+    /// [`MemoryModel`]). [`MemoryModel::Sc`] — the default — keeps the
+    /// SMP machine bit-identical to its pre-TSO behaviour; the
+    /// uniprocessor machine ignores this knob entirely.
+    pub memory_model: MemoryModel,
+}
+
+/// The shared-memory consistency model of the SMP machine
+/// ([`crate::SmpMachine`]; the uniprocessor machine has no visibility
+/// ordering to weaken and ignores this knob).
+///
+/// Under [`MemoryModel::Sc`] every store becomes globally visible the
+/// moment it executes — the model the SMP campaigns and the PR-4 race
+/// certifier were built against, and the bit-identical default. Under
+/// [`MemoryModel::Tso`] each core issues stores into a private FIFO store
+/// buffer (total-store-order, the x86 model): the issuing core forwards
+/// its own buffered values to later loads, while remote cores observe a
+/// store only once it *drains* to coherent memory. Fences, releases,
+/// per-word locks, and barriers are the drain points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemoryModel {
+    /// Sequential consistency: stores are globally visible at execution.
+    #[default]
+    Sc,
+    /// Total store order: per-core FIFO store buffers with own-store
+    /// forwarding; remote visibility is deferred to the drain.
+    Tso,
+}
+
+impl MemoryModel {
+    /// The stable lowercase name (`"sc"` / `"tso"`), as accepted by
+    /// [`MemoryModel::from_name`] and the `--memory-model` CLI flag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemoryModel::Sc => "sc",
+            MemoryModel::Tso => "tso",
+        }
+    }
+
+    /// Parses a model name (case-insensitive).
+    pub fn from_name(s: &str) -> Option<MemoryModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" => Some(MemoryModel::Sc),
+            "tso" => Some(MemoryModel::Tso),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Bounded-progress watchdog: converts silent livelock into typed faults.
@@ -152,6 +205,7 @@ impl Default for SimConfig {
             watchdog: WatchdogConfig::default(),
             scalar_path: false,
             epoch_threads: 0,
+            memory_model: MemoryModel::Sc,
         }
     }
 }
@@ -200,6 +254,13 @@ impl SimConfig {
         self.epoch_threads = threads;
         self
     }
+
+    /// Returns a copy running the SMP machine under `model` (see
+    /// [`MemoryModel`]; the default is [`MemoryModel::Sc`]).
+    pub fn with_memory_model(mut self, model: MemoryModel) -> Self {
+        self.memory_model = model;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +278,22 @@ mod tests {
         assert!(c.hard_hop_budget.is_none());
         assert!(c.fault_injection.is_none());
         assert_eq!(c.epoch_threads, 0, "speculation is opt-in");
+        assert_eq!(c.memory_model, MemoryModel::Sc, "SC is the default");
+    }
+
+    #[test]
+    fn memory_model_names_round_trip() {
+        for m in [MemoryModel::Sc, MemoryModel::Tso] {
+            assert_eq!(MemoryModel::from_name(m.as_str()), Some(m));
+            assert_eq!(MemoryModel::from_name(&m.as_str().to_uppercase()), Some(m));
+        }
+        assert_eq!(MemoryModel::from_name("arm"), None);
+        assert_eq!(
+            SimConfig::default()
+                .with_memory_model(MemoryModel::Tso)
+                .memory_model,
+            MemoryModel::Tso
+        );
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod trap;
 
 pub use batch::{BatchDep, BatchOp, BatchOut, RefBatch, BATCH_CAPACITY};
 pub use cluster::{subtree_cluster, TreeDesc};
-pub use config::{SimConfig, WatchdogConfig};
+pub use config::{MemoryModel, SimConfig, WatchdogConfig};
 pub use epoch::Demand;
 pub use fault::{record_last_fault, take_last_fault, MachineFault};
 pub use inject::{Corruption, InjectConfig, InjectKind, Injector};

@@ -43,7 +43,7 @@ use crate::trace::Trace;
 use crate::trap::TrapInfo;
 use memfwd_cache::{CacheLevel, Hierarchy};
 use memfwd_cpu::{Pipeline, SpecQueue};
-use memfwd_tagmem::{Heap, SnapCodecError, SnapDecoder, SnapEncoder, TaggedMemory};
+use memfwd_tagmem::{Addr, Heap, SnapCodecError, SnapDecoder, SnapEncoder, TaggedMemory};
 use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
@@ -409,6 +409,33 @@ pub fn save_smp(m: &SmpMachine, cursor: &[u64]) -> Vec<u8> {
         e.u64(c.stats.coherence_misses);
         e.u64(c.stats.false_sharing_misses);
         e.u64(c.stats.forwarded);
+        e.u64(c.stats.sb_forwards);
+        e.u64(c.stats.sb_drains);
+        e.u64(c.stats.fences);
+        e.seq(c.sb.iter(), |e, w| match *w {
+            crate::smp::SbWrite::Store { addr, size, value } => {
+                e.u8(0);
+                e.u64(addr.0);
+                e.u64(size);
+                e.u64(value);
+            }
+            crate::smp::SbWrite::Copy { addr, value } => {
+                e.u8(1);
+                e.u64(addr.0);
+                e.u64(value);
+            }
+            crate::smp::SbWrite::Install { word, fwd_to } => {
+                e.u8(2);
+                e.u64(word.0);
+                e.u64(fwd_to.0);
+            }
+        });
+    });
+    let mut locks: Vec<(u64, usize)> = m.lock_holders.iter().map(|(&w, &c)| (w, c)).collect();
+    locks.sort_unstable();
+    enc.seq(locks.into_iter(), |e, (word, holder)| {
+        e.u64(word);
+        e.usize(holder);
     });
     let mut line_nos: Vec<u64> = m.lines.keys().copied().collect();
     line_nos.sort_unstable();
@@ -474,8 +501,46 @@ pub fn restore_smp(
             coherence_misses: dec.u64()?,
             false_sharing_misses: dec.u64()?,
             forwarded: dec.u64()?,
+            sb_forwards: dec.u64()?,
+            sb_drains: dec.u64()?,
+            fences: dec.u64()?,
         };
-        cores.push(Core { l1, now, stats });
+        let n_sb = dec.seq_len(16)?;
+        let mut sb = std::collections::VecDeque::with_capacity(n_sb);
+        for _ in 0..n_sb {
+            sb.push_back(match dec.u8()? {
+                0 => crate::smp::SbWrite::Store {
+                    addr: Addr(dec.u64()?),
+                    size: dec.u64()?,
+                    value: dec.u64()?,
+                },
+                1 => crate::smp::SbWrite::Copy {
+                    addr: Addr(dec.u64()?),
+                    value: dec.u64()?,
+                },
+                2 => crate::smp::SbWrite::Install {
+                    word: Addr(dec.u64()?),
+                    fwd_to: Addr(dec.u64()?),
+                },
+                _ => return Err(SnapshotError::BadValue),
+            });
+        }
+        cores.push(Core { l1, now, stats, sb });
+    }
+    let n_locks = dec.seq_len(20)?;
+    let mut lock_holders = HashMap::with_capacity(n_locks);
+    let mut last_lock = None;
+    for _ in 0..n_locks {
+        let word = dec.u64()?;
+        if last_lock.is_some_and(|prev| word <= prev) {
+            return Err(SnapshotError::BadValue);
+        }
+        last_lock = Some(word);
+        let holder = dec.usize()?;
+        if holder >= n_cores {
+            return Err(SnapshotError::BadValue);
+        }
+        lock_holders.insert(word, holder);
     }
     let n_lines = dec.seq_len(30)?;
     let mut lines = HashMap::with_capacity(n_lines);
@@ -546,6 +611,7 @@ pub fn restore_smp(
             heap,
             cores,
             lines,
+            lock_holders,
             injector,
             injected_faults,
             fault_repairs,
@@ -785,6 +851,45 @@ mod tests {
         let (m2, cursor) = restore_smp(&img, cfg, sim).expect("restore");
         assert_eq!(cursor, vec![9, 9]);
         assert_eq!(save_smp(&m2, &cursor), img);
+    }
+
+    #[test]
+    fn smp_tso_roundtrip_preserves_pending_buffers_and_locks() {
+        let cfg = SmpConfig::default();
+        let sim = SimConfig::default().with_memory_model(crate::config::MemoryModel::Tso);
+        let mut m = SmpMachine::new(cfg, sim);
+        let a = m.malloc(256);
+        m.lock(0, a + 128); // held lock survives the image (drains on entry)
+        m.store(0, a, 8, 1); // pending demand store
+        let b = m.malloc(8);
+        m.relocate(1, a + 64, b, 1); // pending copy + fbit install
+        let img = save_smp(&m, &[3]);
+        let (mut m2, cursor) = restore_smp(&img, cfg, sim).expect("restore");
+        assert_eq!(cursor, vec![3]);
+        assert_eq!(save_smp(&m2, &cursor), img, "byte-stable round trip");
+        assert_eq!(m2.store_buffer_depth(0), 1);
+        assert_eq!(m2.store_buffer_depth(1), 2);
+        // Draining the restored machine publishes exactly the pending work.
+        m2.barrier();
+        assert_eq!(m2.load(1, a, 8), 1);
+        assert_eq!(m2.load(0, a + 64, 8), m2.load(0, b, 8));
+        m2.unlock(0, a + 128);
+    }
+
+    #[test]
+    fn smp_restore_rejects_sb_image_under_other_model() {
+        // The fingerprint covers `memory_model`, so a TSO image (with
+        // pending buffer entries) cannot be restored into an SC machine.
+        let cfg = SmpConfig::default();
+        let tso = SimConfig::default().with_memory_model(crate::config::MemoryModel::Tso);
+        let mut m = SmpMachine::new(cfg, tso);
+        let a = m.malloc(8);
+        m.store(0, a, 8, 1);
+        let img = save_smp(&m, &[]);
+        assert_eq!(
+            restore_smp(&img, cfg, SimConfig::default()).err(),
+            Some(SnapshotError::ConfigMismatch)
+        );
     }
 
     #[test]
